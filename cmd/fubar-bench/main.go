@@ -1,0 +1,531 @@
+// Command fubar-bench regenerates every table and figure of the FUBAR
+// paper's evaluation (§3) on the HE-31 substitute topology.
+//
+// Usage:
+//
+//	fubar-bench -exp all            # everything (several minutes)
+//	fubar-bench -exp fig3           # one experiment
+//	fubar-bench -exp fig7 -runs 100 # repeatability with a custom run count
+//
+// Each experiment prints the paper-figure analogue as ASCII tables/charts
+// plus the headline numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fubar/internal/anneal"
+	"fubar/internal/baseline"
+	"fubar/internal/core"
+	"fubar/internal/dsim"
+	"fubar/internal/experiment"
+	"fubar/internal/flowmodel"
+	"fubar/internal/metrics"
+	"fubar/internal/mpls"
+	"fubar/internal/netsim"
+	"fubar/internal/pathgen"
+	"fubar/internal/report"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		runs     = flag.Int("runs", 100, "number of runs for fig7")
+		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
+		csv      = flag.Bool("csv", false, "emit CSV after each chart")
+	)
+	flag.Parse()
+
+	opts := core.Options{Deadline: *deadline}
+	run := func(name string, f func() error) {
+		fmt.Printf("\n================ %s ================\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig1") {
+		run("fig1+2: utility function shapes", func() error { return fig12() })
+	}
+	if want("fig3") {
+		run("fig3: provisioned run (100 Mbps)", func() error {
+			return timeSeriesExperiment(experiment.Provisioned(*seed), opts, *csv)
+		})
+	}
+	if want("fig4") {
+		run("fig4: underprovisioned run (75 Mbps)", func() error {
+			return timeSeriesExperiment(experiment.Underprovisioned(*seed), opts, *csv)
+		})
+	}
+	if want("fig5") {
+		run("fig5: underprovisioned, large flows prioritized", func() error {
+			return timeSeriesExperiment(experiment.Prioritized(*seed), opts, *csv)
+		})
+	}
+	if want("fig6") {
+		run("fig6: delay CDF, relaxed delay", func() error { return fig6(*seed, opts) })
+	}
+	if want("fig7") {
+		run("fig7: repeatability CDF", func() error { return fig7(*seed, *runs, opts) })
+	}
+	if want("queues") {
+		run("queues: queueing before/after (§3 avoiding congestion)", func() error { return queues(*seed, opts) })
+	}
+	if want("runtime") {
+		run("runtime: running-time table", func() error { return runtimeTable(*seed, opts) })
+	}
+	if want("ablation") {
+		run("ablation: path trio and escalation", func() error { return ablation(*seed, opts) })
+	}
+	if want("anneal") {
+		run("anneal: FUBAR vs naive simulated annealing (§2.5)", func() error { return annealCompare(*seed) })
+	}
+	if want("validate") {
+		run("validate: analytic model vs dynamic AIMD simulation (§2.3)", func() error { return validate(*seed) })
+	}
+	if want("dqueues") {
+		run("dqueues: simulated drop-tail queues, SP vs FUBAR (§3)", func() error { return dynamicQueues(*seed) })
+	}
+	if want("mpls") {
+		run("mpls: allocation as reserved MPLS-TE tunnels (§5)", func() error { return mplsSync(*seed) })
+	}
+	if want("failover") {
+		run("failover: link failure and warm-start recovery", func() error { return failover(*seed) })
+	}
+}
+
+// failover runs a link-failure episode: optimize, kill the hottest
+// link, measure the stale allocation, re-optimize around the failure
+// warm-started from the installed state.
+func failover(seed int64) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	res, err := experiment.Failover(topo, mat, core.Options{})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("link failure episode", "state", "utility", "notes")
+	t.AddRow("healthy (optimized)", fmt.Sprintf("%.4f", res.Healthy), "")
+	t.AddRow("failed, stale routing", fmt.Sprintf("%.4f", res.Degraded),
+		fmt.Sprintf("link %s down", res.FailedLinkName))
+	t.AddRow("re-optimized (warm start)", fmt.Sprintf("%.4f", res.Recovered),
+		fmt.Sprintf("%d moves in %v", res.ReoptimizeSteps, res.ReoptimizeTime.Truncate(time.Millisecond)))
+	return t.Render(os.Stdout)
+}
+
+// benchInstance is the shared mid-size congested instance for the
+// extension experiments: large enough to be interesting, small enough
+// that the dynamic simulation stays fast.
+func benchInstance(seed int64) (*topology.Topology, *traffic.Matrix, error) {
+	topo, err := topology.Ring(10, 6, 1500*unit.Kbps, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := traffic.DefaultGenConfig(seed + 32)
+	cfg.RealTimeFlows = [2]int{5, 20}
+	cfg.BulkFlows = [2]int{3, 10}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, mat, nil
+}
+
+// annealCompare reproduces the §2.5 comparison: guided escalation vs a
+// naive annealer on the same instance and traffic model.
+func annealCompare(seed int64) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("FUBAR vs naive simulated annealing", "optimizer", "utility", "model evals", "elapsed")
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		return err
+	}
+	t.AddRow("shortest path (start)", fmt.Sprintf("%.4f", sol.InitialUtility), 1, "-")
+	t.AddRow("FUBAR", fmt.Sprintf("%.4f", sol.Utility), sol.Steps, time.Since(start).Truncate(time.Millisecond))
+	for _, iters := range []int{3000, 30000, 150000} {
+		m2, err := flowmodel.New(topo, mat)
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		sa, err := anneal.Run(m2, anneal.Options{Seed: seed, MaxIterations: iters})
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("naive SA %dk iters", iters/1000),
+			fmt.Sprintf("%.4f", sa.Utility), sa.Evaluations, time.Since(start).Truncate(time.Millisecond))
+	}
+	return t.Render(os.Stdout)
+}
+
+// validate compares the analytic model's bundle rates with the dynamic
+// simulation's time averages, for both shortest-path and FUBAR routing.
+func validate(seed int64) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("analytic model vs AIMD simulation", "allocation", "bundles", "correlation", "mean rel err", "max rel err")
+	addCase := func(name string, bundles []flowmodel.Bundle) error {
+		res := model.Evaluate(bundles).Clone()
+		simRes, err := dsim.Simulate(topo, mat, bundles, dsim.Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		val, err := dsim.Validate(bundles, res, simRes)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, val.Bundles, fmt.Sprintf("%.3f", val.Correlation),
+			fmt.Sprintf("%.1f%%", 100*val.MeanRelErr), fmt.Sprintf("%.1f%%", 100*val.MaxRelErr))
+		return nil
+	}
+	sp, err := baseline.ShortestPath(model, pathgen.Policy{})
+	if err != nil {
+		return err
+	}
+	if err := addCase("shortest paths", sp.Bundles); err != nil {
+		return err
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := addCase("FUBAR", sol.Bundles); err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}
+
+// dynamicQueues re-runs the §3 queue-avoidance claim on simulated
+// drop-tail queues.
+func dynamicQueues(seed int64) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return err
+	}
+	sp, err := baseline.ShortestPath(model, pathgen.Policy{})
+	if err != nil {
+		return err
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("simulated queueing (AIMD + drop-tail)", "allocation", "mean queue", "worst queue", "sim utility")
+	for _, c := range []struct {
+		name    string
+		bundles []flowmodel.Bundle
+	}{{"shortest paths", sp.Bundles}, {"FUBAR", sol.Bundles}} {
+		simRes, err := dsim.Simulate(topo, mat, c.bundles, dsim.Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		t.AddRow(c.name, fmt.Sprintf("%.3f ms", simRes.MeanQueueMs),
+			fmt.Sprintf("%.2f ms", simRes.MaxQueueMs), fmt.Sprintf("%.4f", simRes.NetworkUtility))
+	}
+	return t.Render(os.Stdout)
+}
+
+// mplsSync installs the allocation as reserved tunnels and reports the
+// signaling outcome.
+func mplsSync(seed int64) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return err
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		return err
+	}
+	db, err := mpls.NewDB(topo)
+	if err != nil {
+		return err
+	}
+	stats, err := mpls.SyncSolution(db, mat, sol.Bundles, sol.Result.BundleRate, "fubar", 7, 7)
+	if err != nil {
+		return err
+	}
+	var maxU, sumU float64
+	used := 0
+	for _, u := range db.Utilization() {
+		if u <= 0 {
+			continue
+		}
+		used++
+		sumU += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	t := report.NewTable("MPLS-TE tunnel sync", "metric", "value")
+	t.AddRow("tunnels admitted", stats.Admitted)
+	t.AddRow("tunnels failed", len(stats.Failed))
+	t.AddRow("links reserved", used)
+	t.AddRow("mean reservation", fmt.Sprintf("%.1f%%", 100*sumU/float64(used)))
+	t.AddRow("max reservation", fmt.Sprintf("%.1f%%", 100*maxU))
+	t.AddRow("allocation utility", fmt.Sprintf("%.4f", sol.Utility))
+	return t.Render(os.Stdout)
+}
+
+// fig12 prints the Figure 1 and 2 utility component curves.
+func fig12() error {
+	for _, fn := range []utility.Function{utility.RealTime(), utility.Bulk(), utility.LargeFile(1000 * unit.Kbps)} {
+		t := report.NewTable(fmt.Sprintf("%s bandwidth component", fn.Name()), "kbps", "utility")
+		peak := float64(fn.PeakBandwidth())
+		for i := 0; i <= 10; i++ {
+			x := peak * float64(i) / 5 // up to 2x peak
+			t.AddRow(fmt.Sprintf("%.0f", x), fn.EvalBandwidth(unit.Bandwidth(x)))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		d := report.NewTable(fmt.Sprintf("%s delay component", fn.Name()), "ms", "utility")
+		for _, ms := range []float64{0, 25, 50, 75, 100, 150, 200, 500, 1000, 2000, 3000} {
+			d.AddRow(fmt.Sprintf("%.0f", ms), fn.EvalDelay(unit.Delay(ms)))
+		}
+		if err := d.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeSeriesExperiment renders the three panels of Figs 3-5.
+func timeSeriesExperiment(cfg experiment.Config, opts core.Options, csv bool) error {
+	cfg.Options = opts
+	r, err := experiment.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printRunSummary(r)
+
+	chart := report.NewLineChart("average utility over time", 72, 14)
+	chart.AddSeries(r.Utility)
+	if err := chart.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("  reference: upper bound = %.4f, shortest path = %.4f\n", r.UpperBound, r.ShortestPath)
+
+	lc := report.NewLineChart("utility of large flows", 72, 10)
+	lc.AddSeries(r.LargeUtility)
+	if err := lc.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	uc := report.NewLineChart("link utilization", 72, 12)
+	uc.AddSeries(r.ActualUtilization)
+	uc.AddSeries(r.DemandedUtilization)
+	if err := uc.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csv {
+		if err := report.SeriesCSV(os.Stdout, 60, r.Utility, r.LargeUtility, r.ActualUtilization, r.DemandedUtilization); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printRunSummary(r *experiment.RunResult) {
+	sol := r.Solution
+	fmt.Printf("topology: %s\n", r.Topology.Summary())
+	fmt.Printf("traffic:  %s\n", r.Matrix.Summary())
+	fmt.Printf("result:   utility %.4f (shortest-path %.4f, upper bound %.4f), +%.1f%% over shortest path\n",
+		sol.Utility, r.ShortestPath, r.UpperBound, 100*(sol.Utility-r.ShortestPath)/r.ShortestPath)
+	fmt.Printf("          %d steps, %d escalations, %.1f paths/aggregate, stop=%s, elapsed=%v\n",
+		sol.Steps, sol.Escalations, sol.PathsPerAggregate, sol.Stop, sol.Elapsed.Truncate(time.Millisecond))
+	last, _ := r.ActualUtilization.Last()
+	lastD, _ := r.DemandedUtilization.Last()
+	fmt.Printf("          final utilization: actual %.3f, demanded %.3f (gap %.3f)\n",
+		last.V, lastD.V, lastD.V-last.V)
+}
+
+// fig6 runs underprovisioned base vs relaxed-delay and prints both delay
+// CDFs.
+func fig6(seed int64, opts core.Options) error {
+	baseCfg := experiment.Underprovisioned(seed)
+	baseCfg.Options = opts
+	base, err := experiment.Run(baseCfg)
+	if err != nil {
+		return err
+	}
+	relCfg := experiment.RelaxedDelay(seed)
+	relCfg.Options = opts
+	rel, err := experiment.Run(relCfg)
+	if err != nil {
+		return err
+	}
+	cdfBase := metrics.NewCDF(base.FlowDelayMs)
+	cdfRel := metrics.NewCDF(rel.FlowDelayMs)
+	chart := report.NewCDFChart("per-flow path RTT", "ms", 72, 14)
+	chart.AddCDF("underprovisioned", cdfBase)
+	chart.AddCDF("underprovisioned, relaxed delay", cdfRel)
+	if err := chart.Render(os.Stdout); err != nil {
+		return err
+	}
+	t := report.NewTable("delay quantiles (ms)", "case", "p50", "p90", "p99", "max", "utility")
+	t.AddRow("original", cdfBase.Quantile(0.5), cdfBase.Quantile(0.9), cdfBase.Quantile(0.99), cdfBase.Quantile(1), base.Solution.Utility)
+	t.AddRow("relaxed", cdfRel.Quantile(0.5), cdfRel.Quantile(0.9), cdfRel.Quantile(0.99), cdfRel.Quantile(1), rel.Solution.Utility)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("median delay shift: %+.1f ms, p99 shift: %+.1f ms\n",
+		cdfRel.Quantile(0.5)-cdfBase.Quantile(0.5), cdfRel.Quantile(0.99)-cdfBase.Quantile(0.99))
+	return nil
+}
+
+// queues compares queueing of shortest-path routing against the
+// optimized allocation in both capacity regimes. The §3 claim is about
+// *long* queues: in the provisioned case FUBAR eliminates saturated
+// links outright; when capacity is short it deliberately runs more links
+// at moderate load (higher mean) while still shrinking the saturated
+// hot-spot set.
+func queues(seed int64, opts core.Options) error {
+	for _, tc := range []struct {
+		name string
+		cfg  experiment.Config
+	}{
+		{"provisioned", experiment.Provisioned(seed)},
+		{"underprovisioned", experiment.Underprovisioned(seed)},
+	} {
+		tc.cfg.Options = opts
+		r, err := experiment.Run(tc.cfg)
+		if err != nil {
+			return err
+		}
+		model, err := flowmodel.New(r.Topology, r.Matrix)
+		if err != nil {
+			return err
+		}
+		sp, err := baseline.ShortestPath(model, opts.Policy)
+		if err != nil {
+			return err
+		}
+		ratio, before, after, err := netsim.Compare(r.Topology, model, sp.Bundles, r.Solution.Bundles, netsim.Config{})
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(tc.name+": queueing (M/M/1 estimate)",
+			"allocation", "mean queue (ms)", "max queue (ms)", "saturated links")
+		t.AddRow("shortest path", before.MeanQueueMs, before.MaxQueueMs, before.SaturatedLinks)
+		t.AddRow("FUBAR", after.MeanQueueMs, after.MaxQueueMs, after.SaturatedLinks)
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("mean queueing ratio (before/after): %.2fx, saturated links %d -> %d\n",
+			ratio, before.SaturatedLinks, after.SaturatedLinks)
+	}
+	return nil
+}
+
+// fig7 runs the repeatability experiment.
+func fig7(seed int64, runs int, opts core.Options) error {
+	cfg := experiment.Provisioned(seed)
+	cfg.Options = opts
+	r, err := experiment.Repeatability(cfg, runs)
+	if err != nil {
+		return err
+	}
+	chart := report.NewCDFChart(fmt.Sprintf("final utility across %d runs", r.Runs), "utility", 72, 14)
+	chart.AddCDF("utility (FUBAR)", r.Fubar)
+	chart.AddCDF("shortest-path utility", r.ShortestPath)
+	chart.AddCDF("maximal utility", r.UpperBound)
+	if err := chart.Render(os.Stdout); err != nil {
+		return err
+	}
+	t := report.NewTable("summary", "series", "mean", "p10", "p50", "p90")
+	for _, row := range []struct {
+		name string
+		cdf  *metrics.CDF
+	}{
+		{"FUBAR", r.Fubar}, {"shortest path", r.ShortestPath}, {"upper bound", r.UpperBound},
+	} {
+		s := metrics.Summarize(row.cdf.Values())
+		t.AddRow(row.name, s.Mean, s.P10, s.P50, s.P90)
+	}
+	return t.Render(os.Stdout)
+}
+
+func runtimeTable(seed int64, opts core.Options) error {
+	rows, err := experiment.RuntimeTable(seed, opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("running time (§3)", "case", "elapsed", "steps", "utility", "paths/agg", "stop")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Elapsed, r.Steps, r.Utility, r.PathsPer, r.Stop.String())
+	}
+	return t.Render(os.Stdout)
+}
+
+// ablation compares path-choice modes and escalation on the provisioned
+// case (the §2.4 "we tried different approaches" claim).
+func ablation(seed int64, opts core.Options) error {
+	t := report.NewTable("ablations (provisioned case)", "variant", "utility", "steps", "elapsed", "stop")
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"full trio (paper)", func(o *core.Options) {}},
+		{"global only", func(o *core.Options) { o.AltMode = core.AltGlobalOnly }},
+		{"local only", func(o *core.Options) { o.AltMode = core.AltLocalOnly }},
+		{"link-local only", func(o *core.Options) { o.AltMode = core.AltLinkLocalOnly }},
+		{"no escalation", func(o *core.Options) { o.DisableEscalation = true }},
+	}
+	for _, v := range variants {
+		cfg := experiment.Provisioned(seed)
+		cfg.Options = opts
+		v.mod(&cfg.Options)
+		r, err := experiment.Run(cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(v.name, r.Solution.Utility, r.Solution.Steps,
+			r.Solution.Elapsed, r.Solution.Stop.String())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println(strings.TrimSpace(`
+The paper picks the global/local/link-local trio as "the best tradeoff
+between speed and solution quality"; the rows above quantify that choice
+on this reproduction.`))
+	return nil
+}

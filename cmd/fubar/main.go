@@ -1,0 +1,123 @@
+// Command fubar optimizes a traffic matrix over a topology and reports
+// the resulting allocation — the library's command-line front end.
+//
+// Usage:
+//
+//	fubar -topology net.topo -seed 7            # random §3-style workload
+//	fubar -he -capacity 75Mbps -seed 1 -v       # HE-31 underprovisioned
+//	fubar -he -large-weight 8                   # prioritize large flows
+//
+// Without -topology the HE-31 substitute is used. The traffic matrix is
+// always generated from -seed with the paper's class mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fubar"
+	"fubar/internal/report"
+)
+
+func main() {
+	var (
+		topoPath    = flag.String("topology", "", "topology file (text format); empty = HE-31 substitute")
+		capacity    = flag.String("capacity", "100Mbps", "uniform link capacity override")
+		seed        = flag.Int64("seed", 1, "traffic matrix seed")
+		largeWeight = flag.Float64("large-weight", 1, "utility weight multiplier for large aggregates")
+		delayScale  = flag.Float64("delay-scale", 1, "delay-curve stretch for small aggregates")
+		deadline    = flag.Duration("deadline", 5*time.Minute, "optimization deadline")
+		maxPaths    = flag.Int("max-paths", 15, "path-set limit per aggregate")
+		verbose     = flag.Bool("v", false, "trace progress every 100 steps")
+		showPaths   = flag.Bool("paths", false, "dump the final allocation's paths")
+	)
+	flag.Parse()
+
+	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *verbose, *showPaths); err != nil {
+		fmt.Fprintln(os.Stderr, "fubar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
+	deadline time.Duration, maxPaths int, verbose, showPaths bool) error {
+
+	cap, err := fubar.ParseBandwidth(capStr)
+	if err != nil {
+		return err
+	}
+	cfg := fubar.ExperimentConfig{
+		Capacity:    cap,
+		Seed:        seed,
+		LargeWeight: largeWeight,
+		DelayScale:  delayScale,
+	}
+	if topoPath != "" {
+		f, err := os.Open(topoPath)
+		if err != nil {
+			return err
+		}
+		topo, err := fubar.ParseTopology(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Topology = topo
+	}
+	cfg.Options = fubar.Options{
+		Deadline:             deadline,
+		MaxPathsPerAggregate: maxPaths,
+	}
+	if verbose {
+		cfg.Options.Trace = func(s fubar.Snapshot) {
+			if s.Step%100 == 0 {
+				fmt.Printf("  step %5d  t=%8s  utility=%.4f  congested=%d\n",
+					s.Step, s.Elapsed.Truncate(time.Millisecond), s.Result.NetworkUtility, len(s.Result.Congested))
+			}
+		}
+	}
+
+	r, err := fubar.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	sol := r.Solution
+	fmt.Printf("topology: %s\n", r.Topology.Summary())
+	fmt.Printf("traffic:  %s\n", r.Matrix.Summary())
+
+	t := report.NewTable("result", "metric", "value")
+	t.AddRow("network utility", sol.Utility)
+	t.AddRow("shortest-path utility", r.ShortestPath)
+	t.AddRow("upper bound", r.UpperBound)
+	t.AddRow("improvement", fmt.Sprintf("%+.1f%%", 100*(sol.Utility-r.ShortestPath)/r.ShortestPath))
+	t.AddRow("steps", sol.Steps)
+	t.AddRow("escalations", sol.Escalations)
+	t.AddRow("paths/aggregate", sol.PathsPerAggregate)
+	t.AddRow("stop reason", sol.Stop.String())
+	t.AddRow("elapsed", sol.Elapsed)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if showPaths {
+		pt := report.NewTable("allocation", "aggregate", "flows", "hops", "delay", "rate(kbps)", "satisfied")
+		for i, b := range sol.Bundles {
+			if len(b.Edges) == 0 {
+				continue
+			}
+			a := r.Matrix.Aggregate(b.Agg)
+			pt.AddRow(
+				fmt.Sprintf("%s->%s/%s", r.Topology.NodeName(a.Src), r.Topology.NodeName(a.Dst), a.Class),
+				b.Flows, len(b.Edges), b.Delay.String(),
+				fmt.Sprintf("%.0f", sol.Result.BundleRate[i]),
+				sol.Result.BundleSatisfied[i],
+			)
+		}
+		if err := pt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

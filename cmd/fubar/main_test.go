@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunOnGeneratedTopology(t *testing.T) {
+	// Small custom topology keeps the smoke test fast.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.topo")
+	topo := `topology smoke
+link A B 2Mbps 5ms
+link B C 2Mbps 5ms
+link A C 2Mbps 12ms
+link C D 2Mbps 5ms
+link B D 2Mbps 9ms
+`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, false, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("", "notarate", 1, 1, 1, time.Second, 15, false, false); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, false, false); err == nil {
+		t.Error("missing topology file accepted")
+	}
+}
+
+func TestRunWithWeightAndDelayKnobs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.topo")
+	topo := `topology knobs
+link A B 1Mbps 5ms
+link B C 1Mbps 5ms
+link A C 1Mbps 15ms
+`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, true, false); err != nil {
+		t.Fatalf("run with knobs: %v", err)
+	}
+}

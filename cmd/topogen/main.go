@@ -1,0 +1,71 @@
+// Command topogen generates topologies in the text format consumed by the
+// fubar CLI and the library's ParseTopology.
+//
+// Usage:
+//
+//	topogen -kind he -capacity 100Mbps > he31.topo
+//	topogen -kind ring -nodes 16 -chords 8 -seed 3 > ring.topo
+//	topogen -kind grid -width 4 -height 4 > grid.topo
+//	topogen -kind waxman -nodes 24 -seed 9 > waxman.topo
+//	topogen -kind dumbbell -nodes 6 > dumbbell.topo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fubar"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "he", "topology kind: he|ring|grid|waxman|dumbbell")
+		capStr   = flag.String("capacity", "100Mbps", "link capacity")
+		nodes    = flag.Int("nodes", 16, "node count (ring, waxman) or leaves per side (dumbbell)")
+		chords   = flag.Int("chords", 8, "extra chords (ring)")
+		width    = flag.Int("width", 4, "grid width")
+		height   = flag.Int("height", 4, "grid height")
+		alpha    = flag.Float64("alpha", 0.7, "waxman alpha")
+		beta     = flag.Float64("beta", 0.4, "waxman beta")
+		maxDelay = flag.String("max-delay", "50ms", "waxman max link delay")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if err := generate(*kind, *capStr, *nodes, *chords, *width, *height, *alpha, *beta, *maxDelay, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(kind, capStr string, nodes, chords, width, height int, alpha, beta float64, maxDelayStr string, seed int64) error {
+	cap, err := fubar.ParseBandwidth(capStr)
+	if err != nil {
+		return err
+	}
+	var topo *fubar.Topology
+	switch kind {
+	case "he":
+		topo, err = fubar.HurricaneElectric(cap)
+	case "ring":
+		topo, err = fubar.RingTopology(nodes, chords, cap, seed)
+	case "grid":
+		topo, err = fubar.GridTopology(width, height, cap)
+	case "waxman":
+		var md fubar.Delay
+		md, err = fubar.ParseDelay(maxDelayStr)
+		if err == nil {
+			topo, err = fubar.WaxmanTopology(nodes, alpha, beta, cap, md, seed)
+		}
+	case "dumbbell":
+		topo, err = fubar.DumbbellTopology(nodes, cap, cap/10)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", topo.Summary())
+	return fubar.WriteTopology(os.Stdout, topo)
+}

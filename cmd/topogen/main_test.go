@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		ok   bool
+	}{
+		{"he", true},
+		{"ring", true},
+		{"grid", true},
+		{"waxman", true},
+		{"dumbbell", true},
+		{"bogus", false},
+	}
+	for _, c := range cases {
+		err := generate(c.kind, "10Mbps", 8, 3, 3, 3, 0.7, 0.4, "40ms", 1)
+		if c.ok && err != nil {
+			t.Errorf("generate(%q) failed: %v", c.kind, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("generate(%q) succeeded, want error", c.kind)
+		}
+	}
+}
+
+func TestGenerateBadInputs(t *testing.T) {
+	if err := generate("ring", "notabandwidth", 8, 3, 3, 3, 0.7, 0.4, "40ms", 1); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := generate("waxman", "10Mbps", 8, 3, 3, 3, 0.7, 0.4, "fast", 1); err == nil {
+		t.Error("bad delay accepted")
+	}
+	if err := generate("ring", "10Mbps", 2, 0, 3, 3, 0.7, 0.4, "40ms", 1); err == nil {
+		t.Error("2-node ring accepted")
+	}
+}

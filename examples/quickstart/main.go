@@ -1,0 +1,47 @@
+// Quickstart: optimize a random traffic matrix on the HE-31 topology and
+// print the headline numbers — the five-line introduction to the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fubar"
+)
+
+func main() {
+	// The paper's provisioned setup: HE-31 core at 100 Mbps per link.
+	topo, err := fubar.HurricaneElectric(100 * fubar.Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology:", topo.Summary())
+
+	// A §3-style random workload: 50/50 real-time vs bulk, 2% large.
+	mat, err := fubar.GenerateTraffic(topo, fubar.DefaultGenConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traffic: ", mat.Summary())
+
+	// Run FUBAR with a small budget — enough to see it work.
+	sol, err := fubar.Optimize(topo, mat, fubar.Options{
+		Deadline: 30 * time.Second,
+		Trace: func(s fubar.Snapshot) {
+			if s.Step%200 == 0 {
+				fmt.Printf("  step %4d: utility %.4f, %d congested links\n",
+					s.Step, s.Result.NetworkUtility, len(s.Result.Congested))
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nshortest-path utility: %.4f\n", sol.InitialUtility)
+	fmt.Printf("FUBAR utility:         %.4f (%+.1f%%)\n",
+		sol.Utility, 100*(sol.Utility-sol.InitialUtility)/sol.InitialUtility)
+	fmt.Printf("stopped: %s after %d moves in %v\n",
+		sol.Stop, sol.Steps, sol.Elapsed.Truncate(time.Millisecond))
+}

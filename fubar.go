@@ -1,0 +1,480 @@
+package fubar
+
+import (
+	"io"
+
+	"fubar/internal/anneal"
+	"fubar/internal/baseline"
+	"fubar/internal/classify"
+	"fubar/internal/core"
+	"fubar/internal/ctrlplane"
+	"fubar/internal/dsim"
+	"fubar/internal/experiment"
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/measure"
+	"fubar/internal/metrics"
+	"fubar/internal/mpls"
+	"fubar/internal/netsim"
+	"fubar/internal/pathgen"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+// Quantities.
+type (
+	// Bandwidth is a data rate in kilobits per second.
+	Bandwidth = unit.Bandwidth
+	// Delay is a one-way propagation delay in milliseconds.
+	Delay = unit.Delay
+)
+
+// Unit constants.
+const (
+	Kbps        = unit.Kbps
+	Mbps        = unit.Mbps
+	Gbps        = unit.Gbps
+	Millisecond = unit.Millisecond
+	Second      = unit.Second
+)
+
+// ParseBandwidth parses "100Mbps", "50kbps", "1.5Gbps" or bare kbps.
+func ParseBandwidth(s string) (Bandwidth, error) { return unit.ParseBandwidth(s) }
+
+// ParseDelay parses "5ms", "1.2s" or bare milliseconds.
+func ParseDelay(s string) (Delay, error) { return unit.ParseDelay(s) }
+
+// Topologies.
+type (
+	// Topology is a POP-level network: named nodes joined by
+	// bidirectional capacity+delay links.
+	Topology = topology.Topology
+	// TopologyBuilder accumulates nodes and links.
+	TopologyBuilder = topology.Builder
+	// NodeID identifies a topology node.
+	NodeID = topology.NodeID
+	// LinkID identifies a directed link.
+	LinkID = topology.LinkID
+	// Link is one directed link.
+	Link = topology.Link
+	// Path is an edge sequence through the topology's graph.
+	Path = graph.Path
+)
+
+// NewTopology starts building a named topology.
+func NewTopology(name string) *TopologyBuilder { return topology.NewBuilder(name) }
+
+// HurricaneElectric builds the 31-POP / 56-link substitute for Hurricane
+// Electric's 2014 core (§3) with a uniform link capacity.
+func HurricaneElectric(capacity Bandwidth) (*Topology, error) {
+	return topology.HurricaneElectric(capacity)
+}
+
+// RingTopology generates an n-node ring with extra random chords.
+func RingTopology(n, chords int, capacity Bandwidth, seed int64) (*Topology, error) {
+	return topology.Ring(n, chords, capacity, seed)
+}
+
+// GridTopology generates a w x h Manhattan mesh.
+func GridTopology(w, h int, capacity Bandwidth) (*Topology, error) {
+	return topology.Grid(w, h, capacity)
+}
+
+// WaxmanTopology generates a geographic random topology.
+func WaxmanTopology(n int, alpha, beta float64, capacity Bandwidth, maxDelay Delay, seed int64) (*Topology, error) {
+	return topology.Waxman(n, alpha, beta, capacity, maxDelay, seed)
+}
+
+// DumbbellTopology generates the classic single-bottleneck topology.
+func DumbbellTopology(leaf int, capacity, bottleneck Bandwidth) (*Topology, error) {
+	return topology.Dumbbell(leaf, capacity, bottleneck)
+}
+
+// ParseTopology reads the text topology format.
+func ParseTopology(r io.Reader) (*Topology, error) { return topology.Parse(r) }
+
+// WriteTopology serializes a topology in the text format.
+func WriteTopology(w io.Writer, t *Topology) error { return topology.Write(w, t) }
+
+// Traffic.
+type (
+	// Matrix is a traffic matrix bound to a topology.
+	Matrix = traffic.Matrix
+	// Aggregate is a set of flows sharing source, destination and class.
+	Aggregate = traffic.Aggregate
+	// AggregateID indexes an aggregate within its matrix.
+	AggregateID = traffic.AggregateID
+	// GenConfig parameterizes random matrix generation (§3).
+	GenConfig = traffic.GenConfig
+)
+
+// NewMatrix builds a matrix from explicit aggregates.
+func NewMatrix(topo *Topology, aggs []Aggregate) (*Matrix, error) {
+	return traffic.NewMatrix(topo, aggs)
+}
+
+// DefaultGenConfig mirrors the paper's §3 workload for a seed.
+func DefaultGenConfig(seed int64) GenConfig { return traffic.DefaultGenConfig(seed) }
+
+// GenerateTraffic draws a random all-pairs matrix.
+func GenerateTraffic(topo *Topology, cfg GenConfig) (*Matrix, error) {
+	return traffic.Generate(topo, cfg)
+}
+
+// Utility.
+type (
+	// UtilityFunction maps per-flow bandwidth and path delay to [0,1].
+	UtilityFunction = utility.Function
+	// Curve is a piecewise-linear utility component.
+	Curve = utility.Curve
+	// CurvePoint is one vertex of a Curve.
+	CurvePoint = utility.Point
+	// Class labels a traffic class.
+	Class = utility.Class
+)
+
+// Traffic classes (§3).
+const (
+	ClassRealTime  = utility.ClassRealTime
+	ClassBulk      = utility.ClassBulk
+	ClassLargeFile = utility.ClassLargeFile
+)
+
+// RealTime returns the Figure 1 interactive utility function.
+func RealTime() UtilityFunction { return utility.RealTime() }
+
+// Bulk returns the Figure 2 bulk-transfer utility function.
+func Bulk() UtilityFunction { return utility.Bulk() }
+
+// LargeFile returns the §3 large-transfer function with the given peak.
+func LargeFile(peak Bandwidth) UtilityFunction { return utility.LargeFile(peak) }
+
+// NewCurve builds a piecewise-linear component curve.
+func NewCurve(pts ...CurvePoint) (Curve, error) { return utility.NewCurve(pts...) }
+
+// NewUtilityFunction composes bandwidth and delay components.
+func NewUtilityFunction(name string, bandwidth, delay Curve) (UtilityFunction, error) {
+	return utility.NewFunction(name, bandwidth, delay)
+}
+
+// Model.
+type (
+	// Model evaluates the §2.3 TCP-like traffic model.
+	Model = flowmodel.Model
+	// Bundle is a group of one aggregate's flows on one path.
+	Bundle = flowmodel.Bundle
+	// ModelResult is one model evaluation.
+	ModelResult = flowmodel.Result
+)
+
+// NewModel builds a traffic model over a topology and matrix.
+func NewModel(topo *Topology, mat *Matrix) (*Model, error) { return flowmodel.New(topo, mat) }
+
+// NewBundle builds a bundle over a path, precomputing its delay.
+func NewBundle(topo *Topology, agg AggregateID, flows int, path Path) Bundle {
+	return flowmodel.NewBundle(topo, agg, flows, path)
+}
+
+// Optimizer.
+type (
+	// Options tunes the optimizer.
+	Options = core.Options
+	// Solution is an optimization outcome.
+	Solution = core.Solution
+	// Snapshot is a progress report during optimization.
+	Snapshot = core.Snapshot
+	// StopReason explains optimizer termination.
+	StopReason = core.StopReason
+	// Policy restricts acceptable paths (§2.4 "policy compliant").
+	Policy = pathgen.Policy
+	// AltMode restricts the alternative-path trio (ablations).
+	AltMode = core.AltMode
+)
+
+// Stop reasons.
+const (
+	StopNoCongestion = core.StopNoCongestion
+	StopLocalOptimum = core.StopLocalOptimum
+	StopMaxSteps     = core.StopMaxSteps
+	StopDeadline     = core.StopDeadline
+)
+
+// Alternative-path modes.
+const (
+	AltAll           = core.AltAll
+	AltGlobalOnly    = core.AltGlobalOnly
+	AltLocalOnly     = core.AltLocalOnly
+	AltLinkLocalOnly = core.AltLinkLocalOnly
+)
+
+// Optimize runs FUBAR end to end on a topology and matrix.
+func Optimize(topo *Topology, mat *Matrix, opts Options) (*Solution, error) {
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(model, opts)
+}
+
+// OptimizeModel runs FUBAR on a prepared model (reuses model storage).
+func OptimizeModel(model *Model, opts Options) (*Solution, error) {
+	return core.Run(model, opts)
+}
+
+// Baselines.
+type (
+	// BaselineOutcome is a baseline allocation plus its evaluation.
+	BaselineOutcome = baseline.Outcome
+	// UpperBoundResult is the §3 isolation bound.
+	UpperBoundResult = baseline.UpperBoundResult
+)
+
+// ShortestPathRouting evaluates the paper's shortest-path reference.
+func ShortestPathRouting(model *Model, policy Policy) (*BaselineOutcome, error) {
+	return baseline.ShortestPath(model, policy)
+}
+
+// UpperBound computes the §3 isolation upper bound.
+func UpperBound(topo *Topology, mat *Matrix, policy Policy) (*UpperBoundResult, error) {
+	return baseline.UpperBound(topo, mat, policy)
+}
+
+// ECMP splits flows across equal-lowest-delay paths (RFC 2992 style).
+func ECMP(model *Model, policy Policy, maxPaths int) (*BaselineOutcome, error) {
+	return baseline.ECMP(model, policy, maxPaths)
+}
+
+// GreedyCSPF is the min-max-utilization CSPF-style comparator.
+func GreedyCSPF(model *Model, policy Policy, k int) (*BaselineOutcome, error) {
+	return baseline.GreedyCSPF(model, policy, k)
+}
+
+// Experiments.
+type (
+	// ExperimentConfig describes one §3 evaluation run.
+	ExperimentConfig = experiment.Config
+	// ExperimentResult carries the series and distributions a figure
+	// plots.
+	ExperimentResult = experiment.RunResult
+	// RepeatabilityResult is Fig 7's distribution data.
+	RepeatabilityResult = experiment.RepeatabilityResult
+)
+
+// Provisioned returns Fig 3's configuration (100 Mbps links).
+func Provisioned(seed int64) ExperimentConfig { return experiment.Provisioned(seed) }
+
+// Underprovisioned returns Fig 4's configuration (75 Mbps links).
+func Underprovisioned(seed int64) ExperimentConfig { return experiment.Underprovisioned(seed) }
+
+// Prioritized returns Fig 5's configuration (large flows weighted up).
+func Prioritized(seed int64) ExperimentConfig { return experiment.Prioritized(seed) }
+
+// RelaxedDelay returns Fig 6's configuration (small-flow delay doubled).
+func RelaxedDelay(seed int64) ExperimentConfig { return experiment.RelaxedDelay(seed) }
+
+// RunExperiment executes a configured evaluation run.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
+
+// Repeatability reruns a configuration across consecutive seeds (Fig 7).
+func Repeatability(base ExperimentConfig, runs int) (*RepeatabilityResult, error) {
+	return experiment.Repeatability(base, runs)
+}
+
+// SDN measurement substrate.
+type (
+	// Sim is the simulated SDN network (§2.1 substitute).
+	Sim = sdnsim.Sim
+	// SimConfig tunes the simulator.
+	SimConfig = sdnsim.Config
+	// EpochStats is one epoch of switch counters.
+	EpochStats = sdnsim.EpochStats
+	// Estimator reconstructs the traffic matrix from counters (§2.2).
+	Estimator = measure.Estimator
+	// AggregateKey identifies an aggregate to the estimator.
+	AggregateKey = measure.AggregateKey
+)
+
+// NewSim builds a simulated network over a ground-truth matrix.
+func NewSim(topo *Topology, truth *Matrix, cfg SimConfig) (*Sim, error) {
+	return sdnsim.New(topo, truth, cfg)
+}
+
+// NewEstimator builds a traffic-matrix estimator for known aggregates.
+func NewEstimator(keys []AggregateKey) *Estimator { return measure.NewEstimator(keys) }
+
+// EstimatorKeys extracts estimator keys from a matrix.
+func EstimatorKeys(mat *Matrix) []AggregateKey { return measure.KeysFromMatrix(mat) }
+
+// Queueing validation (§3 "Avoiding congestion").
+type (
+	// QueueConfig tunes the M/M/1-style queue estimate.
+	QueueConfig = netsim.Config
+	// QueueResult reports per-link and per-flow queueing estimates.
+	QueueResult = netsim.Result
+)
+
+// EvaluateQueues estimates queueing delay under an allocation.
+func EvaluateQueues(topo *Topology, model *Model, bundles []Bundle, cfg QueueConfig) (*QueueResult, error) {
+	return netsim.Evaluate(topo, model, bundles, cfg)
+}
+
+// CompareQueues reports how much less the second allocation queues than
+// the first (ratio > 1 means improvement).
+func CompareQueues(topo *Topology, model *Model, before, after []Bundle, cfg QueueConfig) (float64, *QueueResult, *QueueResult, error) {
+	return netsim.Compare(topo, model, before, after, cfg)
+}
+
+// Metrics.
+type (
+	// Series is an append-only time series.
+	Series = metrics.Series
+	// CDF is an empirical distribution.
+	CDF = metrics.CDF
+	// SummaryStats holds descriptive statistics.
+	SummaryStats = metrics.Summary
+)
+
+// NewCDF builds an empirical CDF from values.
+func NewCDF(values []float64) *CDF { return metrics.NewCDF(values) }
+
+// Summarize computes descriptive statistics.
+func Summarize(values []float64) SummaryStats { return metrics.Summarize(values) }
+
+// Simulated annealing comparator (§2.5 "Escaping local optima").
+type (
+	// AnnealOptions tunes the naive simulated-annealing allocator the
+	// paper compares its escalation heuristic against.
+	AnnealOptions = anneal.Options
+	// AnnealSolution is a simulated-annealing outcome.
+	AnnealSolution = anneal.Solution
+)
+
+// Anneal runs the naive simulated-annealing allocator on a model.
+func Anneal(model *Model, opts AnnealOptions) (*AnnealSolution, error) {
+	return anneal.Run(model, opts)
+}
+
+// Traffic classification (§1 "crude heuristics supplemented by operator
+// knowledge").
+type (
+	// Classifier assigns utility classes to aggregates.
+	Classifier = classify.Classifier
+	// ClassifierOptions tunes the behavioural classification tier.
+	ClassifierOptions = classify.Options
+	// ClassifierOverride is one operator-knowledge rule.
+	ClassifierOverride = classify.Override
+	// FlowFeatures is what the measurement plane observes about an
+	// aggregate.
+	FlowFeatures = classify.Features
+	// ClassDecision is a classification outcome.
+	ClassDecision = classify.Decision
+)
+
+// NewClassifier builds a classifier with operator overrides.
+func NewClassifier(opts ClassifierOptions, overrides ...ClassifierOverride) (*Classifier, error) {
+	return classify.New(opts, overrides...)
+}
+
+// FlowFeaturesFromRates derives behavioural features from per-epoch rate
+// observations.
+func FlowFeaturesFromRates(rates []float64, flows int, congestedFraction float64) FlowFeatures {
+	return classify.FeaturesFromRates(rates, flows, congestedFraction)
+}
+
+// Dynamic simulation (model validation and §3 queue avoidance).
+type (
+	// DynConfig tunes the time-stepped AIMD fluid simulator.
+	DynConfig = dsim.Config
+	// DynResult is a completed dynamic simulation.
+	DynResult = dsim.Result
+	// ModelValidation compares analytic predictions with simulated rates.
+	ModelValidation = dsim.Validation
+)
+
+// SimulateDynamics runs the AIMD fluid simulation of an allocation.
+func SimulateDynamics(topo *Topology, mat *Matrix, bundles []Bundle, cfg DynConfig) (*DynResult, error) {
+	return dsim.Simulate(topo, mat, bundles, cfg)
+}
+
+// ValidateModel compares a traffic-model evaluation against a dynamic
+// simulation of the same allocation.
+func ValidateModel(bundles []Bundle, res *ModelResult, sim *DynResult) (*ModelValidation, error) {
+	return dsim.Validate(bundles, res, sim)
+}
+
+// SDN control plane (§5 "in conjunction with an online controller").
+type (
+	// Controller is the online controller switches register with.
+	Controller = ctrlplane.Controller
+	// ControllerConfig tunes the controller.
+	ControllerConfig = ctrlplane.ControllerConfig
+	// SwitchAgent is the switch side of the control protocol.
+	SwitchAgent = ctrlplane.Agent
+	// SwitchAgentConfig tunes an agent.
+	SwitchAgentConfig = ctrlplane.AgentConfig
+	// Datapath is the forwarding element an agent fronts.
+	Datapath = ctrlplane.Datapath
+	// Fabric adapts the SDN simulator into per-switch datapaths.
+	Fabric = ctrlplane.Fabric
+	// ControlLoopConfig tunes the closed measure/optimize/install loop.
+	ControlLoopConfig = ctrlplane.LoopConfig
+	// ControlLoopResult summarizes a closed-loop run.
+	ControlLoopResult = ctrlplane.LoopResult
+)
+
+// ListenController starts a controller on addr.
+func ListenController(addr string, cfg ControllerConfig) (*Controller, error) {
+	return ctrlplane.Listen(addr, cfg)
+}
+
+// DialSwitch connects a switch agent to the controller.
+func DialSwitch(addr string, datapathID uint32, nodeName string, dp Datapath, cfg SwitchAgentConfig) (*SwitchAgent, error) {
+	return ctrlplane.Dial(addr, datapathID, nodeName, dp, cfg)
+}
+
+// NewFabric wraps an SDN simulator as per-switch datapaths.
+func NewFabric(sim *Sim) *Fabric { return ctrlplane.NewFabric(sim) }
+
+// RunControlLoop drives the closed measurement/optimization cycle.
+func RunControlLoop(ctrl *Controller, topo *Topology, keys []AggregateKey, cfg ControlLoopConfig, advance func() error) (*ControlLoopResult, error) {
+	return ctrlplane.RunLoop(ctrl, topo, keys, cfg, advance)
+}
+
+// MPLS-TE substrate (§5 "SDN or MPLS networks").
+type (
+	// LSPDB is an MPLS-TE head-end database with reservations,
+	// priorities and preemption.
+	LSPDB = mpls.LSPDB
+	// LSP is one reserved label-switched path.
+	LSP = mpls.LSP
+	// LSPSyncStats reports what one solution sync did.
+	LSPSyncStats = mpls.SyncStats
+	// LSPPriority is an RSVP-TE priority level (0 strongest, 7 weakest).
+	LSPPriority = mpls.Priority
+)
+
+// NewLSPDB builds an empty MPLS-TE database over a topology.
+func NewLSPDB(topo *Topology) (*LSPDB, error) { return mpls.NewDB(topo) }
+
+// SyncToMPLS reconciles an LSP database with a FUBAR allocation,
+// reserving each bundle's predicted rate and moving existing tunnels
+// make-before-break.
+func SyncToMPLS(db *LSPDB, mat *Matrix, bundles []Bundle, rates []float64, prefix string, setup, hold LSPPriority) (*LSPSyncStats, error) {
+	return mpls.SyncSolution(db, mat, bundles, rates, prefix, setup, hold)
+}
+
+// Failure recovery.
+type (
+	// FailoverOutcome captures a link-failure episode: healthy,
+	// degraded-stale, and warm-start recovered utilities.
+	FailoverOutcome = experiment.FailoverResult
+)
+
+// Failover optimizes, fails the hottest link, and re-optimizes around
+// it warm-started from the installed allocation.
+func Failover(topo *Topology, mat *Matrix, opts Options) (*FailoverOutcome, error) {
+	return experiment.Failover(topo, mat, opts)
+}

@@ -1,0 +1,433 @@
+package fubar
+
+// Facade tests: exercise the public API end to end the way a downstream
+// user would, without touching internal packages.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeUnits(t *testing.T) {
+	b, err := ParseBandwidth("2.5Mbps")
+	if err != nil || b != 2500*Kbps {
+		t.Errorf("ParseBandwidth = %v, %v", b, err)
+	}
+	d, err := ParseDelay("150ms")
+	if err != nil || d != 150*Millisecond {
+		t.Errorf("ParseDelay = %v, %v", d, err)
+	}
+	if Second != 1000*Millisecond || Gbps != 1000*Mbps {
+		t.Error("unit constants inconsistent")
+	}
+}
+
+func TestFacadeTopologyBuilders(t *testing.T) {
+	he, err := HurricaneElectric(100 * Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he.NumNodes() != 31 || he.NumBidirectionalLinks() != 56 {
+		t.Errorf("HE shape: %s", he.Summary())
+	}
+	ring, err := RingTopology(8, 3, 10*Mbps, 1)
+	if err != nil || ring.NumNodes() != 8 {
+		t.Errorf("RingTopology: %v %v", ring, err)
+	}
+	grid, err := GridTopology(3, 3, 10*Mbps)
+	if err != nil || grid.NumNodes() != 9 {
+		t.Errorf("GridTopology: %v %v", grid, err)
+	}
+	wax, err := WaxmanTopology(10, 0.7, 0.4, 10*Mbps, 40*Millisecond, 2)
+	if err != nil || wax.NumNodes() != 10 {
+		t.Errorf("WaxmanTopology: %v %v", wax, err)
+	}
+	db, err := DumbbellTopology(2, 10*Mbps, 1*Mbps)
+	if err != nil || db.NumNodes() != 6 {
+		t.Errorf("DumbbellTopology: %v %v", db, err)
+	}
+
+	// Custom build + round trip through the text format.
+	tb := NewTopology("custom")
+	tb.AddLink("X", "Y", 10*Mbps, 3*Millisecond)
+	topo, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 2 {
+		t.Errorf("round trip: %s", back.Summary())
+	}
+}
+
+func TestFacadeUtilityFunctions(t *testing.T) {
+	rt := RealTime()
+	if rt.PeakBandwidth() != 50*Kbps {
+		t.Errorf("RealTime peak = %v", rt.PeakBandwidth())
+	}
+	if u := Bulk().Eval(200*Kbps, 50*Millisecond); u != 1 {
+		t.Errorf("Bulk at peak = %v", u)
+	}
+	if LargeFile(2*Mbps).PeakBandwidth() != 2*Mbps {
+		t.Error("LargeFile peak wrong")
+	}
+	curve, err := NewCurve(CurvePoint{X: 0, Y: 0}, CurvePoint{X: 100, Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, err := NewCurve(CurvePoint{X: 0, Y: 1}, CurvePoint{X: 500, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := NewUtilityFunction("custom", curve, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn.Eval(50*Kbps, 250*Millisecond); got != 0.25 {
+		t.Errorf("custom Eval = %v, want 0.25", got)
+	}
+}
+
+func TestFacadeOptimizeEndToEnd(t *testing.T) {
+	topo, err := RingTopology(8, 4, 2*Mbps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGenConfig(9)
+	cfg.RealTimeFlows = [2]int{2, 8}
+	cfg.BulkFlows = [2]int{1, 4}
+	cfg.LargeFlows = [2]int{1, 2}
+	mat, err := GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced int
+	sol, err := Optimize(topo, mat, Options{
+		Trace: func(s Snapshot) { traced++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Utility < sol.InitialUtility {
+		t.Errorf("utility %v below initial %v", sol.Utility, sol.InitialUtility)
+	}
+	if traced == 0 {
+		t.Error("trace callback never fired")
+	}
+	switch sol.Stop {
+	case StopNoCongestion, StopLocalOptimum, StopMaxSteps, StopDeadline:
+	default:
+		t.Errorf("unknown stop reason %v", sol.Stop)
+	}
+
+	// Baselines through the facade.
+	model, err := NewModel(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ShortestPathRouting(model, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Utility != sol.InitialUtility {
+		t.Errorf("facade SP %v != solution initial %v", sp.Utility, sol.InitialUtility)
+	}
+	if _, err := ECMP(model, Policy{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GreedyCSPF(model, Policy{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	ub, err := UpperBound(topo, mat, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Utility > ub.Mean+1e-9 {
+		t.Errorf("solution %v above upper bound %v", sol.Utility, ub.Mean)
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	topo, err := RingTopology(8, 4, 2*Mbps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := DefaultGenConfig(9)
+	tc.RealTimeFlows = [2]int{2, 8}
+	tc.BulkFlows = [2]int{1, 4}
+	tc.LargeFlows = [2]int{1, 2}
+	cfg := ExperimentConfig{Topology: topo, Seed: 9, Traffic: &tc}
+	r, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utility.Len() == 0 {
+		t.Error("no utility series")
+	}
+	if len(r.FlowDelayMs) == 0 {
+		t.Error("no delay samples")
+	}
+	cdf := NewCDF(r.FlowDelayMs)
+	if cdf.Quantile(0.5) <= 0 {
+		t.Error("nonpositive median delay")
+	}
+	s := Summarize(r.FlowDelayMs)
+	if s.N != len(r.FlowDelayMs) {
+		t.Error("summary count mismatch")
+	}
+	// Preset configs exist and carry the right capacities.
+	if Provisioned(1).Capacity != 100*Mbps {
+		t.Error("Provisioned capacity")
+	}
+	if Underprovisioned(1).Capacity != 75*Mbps {
+		t.Error("Underprovisioned capacity")
+	}
+	if Prioritized(1).LargeWeight != 8 {
+		t.Error("Prioritized weight")
+	}
+	if RelaxedDelay(1).DelayScale != 2 {
+		t.Error("RelaxedDelay scale")
+	}
+}
+
+func TestFacadeSDNLoop(t *testing.T) {
+	topo, err := RingTopology(8, 4, 2*Mbps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGenConfig(9)
+	cfg.RealTimeFlows = [2]int{2, 8}
+	cfg.BulkFlows = [2]int{1, 4}
+	cfg.LargeFlows = [2]int{1, 2}
+	truth, err := GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(topo, truth, SimConfig{Seed: 2, Epoch: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(EstimatorKeys(truth))
+	for i := 0; i < 3; i++ {
+		stats, err := sim.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	estMat, err := est.Matrix(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estMat.NumAggregates() != truth.NumAggregates() {
+		t.Errorf("estimated %d aggregates, truth has %d",
+			estMat.NumAggregates(), truth.NumAggregates())
+	}
+	sol, err := Optimize(topo, estMat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Install(sol.Bundles); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeNewMatrixAndBundle(t *testing.T) {
+	tb := NewTopology("two")
+	tb.AddLink("A", "B", 10*Mbps, 5*Millisecond)
+	topo, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := NewMatrix(topo, []Aggregate{
+		{Src: 0, Dst: 1, Class: ClassBulk, Flows: 3, Fn: Bulk()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.TotalFlows() != 3 {
+		t.Error("TotalFlows")
+	}
+	sol, err := Optimize(topo, mat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Utility != 1 {
+		t.Errorf("trivial instance utility = %v", sol.Utility)
+	}
+	if !strings.Contains(mat.Summary(), "bulk") {
+		t.Errorf("Summary = %q", mat.Summary())
+	}
+}
+
+// testRingInstance builds a small congested instance for the extension
+// facade tests.
+func testRingInstance(t *testing.T, seed int64) (*Topology, *Matrix) {
+	t.Helper()
+	topo, err := RingTopology(8, 4, 800*Kbps, seed)
+	if err != nil {
+		t.Fatalf("RingTopology: %v", err)
+	}
+	cfg := DefaultGenConfig(seed)
+	cfg.RealTimeFlows = [2]int{2, 8}
+	cfg.BulkFlows = [2]int{1, 4}
+	mat, err := GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatalf("GenerateTraffic: %v", err)
+	}
+	return topo, mat
+}
+
+func TestFacadeAnneal(t *testing.T) {
+	topo, mat := testRingInstance(t, 9)
+	model, err := NewModel(topo, mat)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	sol, err := Anneal(model, AnnealOptions{Seed: 9, MaxIterations: 3000})
+	if err != nil {
+		t.Fatalf("Anneal: %v", err)
+	}
+	if sol.Utility < sol.InitialUtility {
+		t.Fatalf("annealing lost utility: %.4f -> %.4f", sol.InitialUtility, sol.Utility)
+	}
+}
+
+func TestFacadeClassifier(t *testing.T) {
+	cl, err := NewClassifier(ClassifierOptions{}, ClassifierOverride{
+		DstName: "lon", Class: ClassRealTime,
+	})
+	if err != nil {
+		t.Fatalf("NewClassifier: %v", err)
+	}
+	d := cl.Classify(FlowFeatures{DstName: "lon"})
+	if d.Class != ClassRealTime {
+		t.Fatalf("override not applied: %+v", d)
+	}
+	f := FlowFeaturesFromRates([]float64{100, 110, 90}, 2, 0)
+	if f.MeanRatePerFlow <= 0 {
+		t.Fatalf("features not derived: %+v", f)
+	}
+}
+
+func TestFacadeDynamicsAndValidation(t *testing.T) {
+	topo, mat := testRingInstance(t, 13)
+	model, err := NewModel(topo, mat)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	sol, err := OptimizeModel(model, Options{})
+	if err != nil {
+		t.Fatalf("OptimizeModel: %v", err)
+	}
+	sim, err := SimulateDynamics(topo, mat, sol.Bundles, DynConfig{DurationMs: 10000})
+	if err != nil {
+		t.Fatalf("SimulateDynamics: %v", err)
+	}
+	val, err := ValidateModel(sol.Bundles, sol.Result, sim)
+	if err != nil {
+		t.Fatalf("ValidateModel: %v", err)
+	}
+	if val.Correlation < 0.5 {
+		t.Fatalf("implausibly low correlation %.3f", val.Correlation)
+	}
+}
+
+func TestFacadeControlPlane(t *testing.T) {
+	topo, mat := testRingInstance(t, 17)
+	sim, err := NewSim(topo, mat, SimConfig{Seed: 17})
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatalf("InstallShortestPaths: %v", err)
+	}
+	fabric := NewFabric(sim)
+	ctrl, err := ListenController("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("ListenController: %v", err)
+	}
+	defer ctrl.Close()
+	agents := make([]*SwitchAgent, 0, topo.NumNodes())
+	for n := 0; n < topo.NumNodes(); n++ {
+		a, err := DialSwitch(ctrl.Addr().String(), uint32(n), topo.NodeName(NodeID(n)),
+			fabric.Datapath(NodeID(n)), SwitchAgentConfig{})
+		if err != nil {
+			t.Fatalf("DialSwitch %d: %v", n, err)
+		}
+		agents = append(agents, a)
+		go a.Serve()
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	if err := ctrl.WaitForSwitches(topo.NumNodes(), 5*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	res, err := RunControlLoop(ctrl, topo, EstimatorKeys(mat), ControlLoopConfig{
+		Epochs: 3, OptimizeEvery: 3,
+	}, fabric.RunEpoch)
+	if err != nil {
+		t.Fatalf("RunControlLoop: %v", err)
+	}
+	if res.Installs != 1 || res.Epochs != 3 {
+		t.Fatalf("loop result wrong: %+v", res)
+	}
+}
+
+func TestFacadeMPLS(t *testing.T) {
+	topo, mat := testRingInstance(t, 21)
+	sol, err := Optimize(topo, mat, Options{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	db, err := NewLSPDB(topo)
+	if err != nil {
+		t.Fatalf("NewLSPDB: %v", err)
+	}
+	stats, err := SyncToMPLS(db, mat, sol.Bundles, sol.Result.BundleRate, "fubar", 7, 7)
+	if err != nil {
+		t.Fatalf("SyncToMPLS: %v", err)
+	}
+	if stats.Admitted == 0 {
+		t.Fatal("no tunnels admitted")
+	}
+	if len(stats.Failed) != 0 {
+		t.Fatalf("tunnels failed: %v", stats.Failed)
+	}
+	for l, u := range db.Utilization() {
+		if u > 1+1e-6 {
+			t.Fatalf("link %d over-reserved: %.4f", l, u)
+		}
+	}
+}
+
+func TestFacadeFailover(t *testing.T) {
+	topo, mat := testRingInstance(t, 25)
+	res, err := Failover(topo, mat, Options{})
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if !(res.Degraded < res.Healthy && res.Recovered >= res.Degraded) {
+		t.Fatalf("failover shape wrong: %+v", res)
+	}
+}

@@ -1,0 +1,698 @@
+// Package core implements FUBAR's flow allocation optimizer — the paper's
+// primary contribution (§2.5, Listings 1 and 2).
+//
+// The optimizer starts with every aggregate on its lowest-delay
+// policy-compliant path, evaluates the §2.3 traffic model, and then
+// repeatedly relieves the most oversubscribed congested link: for every
+// bundle crossing it, it tests moving N flows to each of the three §2.4
+// alternative paths (global / local / link-local) and commits the single
+// move with the best predicted network utility. When no move improves
+// utility it escalates N — moving larger and larger chunks, up to whole
+// aggregates — to escape local optima (§2.5, "Escaping local optima");
+// when even whole-aggregate moves cannot improve utility, it terminates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/pathgen"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// defaultMinGain is the default minimum utility gain considered progress.
+// Gains below it are water-filling noise: committing them lets the greedy
+// crawl forever at +1e-9 per move without visibly changing the solution.
+const defaultMinGain = 1e-6
+
+// AltMode selects which of the §2.4 alternatives the optimizer may test.
+// The default (AltAll) is the paper's trio; the others exist for the
+// path-choice ablation.
+type AltMode uint8
+
+// Alternative-path ablation modes.
+const (
+	AltAll AltMode = iota
+	AltGlobalOnly
+	AltLocalOnly
+	AltLinkLocalOnly
+)
+
+// String names the mode.
+func (m AltMode) String() string {
+	switch m {
+	case AltAll:
+		return "all"
+	case AltGlobalOnly:
+		return "global-only"
+	case AltLocalOnly:
+		return "local-only"
+	case AltLinkLocalOnly:
+		return "link-local-only"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the optimizer. The zero value is usable: every field has a
+// sensible default applied by Run.
+type Options struct {
+	// Policy constrains generated paths (§2.4 "policy compliant").
+	Policy pathgen.Policy
+	// MoveFraction is the base fraction of an aggregate's flows moved per
+	// step for large aggregates. Default 0.25.
+	MoveFraction float64
+	// SmallAggregateFlows: aggregates with at most this many flows move
+	// in their entirety (§2.5 "small aggregates are moved in their
+	// entirety"). Default 10.
+	SmallAggregateFlows int
+	// EscalationFactor multiplies the move fraction while stuck in a
+	// local optimum. Default 2.
+	EscalationFactor float64
+	// MaxPathsPerAggregate bounds each aggregate's path set (§2.4 finds
+	// "ten to fifteen" in practice). Default 15.
+	MaxPathsPerAggregate int
+	// MinGain is the smallest network-utility improvement a move must
+	// deliver to count as progress. Default 1e-6.
+	MinGain float64
+	// MaxSteps bounds committed moves; 0 means unbounded.
+	MaxSteps int
+	// Deadline bounds wall-clock optimization time; 0 means unbounded.
+	Deadline time.Duration
+	// AltMode restricts the alternative trio (ablation only).
+	AltMode AltMode
+	// DisableEscalation turns off §2.5 escalation (ablation only): the
+	// optimizer then terminates at the first local optimum.
+	DisableEscalation bool
+	// InitialBundles warm-starts the optimizer from an existing
+	// allocation instead of Listing 1 line 1's all-on-lowest-delay
+	// placement — the incremental re-optimization an offline controller
+	// runs when demand or topology shifts under an installed solution.
+	// Bundles must cover every aggregate's flows exactly. Paths are
+	// accepted as-is (they are installed state, even if the current
+	// Policy would no longer generate them); new alternatives remain
+	// policy-compliant, so non-compliant warm-start paths can only
+	// drain.
+	InitialBundles []flowmodel.Bundle
+	// Trace, if set, receives a snapshot after the initial evaluation and
+	// after every committed move. Snapshots share the optimizer's result
+	// storage: copy anything retained beyond the callback.
+	Trace func(Snapshot)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MoveFraction <= 0 {
+		o.MoveFraction = 0.25
+	}
+	if o.SmallAggregateFlows <= 0 {
+		o.SmallAggregateFlows = 10
+	}
+	if o.EscalationFactor <= 1 {
+		o.EscalationFactor = 2
+	}
+	if o.MaxPathsPerAggregate <= 0 {
+		o.MaxPathsPerAggregate = 15
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = defaultMinGain
+	}
+	return o
+}
+
+// Snapshot is a progress report delivered to Options.Trace.
+type Snapshot struct {
+	// Step counts committed moves so far (0 = initial shortest-path
+	// allocation).
+	Step int
+	// Elapsed is wall-clock time since Run started.
+	Elapsed time.Duration
+	// Escalation is the current escalation level (0 = base move size).
+	Escalation int
+	// Result is the model evaluation of the current allocation. Shared
+	// storage — valid only during the callback.
+	Result *flowmodel.Result
+}
+
+// StopReason explains why optimization ended.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	// StopNoCongestion: every link uncongested — the solution is optimal
+	// (all flows satisfied on their lowest-delay compliant paths).
+	StopNoCongestion StopReason = iota
+	// StopLocalOptimum: congestion remains but no move — even at maximum
+	// escalation — improves utility.
+	StopLocalOptimum
+	// StopMaxSteps: Options.MaxSteps reached.
+	StopMaxSteps
+	// StopDeadline: Options.Deadline reached.
+	StopDeadline
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopNoCongestion:
+		return "no-congestion"
+	case StopLocalOptimum:
+		return "local-optimum"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopDeadline:
+		return "deadline"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the outcome of a Run.
+type Solution struct {
+	// Bundles is the final allocation: one bundle per (aggregate, path)
+	// with a positive flow count.
+	Bundles []flowmodel.Bundle
+	// Result is the model evaluation of Bundles (deep copy, caller owns).
+	Result *flowmodel.Result
+	// Utility is Result.NetworkUtility, for convenience.
+	Utility float64
+	// InitialUtility is the shortest-path allocation's utility — the
+	// paper's "shortest path" reference line.
+	InitialUtility float64
+	// Steps is the number of committed moves.
+	Steps int
+	// Escalations counts how many times the move size was escalated.
+	Escalations int
+	// Elapsed is total optimization wall time.
+	Elapsed time.Duration
+	// Stop explains termination.
+	Stop StopReason
+	// PathsPerAggregate is the mean path-set size at termination.
+	PathsPerAggregate float64
+}
+
+// aggState tracks one aggregate's path set and flow split.
+type aggState struct {
+	set    *pathgen.PathSet
+	flows  []int // parallel to set.Paths()
+	delays []unit.Delay
+	total  int // total flows (invariant: sum(flows) == total)
+	self   bool
+}
+
+// Optimizer runs FUBAR on one topology + traffic matrix. Construct with
+// New; call Run once per instance (Run restarts from scratch each call).
+type Optimizer struct {
+	model *flowmodel.Model
+	gen   *pathgen.Generator
+	mat   *traffic.Matrix
+	opts  Options
+
+	aggs      []aggState
+	bundleBuf []flowmodel.Bundle
+	// scratch
+	congAll  []bool
+	congUsed []bool
+	usedMark []bool
+}
+
+// New builds an optimizer.
+func New(model *flowmodel.Model, opts Options) (*Optimizer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	opts = opts.withDefaults()
+	gen, err := pathgen.New(model.Topology(), opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	nL := model.Topology().NumLinks()
+	return &Optimizer{
+		model:    model,
+		gen:      gen,
+		mat:      model.Matrix(),
+		opts:     opts,
+		congAll:  make([]bool, nL),
+		congUsed: make([]bool, nL),
+		usedMark: make([]bool, nL),
+	}, nil
+}
+
+// Run executes Listing 1 and returns the solution.
+func (o *Optimizer) Run() (*Solution, error) {
+	start := time.Now()
+	if err := o.initAllocation(); err != nil {
+		return nil, err
+	}
+	res := o.evaluate()
+	initial := res.NetworkUtility
+	steps, escal := 0, 0
+	fraction := o.opts.MoveFraction
+	escLevel := 0
+	o.trace(Snapshot{Step: 0, Elapsed: time.Since(start), Result: res})
+
+	// Snapshot what the pass loop needs by value: trial evaluations inside
+	// step() reuse the model's result storage, so res's contents are only
+	// meaningful immediately after an evaluate.
+	uCur := res.NetworkUtility
+	congested := append([]graph.EdgeID(nil), res.Congested...)
+	links := o.model.CongestedByOversubscription(res)
+
+	var stop StopReason
+loop:
+	for {
+		if len(congested) == 0 {
+			stop = StopNoCongestion
+			break
+		}
+		if o.opts.MaxSteps > 0 && steps >= o.opts.MaxSteps {
+			stop = StopMaxSteps
+			break
+		}
+		if o.opts.Deadline > 0 && time.Since(start) >= o.opts.Deadline {
+			stop = StopDeadline
+			break
+		}
+		// Listing 1 lines 4-9: walk congested links by oversubscription;
+		// the first link whose step() makes progress ends the pass.
+		progress := false
+		for _, link := range links {
+			if o.step(link, uCur, congested, fraction) {
+				progress = true
+				break
+			}
+		}
+		if progress {
+			steps++
+			fraction = o.opts.MoveFraction // de-escalate on progress
+			escLevel = 0
+			res = o.evaluate()
+			uCur = res.NetworkUtility
+			congested = append(congested[:0], res.Congested...)
+			links = o.model.CongestedByOversubscription(res)
+			o.trace(Snapshot{Step: steps, Elapsed: time.Since(start), Escalation: escLevel, Result: res})
+			continue
+		}
+		// Local optimum (§2.5): escalate the move size; give up once even
+		// whole-aggregate moves fail. The allocation did not change, so
+		// the uCur/congested/links snapshot stays valid.
+		if o.opts.DisableEscalation || fraction >= 1 {
+			stop = StopLocalOptimum
+			break loop
+		}
+		fraction *= o.opts.EscalationFactor
+		if fraction > 1 {
+			fraction = 1
+		}
+		escLevel++
+		escal++
+	}
+
+	final := o.evaluate()
+	sol := &Solution{
+		Bundles:        o.snapshotBundles(),
+		Result:         final.Clone(),
+		Utility:        final.NetworkUtility,
+		InitialUtility: initial,
+		Steps:          steps,
+		Escalations:    escal,
+		Elapsed:        time.Since(start),
+		Stop:           stop,
+	}
+	var totalPaths int
+	nonSelf := 0
+	for _, a := range o.aggs {
+		if a.self {
+			continue
+		}
+		totalPaths += a.set.Len()
+		nonSelf++
+	}
+	if nonSelf > 0 {
+		sol.PathsPerAggregate = float64(totalPaths) / float64(nonSelf)
+	}
+	return sol, nil
+}
+
+// initAllocation puts every aggregate's flows on its lowest-delay path
+// (Listing 1 line 1), or restores the warm-start allocation when
+// Options.InitialBundles is set.
+func (o *Optimizer) initAllocation() error {
+	n := o.mat.NumAggregates()
+	o.aggs = make([]aggState, n)
+	for i := 0; i < n; i++ {
+		a := o.mat.Aggregate(traffic.AggregateID(i))
+		st := &o.aggs[i]
+		st.total = a.Flows
+		if a.IsSelfPair() {
+			st.self = true
+			continue
+		}
+		p, ok := o.gen.LowestDelay(a.Src, a.Dst)
+		if !ok {
+			return fmt.Errorf("core: no policy-compliant path for aggregate %d (%s->%s)",
+				a.ID, o.model.Topology().NodeName(a.Src), o.model.Topology().NodeName(a.Dst))
+		}
+		st.set = pathgen.NewPathSet(o.opts.MaxPathsPerAggregate)
+		st.set.Add(p)
+		st.flows = []int{a.Flows}
+		st.delays = []unit.Delay{o.model.Topology().PathDelay(p)}
+	}
+	if o.opts.InitialBundles != nil {
+		return o.applyWarmStart(o.opts.InitialBundles)
+	}
+	return nil
+}
+
+// applyWarmStart overlays an existing allocation on the freshly
+// initialized state: each bundle's path joins its aggregate's path set
+// and receives the bundle's flows; the lowest-delay path stays in the
+// set (possibly at zero flows) so the trio search behaves as usual.
+func (o *Optimizer) applyWarmStart(bundles []flowmodel.Bundle) error {
+	topo := o.model.Topology()
+	covered := make([]int, len(o.aggs))
+	// Zero the default placement before overlaying.
+	for i := range o.aggs {
+		st := &o.aggs[i]
+		if st.self {
+			continue // self-pairs carry no routed state to cover
+		}
+		for j := range st.flows {
+			st.flows[j] = 0
+		}
+	}
+	for _, b := range bundles {
+		if int(b.Agg) < 0 || int(b.Agg) >= len(o.aggs) {
+			return fmt.Errorf("core: warm start references unknown aggregate %d", b.Agg)
+		}
+		if b.Flows < 0 {
+			return fmt.Errorf("core: warm start bundle with negative flows on aggregate %d", b.Agg)
+		}
+		st := &o.aggs[b.Agg]
+		if st.self {
+			continue // self-pairs have no routed state
+		}
+		if b.Flows == 0 {
+			continue
+		}
+		a := o.mat.Aggregate(b.Agg)
+		p := graph.Path{Edges: b.Edges}
+		if err := p.Validate(topo.Graph(), a.Src, a.Dst); err != nil {
+			return fmt.Errorf("core: warm start path for aggregate %d: %w", b.Agg, err)
+		}
+		idx := st.set.IndexOf(p)
+		if idx < 0 {
+			if !st.set.Add(p) {
+				return fmt.Errorf("core: warm start for aggregate %d exceeds path-set limit %d",
+					b.Agg, o.opts.MaxPathsPerAggregate)
+			}
+			idx = st.set.Len() - 1
+			st.flows = append(st.flows, 0)
+			st.delays = append(st.delays, topo.PathDelay(p))
+		}
+		st.flows[idx] += b.Flows
+		covered[b.Agg] += b.Flows
+	}
+	for i, c := range covered {
+		if !o.aggs[i].self && c != o.aggs[i].total {
+			return fmt.Errorf("core: warm start covers %d flows of aggregate %d, want %d",
+				c, i, o.aggs[i].total)
+		}
+	}
+	return nil
+}
+
+// buildBundles assembles the model input from the current allocation.
+func (o *Optimizer) buildBundles() []flowmodel.Bundle {
+	o.bundleBuf = o.bundleBuf[:0]
+	for i := range o.aggs {
+		st := &o.aggs[i]
+		if st.self {
+			o.bundleBuf = append(o.bundleBuf, flowmodel.Bundle{
+				Agg: traffic.AggregateID(i), Flows: st.total,
+			})
+			continue
+		}
+		for pi, f := range st.flows {
+			if f <= 0 {
+				continue
+			}
+			o.bundleBuf = append(o.bundleBuf, flowmodel.Bundle{
+				Agg:   traffic.AggregateID(i),
+				Flows: f,
+				Edges: st.set.Path(pi).Edges,
+				Delay: st.delays[pi],
+			})
+		}
+	}
+	return o.bundleBuf
+}
+
+func (o *Optimizer) evaluate() *flowmodel.Result {
+	return o.model.Evaluate(o.buildBundles())
+}
+
+// snapshotBundles deep-copies the current allocation.
+func (o *Optimizer) snapshotBundles() []flowmodel.Bundle {
+	src := o.buildBundles()
+	out := make([]flowmodel.Bundle, len(src))
+	for i, b := range src {
+		out[i] = flowmodel.Bundle{
+			Agg:   b.Agg,
+			Flows: b.Flows,
+			Edges: append([]graph.EdgeID(nil), b.Edges...),
+			Delay: b.Delay,
+		}
+	}
+	return out
+}
+
+// move describes a candidate reallocation: N flows of aggregate agg from
+// path index from to path target (which may be outside the set yet).
+type move struct {
+	agg     int
+	from    int
+	n       int
+	path    graph.Path
+	utility float64
+}
+
+// step implements Listing 2 for one congested link: test every bundle
+// crossing it against the three alternatives, commit the best improving
+// move. uInit and congested describe the committed allocation (they must
+// not alias the model's reusable result storage). Returns whether
+// progress was made.
+func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.EdgeID, fraction float64) bool {
+	for i := range o.congAll {
+		o.congAll[i] = false
+	}
+	for _, l := range congested {
+		o.congAll[l] = true
+	}
+
+	best := move{utility: uInit}
+	haveBest := false
+
+	for ai := range o.aggs {
+		st := &o.aggs[ai]
+		if st.self {
+			continue
+		}
+		// Find this aggregate's bundles crossing the link.
+		crossing := crossingPaths(st, link)
+		if len(crossing) == 0 {
+			continue
+		}
+		alts := o.alternativesFor(ai, st, congested)
+		if len(alts) == 0 {
+			continue
+		}
+		agg := o.mat.Aggregate(traffic.AggregateID(ai))
+		for _, from := range crossing {
+			n := o.moveSize(agg.Flows, st.flows[from], fraction)
+			if n <= 0 {
+				continue
+			}
+			for _, alt := range alts {
+				if alt.Equal(st.set.Path(from)) {
+					continue
+				}
+				// Respect the path-set cap for genuinely new paths.
+				if st.set.IndexOf(alt) < 0 && o.opts.MaxPathsPerAggregate > 0 &&
+					st.set.Len() >= o.opts.MaxPathsPerAggregate {
+					continue
+				}
+				u, ok := o.tryMove(ai, from, n, alt)
+				if ok && u > best.utility+o.opts.MinGain {
+					best = move{agg: ai, from: from, n: n, path: alt, utility: u}
+					haveBest = true
+				}
+			}
+		}
+	}
+	if !haveBest {
+		return false
+	}
+	o.commit(best)
+	return true
+}
+
+// crossingPaths returns the path indices of st whose path uses the link
+// and currently carries flows.
+func crossingPaths(st *aggState, link graph.EdgeID) []int {
+	var out []int
+	for pi, f := range st.flows {
+		if f <= 0 {
+			continue
+		}
+		if st.set.Path(pi).Contains(link) {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// alternativesFor computes the §2.4 trio for an aggregate given the
+// current congestion set.
+func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.EdgeID) []graph.Path {
+	// Mark the links the aggregate currently uses.
+	for i := range o.usedMark {
+		o.usedMark[i] = false
+	}
+	for pi, f := range st.flows {
+		if f <= 0 {
+			continue
+		}
+		for _, e := range st.set.Path(pi).Edges {
+			o.usedMark[e] = true
+		}
+	}
+	// congUsed = congested ∩ used; find the most oversubscribed used link
+	// (the list is already sorted by oversubscription).
+	for i := range o.congUsed {
+		o.congUsed[i] = false
+	}
+	most := graph.EdgeID(-1)
+	for _, l := range congested {
+		if o.usedMark[l] {
+			o.congUsed[l] = true
+			if most < 0 {
+				most = l
+			}
+		}
+	}
+	agg := o.mat.Aggregate(traffic.AggregateID(ai))
+	req := pathgen.Request{
+		Src: agg.Src, Dst: agg.Dst,
+		CongestedAll:  o.congAll,
+		CongestedUsed: o.congUsed,
+		MostCongested: most,
+	}
+	alts := o.gen.Alternatives(req)
+
+	var paths []graph.Path
+	add := func(p graph.Path, ok bool) {
+		if !ok {
+			return
+		}
+		for _, q := range paths {
+			if q.Equal(p) {
+				return
+			}
+		}
+		paths = append(paths, p)
+	}
+	switch o.opts.AltMode {
+	case AltGlobalOnly:
+		add(alts.Global, alts.HasGlobal)
+	case AltLocalOnly:
+		add(alts.Local, alts.HasLocal)
+	case AltLinkLocalOnly:
+		add(alts.LinkLocal, alts.HasLinkLocal)
+	default:
+		add(alts.Global, alts.HasGlobal)
+		add(alts.Local, alts.HasLocal)
+		add(alts.LinkLocal, alts.HasLinkLocal)
+	}
+	return paths
+}
+
+// moveSize computes N (Listing 2 line 3): whole bundles for small
+// aggregates, a fraction of the aggregate otherwise, never more than the
+// source bundle holds.
+func (o *Optimizer) moveSize(aggFlows, bundleFlows int, fraction float64) int {
+	if bundleFlows <= 0 {
+		return 0
+	}
+	if aggFlows <= o.opts.SmallAggregateFlows {
+		return bundleFlows
+	}
+	n := int(math.Ceil(fraction * float64(aggFlows)))
+	if n < 1 {
+		n = 1
+	}
+	if n > bundleFlows {
+		n = bundleFlows
+	}
+	return n
+}
+
+// tryMove tentatively applies a move, evaluates the model, and reverts.
+// Returns the candidate utility.
+func (o *Optimizer) tryMove(ai, from, n int, alt graph.Path) (float64, bool) {
+	st := &o.aggs[ai]
+	ti := st.set.IndexOf(alt)
+	appended := false
+	if ti < 0 {
+		if !st.set.Add(alt) {
+			return 0, false
+		}
+		ti = st.set.Len() - 1
+		st.flows = append(st.flows, 0)
+		st.delays = append(st.delays, o.model.Topology().PathDelay(alt))
+		appended = true
+	}
+	st.flows[from] -= n
+	st.flows[ti] += n
+	u := o.model.Evaluate(o.buildBundles()).NetworkUtility
+	st.flows[from] += n
+	st.flows[ti] -= n
+	// If the path was appended for this trial it stays in the set with
+	// zero flows: path sets only grow (§2.4), and a rejected alternative
+	// is often retried on a later iteration.
+	_ = appended
+	return u, true
+}
+
+// commit permanently applies a move.
+func (o *Optimizer) commit(m move) {
+	st := &o.aggs[m.agg]
+	ti := st.set.IndexOf(m.path)
+	if ti < 0 {
+		st.set.Add(m.path)
+		ti = st.set.Len() - 1
+		st.flows = append(st.flows, 0)
+		st.delays = append(st.delays, o.model.Topology().PathDelay(m.path))
+	}
+	st.flows[m.from] -= m.n
+	st.flows[ti] += m.n
+}
+
+func (o *Optimizer) trace(s Snapshot) {
+	if o.opts.Trace != nil {
+		o.opts.Trace(s)
+	}
+}
+
+// Run is the package-level convenience: build an optimizer over model with
+// opts and run it.
+func Run(model *flowmodel.Model, opts Options) (*Solution, error) {
+	o, err := New(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.Run()
+}

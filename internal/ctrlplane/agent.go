@@ -1,0 +1,185 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// AgentConfig tunes a switch agent.
+type AgentConfig struct {
+	// HandshakeTimeout bounds the Hello/HelloAck exchange. Default 5s.
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each outgoing message. Default 10s.
+	WriteTimeout time.Duration
+	// Logf receives diagnostic lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Agent is the switch side of the control protocol: it registers with
+// the controller, applies FlowMods to its Datapath and answers stats
+// polls from it.
+type Agent struct {
+	cfg  AgentConfig
+	id   uint32
+	name string
+	dp   Datapath
+
+	conn net.Conn
+	br   *bufio.Reader
+
+	mu     sync.Mutex // serializes writes and Close
+	closed bool
+
+	// EpochMs is the measurement epoch the controller advertised in its
+	// HelloAck, for the datapath driver's information.
+	EpochMs uint32
+}
+
+// Dial connects to the controller, performs the handshake and returns a
+// ready agent. Call Serve to process controller messages.
+func Dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg AgentConfig) (*Agent, error) {
+	if dp == nil {
+		return nil, fmt.Errorf("ctrlplane: nil datapath")
+	}
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, cfg.HandshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: dial %s: %w", addr, err)
+	}
+	a := &Agent{
+		cfg:  cfg,
+		id:   datapathID,
+		name: nodeName,
+		dp:   dp,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+	}
+	deadline := time.Now().Add(cfg.HandshakeTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := WriteMessage(conn, Hello{DatapathID: datapathID, NodeName: nodeName}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	msg, err := ReadMessage(a.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ctrlplane: handshake: %w", err)
+	}
+	ack, ok := msg.(HelloAck)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("ctrlplane: handshake: got %v, want HelloAck", msg.Type())
+	}
+	a.EpochMs = ack.EpochMs
+	_ = conn.SetDeadline(time.Time{})
+	cfg.Logf("agent %s(%d): connected to %s (epoch %dms)", nodeName, datapathID, ack.ControllerName, ack.EpochMs)
+	return a, nil
+}
+
+// Serve processes controller messages until the connection closes or a
+// Bye arrives. An orderly shutdown (Bye, or EOF after Close) returns
+// nil.
+func (a *Agent) Serve() error {
+	for {
+		msg, err := ReadMessage(a.br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || a.isClosed() {
+				return nil
+			}
+			return err
+		}
+		switch m := msg.(type) {
+		case Echo:
+			if err := a.write(EchoReply{Token: m.Token}); err != nil {
+				return err
+			}
+		case FlowMod:
+			a.handleFlowMod(m)
+		case StatsReq:
+			a.handleStatsReq(m)
+		case Bye:
+			a.cfg.Logf("agent %s: controller said Bye", a.name)
+			return nil
+		case ErrorMsg:
+			a.cfg.Logf("agent %s: controller error: %v", a.name, m)
+		default:
+			_ = a.write(ErrorMsg{Code: ErrCodeUnsupported, Text: fmt.Sprintf("unexpected %v", msg.Type())})
+		}
+	}
+}
+
+// handleFlowMod applies an install and acks or reports failure.
+func (a *Agent) handleFlowMod(m FlowMod) {
+	if err := a.dp.InstallRules(m.Generation, m.Rules); err != nil {
+		a.cfg.Logf("agent %s: install gen %d: %v", a.name, m.Generation, err)
+		_ = a.write(ErrorMsg{Token: m.Generation, Code: ErrCodeInstall, Text: err.Error()})
+		return
+	}
+	_ = a.write(FlowModAck{Generation: m.Generation, Installed: uint32(len(m.Rules))})
+}
+
+// handleStatsReq snapshots counters and replies.
+func (a *Agent) handleStatsReq(m StatsReq) {
+	batch, err := a.dp.ReadCounters()
+	if err != nil {
+		_ = a.write(ErrorMsg{Token: m.Token, Code: ErrCodeCounters, Text: err.Error()})
+		return
+	}
+	_ = a.write(StatsReply{
+		Token:      m.Token,
+		Epoch:      batch.Epoch,
+		DurationMs: uint32(batch.Duration / time.Millisecond),
+		Counters:   batch.Counters,
+	})
+}
+
+// write sends one message under the write lock with a deadline.
+func (a *Agent) write(m Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return net.ErrClosed
+	}
+	_ = a.conn.SetWriteDeadline(time.Now().Add(a.cfg.WriteTimeout))
+	return WriteMessage(a.conn, m)
+}
+
+// isClosed reports whether Close was called.
+func (a *Agent) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// Close sends Bye (best effort) and closes the connection. Safe to call
+// concurrently with Serve.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	_ = a.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = WriteMessage(a.conn, Bye{})
+	a.mu.Unlock()
+	return a.conn.Close()
+}

@@ -1,0 +1,479 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/traffic"
+)
+
+// ControllerConfig tunes the controller.
+type ControllerConfig struct {
+	// Name is advertised in HelloAck. Default "fubar-controller".
+	Name string
+	// EpochMs is the measurement epoch advertised to agents.
+	// Default 10000.
+	EpochMs uint32
+	// HandshakeTimeout bounds the Hello exchange per connection.
+	// Default 5s.
+	HandshakeTimeout time.Duration
+	// RequestTimeout bounds each install or stats round trip.
+	// Default 10s.
+	RequestTimeout time.Duration
+	// Logf receives diagnostic lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Name == "" {
+		c.Name = "fubar-controller"
+	}
+	if c.EpochMs == 0 {
+		c.EpochMs = 10000
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// SwitchInfo describes one connected switch.
+type SwitchInfo struct {
+	DatapathID uint32
+	NodeName   string
+	RemoteAddr string
+}
+
+// swConn is the controller's state for one switch connection.
+type swConn struct {
+	id   uint32
+	name string
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan Message
+	dead    error
+}
+
+// Controller is the online controller: it accepts switch registrations,
+// installs FUBAR's computed allocations as per-ingress rule tables, and
+// polls the counters the optimizer's measurement plane (internal/measure)
+// consumes.
+type Controller struct {
+	cfg ControllerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	switches map[uint32]*swConn
+	closed   bool
+
+	wg    sync.WaitGroup
+	token atomic.Uint64
+}
+
+// Listen starts a controller on addr ("127.0.0.1:0" for an ephemeral
+// test port).
+func Listen(addr string, cfg ControllerConfig) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: listen %s: %w", addr, err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		ln:       ln,
+		switches: make(map[uint32]*swConn),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the controller's listen address.
+func (c *Controller) Addr() net.Addr { return c.ln.Addr() }
+
+// acceptLoop admits switch connections until the listener closes.
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn performs the handshake and runs the read loop for one
+// switch.
+func (c *Controller) handleConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	msg, err := ReadMessage(br)
+	if err != nil {
+		c.cfg.Logf("controller: handshake read from %s: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	hello, ok := msg.(Hello)
+	if !ok {
+		c.cfg.Logf("controller: %s sent %v before Hello", conn.RemoteAddr(), msg.Type())
+		conn.Close()
+		return
+	}
+	if err := WriteMessage(conn, HelloAck{ControllerName: c.cfg.Name, EpochMs: c.cfg.EpochMs}); err != nil {
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	sw := &swConn{
+		id:      hello.DatapathID,
+		name:    hello.NodeName,
+		conn:    conn,
+		pending: make(map[uint64]chan Message),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, exists := c.switches[sw.id]; exists {
+		old.conn.Close() // newer registration wins
+	}
+	c.switches[sw.id] = sw
+	c.mu.Unlock()
+	c.cfg.Logf("controller: switch %s(%d) registered from %s", sw.name, sw.id, conn.RemoteAddr())
+
+	err = c.readLoop(sw, br)
+	sw.fail(err)
+	c.mu.Lock()
+	if c.switches[sw.id] == sw {
+		delete(c.switches, sw.id)
+	}
+	c.mu.Unlock()
+	conn.Close()
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		c.cfg.Logf("controller: switch %s(%d) read loop: %v", sw.name, sw.id, err)
+	}
+}
+
+// readLoop dispatches replies to their pending requests.
+func (c *Controller) readLoop(sw *swConn, br *bufio.Reader) error {
+	for {
+		msg, err := ReadMessage(br)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case EchoReply:
+			sw.deliver(m.Token, m)
+		case FlowModAck:
+			sw.deliver(m.Generation, m)
+		case StatsReply:
+			sw.deliver(m.Token, m)
+		case ErrorMsg:
+			if m.Token != 0 {
+				sw.deliver(m.Token, m)
+			} else {
+				c.cfg.Logf("controller: switch %s: %v", sw.name, m)
+			}
+		case Echo:
+			sw.writeMu.Lock()
+			err := WriteMessage(sw.conn, EchoReply{Token: m.Token})
+			sw.writeMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case Bye:
+			return io.EOF
+		default:
+			c.cfg.Logf("controller: switch %s sent unexpected %v", sw.name, msg.Type())
+		}
+	}
+}
+
+// deliver hands a reply to the waiting request, dropping stragglers.
+func (s *swConn) deliver(token uint64, m Message) {
+	s.mu.Lock()
+	ch := s.pending[token]
+	delete(s.pending, token)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- m // buffered: never blocks
+	}
+}
+
+// expect registers a pending token before the request is written.
+func (s *swConn) expect(token uint64) (chan Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return nil, s.dead
+	}
+	ch := make(chan Message, 1)
+	s.pending[token] = ch
+	return ch, nil
+}
+
+// fail wakes all pending requests with a connection error.
+func (s *swConn) fail(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dead = err
+	for tok, ch := range s.pending {
+		delete(s.pending, tok)
+		ch <- ErrorMsg{Token: tok, Code: ErrCodeBadRequest, Text: "connection lost: " + err.Error()}
+	}
+}
+
+// request writes a message and awaits the reply matching token.
+func (c *Controller) request(sw *swConn, token uint64, m Message) (Message, error) {
+	ch, err := sw.expect(token)
+	if err != nil {
+		return nil, err
+	}
+	sw.writeMu.Lock()
+	_ = sw.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	err = WriteMessage(sw.conn, m)
+	sw.writeMu.Unlock()
+	if err != nil {
+		sw.deliver(token, nil) // unregister
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		if reply == nil {
+			return nil, fmt.Errorf("ctrlplane: request cancelled")
+		}
+		if em, isErr := reply.(ErrorMsg); isErr {
+			return nil, em
+		}
+		return reply, nil
+	case <-timer.C:
+		sw.deliver(token, nil)
+		return nil, fmt.Errorf("ctrlplane: %v to switch %s(%d) timed out", m.Type(), sw.name, sw.id)
+	}
+}
+
+// Switches lists connected switches sorted by datapath ID.
+func (c *Controller) Switches() []SwitchInfo {
+	c.mu.Lock()
+	infos := make([]SwitchInfo, 0, len(c.switches))
+	for _, sw := range c.switches {
+		infos = append(infos, SwitchInfo{
+			DatapathID: sw.id,
+			NodeName:   sw.name,
+			RemoteAddr: sw.conn.RemoteAddr().String(),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].DatapathID < infos[j].DatapathID })
+	return infos
+}
+
+// WaitForSwitches blocks until n switches are registered or the timeout
+// expires.
+func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		got := len(c.switches)
+		c.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ctrlplane: %d/%d switches after %v", got, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Ping measures one switch's control-channel round-trip time.
+func (c *Controller) Ping(datapathID uint32) (time.Duration, error) {
+	sw, err := c.lookup(datapathID)
+	if err != nil {
+		return 0, err
+	}
+	token := c.nextToken()
+	start := time.Now()
+	reply, err := c.request(sw, token, Echo{Token: token})
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := reply.(EchoReply); !ok {
+		return 0, fmt.Errorf("ctrlplane: ping got %v", reply.Type())
+	}
+	return time.Since(start), nil
+}
+
+// InstallAllocation pushes a network-wide bundle allocation: each bundle
+// becomes a rule on the switch at its aggregate's ingress POP. Switches
+// holding stale rules for aggregates absent from the allocation receive
+// an empty table. The call blocks until every involved switch acks, and
+// returns the generation number used.
+func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) error {
+	perSwitch := make(map[uint32][]Rule)
+	for _, b := range bundles {
+		agg := mat.Aggregate(b.Agg)
+		links := make([]uint32, len(b.Edges))
+		for i, e := range b.Edges {
+			links[i] = uint32(e)
+		}
+		ingress := uint32(agg.Src)
+		perSwitch[ingress] = append(perSwitch[ingress], Rule{
+			Agg:   int32(b.Agg),
+			Flows: uint32(b.Flows),
+			Links: links,
+		})
+	}
+
+	c.mu.Lock()
+	targets := make([]*swConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		targets = append(targets, sw)
+	}
+	c.mu.Unlock()
+	if len(targets) == 0 {
+		return fmt.Errorf("ctrlplane: no switches connected")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(targets))
+	for i, sw := range targets {
+		rules := perSwitch[sw.id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reply, err := c.request(sw, generation, FlowMod{Generation: generation, Rules: rules})
+			if err != nil {
+				errs[i] = fmt.Errorf("switch %s(%d): %w", sw.name, sw.id, err)
+				return
+			}
+			if _, ok := reply.(FlowModAck); !ok {
+				errs[i] = fmt.Errorf("switch %s(%d): got %v, want FlowModAck", sw.name, sw.id, reply.Type())
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// CollectStats polls every connected switch and returns their replies
+// keyed by datapath ID. A switch that fails contributes an error instead
+// of silence.
+func (c *Controller) CollectStats() (map[uint32]StatsReply, error) {
+	c.mu.Lock()
+	targets := make([]*swConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		targets = append(targets, sw)
+	}
+	c.mu.Unlock()
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("ctrlplane: no switches connected")
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	out := make(map[uint32]StatsReply, len(targets))
+	errs := make([]error, len(targets))
+	for i, sw := range targets {
+		token := c.nextToken()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reply, err := c.request(sw, token, StatsReq{Token: token})
+			if err != nil {
+				errs[i] = fmt.Errorf("switch %s(%d): %w", sw.name, sw.id, err)
+				return
+			}
+			sr, ok := reply.(StatsReply)
+			if !ok {
+				errs[i] = fmt.Errorf("switch %s(%d): got %v, want StatsReply", sw.name, sw.id, reply.Type())
+				return
+			}
+			mu.Lock()
+			out[sw.id] = sr
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// lookup finds a registered switch.
+func (c *Controller) lookup(datapathID uint32) (*swConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.switches[datapathID]
+	if !ok {
+		return nil, fmt.Errorf("ctrlplane: switch %d not connected", datapathID)
+	}
+	return sw, nil
+}
+
+// nextToken returns a fresh nonzero request token.
+func (c *Controller) nextToken() uint64 {
+	for {
+		if t := c.token.Add(1); t != 0 {
+			return t
+		}
+	}
+}
+
+// Close stops accepting, disconnects all switches and waits for
+// connection goroutines to finish.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	switches := make([]*swConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		switches = append(switches, sw)
+	}
+	c.mu.Unlock()
+
+	err := c.ln.Close()
+	for _, sw := range switches {
+		sw.writeMu.Lock()
+		_ = sw.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = WriteMessage(sw.conn, Bye{})
+		sw.writeMu.Unlock()
+		sw.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,413 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/measure"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// testNet is a small deployment: topology, ground truth, fabric, a
+// controller and one agent per POP, all over loopback TCP.
+type testNet struct {
+	topo   *topology.Topology
+	truth  *traffic.Matrix
+	sim    *sdnsim.Sim
+	fabric *Fabric
+	ctrl   *Controller
+	agents []*Agent
+	wg     sync.WaitGroup
+}
+
+// startNet builds and connects the deployment.
+func startNet(t *testing.T, seed int64) *testNet {
+	t.Helper()
+	topo, err := topology.Ring(6, 3, 800*unit.Kbps, seed)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	cfg := traffic.DefaultGenConfig(seed)
+	cfg.RealTimeFlows = [2]int{2, 6}
+	cfg.BulkFlows = [2]int{1, 4}
+	truth, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sim, err := sdnsim.New(topo, truth, sdnsim.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("sdnsim.New: %v", err)
+	}
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatalf("InstallShortestPaths: %v", err)
+	}
+	fabric := NewFabric(sim)
+
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n := &testNet{topo: topo, truth: truth, sim: sim, fabric: fabric, ctrl: ctrl}
+	t.Cleanup(func() { n.stop() })
+
+	for node := 0; node < topo.NumNodes(); node++ {
+		agent, err := Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
+			fabric.Datapath(topology.NodeID(node)), AgentConfig{})
+		if err != nil {
+			t.Fatalf("Dial agent %d: %v", node, err)
+		}
+		n.agents = append(n.agents, agent)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := agent.Serve(); err != nil {
+				t.Errorf("agent serve: %v", err)
+			}
+		}()
+	}
+	if err := ctrl.WaitForSwitches(topo.NumNodes(), 5*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	return n
+}
+
+func (n *testNet) stop() {
+	n.ctrl.Close()
+	for _, a := range n.agents {
+		a.Close()
+	}
+	n.wg.Wait()
+}
+
+func TestHandshakeAndPing(t *testing.T) {
+	n := startNet(t, 1)
+	infos := n.ctrl.Switches()
+	if len(infos) != n.topo.NumNodes() {
+		t.Fatalf("%d switches registered, want %d", len(infos), n.topo.NumNodes())
+	}
+	for i, info := range infos {
+		if int(info.DatapathID) != i {
+			t.Fatalf("switch %d has datapath ID %d", i, info.DatapathID)
+		}
+		if want := n.topo.NodeName(topology.NodeID(i)); info.NodeName != want {
+			t.Fatalf("switch %d named %q, want %q", i, info.NodeName, want)
+		}
+	}
+	rtt, err := n.ctrl.Ping(0)
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if rtt <= 0 || rtt > 5*time.Second {
+		t.Fatalf("implausible control RTT %v", rtt)
+	}
+}
+
+func TestStatsCollection(t *testing.T) {
+	n := startNet(t, 2)
+	if err := n.fabric.RunEpoch(); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	replies, err := n.ctrl.CollectStats()
+	if err != nil {
+		t.Fatalf("CollectStats: %v", err)
+	}
+	if len(replies) != n.topo.NumNodes() {
+		t.Fatalf("%d replies, want %d", len(replies), n.topo.NumNodes())
+	}
+	// Every backbone aggregate must be counted exactly once, at its
+	// ingress switch.
+	seen := make(map[int32]uint32)
+	for swID, r := range replies {
+		for _, c := range r.Counters {
+			if prev, dup := seen[c.Agg]; dup {
+				t.Fatalf("aggregate %d counted at switches %d and %d", c.Agg, prev, swID)
+			}
+			seen[c.Agg] = swID
+			if src := n.truth.Aggregate(traffic.AggregateID(c.Agg)).Src; src != topology.NodeID(swID) {
+				t.Fatalf("aggregate %d (ingress %d) reported by switch %d", c.Agg, src, swID)
+			}
+		}
+	}
+	if len(seen) != n.truth.NumAggregates() {
+		t.Fatalf("%d aggregates counted, want %d", len(seen), n.truth.NumAggregates())
+	}
+}
+
+func TestInstallAllocationReachesFabric(t *testing.T) {
+	n := startNet(t, 3)
+	model, err := flowmodel.New(n.topo, n.truth)
+	if err != nil {
+		t.Fatalf("flowmodel.New: %v", err)
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	if err := n.ctrl.InstallAllocation(n.truth, sol.Bundles, 1); err != nil {
+		t.Fatalf("InstallAllocation: %v", err)
+	}
+	if got := n.fabric.Installs(); got != 1 {
+		t.Fatalf("fabric saw %d installs, want 1", got)
+	}
+	// The installed routing must carry the FUBAR utility on the next
+	// epoch (modulo demand jitter).
+	if err := n.fabric.RunEpoch(); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	u, ok := n.fabric.TrueUtility()
+	if !ok {
+		t.Fatal("no epoch utility")
+	}
+	if diff := u - sol.Utility; diff < -0.1 || diff > 0.1 {
+		t.Fatalf("epoch utility %.4f far from predicted %.4f", u, sol.Utility)
+	}
+}
+
+func TestClosedLoopImprovesUtility(t *testing.T) {
+	n := startNet(t, 4)
+	// Baseline: utility under shortest paths.
+	if err := n.fabric.RunEpoch(); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	spUtility, _ := n.fabric.TrueUtility()
+
+	keys := measure.KeysFromMatrix(n.truth)
+	res, err := RunLoop(n.ctrl, n.topo, keys, LoopConfig{Epochs: 6, OptimizeEvery: 3}, n.fabric.RunEpoch)
+	if err != nil {
+		t.Fatalf("RunLoop: %v", err)
+	}
+	if res.Installs < 2 {
+		t.Fatalf("%d installs, want >= 2", res.Installs)
+	}
+	if res.Epochs != 6 {
+		t.Fatalf("%d epochs, want 6", res.Epochs)
+	}
+	if err := n.fabric.RunEpoch(); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	finalUtility, _ := n.fabric.TrueUtility()
+	if finalUtility <= spUtility {
+		t.Fatalf("closed loop did not improve: %.4f <= %.4f", finalUtility, spUtility)
+	}
+	t.Logf("shortest-path %.4f -> closed-loop %.4f (%d installs)", spUtility, finalUtility, res.Installs)
+}
+
+func TestInstallRejectsWrongIngress(t *testing.T) {
+	n := startNet(t, 5)
+	// Find a backbone aggregate and route it from the wrong switch: the
+	// fabric must refuse, so the controller's install must fail.
+	var bad traffic.Aggregate
+	for _, a := range n.truth.Aggregates() {
+		if !a.IsSelfPair() {
+			bad = a
+			break
+		}
+	}
+	wrong := (uint32(bad.Src) + 1) % uint32(n.topo.NumNodes())
+	sw, err := n.ctrl.lookup(wrong)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	_, err = n.ctrl.request(sw, 42, FlowMod{Generation: 42, Rules: []Rule{
+		{Agg: int32(bad.ID), Flows: uint32(bad.Flows)},
+	}})
+	if err == nil {
+		t.Fatal("install at wrong ingress succeeded")
+	}
+	var em ErrorMsg
+	if !asErrorMsg(err, &em) || em.Code != ErrCodeInstall {
+		t.Fatalf("want ErrCodeInstall error, got %v", err)
+	}
+}
+
+// asErrorMsg unwraps err into an ErrorMsg if it is one.
+func asErrorMsg(err error, out *ErrorMsg) bool {
+	em, ok := err.(ErrorMsg)
+	if ok {
+		*out = em
+	}
+	return ok
+}
+
+func TestPartialInstallStaysPending(t *testing.T) {
+	n := startNet(t, 6)
+	if err := n.fabric.RunEpoch(); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	// Push rules for only one switch's aggregates: the fabric must hold
+	// them pending (no install) because coverage is incomplete.
+	var rules []Rule
+	for _, a := range n.truth.Aggregates() {
+		if a.Src != 0 {
+			continue
+		}
+		var links []uint32
+		if !a.IsSelfPair() {
+			// reuse the currently installed shortest path via counters
+			continue
+		}
+		rules = append(rules, Rule{Agg: int32(a.ID), Flows: uint32(a.Flows), Links: links})
+	}
+	if len(rules) == 0 {
+		t.Skip("no self-pair aggregates at node 0")
+	}
+	dp := n.fabric.Datapath(0)
+	if err := dp.InstallRules(7, rules); err != nil {
+		t.Fatalf("InstallRules: %v", err)
+	}
+	if got := n.fabric.Installs(); got != 0 {
+		t.Fatalf("partial rule set activated: %d installs", got)
+	}
+}
+
+func TestDuplicateRegistrationReplacesOld(t *testing.T) {
+	n := startNet(t, 7)
+	// A second agent for switch 0 displaces the first.
+	agent, err := Dial(n.ctrl.Addr().String(), 0, "dup", n.fabric.Datapath(0), AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- agent.Serve() }()
+	defer agent.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		infos := n.ctrl.Switches()
+		var name string
+		for _, info := range infos {
+			if info.DatapathID == 0 {
+				name = info.NodeName
+			}
+		}
+		if name == "dup" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement registration not visible; have %q", name)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := n.ctrl.Ping(0); err != nil {
+		t.Fatalf("Ping after replacement: %v", err)
+	}
+}
+
+func TestCollectStatsNoSwitches(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	if _, err := ctrl.CollectStats(); err == nil {
+		t.Fatal("CollectStats with no switches succeeded")
+	}
+	if err := ctrl.InstallAllocation(nil, nil, 1); err == nil {
+		t.Fatal("InstallAllocation with no switches succeeded")
+	}
+}
+
+func TestPingUnknownSwitch(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	if _, err := ctrl.Ping(99); err == nil {
+		t.Fatal("Ping to unknown switch succeeded")
+	}
+}
+
+func TestAgentDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0, "x", nil, AgentConfig{}); err == nil {
+		t.Fatal("nil datapath accepted")
+	}
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := ctrl.Addr().String()
+	ctrl.Close()
+	if _, err := Dial(addr, 0, "x", nopDatapath{}, AgentConfig{HandshakeTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial to closed controller succeeded")
+	}
+}
+
+// nopDatapath satisfies Datapath for connection-level tests.
+type nopDatapath struct{}
+
+func (nopDatapath) InstallRules(uint64, []Rule) error { return nil }
+func (nopDatapath) ReadCounters() (CounterBatch, error) {
+	return CounterBatch{}, fmt.Errorf("no counters")
+}
+
+func TestStatsErrorPropagates(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	agent, err := Dial(ctrl.Addr().String(), 0, "n0", nopDatapath{}, AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer agent.Close()
+	go agent.Serve()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	if _, err := ctrl.CollectStats(); err == nil {
+		t.Fatal("counter failure did not propagate")
+	}
+}
+
+func TestControllerCloseIdempotent(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	topo, err := topology.Ring(4, 0, 1000*unit.Kbps, 1)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	replies := map[uint32]StatsReply{
+		0: {Epoch: 3, DurationMs: 10000, Counters: []CounterRec{
+			{Agg: 0, Flows: 2, Bytes: 100, Congested: true, Links: []uint32{0, 1}},
+		}},
+		1: {Epoch: 3, DurationMs: 10000, Counters: []CounterRec{
+			{Agg: 1, Flows: 1, Bytes: 50, Links: []uint32{1}},
+		}},
+	}
+	stats := MergeStats(topo, replies)
+	if stats.Epoch != 3 || stats.Duration != 10*time.Second {
+		t.Fatalf("epoch metadata wrong: %+v", stats)
+	}
+	if len(stats.Rules) != 2 {
+		t.Fatalf("%d rules merged, want 2", len(stats.Rules))
+	}
+	if stats.LinkBytes[1] != 150 {
+		t.Fatalf("link 1 bytes %.0f, want 150", stats.LinkBytes[1])
+	}
+	if !stats.LinkCongested[0] || !stats.LinkCongested[1] {
+		t.Fatalf("congestion marks wrong: %v", stats.LinkCongested)
+	}
+	if stats.LinkCongested[2] {
+		t.Fatal("unrelated link marked congested")
+	}
+}

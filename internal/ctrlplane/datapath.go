@@ -1,0 +1,203 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// CounterBatch is one epoch of counters as a datapath exports them.
+type CounterBatch struct {
+	Epoch    uint32
+	Duration time.Duration
+	Counters []CounterRec
+}
+
+// Datapath is what an Agent fronts: the forwarding element that holds
+// rules and counts bytes. Implementations must be safe for concurrent
+// use; the agent may install and read from different goroutines.
+type Datapath interface {
+	// InstallRules replaces the switch's rule table.
+	InstallRules(generation uint64, rules []Rule) error
+	// ReadCounters snapshots the most recent epoch's counters.
+	ReadCounters() (CounterBatch, error)
+}
+
+// Fabric adapts the repository's SDN measurement simulator
+// (internal/sdnsim) into per-switch Datapaths, standing in for real
+// hardware in tests and examples. Each POP's switch owns the rules of
+// aggregates that *enter* the network there (ingress routing, as an SDN
+// deployment would install it).
+//
+// Rule installs from different agents converge on the shared simulator:
+// the fabric re-installs the union of all switches' tables whenever it
+// covers every aggregate's flows exactly; incomplete unions stay pending
+// (the previous routing keeps forwarding), so a multi-switch install is
+// atomic at epoch granularity.
+type Fabric struct {
+	mu        sync.Mutex
+	sim       *sdnsim.Sim
+	topo      *topology.Topology
+	truth     *traffic.Matrix
+	perSwitch map[uint32][]Rule
+	last      *sdnsim.EpochStats
+	installs  int
+	pending   bool
+}
+
+// NewFabric wraps a simulator whose routing will be driven through
+// switch agents. The simulator should have an initial routing installed
+// (e.g. InstallShortestPaths) if epochs run before the first FlowMod.
+func NewFabric(sim *sdnsim.Sim) *Fabric {
+	return &Fabric{
+		sim:       sim,
+		topo:      sim.Topology(),
+		truth:     sim.Truth(),
+		perSwitch: make(map[uint32][]Rule),
+	}
+}
+
+// Datapath returns the datapath view of one POP's switch.
+func (f *Fabric) Datapath(node topology.NodeID) Datapath {
+	return &fabricPath{f: f, node: uint32(node)}
+}
+
+// RunEpoch advances the simulated network one measurement epoch; agents
+// serve the resulting counters until the next call.
+func (f *Fabric) RunEpoch() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	stats, err := f.sim.RunEpoch()
+	if err != nil {
+		return err
+	}
+	f.last = stats
+	return nil
+}
+
+// Installs reports how many complete rule-set installs reached the
+// simulator.
+func (f *Fabric) Installs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.installs
+}
+
+// TrueUtility reports the ground-truth utility of the last epoch
+// (evaluation only; a real deployment cannot observe this).
+func (f *Fabric) TrueUtility() (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.last == nil {
+		return 0, false
+	}
+	return f.last.TrueUtility, true
+}
+
+// install records one switch's table and re-installs the union when it
+// covers all flows.
+func (f *Fabric) install(node uint32, rules []Rule) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nA := f.truth.NumAggregates()
+	for _, r := range rules {
+		if int(r.Agg) < 0 || int(r.Agg) >= nA {
+			return fmt.Errorf("fabric: rule references unknown aggregate %d", r.Agg)
+		}
+		if f.truth.Aggregate(traffic.AggregateID(r.Agg)).Src != topology.NodeID(node) {
+			return fmt.Errorf("fabric: switch %d installing rule for aggregate %d not entering there", node, r.Agg)
+		}
+		for _, l := range r.Links {
+			if int(l) >= f.topo.NumLinks() {
+				return fmt.Errorf("fabric: rule references unknown link %d", l)
+			}
+		}
+	}
+	f.perSwitch[node] = append([]Rule(nil), rules...)
+	f.pending = true
+	return f.tryActivate()
+}
+
+// tryActivate converts the union of switch tables to bundles and
+// installs them when coverage is complete. Called with f.mu held.
+func (f *Fabric) tryActivate() error {
+	if !f.pending {
+		return nil
+	}
+	covered := make([]int, f.truth.NumAggregates())
+	var bundles []flowmodel.Bundle
+	for _, rules := range f.perSwitch {
+		for _, r := range rules {
+			covered[r.Agg] += int(r.Flows)
+			bundles = append(bundles, ruleToBundle(f.topo, r))
+		}
+	}
+	for i, c := range covered {
+		if c != f.truth.Aggregate(traffic.AggregateID(i)).Flows {
+			return nil // incomplete: stay pending, keep the old routing
+		}
+	}
+	if err := f.sim.Install(bundles); err != nil {
+		return fmt.Errorf("fabric: install: %w", err)
+	}
+	f.pending = false
+	f.installs++
+	return nil
+}
+
+// ruleToBundle converts a wire rule to a model bundle.
+func ruleToBundle(topo *topology.Topology, r Rule) flowmodel.Bundle {
+	edges := make([]graph.EdgeID, len(r.Links))
+	for i, l := range r.Links {
+		edges[i] = graph.EdgeID(l)
+	}
+	return flowmodel.NewBundle(topo, traffic.AggregateID(r.Agg), int(r.Flows), graph.Path{Edges: edges})
+}
+
+// fabricPath is one switch's view of the fabric.
+type fabricPath struct {
+	f    *Fabric
+	node uint32
+}
+
+// InstallRules implements Datapath.
+func (p *fabricPath) InstallRules(_ uint64, rules []Rule) error {
+	return p.f.install(p.node, rules)
+}
+
+// ReadCounters implements Datapath: it returns the last epoch's counters
+// for aggregates entering at this switch.
+func (p *fabricPath) ReadCounters() (CounterBatch, error) {
+	p.f.mu.Lock()
+	defer p.f.mu.Unlock()
+	if p.f.last == nil {
+		return CounterBatch{}, fmt.Errorf("fabric: no epoch has run")
+	}
+	batch := CounterBatch{
+		Epoch:    uint32(p.f.last.Epoch),
+		Duration: p.f.last.Duration,
+	}
+	for _, rc := range p.f.last.Rules {
+		if p.f.truth.Aggregate(rc.Agg).Src != topology.NodeID(p.node) {
+			continue
+		}
+		links := make([]uint32, len(rc.Edges))
+		for i, e := range rc.Edges {
+			links[i] = uint32(e)
+		}
+		batch.Counters = append(batch.Counters, CounterRec{
+			Agg:       int32(rc.Agg),
+			Flows:     uint32(rc.Flows),
+			Bytes:     rc.Bytes,
+			Congested: rc.Congested,
+			Links:     links,
+		})
+	}
+	return batch, nil
+}

@@ -1,0 +1,260 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowDatapath blocks ReadCounters until released, to hold a stats
+// request in flight.
+type slowDatapath struct {
+	release chan struct{}
+	once    sync.Once
+}
+
+func newSlowDatapath() *slowDatapath { return &slowDatapath{release: make(chan struct{})} }
+
+func (d *slowDatapath) InstallRules(uint64, []Rule) error { return nil }
+func (d *slowDatapath) ReadCounters() (CounterBatch, error) {
+	<-d.release
+	return CounterBatch{Epoch: 1, Duration: time.Second}, nil
+}
+func (d *slowDatapath) Release() { d.once.Do(func() { close(d.release) }) }
+
+func TestAgentDeathFailsInFlightRequests(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	dp := newSlowDatapath()
+	defer dp.Release()
+	agent, err := Dial(ctrl.Addr().String(), 3, "victim", dp, AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	go agent.Serve()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+
+	// Kick off a stats collection that will hang in the datapath, then
+	// kill the agent: the pending request must fail promptly with a
+	// connection error, not dangle until the timeout.
+	done := make(chan error, 1)
+	go func() {
+		_, err := ctrl.CollectStats()
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request hit the wire
+	agent.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("in-flight request survived agent death")
+		}
+		if !strings.Contains(err.Error(), "connection lost") {
+			t.Fatalf("want connection-lost error, got: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending request not failed after agent death")
+	}
+	// The dead switch must be deregistered.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ctrl.Switches()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead switch still registered: %v", ctrl.Switches())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{RequestTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	dp := newSlowDatapath()
+	defer dp.Release()
+	agent, err := Dial(ctrl.Addr().String(), 1, "slow", dp, AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer agent.Close()
+	go agent.Serve()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	start := time.Now()
+	_, err = ctrl.CollectStats()
+	if err == nil {
+		t.Fatal("hung datapath did not time out")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("timeout took %v, want ~200ms", el)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got: %v", err)
+	}
+}
+
+func TestRogueClientGarbageRejected(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{HandshakeTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+
+	// Raw TCP client spews garbage instead of a Hello.
+	conn, err := net.Dial("tcp", ctrl.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// The controller must drop the connection without registering it.
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("controller replied to garbage")
+	}
+	if n := len(ctrl.Switches()); n != 0 {
+		t.Fatalf("%d switches registered from garbage", n)
+	}
+}
+
+func TestRogueClientHalfFrame(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{HandshakeTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	conn, err := net.Dial("tcp", ctrl.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Valid header claiming a payload that never arrives: the handshake
+	// deadline must reap the connection.
+	hdr := []byte{0xFB, 0xAE, 1, byte(MsgHello), 0, 0, 1, 0}
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("controller replied to a half frame")
+	}
+	if n := len(ctrl.Switches()); n != 0 {
+		t.Fatalf("%d switches registered from half frame", n)
+	}
+}
+
+func TestAgentReconnectAfterDrop(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+
+	first, err := Dial(ctrl.Addr().String(), 5, "pop5", nopDatapath{}, AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	go first.Serve()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	first.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ctrl.Switches()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("switch not deregistered after close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Same datapath ID reconnects and is fully operational.
+	second, err := Dial(ctrl.Addr().String(), 5, "pop5", nopDatapath{}, AgentConfig{})
+	if err != nil {
+		t.Fatalf("re-Dial: %v", err)
+	}
+	defer second.Close()
+	go second.Serve()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches after reconnect: %v", err)
+	}
+	if _, err := ctrl.Ping(5); err != nil {
+		t.Fatalf("Ping after reconnect: %v", err)
+	}
+}
+
+func TestControllerCloseUnblocksAgents(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	agent, err := Dial(ctrl.Addr().String(), 0, "n0", nopDatapath{}, AgentConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer agent.Close()
+	done := make(chan error, 1)
+	go func() { done <- agent.Serve() }()
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		// Bye or EOF are both orderly.
+		if err != nil {
+			t.Fatalf("agent serve after controller close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not unblock after controller close")
+	}
+}
+
+func TestEchoFromAgentSide(t *testing.T) {
+	// The controller answers agent-initiated echoes (keepalives).
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+
+	conn, err := net.Dial("tcp", ctrl.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if err := WriteMessage(conn, Hello{DatapathID: 9, NodeName: "keepalive"}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if _, err := ReadMessage(br); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+	if err := WriteMessage(conn, Echo{Token: 1234}); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	msg, err := ReadMessage(br)
+	if err != nil {
+		t.Fatalf("echo reply: %v", err)
+	}
+	reply, ok := msg.(EchoReply)
+	if !ok || reply.Token != 1234 {
+		t.Fatalf("want EchoReply{1234}, got %#v", msg)
+	}
+}

@@ -1,0 +1,160 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/measure"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// LoopConfig tunes the closed measurement/optimization loop.
+type LoopConfig struct {
+	// Epochs is the total number of measurement epochs to run.
+	Epochs int
+	// OptimizeEvery re-runs FUBAR after this many observed epochs
+	// (default 3: a few epochs of smoothing before trusting estimates).
+	OptimizeEvery int
+	// Optimizer configures the FUBAR core.
+	Optimizer core.Options
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c LoopConfig) withDefaults() LoopConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 9
+	}
+	if c.OptimizeEvery <= 0 {
+		c.OptimizeEvery = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// LoopResult summarizes a closed-loop run.
+type LoopResult struct {
+	// EstimatedUtility is the model-predicted utility after each
+	// optimization, in order.
+	EstimatedUtility []float64
+	// Installs counts successful allocation pushes.
+	Installs int
+	// Epochs counts observed measurement epochs.
+	Epochs int
+	// FinalMatrix is the last estimated traffic matrix.
+	FinalMatrix *traffic.Matrix
+	// FinalBundles is the last installed allocation.
+	FinalBundles []flowmodel.Bundle
+}
+
+// RunLoop drives the full FUBAR deployment cycle over the control
+// protocol: advance the environment one epoch, poll counters from every
+// switch, fold them into the traffic-matrix estimator, and every
+// OptimizeEvery epochs re-run the optimizer and install the new
+// allocation. advance is the environment's clock: in tests and examples
+// it runs one Fabric epoch; against real hardware it would simply sleep
+// one measurement interval.
+func RunLoop(ctrl *Controller, topo *topology.Topology, keys []measure.AggregateKey, cfg LoopConfig, advance func() error) (*LoopResult, error) {
+	if ctrl == nil || topo == nil {
+		return nil, fmt.Errorf("ctrlplane: nil controller or topology")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("ctrlplane: no aggregate keys")
+	}
+	if advance == nil {
+		return nil, fmt.Errorf("ctrlplane: nil advance")
+	}
+	cfg = cfg.withDefaults()
+	est := measure.NewEstimator(keys)
+	res := &LoopResult{}
+	generation := uint64(1)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := advance(); err != nil {
+			return res, fmt.Errorf("ctrlplane: advance epoch %d: %w", epoch, err)
+		}
+		replies, err := ctrl.CollectStats()
+		if err != nil {
+			return res, fmt.Errorf("ctrlplane: collect epoch %d: %w", epoch, err)
+		}
+		stats := MergeStats(topo, replies)
+		if err := est.Observe(stats); err != nil {
+			return res, fmt.Errorf("ctrlplane: observe epoch %d: %w", epoch, err)
+		}
+		res.Epochs++
+
+		if (epoch+1)%cfg.OptimizeEvery != 0 {
+			continue
+		}
+		mat, err := est.Matrix(topo)
+		if err != nil {
+			return res, fmt.Errorf("ctrlplane: estimate after epoch %d: %w", epoch, err)
+		}
+		model, err := flowmodel.New(topo, mat)
+		if err != nil {
+			return res, err
+		}
+		sol, err := core.Run(model, cfg.Optimizer)
+		if err != nil {
+			return res, fmt.Errorf("ctrlplane: optimize after epoch %d: %w", epoch, err)
+		}
+		if err := ctrl.InstallAllocation(mat, sol.Bundles, generation); err != nil {
+			return res, fmt.Errorf("ctrlplane: install generation %d: %w", generation, err)
+		}
+		generation++
+		res.Installs++
+		res.EstimatedUtility = append(res.EstimatedUtility, sol.Utility)
+		res.FinalMatrix = mat
+		res.FinalBundles = sol.Bundles
+		cfg.Logf("loop: epoch %d: installed generation %d, predicted utility %.4f (%d bundles, %d steps)",
+			epoch, generation-1, sol.Utility, len(sol.Bundles), sol.Steps)
+	}
+	return res, nil
+}
+
+// MergeStats folds per-switch stats replies into the single EpochStats
+// view the estimator consumes, reconstructing per-link byte counts from
+// rule paths.
+func MergeStats(topo *topology.Topology, replies map[uint32]StatsReply) *sdnsim.EpochStats {
+	stats := &sdnsim.EpochStats{
+		LinkBytes:     make([]float64, topo.NumLinks()),
+		LinkCongested: make([]bool, topo.NumLinks()),
+	}
+	for _, r := range replies {
+		if int(r.Epoch) > stats.Epoch {
+			stats.Epoch = int(r.Epoch)
+		}
+		if d := time.Duration(r.DurationMs) * time.Millisecond; d > stats.Duration {
+			stats.Duration = d
+		}
+		for _, cr := range r.Counters {
+			edges := make([]graph.EdgeID, len(cr.Links))
+			for i, l := range cr.Links {
+				edges[i] = graph.EdgeID(l)
+			}
+			stats.Rules = append(stats.Rules, sdnsim.RuleCounter{
+				Agg:       traffic.AggregateID(cr.Agg),
+				Flows:     int(cr.Flows),
+				Edges:     edges,
+				Bytes:     cr.Bytes,
+				Congested: cr.Congested,
+			})
+			for _, e := range edges {
+				if int(e) < len(stats.LinkBytes) {
+					stats.LinkBytes[e] += cr.Bytes
+					if cr.Congested {
+						stats.LinkCongested[e] = true
+					}
+				}
+			}
+		}
+	}
+	return stats
+}

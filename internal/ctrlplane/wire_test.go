@@ -1,0 +1,289 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes and re-decodes one message.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("WriteMessage(%v): %v", m.Type(), err)
+	}
+	got, err := ReadMessage(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadMessage(%v): %v", m.Type(), err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%v: %d trailing bytes after read", m.Type(), buf.Len())
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		Hello{DatapathID: 7, NodeName: "lon"},
+		HelloAck{ControllerName: "ctl", EpochMs: 10000},
+		Echo{Token: 99},
+		EchoReply{Token: 99},
+		FlowMod{Generation: 3, Rules: []Rule{
+			{Agg: 0, Flows: 12, Links: []uint32{1, 2, 3}},
+			{Agg: 5, Flows: 1, Links: nil}, // self-pair
+		}},
+		FlowModAck{Generation: 3, Installed: 2},
+		StatsReq{Token: 4},
+		StatsReply{Token: 4, Epoch: 2, DurationMs: 10000, Counters: []CounterRec{
+			{Agg: 1, Flows: 8, Bytes: 1.5e9, Congested: true, Links: []uint32{0, 4}},
+			{Agg: 2, Flows: 0, Bytes: 0, Congested: false, Links: nil},
+		}},
+		ErrorMsg{Token: 9, Code: ErrCodeInstall, Text: "no such link"},
+		Bye{},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%v round trip:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares semantics.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case FlowMod:
+		if len(v.Rules) == 0 {
+			v.Rules = nil
+		}
+		for i := range v.Rules {
+			if len(v.Rules[i].Links) == 0 {
+				v.Rules[i].Links = nil
+			}
+		}
+		return v
+	case StatsReply:
+		if len(v.Counters) == 0 {
+			v.Counters = nil
+		}
+		for i := range v.Counters {
+			if len(v.Counters[i].Links) == 0 {
+				v.Counters[i].Links = nil
+			}
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestRoundTripQuickFlowMod(t *testing.T) {
+	prop := func(gen uint64, aggs []int32, flows []uint32, linkSeed int64) bool {
+		rng := rand.New(rand.NewSource(linkSeed))
+		n := len(aggs)
+		if n > 64 {
+			n = 64
+		}
+		m := FlowMod{Generation: gen}
+		for i := 0; i < n; i++ {
+			r := Rule{Agg: aggs[i]}
+			if i < len(flows) {
+				r.Flows = flows[i]
+			}
+			for j := rng.Intn(5); j > 0; j-- {
+				r.Links = append(r.Links, rng.Uint32()%1000)
+			}
+			m.Rules = append(m.Rules, r)
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(m))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripQuickStatsReply(t *testing.T) {
+	prop := func(token uint64, epoch uint32, bytesVals []float64, congested []bool) bool {
+		m := StatsReply{Token: token, Epoch: epoch, DurationMs: 10000}
+		n := len(bytesVals)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			b := bytesVals[i]
+			if math.IsNaN(b) {
+				b = 0 // NaN != NaN breaks DeepEqual; the wire carries it fine
+			}
+			c := CounterRec{Agg: int32(i), Bytes: b}
+			if i < len(congested) {
+				c.Congested = congested[i]
+			}
+			m.Counters = append(m.Counters, c)
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(m))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMessageRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Echo{Token: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadMessageRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Echo{Token: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadMessageRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Echo{Token: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[3] = 200
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestReadMessageRejectsOversizedPayload(t *testing.T) {
+	hdr := make([]byte, 0, 8)
+	hdr = binary.BigEndian.AppendUint16(hdr, wireMagic)
+	hdr = append(hdr, wireVersion, byte(MsgEchoReq))
+	hdr = binary.BigEndian.AppendUint32(hdr, maxPayload+1)
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReadMessageRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Hello{DatapathID: 1, NodeName: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-1]
+	_, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw)))
+	if err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadMessageRejectsTrailingGarbage(t *testing.T) {
+	// Craft an Echo with an extra byte in the payload.
+	payload := binary.BigEndian.AppendUint64(nil, 5)
+	payload = append(payload, 0xAA)
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.BigEndian.AppendUint16(frame, wireMagic)
+	frame = append(frame, wireVersion, byte(MsgEchoReq))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("trailing payload bytes accepted")
+	}
+}
+
+func TestReadMessageEOFOnEmpty(t *testing.T) {
+	_, err := ReadMessage(bufio.NewReader(bytes.NewReader(nil)))
+	if err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestWriteMessageRejectsHugeString(t *testing.T) {
+	// A string longer than maxString encodes fine (length fits uint16 up
+	// to 65535) but must be rejected on decode.
+	name := strings.Repeat("x", maxString+1)
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Hello{DatapathID: 1, NodeName: name}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized string accepted on decode")
+	}
+}
+
+func TestFuzzishRandomBytesDoNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(64)
+		raw := make([]byte, n)
+		rng.Read(raw)
+		// Half the trials get a valid header to push fuzzing into the
+		// payload parsers.
+		if trial%2 == 0 && n >= 8 {
+			binary.BigEndian.PutUint16(raw, wireMagic)
+			raw[2] = wireVersion
+			raw[3] = byte(1 + rng.Intn(10))
+			binary.BigEndian.PutUint32(raw[4:], uint32(n-8))
+		}
+		_, _ = ReadMessage(bufio.NewReader(bytes.NewReader(raw))) // must not panic
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for typ, want := range map[MsgType]string{
+		MsgHello:      "Hello",
+		MsgHelloAck:   "HelloAck",
+		MsgEchoReq:    "EchoReq",
+		MsgEchoReply:  "EchoReply",
+		MsgFlowMod:    "FlowMod",
+		MsgFlowModAck: "FlowModAck",
+		MsgStatsReq:   "StatsReq",
+		MsgStatsReply: "StatsReply",
+		MsgError:      "Error",
+		MsgBye:        "Bye",
+		MsgType(77):   "MsgType(77)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("MsgType(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestErrorMsgIsError(t *testing.T) {
+	var err error = ErrorMsg{Code: ErrCodeInstall, Text: "boom"}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("ErrorMsg.Error() = %q", err.Error())
+	}
+}

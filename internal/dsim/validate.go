@@ -1,0 +1,106 @@
+package dsim
+
+import (
+	"fmt"
+	"math"
+
+	"fubar/internal/flowmodel"
+)
+
+// Validation compares the analytical model's equilibrium prediction with
+// the simulator's time-averaged rates, bundle by bundle.
+type Validation struct {
+	// Correlation is the Pearson correlation between predicted and
+	// simulated bundle rates. Close to 1 means the water-filling ranks
+	// and scales bundles the way the dynamics do.
+	Correlation float64
+	// MeanRelErr is the mean |sim-model| / max(model, floor) over
+	// bundles with backbone paths.
+	MeanRelErr float64
+	// MaxRelErr is the worst per-bundle relative error.
+	MaxRelErr float64
+	// Bundles counts the compared (backbone, positive-demand) bundles.
+	Bundles int
+	// ModelRate and SimRate are the compared series, index-aligned with
+	// the allocation's bundles (NaN for skipped bundles).
+	ModelRate, SimRate []float64
+}
+
+// relErrFloor avoids division blow-ups on near-zero predictions; rates
+// are kbps, so 1 kbps is negligible at backbone scale.
+const relErrFloor = 1.0
+
+// Validate compares a model evaluation with a simulation of the same
+// bundle allocation. The two must be index-aligned: res.BundleRate[i]
+// and sim.Bundles[i] describe the same bundle.
+func Validate(bundles []flowmodel.Bundle, res *flowmodel.Result, sim *Result) (*Validation, error) {
+	if res == nil || sim == nil {
+		return nil, fmt.Errorf("dsim: nil result")
+	}
+	if len(res.BundleRate) != len(bundles) || len(sim.Bundles) != len(bundles) {
+		return nil, fmt.Errorf("dsim: result sizes %d/%d do not match %d bundles",
+			len(res.BundleRate), len(sim.Bundles), len(bundles))
+	}
+	v := &Validation{
+		ModelRate: make([]float64, len(bundles)),
+		SimRate:   make([]float64, len(bundles)),
+	}
+	var xs, ys []float64
+	var sumRel float64
+	for i, b := range bundles {
+		v.ModelRate[i] = math.NaN()
+		v.SimRate[i] = math.NaN()
+		if len(b.Edges) == 0 || b.Flows <= 0 {
+			continue // self-pairs trivially match
+		}
+		m := res.BundleRate[i]
+		s := sim.Bundles[i].MeanRate
+		v.ModelRate[i] = m
+		v.SimRate[i] = s
+		xs = append(xs, m)
+		ys = append(ys, s)
+		den := m
+		if den < relErrFloor {
+			den = relErrFloor
+		}
+		rel := math.Abs(s-m) / den
+		sumRel += rel
+		if rel > v.MaxRelErr {
+			v.MaxRelErr = rel
+		}
+		v.Bundles++
+	}
+	if v.Bundles == 0 {
+		return nil, fmt.Errorf("dsim: no backbone bundles to compare")
+	}
+	v.MeanRelErr = sumRel / float64(v.Bundles)
+	v.Correlation = pearson(xs, ys)
+	return v, nil
+}
+
+// pearson computes the correlation coefficient of two equal-length
+// series; it returns 0 when either side has zero variance.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/pathgen"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// FailoverResult captures the three states of a link-failure episode:
+// the optimized healthy network, the moment after the failure with the
+// stale allocation still installed, and the re-optimized network that
+// the next offline cycle produces.
+type FailoverResult struct {
+	// FailedLink is the directed link chosen to fail (the most loaded
+	// one of the healthy solution).
+	FailedLink graph.EdgeID
+	// FailedLinkName renders it as "A->B".
+	FailedLinkName string
+	// Healthy is network utility after the initial optimization.
+	Healthy float64
+	// Degraded is utility of the stale allocation right after the
+	// failure (the failed link carries nothing; crossing bundles starve).
+	Degraded float64
+	// Recovered is utility after re-optimizing around the failure.
+	Recovered float64
+	// ReoptimizeTime is how long the recovery cycle took.
+	ReoptimizeTime time.Duration
+	// ReoptimizeSteps is the recovery run's committed moves.
+	ReoptimizeSteps int
+}
+
+// Failover runs a link-failure episode on the given instance: optimize,
+// fail the hottest link, measure the stale allocation, re-optimize with
+// the dead link forbidden. FUBAR is an offline system — this is exactly
+// the "periodically adjust" cycle of the abstract reacting to a
+// topology change.
+func Failover(topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*FailoverResult, error) {
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Run(model, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: healthy optimization: %w", err)
+	}
+	res := &FailoverResult{Healthy: sol.Utility}
+
+	// Fail the most loaded link of the healthy solution.
+	var worst graph.EdgeID = -1
+	var worstLoad float64
+	for l, load := range sol.Result.LinkLoad {
+		if load > worstLoad {
+			worstLoad = load
+			worst = graph.EdgeID(l)
+		}
+	}
+	if worst < 0 {
+		return nil, fmt.Errorf("experiment: no loaded link to fail")
+	}
+	res.FailedLink = worst
+	res.FailedLinkName = topo.LinkName(worst)
+
+	dead, err := topo.WithLinkCapacity(worst, 0)
+	if err != nil {
+		return nil, err
+	}
+	deadMat, err := traffic.NewMatrix(dead, mat.Aggregates())
+	if err != nil {
+		return nil, err
+	}
+	deadModel, err := flowmodel.New(dead, deadMat)
+	if err != nil {
+		return nil, err
+	}
+	// The stale allocation still routes over the dead link.
+	res.Degraded = deadModel.Evaluate(sol.Bundles).NetworkUtility
+
+	// Recovery: the next offline cycle knows the link is down.
+	forbidden := make([]bool, dead.NumLinks())
+	forbidden[worst] = true
+	if r := dead.Link(worst).Reverse; r >= 0 {
+		forbidden[r] = true
+	}
+	recOpts := opts
+	recOpts.Policy = pathgen.Policy{
+		MaxHops:        opts.Policy.MaxHops,
+		MaxDelay:       opts.Policy.MaxDelay,
+		ForbiddenLinks: forbidden,
+	}
+	// Warm-start from the installed allocation: recovery moves traffic
+	// off the dead link rather than recomputing the network from
+	// scratch, so it can only improve on the degraded state.
+	recOpts.InitialBundles = sol.Bundles
+	start := time.Now()
+	rec, err := core.Run(deadModel, recOpts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: recovery optimization: %w", err)
+	}
+	res.Recovered = rec.Utility
+	res.ReoptimizeTime = time.Since(start)
+	res.ReoptimizeSteps = rec.Steps
+	return res, nil
+}

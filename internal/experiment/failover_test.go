@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"testing"
+
+	"fubar/internal/core"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+func failoverInstance(t *testing.T, seed int64) (*topology.Topology, *traffic.Matrix) {
+	t.Helper()
+	topo, err := topology.Ring(8, 4, 800*unit.Kbps, seed)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	cfg := traffic.DefaultGenConfig(seed)
+	cfg.RealTimeFlows = [2]int{2, 8}
+	cfg.BulkFlows = [2]int{1, 4}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo, mat
+}
+
+func TestFailoverShape(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11} {
+		topo, mat := failoverInstance(t, seed)
+		res, err := Failover(topo, mat, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Failover: %v", seed, err)
+		}
+		// The failure must hurt and the re-optimization must recover a
+		// real part of the loss (full recovery is impossible: capacity
+		// genuinely shrank).
+		if res.Degraded >= res.Healthy {
+			t.Fatalf("seed %d: failure did not hurt: healthy %.4f, degraded %.4f",
+				seed, res.Healthy, res.Degraded)
+		}
+		if res.Recovered <= res.Degraded {
+			t.Fatalf("seed %d: no recovery: degraded %.4f, recovered %.4f",
+				seed, res.Degraded, res.Recovered)
+		}
+		if res.Recovered > res.Healthy+1e-9 {
+			t.Fatalf("seed %d: recovered %.4f above healthy %.4f with less capacity",
+				seed, res.Recovered, res.Healthy)
+		}
+		if res.FailedLinkName == "" || res.ReoptimizeSteps == 0 {
+			t.Fatalf("seed %d: episode metadata missing: %+v", seed, res)
+		}
+		t.Logf("seed %d: %s failed: %.4f -> %.4f -> %.4f (%d steps, %v)",
+			seed, res.FailedLinkName, res.Healthy, res.Degraded, res.Recovered,
+			res.ReoptimizeSteps, res.ReoptimizeTime)
+	}
+}
+
+func TestWithLinkCapacityFailure(t *testing.T) {
+	topo, _ := failoverInstance(t, 5)
+	dead, err := topo.WithLinkCapacity(0, 0)
+	if err != nil {
+		t.Fatalf("WithLinkCapacity: %v", err)
+	}
+	if got := dead.Capacity(0); got != 0 {
+		t.Fatalf("capacity %v, want 0", got)
+	}
+	if r := dead.Link(0).Reverse; r >= 0 {
+		if got := dead.Capacity(r); got != 0 {
+			t.Fatalf("reverse capacity %v, want 0", got)
+		}
+	}
+	// Original untouched.
+	if got := topo.Capacity(0); got == 0 {
+		t.Fatal("original topology mutated")
+	}
+	// Bounds and sign checks.
+	if _, err := topo.WithLinkCapacity(-1, 100); err == nil {
+		t.Fatal("negative link id accepted")
+	}
+	if _, err := topo.WithLinkCapacity(topology.LinkID(topo.NumLinks()), 100); err == nil {
+		t.Fatal("out-of-range link id accepted")
+	}
+	if _, err := topo.WithLinkCapacity(0, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}

@@ -1,0 +1,485 @@
+// Package flowmodel implements FUBAR's TCP-like traffic model (§2.3 of the
+// paper): a progressive water-filling that predicts the bandwidth every
+// bundle of flows obtains given a path assignment.
+//
+// The network starts as empty pipes. Every bundle grows at a rate
+// proportional to flows/RTT — the TCP-friendly assumption that a congested
+// flow's throughput is inversely proportional to its round-trip time. A
+// bundle stops growing when it satisfies its demand (the inflection point
+// of its utility function's bandwidth component) or when a link on its
+// path fills; the filling proceeds in discrete events until every bundle
+// is frozen. This is weighted max-min fairness with weights flows/RTT and
+// per-bundle demand caps.
+//
+// Evaluate is the optimizer's inner loop: it runs thousands of times per
+// optimization, so the implementation indexes dense slices owned by the
+// Model and performs no per-call allocation once the bundle count
+// stabilizes.
+package flowmodel
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// minRTTMs floors a bundle's round-trip time so metro paths with
+// near-zero propagation still fill at a finite rate.
+const minRTTMs = 1.0
+
+// Bundle is a group of flows from one aggregate routed over one path
+// (§2.3: "bundles of flows that share the same entry point, exit point,
+// traffic class, and path through the network").
+type Bundle struct {
+	Agg   traffic.AggregateID
+	Flows int
+	// Edges is the path's directed link sequence; empty for self-pair
+	// aggregates, which never enter the backbone.
+	Edges []graph.EdgeID
+	// Delay is the one-way propagation delay of the path, precomputed by
+	// NewBundle.
+	Delay unit.Delay
+}
+
+// NewBundle builds a bundle over a path, computing the path delay.
+func NewBundle(topo *topology.Topology, agg traffic.AggregateID, flows int, path graph.Path) Bundle {
+	return Bundle{
+		Agg:   agg,
+		Flows: flows,
+		Edges: path.Edges,
+		Delay: topo.PathDelay(path),
+	}
+}
+
+// RTT returns the bundle's modeled round-trip time in milliseconds,
+// floored at 1 ms.
+func (b Bundle) RTT() float64 {
+	r := 2 * float64(b.Delay)
+	if r < minRTTMs {
+		r = minRTTMs
+	}
+	return r
+}
+
+// Result holds one model evaluation. Slices are indexed by bundle, link or
+// aggregate ID and are reused across Evaluate calls; callers must copy
+// anything they keep.
+type Result struct {
+	// BundleRate is the aggregate rate (kbps) each bundle achieves.
+	BundleRate []float64
+	// BundleSatisfied marks bundles whose demand was met.
+	BundleSatisfied []bool
+	// LinkLoad is the carried load (kbps) per directed link.
+	LinkLoad []float64
+	// LinkDemand is the total demand (kbps) of bundles crossing each link.
+	LinkDemand []float64
+	// Congested lists links that froze at least one bundle, i.e. actual
+	// bottlenecks, in no particular order.
+	Congested []graph.EdgeID
+	// IsCongested is the set view of Congested.
+	IsCongested []bool
+	// AggUtility is per-aggregate utility in [0,1].
+	AggUtility []float64
+	// NetworkUtility is the weight*flow-count weighted mean utility (§3's
+	// "total average").
+	NetworkUtility float64
+	// ActualUtilization is carried load / capacity summed over used links.
+	ActualUtilization float64
+	// DemandedUtilization is demand / capacity summed over used links.
+	DemandedUtilization float64
+}
+
+// Clone deep-copies the result (used when a caller needs to retain one
+// evaluation while the model keeps running).
+func (r *Result) Clone() *Result {
+	c := &Result{
+		BundleRate:          append([]float64(nil), r.BundleRate...),
+		BundleSatisfied:     append([]bool(nil), r.BundleSatisfied...),
+		LinkLoad:            append([]float64(nil), r.LinkLoad...),
+		LinkDemand:          append([]float64(nil), r.LinkDemand...),
+		Congested:           append([]graph.EdgeID(nil), r.Congested...),
+		IsCongested:         append([]bool(nil), r.IsCongested...),
+		AggUtility:          append([]float64(nil), r.AggUtility...),
+		NetworkUtility:      r.NetworkUtility,
+		ActualUtilization:   r.ActualUtilization,
+		DemandedUtilization: r.DemandedUtilization,
+	}
+	return c
+}
+
+// Model evaluates the traffic model for one topology + traffic matrix.
+// It is not safe for concurrent use; clone one per goroutine.
+type Model struct {
+	topo *topology.Topology
+	mat  *traffic.Matrix
+
+	capacity    []float64 // per link, kbps
+	demandPer   []float64 // per aggregate: demand per flow, kbps
+	aggFlows    []int
+	aggWeight   []float64
+	totalWeight float64 // sum of weight*flows over all aggregates
+
+	// Scratch state, sized on demand.
+	weight     []float64 // per bundle: flows/RTT
+	demand     []float64 // per bundle: flows * demandPerFlow
+	tDemand    []float64 // per bundle: demand / weight
+	frozen     []bool
+	order      []uint64 // demand events: float32(tDemand) bits << 32 | index
+	linkW      []float64
+	linkFrozen []float64
+	linkBun    [][]int32 // per link: bundles crossing it
+	linkTSat   []float64 // cached saturation time; +Inf when unloaded
+	minTSat    float64   // running minimum of linkTSat
+	minLink    int32     // index of the minimum, -1 when none
+	minDirty   bool      // true when the cached minimum needs a rescan
+	res        Result
+}
+
+// New builds a model for the topology and matrix.
+func New(topo *topology.Topology, mat *traffic.Matrix) (*Model, error) {
+	if topo == nil || mat == nil {
+		return nil, fmt.Errorf("flowmodel: nil topology or matrix")
+	}
+	if mat.Topology() != topo {
+		return nil, fmt.Errorf("flowmodel: matrix bound to a different topology")
+	}
+	nL := topo.NumLinks()
+	nA := mat.NumAggregates()
+	m := &Model{
+		topo:       topo,
+		mat:        mat,
+		capacity:   make([]float64, nL),
+		demandPer:  make([]float64, nA),
+		aggFlows:   make([]int, nA),
+		aggWeight:  make([]float64, nA),
+		linkW:      make([]float64, nL),
+		linkFrozen: make([]float64, nL),
+		linkBun:    make([][]int32, nL),
+		linkTSat:   make([]float64, nL),
+	}
+	for i := 0; i < nL; i++ {
+		m.capacity[i] = float64(topo.Capacity(graph.EdgeID(i)))
+	}
+	for i := 0; i < nA; i++ {
+		a := mat.Aggregate(traffic.AggregateID(i))
+		m.demandPer[i] = float64(a.DemandPerFlow())
+		m.aggFlows[i] = a.Flows
+		m.aggWeight[i] = a.Weight
+		m.totalWeight += a.Weight * float64(a.Flows)
+	}
+	m.res.LinkLoad = make([]float64, nL)
+	m.res.LinkDemand = make([]float64, nL)
+	m.res.IsCongested = make([]bool, nL)
+	m.res.AggUtility = make([]float64, nA)
+	return m, nil
+}
+
+// Topology returns the model's topology.
+func (m *Model) Topology() *topology.Topology { return m.topo }
+
+// Matrix returns the model's traffic matrix.
+func (m *Model) Matrix() *traffic.Matrix { return m.mat }
+
+// Evaluate runs the water-filling over the bundle set and returns the
+// shared Result (valid until the next Evaluate call).
+func (m *Model) Evaluate(bundles []Bundle) *Result {
+	nB := len(bundles)
+	nL := m.topo.NumLinks()
+	m.grow(nB)
+	res := &m.res
+	res.BundleRate = res.BundleRate[:nB]
+	res.BundleSatisfied = res.BundleSatisfied[:nB]
+	res.Congested = res.Congested[:0]
+
+	for i := 0; i < nL; i++ {
+		m.linkW[i] = 0
+		m.linkFrozen[i] = 0
+		m.linkBun[i] = m.linkBun[i][:0]
+		m.linkTSat[i] = math.Inf(1)
+		res.LinkLoad[i] = 0
+		res.LinkDemand[i] = 0
+		res.IsCongested[i] = false
+	}
+
+	// Set up per-bundle filling parameters.
+	active := 0
+	for i, b := range bundles {
+		d := m.demandPer[b.Agg] * float64(b.Flows)
+		m.demand[i] = d
+		res.BundleRate[i] = 0
+		res.BundleSatisfied[i] = false
+		if len(b.Edges) == 0 || b.Flows <= 0 || d == 0 {
+			// Self-pair or empty bundle: satisfied immediately.
+			res.BundleRate[i] = d
+			res.BundleSatisfied[i] = true
+			m.frozen[i] = true
+			m.weight[i] = 0
+			m.tDemand[i] = 0
+			continue
+		}
+		w := float64(b.Flows) / b.RTT()
+		m.weight[i] = w
+		m.tDemand[i] = d / w
+		m.frozen[i] = false
+		active++
+		for _, e := range b.Edges {
+			m.linkW[e] += w
+			m.linkBun[e] = append(m.linkBun[e], int32(i))
+			res.LinkDemand[e] += d
+		}
+	}
+
+	// Demand events in increasing tDemand order. Keys pack a float32 of
+	// the demand time above the bundle index: non-negative float32 bits
+	// sort correctly as integers, and demand events commute, so float32
+	// granularity cannot change the outcome — only the processing order
+	// of near-simultaneous satisfactions.
+	m.order = m.order[:0]
+	for i := 0; i < nB; i++ {
+		if !m.frozen[i] {
+			m.order = append(m.order, uint64(math.Float32bits(float32(m.tDemand[i])))<<32|uint64(uint32(i)))
+		}
+	}
+	slices.Sort(m.order)
+	next := 0 // index into order of the earliest pending demand event
+
+	// Cache each link's saturation time; freezeBundle refreshes the
+	// entries of links it touches and maintains a running minimum so most
+	// events avoid rescanning the whole array.
+	for l := 0; l < nL; l++ {
+		if m.linkW[l] > 0 {
+			m.linkTSat[l] = (m.capacity[l] - m.linkFrozen[l]) / m.linkW[l]
+		}
+	}
+	m.minDirty = true
+
+	for active > 0 {
+		// Earliest pending demand event.
+		for next < len(m.order) && m.frozen[uint32(m.order[next])] {
+			next++
+		}
+		tDem := math.Inf(1)
+		if next < len(m.order) {
+			tDem = m.tDemand[uint32(m.order[next])]
+		}
+		// Earliest link saturation event (cached; rescan only when the
+		// previous minimum link was itself touched).
+		if m.minDirty {
+			m.minTSat = math.Inf(1)
+			m.minLink = -1
+			for l, t := range m.linkTSat {
+				if t < m.minTSat {
+					m.minTSat = t
+					m.minLink = int32(l)
+				}
+			}
+			m.minDirty = false
+		}
+		tLink := m.minTSat
+		linkIdx := int(m.minLink)
+		switch {
+		case tDem <= tLink:
+			// Demand satisfied first (ties resolve to satisfaction).
+			i := int(uint32(m.order[next]))
+			next++
+			m.freezeBundle(bundles, i, m.demand[i], true, res)
+			active--
+		case linkIdx >= 0:
+			// Link saturates: freeze every active bundle crossing it at
+			// its current rate.
+			t := tLink
+			if t < 0 {
+				t = 0 // link already over capacity from frozen load
+			}
+			froze, truncated := 0, 0
+			for _, bi := range m.linkBun[linkIdx] {
+				if m.frozen[bi] {
+					continue
+				}
+				rate := m.weight[bi] * t
+				// Floating-point tie: a bundle reaching its demand at the
+				// very instant the link fills is satisfied, not congested.
+				sat := rate >= m.demand[bi]*(1-1e-9)
+				if sat {
+					rate = m.demand[bi]
+				} else {
+					truncated++
+				}
+				m.freezeBundle(bundles, int(bi), rate, sat, res)
+				active--
+				froze++
+			}
+			switch {
+			case truncated > 0:
+				res.IsCongested[linkIdx] = true
+				res.Congested = append(res.Congested, graph.EdgeID(linkIdx))
+			case froze > 0:
+				// Every crosser finished exactly at its demand: the link
+				// is full but nobody is denied bandwidth — not congested.
+			default:
+				// Residual float weight with no active bundle: clear it so
+				// the filling cannot stall on this link.
+				m.linkW[linkIdx] = 0
+				m.linkTSat[linkIdx] = math.Inf(1)
+				m.minDirty = true
+			}
+		default:
+			// No pending events but active bundles remain: impossible,
+			// since every active bundle has a finite demand time.
+			panic("flowmodel: stalled filling")
+		}
+	}
+
+	// Final per-link loads.
+	for l := 0; l < nL; l++ {
+		res.LinkLoad[l] = m.linkFrozen[l]
+		if res.LinkLoad[l] > m.capacity[l] {
+			res.LinkLoad[l] = m.capacity[l]
+		}
+	}
+	m.computeUtility(bundles, res)
+	m.computeUtilization(res)
+	return res
+}
+
+// freezeBundle fixes bundle i at the given rate and removes its weight
+// from its links.
+func (m *Model) freezeBundle(bundles []Bundle, i int, rate float64, satisfied bool, res *Result) {
+	m.frozen[i] = true
+	res.BundleRate[i] = rate
+	res.BundleSatisfied[i] = satisfied
+	w := m.weight[i]
+	for _, e := range bundles[i].Edges {
+		m.linkW[e] -= w
+		if m.linkW[e] < 0 {
+			m.linkW[e] = 0
+		}
+		m.linkFrozen[e] += rate
+		var t float64
+		if m.linkW[e] > 0 {
+			t = (m.capacity[e] - m.linkFrozen[e]) / m.linkW[e]
+		} else {
+			t = math.Inf(1)
+		}
+		m.linkTSat[e] = t
+		// Maintain the running minimum: a touched link with a smaller
+		// time becomes the new minimum; touching the minimum itself
+		// forces a rescan (its time may have grown).
+		if e == graph.EdgeID(m.minLink) {
+			m.minDirty = true
+		} else if t < m.minTSat {
+			m.minTSat = t
+			m.minLink = int32(e)
+		}
+	}
+}
+
+// computeUtility fills per-aggregate and network utility: each bundle's
+// flows see per-flow bandwidth rate/flows at the bundle's path round-trip
+// time (utility delay components are interpreted as RTT — the delay an
+// application experiences — matching the paper's Fig 6 delay spread); an
+// aggregate's utility is its flow-weighted bundle mean; the network's is
+// the weight*flows weighted mean over aggregates (§3 "total average").
+func (m *Model) computeUtility(bundles []Bundle, res *Result) {
+	nA := m.mat.NumAggregates()
+	for i := 0; i < nA; i++ {
+		res.AggUtility[i] = 0
+	}
+	// Flows not covered by any bundle contribute zero utility, so track
+	// covered flow counts for safety in partial allocations.
+	for bi, b := range bundles {
+		if b.Flows <= 0 {
+			continue
+		}
+		agg := m.mat.Aggregate(b.Agg)
+		perFlow := unit.Bandwidth(res.BundleRate[bi] / float64(b.Flows))
+		var u float64
+		if len(b.Edges) == 0 {
+			u = 1 // same-POP traffic never crosses the backbone
+		} else {
+			u = agg.Fn.Eval(perFlow, 2*b.Delay) // delay curves are RTT
+		}
+		res.AggUtility[b.Agg] += u * float64(b.Flows)
+	}
+	var total float64
+	for i := 0; i < nA; i++ {
+		f := float64(m.aggFlows[i])
+		if f > 0 {
+			res.AggUtility[i] /= f
+		}
+		total += res.AggUtility[i] * m.aggWeight[i] * f
+	}
+	if m.totalWeight > 0 {
+		res.NetworkUtility = total / m.totalWeight
+	} else {
+		res.NetworkUtility = 0
+	}
+}
+
+// computeUtilization fills the two §3 utilization metrics over links that
+// carry traffic.
+func (m *Model) computeUtilization(res *Result) {
+	var usedCap, load, demand float64
+	for l := range res.LinkLoad {
+		if res.LinkLoad[l] <= 0 && res.LinkDemand[l] <= 0 {
+			continue
+		}
+		usedCap += m.capacity[l]
+		load += res.LinkLoad[l]
+		demand += res.LinkDemand[l]
+	}
+	if usedCap > 0 {
+		res.ActualUtilization = load / usedCap
+		res.DemandedUtilization = demand / usedCap
+	} else {
+		res.ActualUtilization = 0
+		res.DemandedUtilization = 0
+	}
+}
+
+// grow resizes the per-bundle scratch slices.
+func (m *Model) grow(nB int) {
+	if cap(m.weight) < nB {
+		m.weight = make([]float64, nB)
+		m.demand = make([]float64, nB)
+		m.tDemand = make([]float64, nB)
+		m.frozen = make([]bool, nB)
+		m.res.BundleRate = make([]float64, nB)
+		m.res.BundleSatisfied = make([]bool, nB)
+		m.order = make([]uint64, 0, nB)
+	}
+	m.weight = m.weight[:nB]
+	m.demand = m.demand[:nB]
+	m.tDemand = m.tDemand[:nB]
+	m.frozen = m.frozen[:nB]
+}
+
+// Oversubscription returns demand/capacity for a link in the last result.
+func (m *Model) Oversubscription(res *Result, l graph.EdgeID) float64 {
+	if m.capacity[l] <= 0 {
+		return 0
+	}
+	return res.LinkDemand[l] / m.capacity[l]
+}
+
+// CongestedByOversubscription returns the congested links of a result
+// sorted by decreasing demand/capacity (Listing 1 lines 4–5). The returned
+// slice is freshly allocated.
+func (m *Model) CongestedByOversubscription(res *Result) []graph.EdgeID {
+	out := append([]graph.EdgeID(nil), res.Congested...)
+	sort.Slice(out, func(i, j int) bool {
+		oi := m.Oversubscription(res, out[i])
+		oj := m.Oversubscription(res, out[j])
+		if oi != oj {
+			return oi > oj
+		}
+		return out[i] < out[j] // deterministic tie-break
+	})
+	return out
+}

@@ -1,0 +1,557 @@
+package flowmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+// line builds A--B--C with the given per-link capacity.
+func line(t *testing.T, cap unit.Bandwidth) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("line")
+	b.AddLink("A", "B", cap, 10*unit.Millisecond)
+	b.AddLink("B", "C", cap, 10*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func pathBetween(t *testing.T, topo *topology.Topology, src, dst string) graph.Path {
+	t.Helper()
+	s, ok := topo.NodeByName(src)
+	if !ok {
+		t.Fatalf("node %s", src)
+	}
+	d, ok := topo.NodeByName(dst)
+	if !ok {
+		t.Fatalf("node %s", dst)
+	}
+	p, ok := graph.ShortestPath(topo.Graph(), s, d, graph.Constraints{})
+	if !ok {
+		t.Fatalf("no path %s->%s", src, dst)
+	}
+	return p
+}
+
+func mustMatrix(t *testing.T, topo *topology.Topology, aggs []traffic.Aggregate) *traffic.Matrix {
+	t.Helper()
+	m, err := traffic.NewMatrix(topo, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSingleBundleUncongested(t *testing.T) {
+	topo := line(t, 100*unit.Mbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
+	})
+	m, err := New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := []Bundle{NewBundle(topo, 0, 10, pathBetween(t, topo, "A", "C"))}
+	res := m.Evaluate(bundles)
+
+	// Demand = 10 flows x 200 kbps = 2 Mbps, well under 100 Mbps.
+	if got := res.BundleRate[0]; math.Abs(got-2000) > 1e-6 {
+		t.Errorf("rate = %v kbps, want 2000", got)
+	}
+	if !res.BundleSatisfied[0] {
+		t.Error("bundle not satisfied")
+	}
+	if len(res.Congested) != 0 {
+		t.Errorf("congested links = %v, want none", res.Congested)
+	}
+	// Utility: full bandwidth at 20ms one-way delay -> bulk delay(20ms)=1.
+	if math.Abs(res.NetworkUtility-1) > 1e-9 {
+		t.Errorf("utility = %v, want 1", res.NetworkUtility)
+	}
+	// Both links on the path carry 2 Mbps.
+	for _, e := range bundles[0].Edges {
+		if math.Abs(res.LinkLoad[e]-2000) > 1e-6 {
+			t.Errorf("link %d load = %v, want 2000", e, res.LinkLoad[e])
+		}
+	}
+}
+
+func TestSingleBundleBottlenecked(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
+	})
+	m, _ := New(topo, mat)
+	bundles := []Bundle{NewBundle(topo, 0, 10, pathBetween(t, topo, "A", "C"))}
+	res := m.Evaluate(bundles)
+
+	// Demand 2 Mbps > 1 Mbps capacity: rate capped at 1 Mbps.
+	if got := res.BundleRate[0]; math.Abs(got-1000) > 1e-6 {
+		t.Errorf("rate = %v kbps, want 1000", got)
+	}
+	if res.BundleSatisfied[0] {
+		t.Error("bundle marked satisfied despite bottleneck")
+	}
+	if len(res.Congested) == 0 {
+		t.Error("no congested links reported")
+	}
+	// Per-flow bandwidth 100 kbps -> bulk U_bw = 0.5 at negligible delay.
+	if math.Abs(res.NetworkUtility-0.5) > 1e-9 {
+		t.Errorf("utility = %v, want 0.5", res.NetworkUtility)
+	}
+}
+
+// Two bundles with equal flow counts and different RTTs share a bottleneck
+// inversely proportionally to RTT (§2.3).
+func TestRTTProportionalSharing(t *testing.T) {
+	b := topology.NewBuilder("y")
+	b.AddLink("S1", "M", 1000*unit.Mbps, 5*unit.Millisecond)  // short feeder
+	b.AddLink("S2", "M", 1000*unit.Mbps, 45*unit.Millisecond) // long feeder
+	b.AddLink("M", "D", 1*unit.Mbps, 5*unit.Millisecond)      // shared bottleneck
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge demand so neither bundle saturates before the link fills.
+	fn := utility.LargeFile(100 * 1000 * unit.Kbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 3, Class: utility.ClassLargeFile, Flows: 1, Fn: fn},
+		{Src: 2, Dst: 3, Class: utility.ClassLargeFile, Flows: 1, Fn: fn},
+	})
+	m, _ := New(topo, mat)
+	bundles := []Bundle{
+		NewBundle(topo, 0, 1, pathBetween(t, topo, "S1", "D")), // RTT 2*(5+5)=20ms
+		NewBundle(topo, 1, 1, pathBetween(t, topo, "S2", "D")), // RTT 2*(45+5)=100ms
+	}
+	res := m.Evaluate(bundles)
+	r1, r2 := res.BundleRate[0], res.BundleRate[1]
+	if math.Abs(r1+r2-1000) > 1e-6 {
+		t.Fatalf("rates %v + %v != capacity 1000", r1, r2)
+	}
+	// Shares proportional to 1/RTT: r1/r2 = 100/20 = 5.
+	if ratio := r1 / r2; math.Abs(ratio-5) > 1e-6 {
+		t.Errorf("rate ratio = %v, want 5 (inverse RTT)", ratio)
+	}
+}
+
+// A satisfied bundle's leftover capacity goes to the still-growing one.
+func TestDemandFreezeReleasesCapacity(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassRealTime, Flows: 2, Fn: utility.RealTime()},       // demand 100 kbps
+		{Src: 0, Dst: 2, Class: utility.ClassLargeFile, Flows: 1, Fn: utility.LargeFile(5000)}, // demand 5 Mbps
+	})
+	m, _ := New(topo, mat)
+	p := pathBetween(t, topo, "A", "C")
+	bundles := []Bundle{
+		NewBundle(topo, 0, 2, p),
+		NewBundle(topo, 1, 1, p),
+	}
+	res := m.Evaluate(bundles)
+	// Real-time satisfied at 100 kbps, large flow gets the rest.
+	if !res.BundleSatisfied[0] {
+		t.Error("small bundle not satisfied")
+	}
+	if math.Abs(res.BundleRate[0]-100) > 1e-6 {
+		t.Errorf("small rate = %v, want 100", res.BundleRate[0])
+	}
+	if math.Abs(res.BundleRate[1]-900) > 1e-6 {
+		t.Errorf("large rate = %v, want 900", res.BundleRate[1])
+	}
+	if res.BundleSatisfied[1] {
+		t.Error("large bundle marked satisfied")
+	}
+}
+
+func TestSelfPairBundle(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 0, Class: utility.ClassBulk, Flows: 50, Fn: utility.Bulk()},
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{{Agg: 0, Flows: 50}})
+	if res.NetworkUtility != 1 {
+		t.Errorf("self-pair utility = %v, want 1", res.NetworkUtility)
+	}
+	if len(res.Congested) != 0 {
+		t.Error("self-pair congested the network")
+	}
+	if res.ActualUtilization != 0 {
+		t.Errorf("utilization = %v, want 0 (no links used)", res.ActualUtilization)
+	}
+}
+
+// The delay component must kill utility for real-time flows on slow paths
+// even with plentiful bandwidth.
+func TestDelayKillsRealTimeUtility(t *testing.T) {
+	b := topology.NewBuilder("slow")
+	b.AddLink("A", "B", 100*unit.Mbps, 150*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassRealTime, Flows: 10, Fn: utility.RealTime()},
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{NewBundle(topo, 0, 10, pathBetween(t, topo, "A", "B"))})
+	if res.BundleSatisfied[0] != true {
+		t.Error("bandwidth demand unmet on empty network")
+	}
+	if res.NetworkUtility != 0 {
+		t.Errorf("utility = %v, want 0 (150ms > 100ms cliff)", res.NetworkUtility)
+	}
+}
+
+func TestWeightedNetworkUtility(t *testing.T) {
+	topo := line(t, 100*unit.Mbps)
+	// Two aggregates: one satisfied (utility 1), one on a path that kills
+	// its delay component (utility 0). Equal flows; weight the satisfied
+	// one 3x: network utility = 3/4.
+	b := topology.NewBuilder("w")
+	b.AddLink("A", "B", 100*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("A", "C", 100*unit.Mbps, 200*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassRealTime, Flows: 10, Fn: utility.RealTime(), Weight: 3},
+		{Src: 0, Dst: 2, Class: utility.ClassRealTime, Flows: 10, Fn: utility.RealTime(), Weight: 1},
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{
+		NewBundle(topo, 0, 10, pathBetween(t, topo, "A", "B")),
+		NewBundle(topo, 1, 10, pathBetween(t, topo, "A", "C")),
+	})
+	if math.Abs(res.AggUtility[0]-1) > 1e-9 || math.Abs(res.AggUtility[1]-0) > 1e-9 {
+		t.Fatalf("agg utilities = %v", res.AggUtility)
+	}
+	if math.Abs(res.NetworkUtility-0.75) > 1e-9 {
+		t.Errorf("weighted utility = %v, want 0.75", res.NetworkUtility)
+	}
+}
+
+func TestSplitAggregateUtilityIsFlowWeighted(t *testing.T) {
+	// One aggregate split across two bundles: 3 flows satisfied on a fast
+	// path, 1 flow dead on a slow path -> aggregate utility 0.75.
+	b := topology.NewBuilder("split")
+	b.AddLink("A", "B", 100*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("A", "C", 100*unit.Mbps, 200*unit.Millisecond)
+	b.AddLink("C", "B", 100*unit.Mbps, 5*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassRealTime, Flows: 4, Fn: utility.RealTime()},
+	})
+	m, _ := New(topo, mat)
+	fast := pathBetween(t, topo, "A", "B")
+	aIdx, _ := topo.NodeByName("A")
+	cIdx, _ := topo.NodeByName("C")
+	bIdx, _ := topo.NodeByName("B")
+	e1, _ := topo.Graph().EdgeBetween(aIdx, cIdx)
+	e2, _ := topo.Graph().EdgeBetween(cIdx, bIdx)
+	slow := graph.Path{Edges: []graph.EdgeID{e1, e2}, Weight: 205}
+	if err := slow.Validate(topo.Graph(), aIdx, bIdx); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate([]Bundle{
+		NewBundle(topo, 0, 3, fast),
+		NewBundle(topo, 0, 1, slow),
+	})
+	if math.Abs(res.AggUtility[0]-0.75) > 1e-9 {
+		t.Errorf("split utility = %v, want 0.75", res.AggUtility[0])
+	}
+}
+
+// When a shared link saturates first, *all* bundles crossing it freeze at
+// their simultaneous-filling rates (the §2.3 "no more room to grow" rule),
+// splitting the capacity in inverse-RTT proportion.
+func TestSharedLinkFreezesAllCrossers(t *testing.T) {
+	// A--B at 1 Mbps, B--C at 0.5 Mbps. Both bundles grow together; A--B
+	// (total weight 1/40+1/20) fills before B--C (weight 1/40 alone), so
+	// both stop there with rates proportional to 1/RTT: 333 vs 667.
+	b := topology.NewBuilder("shared")
+	b.AddLink("A", "B", 1*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("B", "C", 500*unit.Kbps, 10*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := utility.LargeFile(10 * 1000 * unit.Kbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassLargeFile, Flows: 1, Fn: big},
+		{Src: 0, Dst: 1, Class: utility.ClassLargeFile, Flows: 1, Fn: big},
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{
+		NewBundle(topo, 0, 1, pathBetween(t, topo, "A", "C")),
+		NewBundle(topo, 1, 1, pathBetween(t, topo, "A", "B")),
+	})
+	r1, r2 := res.BundleRate[0], res.BundleRate[1]
+	if math.Abs(r1-1000.0/3) > 1 {
+		t.Errorf("A->C rate = %v, want ~333 (1/RTT share of A--B)", r1)
+	}
+	if math.Abs(r2-2000.0/3) > 1 {
+		t.Errorf("A->B rate = %v, want ~667", r2)
+	}
+	// B--C never saturated: 333 < 500.
+	bIdx, _ := topo.NodeByName("B")
+	cIdx, _ := topo.NodeByName("C")
+	bc, _ := topo.Graph().EdgeBetween(bIdx, cIdx)
+	if res.IsCongested[bc] {
+		t.Error("B->C reported congested at 333/500 kbps")
+	}
+}
+
+// A bundle truncated by its own narrow downstream link releases upstream
+// capacity to the other bundle — §2.3's "each congested link truncates the
+// demands of flows that traverse it, so affects the distribution of flows
+// on other congested links".
+func TestCascadedBottlenecks(t *testing.T) {
+	b := topology.NewBuilder("cascade")
+	b.AddLink("A", "B", 1*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("B", "C", 100*unit.Kbps, 10*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := utility.LargeFile(10 * 1000 * unit.Kbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassLargeFile, Flows: 1, Fn: big},
+		{Src: 0, Dst: 1, Class: utility.ClassLargeFile, Flows: 1, Fn: big},
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{
+		NewBundle(topo, 0, 1, pathBetween(t, topo, "A", "C")),
+		NewBundle(topo, 1, 1, pathBetween(t, topo, "A", "B")),
+	})
+	r1, r2 := res.BundleRate[0], res.BundleRate[1]
+	// B--C fills at t=100/(1/40)=4000 before A--B at t=1000/(0.075)=13333:
+	// bundle1 freezes at 100 kbps, bundle2 then takes A--B's residual 900.
+	if math.Abs(r1-100) > 1 {
+		t.Errorf("A->C rate = %v, want ~100 (truncated by B--C)", r1)
+	}
+	if math.Abs(r2-900) > 1 {
+		t.Errorf("A->B rate = %v, want ~900 (rest of A--B)", r2)
+	}
+}
+
+func TestCongestedByOversubscription(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	big := utility.LargeFile(10 * 1000 * unit.Kbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassLargeFile, Flows: 1, Fn: big}, // A->B only
+		{Src: 0, Dst: 2, Class: utility.ClassLargeFile, Flows: 1, Fn: big}, // A->C
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{
+		NewBundle(topo, 0, 1, pathBetween(t, topo, "A", "B")),
+		NewBundle(topo, 1, 1, pathBetween(t, topo, "A", "C")),
+	})
+	ranked := m.CongestedByOversubscription(res)
+	if len(ranked) == 0 {
+		t.Fatal("no congestion found")
+	}
+	// A->B carries demand 20 Mbps (both bundles), B->C only 10 Mbps, so
+	// A->B must rank first.
+	ab := pathBetween(t, topo, "A", "B").Edges[0]
+	if ranked[0] != ab {
+		t.Errorf("top oversubscribed = %v, want %v (A->B)", ranked[0], ab)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if m.Oversubscription(res, ranked[i-1]) < m.Oversubscription(res, ranked[i]) {
+			t.Error("ranking not sorted by oversubscription")
+		}
+	}
+}
+
+func TestUtilizationMetrics(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	mat := mustMatrix(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()}, // 2 Mbps demand on 1 Mbps link
+	})
+	m, _ := New(topo, mat)
+	res := m.Evaluate([]Bundle{NewBundle(topo, 0, 10, pathBetween(t, topo, "A", "B"))})
+	// One used link: load 1 Mbps / cap 1 Mbps = 1.0; demand 2 Mbps / 1 = 2.
+	if math.Abs(res.ActualUtilization-1) > 1e-9 {
+		t.Errorf("actual utilization = %v, want 1", res.ActualUtilization)
+	}
+	if math.Abs(res.DemandedUtilization-2) > 1e-9 {
+		t.Errorf("demanded utilization = %v, want 2", res.DemandedUtilization)
+	}
+}
+
+func TestEvaluateIsRepeatable(t *testing.T) {
+	topo, err := topology.HurricaneElectric(100 * unit.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := traffic.Generate(topo, traffic.DefaultGenConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundles []Bundle
+	for _, a := range mat.Aggregates() {
+		if a.IsSelfPair() {
+			bundles = append(bundles, Bundle{Agg: a.ID, Flows: a.Flows})
+			continue
+		}
+		p, ok := graph.ShortestPath(topo.Graph(), a.Src, a.Dst, graph.Constraints{})
+		if !ok {
+			t.Fatalf("no path for aggregate %d", a.ID)
+		}
+		bundles = append(bundles, NewBundle(topo, a.ID, a.Flows, p))
+	}
+	r1 := m.Evaluate(bundles).Clone()
+	r2 := m.Evaluate(bundles)
+	if r1.NetworkUtility != r2.NetworkUtility {
+		t.Errorf("utility differs across evaluations: %v vs %v", r1.NetworkUtility, r2.NetworkUtility)
+	}
+	if len(r1.Congested) != len(r2.Congested) {
+		t.Errorf("congested count differs: %d vs %d", len(r1.Congested), len(r2.Congested))
+	}
+	for i := range r1.BundleRate {
+		if r1.BundleRate[i] != r2.BundleRate[i] {
+			t.Fatalf("bundle %d rate differs", i)
+		}
+	}
+}
+
+// Property suite over random topologies and splits: capacity respected,
+// rates within demand, utility within [0,1], and satisfied bundles exactly
+// at demand.
+func TestModelInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		topo, err := topology.Ring(6+rng.Intn(6), 4, unit.Bandwidth(500+rng.Intn(2000)), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := traffic.DefaultGenConfig(rng.Int63())
+		cfg.RealTimeFlows = [2]int{1, 10}
+		cfg.BulkFlows = [2]int{1, 5}
+		cfg.LargeFlows = [2]int{1, 2}
+		mat, err := traffic.Generate(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(topo, mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bundles []Bundle
+		for _, a := range mat.Aggregates() {
+			if a.IsSelfPair() {
+				bundles = append(bundles, Bundle{Agg: a.ID, Flows: a.Flows})
+				continue
+			}
+			paths := graph.KShortestPaths(topo.Graph(), a.Src, a.Dst, 2, graph.Constraints{})
+			if len(paths) == 0 {
+				t.Fatalf("no path for aggregate %d", a.ID)
+			}
+			// Randomly split flows across up to two paths.
+			if len(paths) > 1 && rng.Intn(2) == 0 && a.Flows > 1 {
+				k := 1 + rng.Intn(a.Flows-1)
+				bundles = append(bundles,
+					NewBundle(topo, a.ID, k, paths[0]),
+					NewBundle(topo, a.ID, a.Flows-k, paths[1]))
+			} else {
+				bundles = append(bundles, NewBundle(topo, a.ID, a.Flows, paths[0]))
+			}
+		}
+		res := m.Evaluate(bundles)
+
+		// Capacity respected on every link.
+		for l := 0; l < topo.NumLinks(); l++ {
+			if res.LinkLoad[l] > float64(topo.Capacity(graph.EdgeID(l)))*(1+1e-9) {
+				t.Fatalf("trial %d: link %d load %v exceeds capacity %v",
+					trial, l, res.LinkLoad[l], topo.Capacity(graph.EdgeID(l)))
+			}
+		}
+		// Rates within demand; satisfied bundles exactly at demand.
+		for i, b := range bundles {
+			demand := float64(mat.Aggregate(b.Agg).DemandPerFlow()) * float64(b.Flows)
+			if res.BundleRate[i] > demand*(1+1e-9) {
+				t.Fatalf("trial %d: bundle %d rate %v exceeds demand %v", trial, i, res.BundleRate[i], demand)
+			}
+			if res.BundleSatisfied[i] && math.Abs(res.BundleRate[i]-demand) > demand*1e-9+1e-9 {
+				t.Fatalf("trial %d: satisfied bundle %d at %v, demand %v", trial, i, res.BundleRate[i], demand)
+			}
+			if !res.BundleSatisfied[i] && len(b.Edges) > 0 {
+				// Must be limited by some congested link on its path.
+				found := false
+				for _, e := range b.Edges {
+					if res.IsCongested[e] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: unsatisfied bundle %d has no congested link on path", trial, i)
+				}
+			}
+		}
+		// Utilities in range.
+		if res.NetworkUtility < 0 || res.NetworkUtility > 1 {
+			t.Fatalf("trial %d: network utility %v", trial, res.NetworkUtility)
+		}
+		for i, u := range res.AggUtility {
+			if u < -1e-12 || u > 1+1e-12 {
+				t.Fatalf("trial %d: aggregate %d utility %v", trial, i, u)
+			}
+		}
+		// Link load equals the sum of crossing bundle rates.
+		loads := make([]float64, topo.NumLinks())
+		for i, b := range bundles {
+			for _, e := range b.Edges {
+				loads[e] += res.BundleRate[i]
+			}
+		}
+		for l, want := range loads {
+			if math.Abs(res.LinkLoad[l]-want) > 1e-6+want*1e-9 {
+				t.Fatalf("trial %d: link %d load %v, bundles sum %v", trial, l, res.LinkLoad[l], want)
+			}
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	topo := line(t, 1*unit.Mbps)
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+	other := line(t, 2*unit.Mbps)
+	mat := mustMatrix(t, other, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 1, Fn: utility.Bulk()},
+	})
+	if _, err := New(topo, mat); err == nil {
+		t.Error("cross-topology matrix accepted")
+	}
+}
+
+func TestBundleRTTFloor(t *testing.T) {
+	b := Bundle{Delay: 0, Edges: []graph.EdgeID{0}}
+	if got := b.RTT(); got != minRTTMs {
+		t.Errorf("RTT = %v, want floor %v", got, minRTTMs)
+	}
+	b2 := Bundle{Delay: 50}
+	if got := b2.RTT(); got != 100 {
+		t.Errorf("RTT = %v, want 100", got)
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Constraints restricts the paths a search may return. The zero value means
+// "no restriction".
+type Constraints struct {
+	// ExcludeEdges, if non-nil, marks edges the path must not traverse.
+	// Indexed by EdgeID; lengths shorter than NumEdges treat the tail as
+	// not excluded.
+	ExcludeEdges []bool
+	// ExcludeNodes, if non-nil, marks nodes the path must not visit.
+	// Source and destination are always allowed.
+	ExcludeNodes []bool
+	// MaxHops bounds the number of edges in the path; 0 means unbounded.
+	MaxHops int
+}
+
+func (c Constraints) edgeExcluded(id EdgeID) bool {
+	return c.ExcludeEdges != nil && int(id) < len(c.ExcludeEdges) && c.ExcludeEdges[id]
+}
+
+func (c Constraints) nodeExcluded(n NodeID) bool {
+	return c.ExcludeNodes != nil && int(n) < len(c.ExcludeNodes) && c.ExcludeNodes[n]
+}
+
+// ShortestPath returns the minimum-weight path from src to dst subject to
+// the constraints, and whether one exists. src==dst yields the empty path.
+func ShortestPath(g *Graph, src, dst NodeID, cons Constraints) (Path, bool) {
+	if src == dst {
+		return Path{}, true
+	}
+	n := g.NumNodes()
+	if int(src) < 0 || int(src) >= n || int(dst) < 0 || int(dst) >= n {
+		return Path{}, false
+	}
+
+	dist := make([]float64, n)
+	hops := make([]int, n)
+	prev := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+
+	pq := &nodeHeap{items: []heapItem{{node: src, dist: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		v := it.node
+		if done[v] || it.dist > dist[v] {
+			continue
+		}
+		done[v] = true
+		if v == dst {
+			break
+		}
+		if cons.MaxHops > 0 && hops[v] >= cons.MaxHops {
+			continue
+		}
+		for _, id := range g.OutEdges(v) {
+			if cons.edgeExcluded(id) {
+				continue
+			}
+			e := g.Edge(id)
+			if e.To != dst && cons.nodeExcluded(e.To) {
+				continue
+			}
+			nd := dist[v] + e.Weight
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				hops[e.To] = hops[v] + 1
+				prev[e.To] = id
+				heap.Push(pq, heapItem{node: e.To, dist: nd})
+			}
+		}
+	}
+
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	// Reconstruct by walking predecessors.
+	count := hops[dst]
+	edges := make([]EdgeID, count)
+	at := dst
+	for i := count - 1; i >= 0; i-- {
+		id := prev[at]
+		edges[i] = id
+		at = g.Edge(id).From
+	}
+	return Path{Edges: edges, Weight: dist[dst]}, true
+}
+
+// ShortestPathTree computes minimum distances from src to every node
+// (ignoring constraints' MaxHops reconstruction subtleties; used for
+// heuristics and validation). Unreachable nodes have +Inf distance.
+func ShortestPathTree(g *Graph, src NodeID, cons Constraints) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(src) < 0 || int(src) >= n {
+		return dist
+	}
+	dist[src] = 0
+	pq := &nodeHeap{items: []heapItem{{node: src, dist: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.OutEdges(it.node) {
+			if cons.edgeExcluded(id) {
+				continue
+			}
+			e := g.Edge(id)
+			if cons.nodeExcluded(e.To) {
+				continue
+			}
+			nd := it.dist + e.Weight
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, heapItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	node NodeID
+	dist float64
+}
+
+type nodeHeap struct{ items []heapItem }
+
+func (h *nodeHeap) Len() int           { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,177 @@
+// Package measure reconstructs FUBAR's traffic matrix from switch
+// counters (§2.1–2.2 of the paper): per-aggregate bandwidth and flow
+// counts come straight from rule counters; each aggregate's bandwidth
+// *demand* — the inflection point of its utility function's bandwidth
+// component — is inferred from epochs in which the aggregate ran over an
+// uncongested path yet failed to use more ("we can infer the inflection
+// point of the bandwidth curve when an aggregate is using an uncongested
+// path and fails to utilize it").
+package measure
+
+import (
+	"fmt"
+
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+// AggregateKey identifies an aggregate to the estimator.
+type AggregateKey struct {
+	Src, Dst topology.NodeID
+	Class    utility.Class
+}
+
+// Estimator accumulates epoch observations into demand estimates.
+type Estimator struct {
+	// Alpha is the EWMA smoothing factor for uncongested-rate estimates
+	// in (0, 1]; higher reacts faster. Default 0.3.
+	Alpha float64
+
+	keys  []AggregateKey
+	state []aggEstimate
+}
+
+type aggEstimate struct {
+	flows     int
+	havePeak  bool
+	peakKbps  float64 // EWMA of per-flow rate over uncongested epochs
+	lastKbps  float64 // most recent per-flow rate (any epoch)
+	epochs    int
+	congested int // epochs observed congested
+}
+
+// NewEstimator builds an estimator for the aggregates the controller
+// installed rules for, in aggregate-ID order.
+func NewEstimator(keys []AggregateKey) *Estimator {
+	return &Estimator{
+		Alpha: 0.3,
+		keys:  append([]AggregateKey(nil), keys...),
+		state: make([]aggEstimate, len(keys)),
+	}
+}
+
+// KeysFromMatrix extracts estimator keys from a matrix (the controller
+// knows who talks to whom — it set up the rules).
+func KeysFromMatrix(mat *traffic.Matrix) []AggregateKey {
+	keys := make([]AggregateKey, mat.NumAggregates())
+	for _, a := range mat.Aggregates() {
+		keys[a.ID] = AggregateKey{Src: a.Src, Dst: a.Dst, Class: a.Class}
+	}
+	return keys
+}
+
+// NumAggregates reports how many aggregates the estimator tracks.
+func (e *Estimator) NumAggregates() int { return len(e.keys) }
+
+// Observe folds one epoch of switch counters into the estimates.
+func (e *Estimator) Observe(stats *sdnsim.EpochStats) error {
+	if stats == nil {
+		return fmt.Errorf("measure: nil stats")
+	}
+	secs := stats.Duration.Seconds()
+	if secs <= 0 {
+		return fmt.Errorf("measure: non-positive epoch duration %v", stats.Duration)
+	}
+	// Aggregate per-aggregate: total bytes, flows, and whether every rule
+	// carrying it was uncongested.
+	type acc struct {
+		bytes     float64
+		flows     int
+		congested bool
+		haveTraf  bool
+	}
+	accs := make([]acc, len(e.keys))
+	for _, r := range stats.Rules {
+		if int(r.Agg) < 0 || int(r.Agg) >= len(accs) {
+			return fmt.Errorf("measure: rule references unknown aggregate %d", r.Agg)
+		}
+		a := &accs[r.Agg]
+		a.bytes += r.Bytes
+		a.flows += r.Flows
+		a.congested = a.congested || r.Congested
+		a.haveTraf = true
+	}
+	for i := range accs {
+		a := &accs[i]
+		if !a.haveTraf || a.flows == 0 {
+			continue
+		}
+		st := &e.state[i]
+		st.flows = a.flows
+		st.epochs++
+		kbps := a.bytes / 125 / secs
+		perFlow := kbps / float64(a.flows)
+		st.lastKbps = perFlow
+		if a.congested {
+			st.congested++
+			continue
+		}
+		// Uncongested epoch: the aggregate used all it wanted, so the
+		// per-flow rate approximates the demand peak.
+		if !st.havePeak {
+			st.peakKbps = perFlow
+			st.havePeak = true
+		} else {
+			st.peakKbps = (1-e.Alpha)*st.peakKbps + e.Alpha*perFlow
+		}
+	}
+	return nil
+}
+
+// PeakEstimate returns the inferred per-flow demand of an aggregate and
+// whether any uncongested observation informed it.
+func (e *Estimator) PeakEstimate(id traffic.AggregateID) (unit.Bandwidth, bool) {
+	st := e.state[id]
+	return unit.Bandwidth(st.peakKbps), st.havePeak
+}
+
+// CongestedFraction reports the fraction of observed epochs in which the
+// aggregate crossed a congested link.
+func (e *Estimator) CongestedFraction(id traffic.AggregateID) float64 {
+	st := e.state[id]
+	if st.epochs == 0 {
+		return 0
+	}
+	return float64(st.congested) / float64(st.epochs)
+}
+
+// Matrix builds the estimated traffic matrix: class-default utility
+// shapes rescaled to the inferred per-flow demand peaks. Aggregates never
+// observed uncongested fall back to the larger of the class default and
+// the last measured rate — a congested flow wants at least what it got.
+func (e *Estimator) Matrix(topo *topology.Topology) (*traffic.Matrix, error) {
+	aggs := make([]traffic.Aggregate, len(e.keys))
+	for i, k := range e.keys {
+		st := e.state[i]
+		if st.epochs == 0 {
+			return nil, fmt.Errorf("measure: aggregate %d never observed", i)
+		}
+		fn := utility.ForClass(k.Class)
+		peak := float64(fn.PeakBandwidth())
+		switch {
+		case st.havePeak && st.peakKbps > 0:
+			peak = st.peakKbps
+		case st.lastKbps > peak:
+			peak = st.lastKbps
+		}
+		if peak > 0 {
+			scaled, err := fn.WithPeakBandwidth(unit.Bandwidth(peak))
+			if err != nil {
+				return nil, fmt.Errorf("measure: aggregate %d: %v", i, err)
+			}
+			fn = scaled
+		}
+		flows := st.flows
+		if flows <= 0 {
+			flows = 1
+		}
+		aggs[i] = traffic.Aggregate{
+			Src: k.Src, Dst: k.Dst, Class: k.Class,
+			Flows: flows, Fn: fn, Weight: 1,
+		}
+	}
+	return traffic.NewMatrix(topo, aggs)
+}

@@ -1,0 +1,239 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+func lineTopo(t *testing.T, cap unit.Bandwidth) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("line")
+	b.AddLink("A", "B", cap, 10*unit.Millisecond)
+	b.AddLink("B", "C", cap, 10*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func mustTruth(t *testing.T, topo *topology.Topology, aggs []traffic.Aggregate) *traffic.Matrix {
+	t.Helper()
+	m, err := traffic.NewMatrix(topo, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The headline behaviour: with a non-default true demand on an
+// uncongested path, the estimator recovers the true inflection point,
+// not the class default.
+func TestPeakInferenceUncongested(t *testing.T) {
+	topo := lineTopo(t, 100*unit.Mbps)
+	// True bulk demand is 120 kbps/flow, not the 200 kbps class default.
+	fn, err := utility.Bulk().WithPeakBandwidth(120 * unit.Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := mustTruth(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassBulk, Flows: 10, Fn: fn},
+	})
+	sim, err := sdnsim.New(topo, truth, sdnsim.Config{Seed: 3, Epoch: 10 * time.Second, DemandJitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(KeysFromMatrix(truth))
+	for i := 0; i < 20; i++ {
+		stats, err := sim.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak, ok := est.PeakEstimate(0)
+	if !ok {
+		t.Fatal("no peak inferred on an uncongested path")
+	}
+	if float64(peak) < 110 || float64(peak) > 130 {
+		t.Errorf("inferred peak = %v kbps, want ~120 (true demand)", float64(peak))
+	}
+	mat, err := est.Matrix(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mat.Aggregate(0)
+	if got.Flows != 10 {
+		t.Errorf("flows = %d, want 10", got.Flows)
+	}
+	if p := float64(got.DemandPerFlow()); p < 110 || p > 130 {
+		t.Errorf("matrix demand = %v kbps, want ~120", p)
+	}
+	if est.CongestedFraction(0) != 0 {
+		t.Errorf("congested fraction = %v, want 0", est.CongestedFraction(0))
+	}
+}
+
+// On a congested path the measured rate understates demand: no peak may
+// be inferred, and the fallback keeps the class default.
+func TestNoPeakInferenceWhenCongested(t *testing.T) {
+	topo := lineTopo(t, 1*unit.Mbps)
+	truth := mustTruth(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassBulk, Flows: 20, Fn: utility.Bulk()}, // 4 Mbps demand
+	})
+	sim, _ := sdnsim.New(topo, truth, sdnsim.Config{Seed: 3})
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(KeysFromMatrix(truth))
+	for i := 0; i < 5; i++ {
+		stats, err := sim.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := est.PeakEstimate(0); ok {
+		t.Error("peak inferred from congested-only observations")
+	}
+	if est.CongestedFraction(0) != 1 {
+		t.Errorf("congested fraction = %v, want 1", est.CongestedFraction(0))
+	}
+	mat, err := est.Matrix(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fallback: class default (200 kbps) — measured 50 kbps is below it.
+	if got := mat.Aggregate(0).DemandPerFlow(); got != 200*unit.Kbps {
+		t.Errorf("fallback demand = %v, want class default 200kbps", got)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	est := NewEstimator([]AggregateKey{{Src: 0, Dst: 1, Class: utility.ClassBulk}})
+	if err := est.Observe(nil); err == nil {
+		t.Error("nil stats accepted")
+	}
+	if err := est.Observe(&sdnsim.EpochStats{Duration: 0}); err == nil {
+		t.Error("zero-duration epoch accepted")
+	}
+	bad := &sdnsim.EpochStats{
+		Duration: time.Second,
+		Rules:    []sdnsim.RuleCounter{{Agg: 99, Flows: 1}},
+	}
+	if err := est.Observe(bad); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestMatrixRequiresObservations(t *testing.T) {
+	topo := lineTopo(t, 1*unit.Mbps)
+	est := NewEstimator([]AggregateKey{{Src: 0, Dst: 1, Class: utility.ClassBulk}})
+	if _, err := est.Matrix(topo); err == nil {
+		t.Error("matrix built with zero observations")
+	}
+}
+
+func TestEWMAConvergesUnderJitter(t *testing.T) {
+	topo := lineTopo(t, 100*unit.Mbps)
+	truth := mustTruth(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 2, Class: utility.ClassRealTime, Flows: 50, Fn: utility.RealTime()},
+	})
+	sim, _ := sdnsim.New(topo, truth, sdnsim.Config{Seed: 9, DemandJitter: 0.2})
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(KeysFromMatrix(truth))
+	for i := 0; i < 50; i++ {
+		stats, err := sim.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak, ok := est.PeakEstimate(0)
+	if !ok {
+		t.Fatal("no peak inferred")
+	}
+	// True peak 50 kbps, jitter +-20%: EWMA should land near 50.
+	if math.Abs(float64(peak)-50) > 10 {
+		t.Errorf("peak = %v, want ~50 kbps despite jitter", float64(peak))
+	}
+}
+
+// Full closed loop on a small instance: estimate the TM from counters,
+// optimize on the estimate, install, and verify the *true* utility
+// improves over shortest-path routing.
+func TestClosedLoopImprovesTrueUtility(t *testing.T) {
+	b := topology.NewBuilder("loop")
+	b.AddLink("A", "B", 2*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("A", "C", 100*unit.Mbps, 15*unit.Millisecond)
+	b.AddLink("C", "B", 100*unit.Mbps, 15*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := mustTruth(t, topo, []traffic.Aggregate{
+		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
+		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
+	})
+	sim, err := sdnsim.New(topo, truth, sdnsim.Config{Seed: 4, DemandJitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InstallShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(KeysFromMatrix(truth))
+	var before float64
+	for i := 0; i < 5; i++ {
+		stats, err := sim.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = stats.TrueUtility
+		if err := est.Observe(stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	estMat, err := est.Matrix(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flowmodel.New(topo, estMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Install(sol.Bundles); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TrueUtility <= before {
+		t.Errorf("closed loop did not improve: %v -> %v", before, stats.TrueUtility)
+	}
+}

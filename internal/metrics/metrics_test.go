@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("utility")
+	if s.Name() != "utility" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty series")
+	}
+	if _, ok := s.First(); ok {
+		t.Error("First on empty series")
+	}
+	s.Add(0, 0.5)
+	s.Add(time.Second, 0.7)
+	s.Add(2*time.Second, 0.9)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	first, _ := s.First()
+	last, _ := s.Last()
+	if first.V != 0.5 || last.V != 0.9 {
+		t.Errorf("first/last = %v/%v", first.V, last.V)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 0)
+	s.Add(10*time.Second, 10)
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{5 * time.Second, 5},
+		{10 * time.Second, 10},
+		{20 * time.Second, 10},
+		{2500 * time.Millisecond, 2.5},
+	}
+	for _, c := range cases {
+		got, ok := s.At(c.t)
+		if !ok || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v,%v want %v", c.t, got, ok, c.want)
+		}
+	}
+	empty := NewSeries("e")
+	if _, ok := empty.At(0); ok {
+		t.Error("At on empty series returned ok")
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 0)
+	s.Add(4*time.Second, 4)
+	rs := s.Resample(5)
+	if len(rs) != 5 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	for i, want := range []float64{0, 1, 2, 3, 4} {
+		if math.Abs(rs[i].V-want) > 1e-9 {
+			t.Errorf("rs[%d] = %v, want %v", i, rs[i].V, want)
+		}
+	}
+	if got := s.Resample(0); got != nil {
+		t.Error("Resample(0) != nil")
+	}
+	one := s.Resample(1)
+	if len(one) != 1 || one[0].V != 4 {
+		t.Errorf("Resample(1) = %v", one)
+	}
+}
+
+func TestSeriesSamplesCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	got := s.Samples()
+	got[0].V = 99
+	if v, _ := s.At(0); v != 1 {
+		t.Error("Samples leaked internal storage")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2})
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	vals := c.Values()
+	if !sort.Float64sAreSorted(vals) {
+		t.Error("Values not sorted")
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.P(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Q(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Q(1) = %v", got)
+	}
+	if got := c.Median(); got != 30 {
+		t.Errorf("median = %v", got)
+	}
+	if got := c.Quantile(0.25); got != 20 {
+		t.Errorf("Q(.25) = %v", got)
+	}
+	empty := NewCDF(nil)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	if got := empty.P(1); got != 0 {
+		t.Errorf("empty P = %v", got)
+	}
+}
+
+// Property: P is monotone and Quantile inverts P approximately.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1000))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		if c.P(math.Inf(-1)) != 0 || c.P(math.Inf(1)) != 1 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+			v := c.Quantile(q)
+			if v < prev {
+				return false // quantile must be monotone
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if got != 2 {
+		t.Errorf("unweighted = %v", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if got != 1.5 {
+		t.Errorf("weighted = %v", got)
+	}
+	if got := WeightedMean(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,130 @@
+package mpls
+
+import (
+	"fmt"
+	"sort"
+
+	"fubar/internal/unit"
+)
+
+// Resize changes an established LSP's reservation in place,
+// shared-explicit style: the tunnel's own reservation is discounted
+// while checking headroom, so growing within previously-owned capacity
+// never conflicts with itself. On failure the original reservation is
+// restored.
+func (db *LSPDB) Resize(id LSPID, bw unit.Bandwidth) error {
+	l, ok := db.lsps[id]
+	if !ok {
+		return fmt.Errorf("mpls: LSP %d not established", id)
+	}
+	if bw < 0 {
+		return fmt.Errorf("mpls: negative bandwidth %v", bw)
+	}
+	old := *l
+	db.withdraw(l)
+	resized := old
+	resized.Bandwidth = bw
+	if err := db.checkHeadroom(resized.Path, bw, resized.Setup); err != nil {
+		db.reinstate(&old)
+		return fmt.Errorf("mpls: resize %s to %v: %w", old.Name, bw, err)
+	}
+	db.reinstate(&resized)
+	db.log("resize", id, fmt.Sprintf("%s: %v -> %v", old.Name, old.Bandwidth, bw))
+	return nil
+}
+
+// AutoBandwidthConfig tunes automatic reservation adjustment.
+type AutoBandwidthConfig struct {
+	// Margin scales measured rates into reservations (headroom above
+	// the mean so sawtooths fit). Default 1.15.
+	Margin float64
+	// Threshold is the minimum relative reservation change that
+	// triggers a resize; smaller drifts are left alone (hysteresis).
+	// Default 0.1.
+	Threshold float64
+	// Floor is the minimum reservation, keeping idle tunnels signaled.
+	// Default 1 kbps.
+	Floor unit.Bandwidth
+}
+
+func (c AutoBandwidthConfig) withDefaults() AutoBandwidthConfig {
+	if c.Margin <= 0 {
+		c.Margin = 1.15
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.1
+	}
+	if c.Floor <= 0 {
+		c.Floor = 1
+	}
+	return c
+}
+
+// AutoBandwidthResult summarizes one adjustment pass.
+type AutoBandwidthResult struct {
+	Resized   int
+	Unchanged int
+	// Failed lists tunnels whose grow was blocked by missing headroom;
+	// their reservations are unchanged.
+	Failed []LSPID
+}
+
+// AutoBandwidth adjusts every listed tunnel's reservation to
+// margin x its measured rate, the way MPLS-TE auto-bandwidth tracks
+// tunnel counters. measured maps LSP IDs to mean measured rates (kbps);
+// unlisted tunnels are untouched. Shrinks apply before grows so freed
+// capacity is available to growing tunnels within the same pass.
+func (db *LSPDB) AutoBandwidth(measured map[LSPID]float64, cfg AutoBandwidthConfig) AutoBandwidthResult {
+	cfg = cfg.withDefaults()
+	var res AutoBandwidthResult
+	type change struct {
+		id     LSPID
+		target unit.Bandwidth
+	}
+	var shrinks, grows []change
+	for id, rate := range measured {
+		l, ok := db.lsps[id]
+		if !ok {
+			continue
+		}
+		target := unit.Bandwidth(rate * cfg.Margin)
+		if target < cfg.Floor {
+			target = cfg.Floor
+		}
+		cur := float64(l.Bandwidth)
+		if cur > 0 && absF(float64(target)-cur)/cur < cfg.Threshold {
+			res.Unchanged++
+			continue
+		}
+		if float64(target) < cur {
+			shrinks = append(shrinks, change{id, target})
+		} else {
+			grows = append(grows, change{id, target})
+		}
+	}
+	// Deterministic order within each phase.
+	sort.Slice(shrinks, func(i, j int) bool { return shrinks[i].id < shrinks[j].id })
+	sort.Slice(grows, func(i, j int) bool { return grows[i].id < grows[j].id })
+	for _, c := range shrinks {
+		if err := db.Resize(c.id, c.target); err != nil {
+			res.Failed = append(res.Failed, c.id) // cannot happen for shrinks
+		} else {
+			res.Resized++
+		}
+	}
+	for _, c := range grows {
+		if err := db.Resize(c.id, c.target); err != nil {
+			res.Failed = append(res.Failed, c.id)
+		} else {
+			res.Resized++
+		}
+	}
+	return res
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+package mpls
+
+import (
+	"testing"
+
+	"fubar/internal/unit"
+)
+
+func TestResizeGrowAndShrink(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	id, err := db.Admit(LSP{Name: "t", Ingress: a, Egress: d, Bandwidth: 400, Setup: 7, Hold: 7})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if err := db.Resize(id, 900); err != nil {
+		t.Fatalf("grow within capacity: %v", err)
+	}
+	l, _ := db.Get(id)
+	if l.Bandwidth != 900 {
+		t.Fatalf("bandwidth %v after grow, want 900", l.Bandwidth)
+	}
+	for _, e := range l.Path.Edges {
+		if got := db.Reserved(e, 7); got != 900 {
+			t.Fatalf("link %d reserves %v, want 900", e, got)
+		}
+	}
+	if err := db.Resize(id, 100); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	l, _ = db.Get(id)
+	if l.Bandwidth != 100 {
+		t.Fatalf("bandwidth %v after shrink, want 100", l.Bandwidth)
+	}
+}
+
+func TestResizeBlockedRollsBack(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	// Two tunnels share the short path: 400 + 500.
+	id1, err := db.Admit(LSP{Name: "t1", Ingress: a, Egress: d, Bandwidth: 400, Setup: 7, Hold: 7,
+		Path: findPath(t, topo, "a", "b", "d")})
+	if err != nil {
+		t.Fatalf("Admit t1: %v", err)
+	}
+	if _, err := db.Admit(LSP{Name: "t2", Ingress: a, Egress: d, Bandwidth: 500, Setup: 7, Hold: 7,
+		Path: findPath(t, topo, "a", "b", "d")}); err != nil {
+		t.Fatalf("Admit t2: %v", err)
+	}
+	// Growing t1 to 600 needs 1100 total: blocked.
+	if err := db.Resize(id1, 600); err == nil {
+		t.Fatal("over-capacity grow succeeded")
+	}
+	l, ok := db.Get(id1)
+	if !ok || l.Bandwidth != 400 {
+		t.Fatalf("rollback failed: %+v ok=%v", l, ok)
+	}
+	for _, e := range l.Path.Edges {
+		if got := db.Reserved(e, 7); got != 900 {
+			t.Fatalf("link %d reserves %v after failed grow, want 900", e, got)
+		}
+	}
+}
+
+func TestResizeSelfOverlapIsSharedExplicit(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	id, err := db.Admit(LSP{Name: "t", Ingress: a, Egress: d, Bandwidth: 800, Setup: 7, Hold: 7})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// Growing 800 -> 1000 needs only the delta thanks to the SE
+	// discount: 800 + 200 <= 1000 capacity.
+	if err := db.Resize(id, 1000); err != nil {
+		t.Fatalf("SE grow failed: %v", err)
+	}
+}
+
+func TestAutoBandwidth(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	short := findPath(t, topo, "a", "b", "d")
+	long := findPath(t, topo, "a", "c", "d")
+	id1, err := db.Admit(LSP{Name: "t1", Ingress: a, Egress: d, Bandwidth: 500, Setup: 7, Hold: 7, Path: short})
+	if err != nil {
+		t.Fatalf("Admit t1: %v", err)
+	}
+	id2, err := db.Admit(LSP{Name: "t2", Ingress: a, Egress: d, Bandwidth: 500, Setup: 7, Hold: 7, Path: long})
+	if err != nil {
+		t.Fatalf("Admit t2: %v", err)
+	}
+	res := db.AutoBandwidth(map[LSPID]float64{
+		id1: 200, // shrink: 200*1.15 = 230
+		id2: 510, // within 10% hysteresis of 500? 510*1.15=586.5 -> 17% change: grow
+	}, AutoBandwidthConfig{})
+	if res.Resized != 2 || len(res.Failed) != 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	l1, _ := db.Get(id1)
+	l2, _ := db.Get(id2)
+	if got := float64(l1.Bandwidth); got < 229.99 || got > 230.01 {
+		t.Fatalf("t1 reserved %v, want ~230", l1.Bandwidth)
+	}
+	if got := float64(l2.Bandwidth); got < 586.49 || got > 586.51 {
+		t.Fatalf("t2 reserved %v, want ~586.5", l2.Bandwidth)
+	}
+
+	// Hysteresis: a drift under 10% leaves the reservation alone.
+	res = db.AutoBandwidth(map[LSPID]float64{id1: 205}, AutoBandwidthConfig{})
+	if res.Resized != 0 || res.Unchanged != 1 {
+		t.Fatalf("hysteresis failed: %+v", res)
+	}
+
+	// Floor applies to idle tunnels.
+	res = db.AutoBandwidth(map[LSPID]float64{id1: 0}, AutoBandwidthConfig{Floor: 5})
+	if res.Resized != 1 {
+		t.Fatalf("floor resize missing: %+v", res)
+	}
+	l1, _ = db.Get(id1)
+	if l1.Bandwidth != 5 {
+		t.Fatalf("t1 reserved %v, want floor 5", l1.Bandwidth)
+	}
+
+	// Unknown IDs are ignored.
+	res = db.AutoBandwidth(map[LSPID]float64{999: 100}, AutoBandwidthConfig{})
+	if res.Resized != 0 || res.Unchanged != 0 || len(res.Failed) != 0 {
+		t.Fatalf("unknown id not ignored: %+v", res)
+	}
+}
+
+func TestAutoBandwidthShrinksFundGrows(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	short := findPath(t, topo, "a", "b", "d")
+	id1, err := db.Admit(LSP{Name: "big", Ingress: a, Egress: d, Bandwidth: 700, Setup: 7, Hold: 7, Path: short})
+	if err != nil {
+		t.Fatalf("Admit big: %v", err)
+	}
+	id2, err := db.Admit(LSP{Name: "small", Ingress: a, Egress: d, Bandwidth: 200, Setup: 7, Hold: 7, Path: short})
+	if err != nil {
+		t.Fatalf("Admit small: %v", err)
+	}
+	// big drops to 115, small wants 805: only feasible if the shrink
+	// applies first (115 + 805 = 920 <= 1000).
+	res := db.AutoBandwidth(map[LSPID]float64{id1: 100, id2: 700}, AutoBandwidthConfig{})
+	if res.Resized != 2 || len(res.Failed) != 0 {
+		t.Fatalf("shrink-before-grow failed: %+v", res)
+	}
+	l2, _ := db.Get(id2)
+	if got := float64(l2.Bandwidth); got < 804.99 || got > 805.01 {
+		t.Fatalf("small reserved %v, want ~805", l2.Bandwidth)
+	}
+}
+
+func TestResizeUnknownAndNegative(t *testing.T) {
+	topo := diamond(t)
+	db := mustDB(t, topo)
+	if err := db.Resize(42, 100); err == nil {
+		t.Fatal("resize of unknown LSP succeeded")
+	}
+	a, d := node(t, topo, "a"), node(t, topo, "d")
+	id, err := db.Admit(LSP{Name: "t", Ingress: a, Egress: d, Bandwidth: 100, Setup: 7, Hold: 7})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if err := db.Resize(id, -5); err == nil {
+		t.Fatal("negative resize succeeded")
+	}
+	if l, _ := db.Get(id); l.Bandwidth != 100 {
+		t.Fatalf("reservation damaged: %v", l.Bandwidth)
+	}
+	_ = unit.Kbps // keep the import meaningful if constants change
+}

@@ -1,0 +1,173 @@
+package mpls
+
+import (
+	"fmt"
+	"sort"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// SyncStats reports what one solution sync did to the LSP database.
+type SyncStats struct {
+	Admitted  int
+	Rerouted  int
+	Released  int
+	Unchanged int
+	// Failed lists tunnels that could not be signaled (insufficient
+	// headroom even after reroutes); their traffic falls back to IGP
+	// routing in a real network.
+	Failed []string
+}
+
+// SyncSolution reconciles the database with a FUBAR allocation: one
+// tunnel per bundle, reserved at the traffic model's predicted rate.
+// Existing FUBAR-owned tunnels move make-before-break when only their
+// path changed, are re-signaled when their reservation changed, and are
+// torn down when their bundle disappeared. Non-FUBAR tunnels (names not
+// owned by prefix) are untouched.
+//
+// rates must be index-aligned with bundles (flowmodel.Result.BundleRate
+// of the allocation's evaluation). prefix namespaces the tunnels this
+// sync owns, e.g. "fubar".
+func SyncSolution(db *LSPDB, mat *traffic.Matrix, bundles []flowmodel.Bundle, rates []float64, prefix string, setup, hold Priority) (*SyncStats, error) {
+	if db == nil || mat == nil {
+		return nil, fmt.Errorf("mpls: nil database or matrix")
+	}
+	if len(rates) != len(bundles) {
+		return nil, fmt.Errorf("mpls: %d rates for %d bundles", len(rates), len(bundles))
+	}
+	if prefix == "" {
+		prefix = "fubar"
+	}
+
+	// Desired tunnel set: skip self-pair bundles (no backbone path).
+	type want struct {
+		lsp LSP
+	}
+	desired := make(map[string]want)
+	perAgg := make(map[traffic.AggregateID]int)
+	for i, b := range bundles {
+		if len(b.Edges) == 0 || b.Flows <= 0 {
+			continue
+		}
+		idx := perAgg[b.Agg]
+		perAgg[b.Agg]++
+		agg := mat.Aggregate(b.Agg)
+		name := fmt.Sprintf("%s/agg%d/%d", prefix, b.Agg, idx)
+		desired[name] = want{lsp: LSP{
+			Name:      name,
+			Ingress:   agg.Src,
+			Egress:    agg.Dst,
+			Bandwidth: unit.Bandwidth(rates[i]),
+			Setup:     setup,
+			Hold:      hold,
+			Path:      pathOf(b),
+		}}
+	}
+
+	// Existing FUBAR-owned tunnels by name.
+	existing := make(map[string]LSP)
+	for _, l := range db.LSPs() {
+		if hasPrefix(l.Name, prefix+"/") {
+			existing[l.Name] = l
+		}
+	}
+
+	stats := &SyncStats{}
+	// Tear down stale tunnels first to free reservations.
+	for name, l := range existing {
+		if _, keep := desired[name]; !keep {
+			if err := db.Release(l.ID); err != nil {
+				return stats, err
+			}
+			delete(existing, name)
+			stats.Released++
+		}
+	}
+	// Reconcile the rest, largest reservations first for better packing.
+	names := make([]string, 0, len(desired))
+	for name := range desired {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := desired[names[i]].lsp.Bandwidth, desired[names[j]].lsp.Bandwidth
+		if bi != bj {
+			return bi > bj
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		w := desired[name].lsp
+		old, exists := existing[name]
+		switch {
+		case exists && old.Bandwidth == w.Bandwidth && old.Path.Equal(w.Path):
+			stats.Unchanged++
+		case exists && old.Bandwidth == w.Bandwidth:
+			// Same reservation, new route: make-before-break.
+			if err := db.Reroute(old.ID, w.Path); err != nil {
+				stats.Failed = append(stats.Failed, name)
+			} else {
+				stats.Rerouted++
+			}
+		default:
+			if exists {
+				if err := db.Release(old.ID); err != nil {
+					return stats, err
+				}
+				stats.Released++
+			}
+			if _, err := db.Admit(w); err != nil {
+				stats.Failed = append(stats.Failed, name)
+			} else {
+				stats.Admitted++
+			}
+		}
+	}
+
+	// Mid-reconciliation, not-yet-released reservations can block
+	// admissions that are feasible in the final state; a real head-end
+	// retries after signaling settles. One retry pass per settled state
+	// converges because the desired set is feasible under the model's
+	// capacity accounting.
+	for pass := 0; pass < 3 && len(stats.Failed) > 0; pass++ {
+		var still []string
+		retried := false
+		for _, name := range stats.Failed {
+			// A failed make-before-break leaves the old tunnel up under
+			// the same name; tear it down before re-signaling the new one.
+			for _, l := range db.LSPs() {
+				if l.Name == name {
+					if err := db.Release(l.ID); err != nil {
+						return stats, err
+					}
+					stats.Released++
+					break
+				}
+			}
+			if _, err := db.Admit(desired[name].lsp); err != nil {
+				still = append(still, name)
+			} else {
+				stats.Admitted++
+				retried = true
+			}
+		}
+		stats.Failed = still
+		if !retried {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// pathOf rebuilds a graph path from a bundle's edge list.
+func pathOf(b flowmodel.Bundle) graph.Path {
+	return graph.Path{Edges: b.Edges}
+}
+
+// hasPrefix avoids importing strings for one call.
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

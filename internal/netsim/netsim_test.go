@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+func lineTopo(t *testing.T, cap unit.Bandwidth) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("line")
+	b.AddLink("A", "B", cap, 10*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestQueueDelayShape(t *testing.T) {
+	cfg := Config{}
+	cap := 1000 * unit.Kbps
+	// Monotone in rho.
+	prev := -1.0
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		q := QueueDelay(cap, rho, cfg)
+		if q <= prev {
+			t.Errorf("queue delay not increasing at rho=%v: %v <= %v", rho, q, prev)
+		}
+		prev = q
+	}
+	// Zero load and zero capacity yield zero.
+	if QueueDelay(cap, 0, cfg) != 0 {
+		t.Error("rho=0 should queue nothing")
+	}
+	if QueueDelay(0, 0.5, cfg) != 0 {
+		t.Error("capacity=0 should queue nothing")
+	}
+	// Saturated utilization capped by the buffer bound.
+	q1 := QueueDelay(cap, 1.5, cfg)
+	q2 := QueueDelay(cap, 0.9999, cfg)
+	if q1 != q2 {
+		t.Errorf("above-cap utilizations should clamp: %v vs %v", q1, q2)
+	}
+	// M/M/1 spot value: rho=0.5 -> 1 packet of 12000 bits at 1 Mbps =
+	// 12 ms.
+	if got := QueueDelay(cap, 0.5, cfg); math.Abs(got-12) > 1e-9 {
+		t.Errorf("QueueDelay(1Mbps, 0.5) = %v ms, want 12", got)
+	}
+}
+
+func TestEvaluateLowVsHighLoad(t *testing.T) {
+	topo := lineTopo(t, 1000*unit.Kbps)
+	mkModel := func(flows int) (*flowmodel.Model, []flowmodel.Bundle) {
+		mat, err := traffic.NewMatrix(topo, []traffic.Aggregate{
+			{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: flows, Fn: utility.Bulk()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := flowmodel.New(topo, mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := graph.ShortestPath(topo.Graph(), 0, 1, graph.Constraints{})
+		return m, []flowmodel.Bundle{flowmodel.NewBundle(topo, 0, flows, p)}
+	}
+
+	mLow, bLow := mkModel(1) // 200 kbps on 1 Mbps: rho 0.2
+	low, err := Evaluate(topo, mLow, bLow, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHigh, bHigh := mkModel(20) // 4 Mbps demand: saturated
+	high, err := Evaluate(topo, mHigh, bHigh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanQueueMs <= low.MeanQueueMs {
+		t.Errorf("saturated link queues (%v ms) <= light link (%v ms)", high.MeanQueueMs, low.MeanQueueMs)
+	}
+	if high.SaturatedLinks == 0 {
+		t.Error("saturated link not counted")
+	}
+	if low.SaturatedLinks != 0 {
+		t.Error("light link counted as saturated")
+	}
+	// Per-flow delays include propagation (10ms) plus queueing.
+	if len(low.FlowDelayMs) != 1 || low.FlowDelayMs[0] < 10 {
+		t.Errorf("flow delay %v, want >= propagation 10ms", low.FlowDelayMs)
+	}
+	if len(high.FlowDelayMs) != 20 {
+		t.Errorf("flow delay samples = %d, want 20", len(high.FlowDelayMs))
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, nil, nil, Config{}); err == nil {
+		t.Error("nil args accepted")
+	}
+}
+
+// The headline §3 claim: after FUBAR optimizes a congested network, mean
+// queueing delay drops substantially relative to shortest-path routing.
+func TestFubarReducesQueues(t *testing.T) {
+	topo, err := topology.Ring(10, 6, 2000*unit.Kbps, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(33)
+	cfg.RealTimeFlows = [2]int{2, 10}
+	cfg.BulkFlows = [2]int{1, 5}
+	cfg.LargeFlows = [2]int{1, 2}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest-path allocation.
+	var spBundles []flowmodel.Bundle
+	for _, a := range mat.Aggregates() {
+		if a.IsSelfPair() {
+			spBundles = append(spBundles, flowmodel.Bundle{Agg: a.ID, Flows: a.Flows})
+			continue
+		}
+		p, _ := graph.ShortestPath(topo.Graph(), a.Src, a.Dst, graph.Constraints{})
+		spBundles = append(spBundles, flowmodel.NewBundle(topo, a.ID, a.Flows, p))
+	}
+	sol, err := core.Run(model, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, before, after, err := Compare(topo, model, spBundles, sol.Bundles, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Errorf("queueing did not improve: before %v ms, after %v ms (ratio %v)",
+			before.MeanQueueMs, after.MeanQueueMs, ratio)
+	}
+	// Note: the saturated-link *count* may legitimately rise — the paper
+	// itself observes the algorithm "spreads out traffic, lightly
+	// congesting more and more links" when capacity is short. What must
+	// improve is the load-weighted queueing, asserted above.
+}
+
+func TestCompareDegenerate(t *testing.T) {
+	topo := lineTopo(t, 1000*unit.Kbps)
+	mat, err := traffic.NewMatrix(topo, []traffic.Aggregate{
+		{Src: 0, Dst: 0, Class: utility.ClassBulk, Flows: 1, Fn: utility.Bulk()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := flowmodel.New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := []flowmodel.Bundle{{Agg: 0, Flows: 1}}
+	ratio, _, _, err := Compare(topo, m, empty, empty, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 1 {
+		t.Errorf("no-load comparison ratio = %v, want 1", ratio)
+	}
+}

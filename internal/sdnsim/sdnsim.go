@@ -1,0 +1,230 @@
+// Package sdnsim simulates the SDN measurement substrate FUBAR assumes
+// (§2.1 of the paper): switches carrying per-aggregate flow rules with
+// weighted path splits, byte counters accumulated over measurement epochs,
+// and a ground-truth demand process the controller cannot see directly.
+//
+// The simulator stands in for an OpenFlow deployment: per epoch it jitters
+// each aggregate's true per-flow demand, computes the rates the installed
+// routing actually yields (with the same TCP-like water-filling used
+// throughout the reproduction) and exposes switch-style counters. The
+// controller side — turning counters back into a traffic matrix — lives in
+// internal/measure.
+package sdnsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// RuleCounter is one flow rule's per-epoch accounting, as a switch would
+// export it.
+type RuleCounter struct {
+	// Agg identifies the aggregate the rule belongs to.
+	Agg traffic.AggregateID
+	// Flows is the number of flows matched to this rule (approximate
+	// flow counting is cheap for an SDN controller).
+	Flows int
+	// Edges is the installed path.
+	Edges []graph.EdgeID
+	// Bytes carried during the epoch.
+	Bytes float64
+	// Congested reports whether any link on the rule's path ran at
+	// capacity during the epoch (switch utilization counters).
+	Congested bool
+}
+
+// EpochStats is everything the measurement plane exports for one epoch.
+type EpochStats struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int
+	// Duration is the epoch length.
+	Duration time.Duration
+	// Rules holds one counter per installed rule.
+	Rules []RuleCounter
+	// LinkBytes is per directed link byte counts.
+	LinkBytes []float64
+	// LinkCongested marks links that ran at capacity.
+	LinkCongested []bool
+	// TrueUtility is the ground-truth network utility achieved this epoch
+	// (not visible to a real controller; exported for evaluation).
+	TrueUtility float64
+}
+
+// Config tunes the simulator.
+type Config struct {
+	// Seed drives demand jitter.
+	Seed int64
+	// Epoch is the measurement interval (default 10s).
+	Epoch time.Duration
+	// DemandJitter is the relative per-epoch demand variation: each
+	// epoch an aggregate's true demand is scaled by a factor drawn
+	// uniformly from [1-j, 1+j]. Default 0.1.
+	DemandJitter float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 10 * time.Second
+	}
+	if c.DemandJitter < 0 {
+		c.DemandJitter = 0
+	} else if c.DemandJitter == 0 {
+		c.DemandJitter = 0.1
+	}
+	return c
+}
+
+// Sim is the simulated network. Not safe for concurrent use.
+type Sim struct {
+	topo      *topology.Topology
+	truth     *traffic.Matrix
+	cfg       Config
+	rng       *rand.Rand
+	installed []flowmodel.Bundle
+	epoch     int
+}
+
+// New builds a simulator over a ground-truth matrix. The initial routing
+// is empty: call Install before RunEpoch.
+func New(topo *topology.Topology, truth *traffic.Matrix, cfg Config) (*Sim, error) {
+	if topo == nil || truth == nil {
+		return nil, fmt.Errorf("sdnsim: nil topology or matrix")
+	}
+	if truth.Topology() != topo {
+		return nil, fmt.Errorf("sdnsim: matrix bound to a different topology")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.DemandJitter >= 1 {
+		return nil, fmt.Errorf("sdnsim: DemandJitter %v must be < 1", cfg.DemandJitter)
+	}
+	return &Sim{
+		topo:  topo,
+		truth: truth,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Topology returns the simulated topology.
+func (s *Sim) Topology() *topology.Topology { return s.topo }
+
+// Truth returns the hidden ground-truth matrix (evaluation only).
+func (s *Sim) Truth() *traffic.Matrix { return s.truth }
+
+// Install replaces the routing with the given bundles (the controller's
+// path assignment). Bundles must cover every aggregate's flows exactly.
+func (s *Sim) Install(bundles []flowmodel.Bundle) error {
+	counts := make([]int, s.truth.NumAggregates())
+	for _, b := range bundles {
+		if int(b.Agg) < 0 || int(b.Agg) >= len(counts) {
+			return fmt.Errorf("sdnsim: bundle references unknown aggregate %d", b.Agg)
+		}
+		if b.Flows < 0 {
+			return fmt.Errorf("sdnsim: negative flow count on aggregate %d", b.Agg)
+		}
+		counts[b.Agg] += b.Flows
+	}
+	for i, c := range counts {
+		want := s.truth.Aggregate(traffic.AggregateID(i)).Flows
+		if c != want {
+			return fmt.Errorf("sdnsim: aggregate %d covers %d flows, want %d", i, c, want)
+		}
+	}
+	s.installed = make([]flowmodel.Bundle, len(bundles))
+	copy(s.installed, bundles)
+	return nil
+}
+
+// InstallShortestPaths installs the default lowest-delay routing, the
+// state of the network before FUBAR runs.
+func (s *Sim) InstallShortestPaths() error {
+	var bundles []flowmodel.Bundle
+	for _, a := range s.truth.Aggregates() {
+		if a.IsSelfPair() {
+			bundles = append(bundles, flowmodel.Bundle{Agg: a.ID, Flows: a.Flows})
+			continue
+		}
+		p, ok := graph.ShortestPath(s.topo.Graph(), a.Src, a.Dst, graph.Constraints{})
+		if !ok {
+			return fmt.Errorf("sdnsim: no path for aggregate %d", a.ID)
+		}
+		bundles = append(bundles, flowmodel.NewBundle(s.topo, a.ID, a.Flows, p))
+	}
+	return s.Install(bundles)
+}
+
+// RunEpoch advances the simulation one measurement epoch and returns the
+// counters a controller would read.
+func (s *Sim) RunEpoch() (*EpochStats, error) {
+	if s.installed == nil {
+		return nil, fmt.Errorf("sdnsim: no routing installed")
+	}
+	// Jitter the true demands for this epoch.
+	jittered, err := s.jitteredMatrix()
+	if err != nil {
+		return nil, err
+	}
+	model, err := flowmodel.New(s.topo, jittered)
+	if err != nil {
+		return nil, err
+	}
+	res := model.Evaluate(s.installed)
+
+	secs := s.cfg.Epoch.Seconds()
+	stats := &EpochStats{
+		Epoch:         s.epoch,
+		Duration:      s.cfg.Epoch,
+		Rules:         make([]RuleCounter, len(s.installed)),
+		LinkBytes:     make([]float64, s.topo.NumLinks()),
+		LinkCongested: append([]bool(nil), res.IsCongested...),
+		TrueUtility:   res.NetworkUtility,
+	}
+	for i, b := range s.installed {
+		congested := false
+		for _, e := range b.Edges {
+			if res.IsCongested[e] {
+				congested = true
+				break
+			}
+		}
+		// Rates are kbps; bytes = kbps * 1000/8 * seconds.
+		bytes := res.BundleRate[i] * 125 * secs
+		stats.Rules[i] = RuleCounter{
+			Agg:       b.Agg,
+			Flows:     b.Flows,
+			Edges:     b.Edges,
+			Bytes:     bytes,
+			Congested: congested,
+		}
+		for _, e := range b.Edges {
+			stats.LinkBytes[e] += bytes
+		}
+	}
+	s.epoch++
+	return stats, nil
+}
+
+// jitteredMatrix rescales each aggregate's demand by this epoch's draw.
+func (s *Sim) jitteredMatrix() (*traffic.Matrix, error) {
+	aggs := s.truth.Aggregates()
+	for i := range aggs {
+		j := 1 + s.cfg.DemandJitter*(2*s.rng.Float64()-1)
+		peak := unit.Bandwidth(float64(aggs[i].Fn.PeakBandwidth()) * j)
+		if peak <= 0 {
+			continue
+		}
+		fn, err := aggs[i].Fn.WithPeakBandwidth(peak)
+		if err != nil {
+			return nil, err
+		}
+		aggs[i].Fn = fn
+	}
+	return traffic.NewMatrix(s.topo, aggs)
+}

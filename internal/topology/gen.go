@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fubar/internal/unit"
+)
+
+// Ring generates an n-node bidirectional ring with `chords` random extra
+// links, each link carrying the given capacity. Ring link delays are 5 ms;
+// chord delays are drawn uniformly from [5, 40) ms. Deterministic for a
+// given seed.
+func Ring(n, chords int, capacity unit.Bandwidth, seed int64) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >=3 nodes, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("ring%d+%d", n, chords))
+	name := func(i int) string { return fmt.Sprintf("n%02d", i) }
+	for i := 0; i < n; i++ {
+		b.AddNode(name(i))
+	}
+	for i := 0; i < n; i++ {
+		b.AddLink(name(i), name((i+1)%n), capacity, 5*unit.Millisecond)
+	}
+	have := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		have[chordKey(i, (i+1)%n)] = true
+	}
+	added := 0
+	for attempts := 0; added < chords && attempts < chords*50; attempts++ {
+		a, c := rng.Intn(n), rng.Intn(n)
+		if a == c || have[chordKey(a, c)] {
+			continue
+		}
+		have[chordKey(a, c)] = true
+		b.AddLink(name(a), name(c), capacity, unit.Delay(5+rng.Float64()*35))
+		added++
+	}
+	return b.Build()
+}
+
+func chordKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Grid generates a w x h bidirectional grid (Manhattan mesh), a standard
+// stress topology with abundant equal-delay path diversity. All links have
+// 5 ms delay and the given capacity.
+func Grid(w, h int, capacity unit.Bandwidth) (*Topology, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("topology: grid needs w,h >= 2, got %dx%d", w, h)
+	}
+	b := NewBuilder(fmt.Sprintf("grid%dx%d", w, h))
+	name := func(x, y int) string { return fmt.Sprintf("g%02d_%02d", x, y) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddNode(name(x, y))
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddLink(name(x, y), name(x+1, y), capacity, 5*unit.Millisecond)
+			}
+			if y+1 < h {
+				b.AddLink(name(x, y), name(x, y+1), capacity, 5*unit.Millisecond)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Waxman generates a geographic random topology on the unit square with
+// the Waxman edge probability alpha*exp(-d/(beta*L)). A spanning chain is
+// added first so the result is always connected. Delays are proportional
+// to Euclidean distance, scaled so the square's diagonal is maxDelay.
+func Waxman(n int, alpha, beta float64, capacity unit.Bandwidth, maxDelay unit.Delay, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: waxman needs >=2 nodes, got %d", n)
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: waxman parameters must be in (0,1], got alpha=%v beta=%v", alpha, beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	diag := math.Sqrt2
+	delayOf := func(i, j int) unit.Delay {
+		d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+		ms := float64(maxDelay) * d / diag
+		if ms < 0.1 {
+			ms = 0.1
+		}
+		return unit.Delay(ms)
+	}
+	b := NewBuilder(fmt.Sprintf("waxman%d", n))
+	name := func(i int) string { return fmt.Sprintf("w%02d", i) }
+	for i := 0; i < n; i++ {
+		b.AddNode(name(i))
+	}
+	have := map[[2]int]bool{}
+	// Spanning chain for connectivity.
+	for i := 0; i+1 < n; i++ {
+		b.AddLink(name(i), name(i+1), capacity, delayOf(i, i+1))
+		have[chordKey(i, i+1)] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if have[chordKey(i, j)] {
+				continue
+			}
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+			p := alpha * math.Exp(-d/(beta*diag))
+			if rng.Float64() < p {
+				have[chordKey(i, j)] = true
+				b.AddLink(name(i), name(j), capacity, delayOf(i, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Dumbbell generates the classic two-cluster topology joined by one
+// bottleneck link: each side has `leaf` leaves attached to its hub. Useful
+// for unit tests with a single known congestion point.
+func Dumbbell(leaf int, capacity, bottleneck unit.Bandwidth) (*Topology, error) {
+	if leaf < 1 {
+		return nil, fmt.Errorf("topology: dumbbell needs >=1 leaf per side, got %d", leaf)
+	}
+	b := NewBuilder(fmt.Sprintf("dumbbell%d", leaf))
+	b.AddLink("hubL", "hubR", bottleneck, 10*unit.Millisecond)
+	for i := 0; i < leaf; i++ {
+		b.AddLink(fmt.Sprintf("L%02d", i), "hubL", capacity, 2*unit.Millisecond)
+		b.AddLink(fmt.Sprintf("R%02d", i), "hubR", capacity, 2*unit.Millisecond)
+	}
+	return b.Build()
+}

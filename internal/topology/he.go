@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"math"
+
+	"fubar/internal/unit"
+)
+
+// city is a POP location used to derive propagation delays.
+type city struct {
+	name     string
+	lat, lon float64
+}
+
+// The 31 POP cities of the Hurricane Electric substitute topology. The
+// paper evaluates on HE's 2014 core (31 POPs, 56 inter-POP links) read
+// from he.net; that snapshot is not retrievable offline, so this
+// reconstruction uses HE's well-known 2014 POP cities — North America
+// plus Europe; HE's Asian expansion came later — and a plausible core
+// mesh with the same node and link counts. Delays come from great-circle
+// distance at 2/3 c with a 1.3x fiber-routing slack factor.
+var heCities = []city{
+	// North America (20).
+	{"Seattle", 47.61, -122.33},
+	{"Portland", 45.52, -122.68},
+	{"Fremont", 37.55, -121.99},
+	{"SanJose", 37.34, -121.89},
+	{"LosAngeles", 34.05, -118.24},
+	{"SanDiego", 32.72, -117.16},
+	{"Phoenix", 33.45, -112.07},
+	{"LasVegas", 36.17, -115.14},
+	{"SaltLakeCity", 40.76, -111.89},
+	{"Denver", 39.74, -104.99},
+	{"Dallas", 32.78, -96.80},
+	{"Houston", 29.76, -95.37},
+	{"KansasCity", 39.10, -94.58},
+	{"Minneapolis", 44.98, -93.27},
+	{"Chicago", 41.88, -87.63},
+	{"Toronto", 43.65, -79.38},
+	{"NewYork", 40.71, -74.01},
+	{"Ashburn", 39.04, -77.49},
+	{"Atlanta", 33.75, -84.39},
+	{"Miami", 25.76, -80.19},
+	// Europe (11).
+	{"London", 51.51, -0.13},
+	{"Amsterdam", 52.37, 4.90},
+	{"Paris", 48.86, 2.35},
+	{"Frankfurt", 50.11, 8.68},
+	{"Zurich", 47.37, 8.54},
+	{"Milan", 45.46, 9.19},
+	{"Prague", 50.08, 14.44},
+	{"Vienna", 48.21, 16.37},
+	{"Warsaw", 52.23, 21.01},
+	{"Stockholm", 59.33, 18.07},
+	{"Berlin", 52.52, 13.40},
+}
+
+// The 56 bidirectional inter-POP links of the substitute core.
+var heLinks = [][2]string{
+	// North American core (34).
+	{"Seattle", "Portland"},
+	{"Portland", "Fremont"},
+	{"Fremont", "SanJose"},
+	{"SanJose", "LosAngeles"},
+	{"LosAngeles", "SanDiego"},
+	{"SanDiego", "Phoenix"},
+	{"LosAngeles", "Phoenix"},
+	{"Phoenix", "Dallas"},
+	{"Dallas", "Houston"},
+	{"Houston", "Atlanta"},
+	{"Atlanta", "Miami"},
+	{"Atlanta", "Ashburn"},
+	{"Ashburn", "NewYork"},
+	{"NewYork", "Toronto"},
+	{"Toronto", "Chicago"},
+	{"Chicago", "Minneapolis"},
+	{"Minneapolis", "Seattle"},
+	{"Chicago", "KansasCity"},
+	{"KansasCity", "Denver"},
+	{"Denver", "SaltLakeCity"},
+	{"SaltLakeCity", "Fremont"},
+	{"SaltLakeCity", "Seattle"},
+	{"Denver", "Dallas"},
+	{"Dallas", "KansasCity"},
+	{"Chicago", "NewYork"},
+	{"Chicago", "Ashburn"},
+	{"LosAngeles", "LasVegas"},
+	{"LasVegas", "SaltLakeCity"},
+	{"Seattle", "Fremont"},
+	{"LosAngeles", "Dallas"},
+	{"Ashburn", "Miami"},
+	{"Chicago", "Dallas"},
+	{"Fremont", "LasVegas"},
+	{"Minneapolis", "KansasCity"},
+	// Transatlantic (4).
+	{"NewYork", "London"},
+	{"NewYork", "Amsterdam"},
+	{"Ashburn", "London"},
+	{"Ashburn", "Frankfurt"},
+	// European core (18).
+	{"London", "Amsterdam"},
+	{"London", "Paris"},
+	{"Paris", "Zurich"},
+	{"Zurich", "Milan"},
+	{"Milan", "Vienna"},
+	{"Zurich", "Frankfurt"},
+	{"Frankfurt", "Amsterdam"},
+	{"Frankfurt", "Prague"},
+	{"Prague", "Vienna"},
+	{"Vienna", "Warsaw"},
+	{"Warsaw", "Stockholm"},
+	{"Stockholm", "Amsterdam"},
+	{"Berlin", "Frankfurt"},
+	{"Berlin", "Warsaw"},
+	{"Berlin", "Prague"},
+	{"Paris", "Frankfurt"},
+	{"London", "Frankfurt"},
+	{"Paris", "Milan"},
+}
+
+// HurricaneElectric builds the 31-POP / 56-link substitute for Hurricane
+// Electric's 2014 core topology with the given uniform link capacity.
+// The paper's provisioned case uses 100 Mbps, underprovisioned 75 Mbps.
+func HurricaneElectric(capacity unit.Bandwidth) (*Topology, error) {
+	b := NewBuilder("he31")
+	pos := make(map[string]city, len(heCities))
+	for _, c := range heCities {
+		pos[c.name] = c
+		b.AddNode(c.name)
+	}
+	for _, l := range heLinks {
+		a, c := pos[l[0]], pos[l[1]]
+		b.AddLink(l[0], l[1], capacity, GeoDelay(a.lat, a.lon, c.lat, c.lon))
+	}
+	return b.Build()
+}
+
+// GeoDelay estimates one-way fiber propagation delay between two
+// coordinates: great-circle distance, 1.3x routing slack, light at 2/3 c
+// (200 km/ms yields 1 ms per 200 km).
+func GeoDelay(lat1, lon1, lat2, lon2 float64) unit.Delay {
+	const earthRadiusKm = 6371.0
+	const fiberSlack = 1.3
+	const kmPerMs = 200.0
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	distKm := 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+	ms := distKm * fiberSlack / kmPerMs
+	if ms < 0.1 {
+		ms = 0.1 // floor: metro links still traverse equipment
+	}
+	return unit.Delay(ms)
+}

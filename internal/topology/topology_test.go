@@ -1,0 +1,404 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fubar/internal/graph"
+	"fubar/internal/unit"
+)
+
+func triangle(t *testing.T) *Topology {
+	t.Helper()
+	b := NewBuilder("tri")
+	b.AddLink("A", "B", 100*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("B", "C", 100*unit.Mbps, 10*unit.Millisecond)
+	b.AddLink("A", "C", 50*unit.Mbps, 30*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func TestBuilderBasics(t *testing.T) {
+	topo := triangle(t)
+	if topo.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", topo.NumNodes())
+	}
+	if topo.NumLinks() != 6 {
+		t.Errorf("NumLinks = %d, want 6 directed", topo.NumLinks())
+	}
+	if topo.NumBidirectionalLinks() != 3 {
+		t.Errorf("NumBidirectionalLinks = %d, want 3", topo.NumBidirectionalLinks())
+	}
+	if _, ok := topo.NodeByName("B"); !ok {
+		t.Error("NodeByName(B) not found")
+	}
+	if _, ok := topo.NodeByName("Z"); ok {
+		t.Error("NodeByName(Z) found phantom node")
+	}
+	if got := topo.Summary(); !strings.Contains(got, "tri") {
+		t.Errorf("Summary = %q", got)
+	}
+}
+
+func TestBuilderIdempotentNodes(t *testing.T) {
+	b := NewBuilder("x")
+	id1 := b.AddNode("A")
+	id2 := b.AddNode("A")
+	if id1 != id2 {
+		t.Errorf("AddNode twice gave %d and %d", id1, id2)
+	}
+}
+
+func TestBuildRejectsBadLinks(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddLink("A", "B", 0, 5*unit.Millisecond)
+	if _, err := b.Build(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	b2 := NewBuilder("bad2")
+	b2.AddLink("A", "B", 10*unit.Mbps, -1)
+	if _, err := b2.Build(); err == nil {
+		t.Error("negative delay accepted")
+	}
+	b3 := NewBuilder("bad3")
+	b3.AddLink("A", "A", 10*unit.Mbps, 1)
+	if _, err := b3.Build(); err == nil {
+		t.Error("self-link accepted")
+	}
+}
+
+func TestBuildRejectsDisconnected(t *testing.T) {
+	b := NewBuilder("disc")
+	b.AddLink("A", "B", 10*unit.Mbps, 1*unit.Millisecond)
+	b.AddNode("C") // isolated
+	if _, err := b.Build(); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+}
+
+func TestReverseLinks(t *testing.T) {
+	topo := triangle(t)
+	for _, l := range topo.Links() {
+		if l.Reverse < 0 {
+			t.Fatalf("link %s has no reverse", topo.LinkName(l.ID))
+		}
+		r := topo.Link(l.Reverse)
+		if r.From != l.To || r.To != l.From || r.Reverse != l.ID {
+			t.Errorf("link %s reverse mismatch", topo.LinkName(l.ID))
+		}
+		if r.Capacity != l.Capacity || r.Delay != l.Delay {
+			t.Errorf("link %s reverse attrs differ", topo.LinkName(l.ID))
+		}
+	}
+}
+
+func TestOneWayLink(t *testing.T) {
+	b := NewBuilder("ow")
+	b.AddLink("A", "B", 10*unit.Mbps, 1*unit.Millisecond)
+	b.AddOneWayLink("B", "C", 10*unit.Mbps, 1*unit.Millisecond)
+	b.AddOneWayLink("C", "A", 10*unit.Mbps, 1*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if topo.NumLinks() != 4 {
+		t.Errorf("NumLinks = %d, want 4", topo.NumLinks())
+	}
+	if topo.NumBidirectionalLinks() != 3 {
+		// one bidirectional pair + two oneways = 3 physical links
+		t.Errorf("NumBidirectionalLinks = %d, want 3", topo.NumBidirectionalLinks())
+	}
+}
+
+func TestPathMetrics(t *testing.T) {
+	topo := triangle(t)
+	a, _ := topo.NodeByName("A")
+	c, _ := topo.NodeByName("C")
+	p, ok := graph.ShortestPath(topo.Graph(), a, c, graph.Constraints{})
+	if !ok {
+		t.Fatal("no path A->C")
+	}
+	// Lowest delay is A->B->C at 20ms, despite A->C direct being one hop.
+	if got := topo.PathDelay(p); got != 20*unit.Millisecond {
+		t.Errorf("PathDelay = %v, want 20ms", got)
+	}
+	if got := topo.PathRTT(p); got != 40*unit.Millisecond {
+		t.Errorf("PathRTT = %v, want 40ms", got)
+	}
+	if got := topo.PathBottleneck(p); got != 100*unit.Mbps {
+		t.Errorf("PathBottleneck = %v, want 100Mbps", got)
+	}
+	if got := topo.PathBottleneck(graph.Path{}); got != 0 {
+		t.Errorf("empty path bottleneck = %v, want 0", got)
+	}
+}
+
+func TestWithUniformCapacity(t *testing.T) {
+	topo := triangle(t)
+	u, err := topo.WithUniformCapacity(75 * unit.Mbps)
+	if err != nil {
+		t.Fatalf("WithUniformCapacity: %v", err)
+	}
+	for _, l := range u.Links() {
+		if l.Capacity != 75*unit.Mbps {
+			t.Fatalf("link %s capacity = %v", u.LinkName(l.ID), l.Capacity)
+		}
+	}
+	// Original untouched.
+	if topo.Link(0).Capacity != 100*unit.Mbps {
+		t.Error("WithUniformCapacity mutated the original")
+	}
+	if _, err := topo.WithUniformCapacity(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestWithScaledCapacity(t *testing.T) {
+	topo := triangle(t)
+	s, err := topo.WithScaledCapacity(0.5)
+	if err != nil {
+		t.Fatalf("WithScaledCapacity: %v", err)
+	}
+	if got := s.Link(0).Capacity; got != 50*unit.Mbps {
+		t.Errorf("scaled capacity = %v, want 50Mbps", got)
+	}
+	if _, err := topo.WithScaledCapacity(-1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	topo := triangle(t)
+	want := unit.Bandwidth(2 * (100 + 100 + 50) * 1000) // both directions, kbps
+	if got := topo.TotalCapacity(); got != want {
+		t.Errorf("TotalCapacity = %v, want %v", got, want)
+	}
+}
+
+func TestHurricaneElectricShape(t *testing.T) {
+	topo, err := HurricaneElectric(100 * unit.Mbps)
+	if err != nil {
+		t.Fatalf("HurricaneElectric: %v", err)
+	}
+	if topo.NumNodes() != 31 {
+		t.Errorf("NumNodes = %d, want 31", topo.NumNodes())
+	}
+	if topo.NumBidirectionalLinks() != 56 {
+		t.Errorf("bidirectional links = %d, want 56", topo.NumBidirectionalLinks())
+	}
+	if topo.NumLinks() != 112 {
+		t.Errorf("directed links = %d, want 112", topo.NumLinks())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// All-pairs reachability and plausible delay spread.
+	g := topo.Graph()
+	var maxDelay unit.Delay
+	for src := 0; src < topo.NumNodes(); src++ {
+		dist := graph.ShortestPathTree(g, graph.NodeID(src), graph.Constraints{})
+		for dst, d := range dist {
+			if math.IsInf(d, 1) {
+				t.Fatalf("no path %s -> %s", topo.NodeName(graph.NodeID(src)), topo.NodeName(graph.NodeID(dst)))
+			}
+			if unit.Delay(d) > maxDelay {
+				maxDelay = unit.Delay(d)
+			}
+		}
+	}
+	if maxDelay < 50*unit.Millisecond || maxDelay > 400*unit.Millisecond {
+		t.Errorf("max one-way shortest delay = %v, want within [50ms, 400ms]", maxDelay)
+	}
+}
+
+func TestGeoDelay(t *testing.T) {
+	// NYC -> London is ~5570 km great circle: expect ~36ms one way with
+	// 1.3 slack at 200 km/ms.
+	d := GeoDelay(40.71, -74.01, 51.51, -0.13)
+	if d < 30*unit.Millisecond || d > 45*unit.Millisecond {
+		t.Errorf("NYC->LON delay = %v, want ~36ms", d)
+	}
+	// Same point floors at 0.1ms.
+	if d := GeoDelay(10, 10, 10, 10); d != unit.Delay(0.1) {
+		t.Errorf("zero-distance delay = %v, want 0.1ms", d)
+	}
+	// Symmetry.
+	if GeoDelay(1, 2, 3, 4) != GeoDelay(3, 4, 1, 2) {
+		t.Error("GeoDelay not symmetric")
+	}
+}
+
+func TestRingGenerator(t *testing.T) {
+	topo, err := Ring(10, 5, 10*unit.Mbps, 1)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if topo.NumNodes() != 10 {
+		t.Errorf("nodes = %d", topo.NumNodes())
+	}
+	if got := topo.NumBidirectionalLinks(); got != 15 {
+		t.Errorf("links = %d, want 15", got)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Determinism.
+	topo2, _ := Ring(10, 5, 10*unit.Mbps, 1)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, topo2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("Ring not deterministic for fixed seed")
+	}
+	if _, err := Ring(2, 0, 10*unit.Mbps, 1); err == nil {
+		t.Error("ring with 2 nodes accepted")
+	}
+}
+
+func TestGridGenerator(t *testing.T) {
+	topo, err := Grid(3, 4, 10*unit.Mbps)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if topo.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", topo.NumNodes())
+	}
+	// Links: horizontal (w-1)*h + vertical w*(h-1) = 2*4 + 3*3 = 17.
+	if got := topo.NumBidirectionalLinks(); got != 17 {
+		t.Errorf("links = %d, want 17", got)
+	}
+	if _, err := Grid(1, 5, 10*unit.Mbps); err == nil {
+		t.Error("1-wide grid accepted")
+	}
+}
+
+func TestWaxmanGenerator(t *testing.T) {
+	topo, err := Waxman(20, 0.7, 0.4, 10*unit.Mbps, 50*unit.Millisecond, 99)
+	if err != nil {
+		t.Fatalf("Waxman: %v", err)
+	}
+	if topo.NumNodes() != 20 {
+		t.Errorf("nodes = %d", topo.NumNodes())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if topo.NumBidirectionalLinks() < 19 {
+		t.Errorf("links = %d, want >= spanning chain", topo.NumBidirectionalLinks())
+	}
+	if _, err := Waxman(1, 0.5, 0.5, 10*unit.Mbps, 50, 1); err == nil {
+		t.Error("1-node waxman accepted")
+	}
+	if _, err := Waxman(5, 0, 0.5, 10*unit.Mbps, 50, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestDumbbellGenerator(t *testing.T) {
+	topo, err := Dumbbell(3, 100*unit.Mbps, 10*unit.Mbps)
+	if err != nil {
+		t.Fatalf("Dumbbell: %v", err)
+	}
+	if topo.NumNodes() != 8 {
+		t.Errorf("nodes = %d, want 8", topo.NumNodes())
+	}
+	hl, _ := topo.NodeByName("hubL")
+	hr, _ := topo.NodeByName("hubR")
+	id, ok := topo.Graph().EdgeBetween(hl, hr)
+	if !ok {
+		t.Fatal("no bottleneck link")
+	}
+	if got := topo.Capacity(id); got != 10*unit.Mbps {
+		t.Errorf("bottleneck capacity = %v, want 10Mbps", got)
+	}
+	if _, err := Dumbbell(0, 1, 1); err == nil {
+		t.Error("0-leaf dumbbell accepted")
+	}
+}
+
+func TestParseAndWriteRoundTrip(t *testing.T) {
+	src := `
+# test topology
+topology demo
+node A
+link A B 100Mbps 10ms
+link B C 50Mbps 5ms
+oneway C A 25Mbps 2ms
+`
+	topo, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if topo.Name() != "demo" {
+		t.Errorf("Name = %q, want demo", topo.Name())
+	}
+	if topo.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", topo.NumNodes())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, topo); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	topo2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if topo2.NumNodes() != topo.NumNodes() || topo2.NumLinks() != topo.NumLinks() {
+		t.Errorf("round trip changed shape: %s vs %s", topo.Summary(), topo2.Summary())
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, topo2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() == "" {
+		t.Error("second write empty")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                              // empty
+		"frobnicate A B",                // unknown directive
+		"link A B 100Mbps",              // missing delay
+		"link A B wat 10ms",             // bad capacity
+		"link A B 100Mbps wat",          // bad delay
+		"node",                          // missing name
+		"topology x\ntopology y",        // duplicate topology line
+		"node A\ntopology late",         // topology not first
+		"topology a b",                  // extra field
+		"link A A 10Mbps 1ms",           // self link (caught at Build)
+		"oneway A B 10Mbps 1ms\nnode C", // disconnected
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestHEWriteParseRoundTrip(t *testing.T) {
+	topo, err := HurricaneElectric(100 * unit.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	topo2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse HE: %v", err)
+	}
+	if topo2.NumNodes() != 31 || topo2.NumBidirectionalLinks() != 56 {
+		t.Errorf("round trip shape: %s", topo2.Summary())
+	}
+}
