@@ -12,9 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,15 +40,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench (explicit only; writes -bench-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
 		csv      = flag.Bool("csv", false, "emit CSV after each chart")
+		workers  = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "BENCH_core.json", "output file for the corebench speedup record")
 	)
 	flag.Parse()
 
-	opts := core.Options{Deadline: *deadline}
+	opts := core.Options{Deadline: *deadline, Workers: *workers}
 	run := func(name string, f func() error) {
 		fmt.Printf("\n================ %s ================\n", name)
 		start := time.Now()
@@ -106,6 +111,126 @@ func main() {
 	if want("failover") {
 		run("failover: link failure and warm-start recovery", func() error { return failover(*seed) })
 	}
+	// corebench is explicit-only (not part of "all"): it writes a file in
+	// the working directory, which a figure-reproduction run never asked
+	// for.
+	if *exp == "corebench" {
+		run("corebench: parallel candidate-evaluation speedup", func() error { return coreBench(*seed, *workers, *deadline, *benchOut) })
+	}
+}
+
+// coreBenchRecord is the JSON speedup record corebench writes: the same
+// congested instance optimized serially and with a 4-worker candidate
+// pool, asserting identical solutions and recording the wall-clock ratio.
+type coreBenchRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Topology        string  `json:"topology"`
+	Aggregates      int     `json:"aggregates"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	Runs            int     `json:"runs_per_setting"`
+	WorkersSerial   int     `json:"workers_serial"`
+	WorkersParallel int     `json:"workers_parallel"`
+	SerialNs        int64   `json:"serial_best_ns"`
+	ParallelNs      int64   `json:"parallel_best_ns"`
+	Speedup         float64 `json:"speedup"`
+	Utility         float64 `json:"utility"`
+	Steps           int     `json:"steps"`
+	Deterministic   bool    `json:"deterministic"`
+	Note            string  `json:"note,omitempty"`
+}
+
+// coreBench measures the optimizer end to end at Workers=1 vs a parallel
+// worker count (4, or -workers when larger) on the bundled evaluation
+// instance (trial evaluations dominate its runtime) and writes the
+// speedup record to outPath.
+func coreBench(seed int64, workers int, deadline time.Duration, outPath string) error {
+	topo, mat, err := benchInstance(seed)
+	if err != nil {
+		return err
+	}
+	workersParallel := 4
+	if workers > workersParallel {
+		workersParallel = workers
+	}
+	const rounds = 3
+	measure := func(workers int) (time.Duration, *core.Solution, error) {
+		best := time.Duration(0)
+		var sol *core.Solution
+		for i := 0; i < rounds; i++ {
+			model, err := flowmodel.New(topo, mat)
+			if err != nil {
+				return 0, nil, err
+			}
+			start := time.Now()
+			s, err := core.Run(model, core.Options{Workers: workers, Deadline: deadline})
+			if err != nil {
+				return 0, nil, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			sol = s
+		}
+		return best, sol, nil
+	}
+	serialT, serialSol, err := measure(1)
+	if err != nil {
+		return err
+	}
+	parallelT, parallelSol, err := measure(workersParallel)
+	if err != nil {
+		return err
+	}
+	det := serialSol.Steps == parallelSol.Steps && serialSol.Utility == parallelSol.Utility &&
+		reflect.DeepEqual(serialSol.Bundles, parallelSol.Bundles)
+	rec := coreBenchRecord{
+		Benchmark:       "core optimizer: parallel trial-move evaluation",
+		Topology:        topo.Summary(),
+		Aggregates:      mat.NumAggregates(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Runs:            rounds,
+		WorkersSerial:   1,
+		WorkersParallel: workersParallel,
+		SerialNs:        serialT.Nanoseconds(),
+		ParallelNs:      parallelT.Nanoseconds(),
+		Speedup:         float64(serialT) / float64(parallelT),
+		Utility:         parallelSol.Utility,
+		Steps:           parallelSol.Steps,
+		Deterministic:   det,
+	}
+	// GOMAXPROCS, not NumCPU, caps goroutine parallelism (they differ
+	// under cgroup quotas or an explicit GOMAXPROCS override).
+	if rec.GOMAXPROCS < rec.WorkersParallel {
+		rec.Note = fmt.Sprintf("GOMAXPROCS=%d; worker-pool speedup is capped at the schedulable core count", rec.GOMAXPROCS)
+	}
+	if !det {
+		hint := ""
+		if deadline > 0 {
+			hint = " (a wall-clock -deadline that truncates the runs makes them legitimately diverge)"
+		}
+		return fmt.Errorf("corebench: Workers=1 and Workers=%d diverged (steps %d vs %d, utility %v vs %v)%s",
+			workersParallel, serialSol.Steps, parallelSol.Steps, serialSol.Utility, parallelSol.Utility, hint)
+	}
+	t := report.NewTable("core candidate-evaluation speedup", "metric", "value")
+	t.AddRow("serial (Workers=1)", serialT.Truncate(time.Microsecond))
+	t.AddRow(fmt.Sprintf("parallel (Workers=%d)", workersParallel), parallelT.Truncate(time.Microsecond))
+	t.AddRow("speedup", fmt.Sprintf("%.2fx", rec.Speedup))
+	t.AddRow("identical solutions", det)
+	t.AddRow("GOMAXPROCS", rec.GOMAXPROCS)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("speedup record written to %s\n", outPath)
+	return nil
 }
 
 // failover runs a link-failure episode: optimize, kill the hottest

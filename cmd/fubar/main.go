@@ -30,19 +30,20 @@ func main() {
 		delayScale  = flag.Float64("delay-scale", 1, "delay-curve stretch for small aggregates")
 		deadline    = flag.Duration("deadline", 5*time.Minute, "optimization deadline")
 		maxPaths    = flag.Int("max-paths", 15, "path-set limit per aggregate")
+		workers     = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "trace progress every 100 steps")
 		showPaths   = flag.Bool("paths", false, "dump the final allocation's paths")
 	)
 	flag.Parse()
 
-	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *verbose, *showPaths); err != nil {
+	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
 		os.Exit(1)
 	}
 }
 
 func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
-	deadline time.Duration, maxPaths int, verbose, showPaths bool) error {
+	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool) error {
 
 	cap, err := fubar.ParseBandwidth(capStr)
 	if err != nil {
@@ -69,6 +70,7 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 	cfg.Options = fubar.Options{
 		Deadline:             deadline,
 		MaxPathsPerAggregate: maxPaths,
+		Workers:              workers,
 	}
 	if verbose {
 		cfg.Options.Trace = func(s fubar.Snapshot) {

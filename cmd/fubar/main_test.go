@@ -21,16 +21,16 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, false, true); err != nil {
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 2, false, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("", "notarate", 1, 1, 1, time.Second, 15, false, false); err == nil {
+	if err := run("", "notarate", 1, 1, 1, time.Second, 15, 0, false, false); err == nil {
 		t.Error("bad capacity accepted")
 	}
-	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, false, false); err == nil {
+	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, 0, false, false); err == nil {
 		t.Error("missing topology file accepted")
 	}
 }
@@ -46,7 +46,7 @@ link A C 1Mbps 15ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, true, false); err != nil {
+	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, 4, true, false); err != nil {
 		t.Fatalf("run with knobs: %v", err)
 	}
 }

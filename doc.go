@@ -10,7 +10,7 @@
 //     a text format): HurricaneElectric, RingTopology, ParseTopology, …
 //   - traffic matrices (§3 workload): GenerateTraffic, DefaultGenConfig
 //   - utility functions (§2.2, Figs 1–2): RealTime, Bulk, LargeFile
-//   - the TCP-like traffic model (§2.3): NewModel
+//   - the TCP-like traffic model (§2.3): NewModel, NewEval
 //   - the optimizer (§2.5, Listings 1–2): Optimize
 //   - baselines (§3): ShortestPathRouting, UpperBound, ECMP, GreedyCSPF
 //   - the full evaluation (§3, Figs 3–7): RunExperiment, Repeatability
@@ -29,6 +29,20 @@
 //	mat, _ := fubar.GenerateTraffic(topo, fubar.DefaultGenConfig(1))
 //	sol, _ := fubar.Optimize(topo, mat, fubar.Options{})
 //	fmt.Printf("utility %.3f (shortest-path %.3f)\n", sol.Utility, sol.InitialUtility)
+//
+// # Concurrency
+//
+// A traffic Model is immutable after construction; all mutable evaluation
+// scratch lives in Eval arenas obtained from Model.NewEval, so any number
+// of goroutines can evaluate one model concurrently as long as each owns
+// its arena (Model.Evaluate remains a serial convenience over a built-in
+// default arena). The optimizer exploits this: Options.Workers (default
+// GOMAXPROCS) sets how many goroutines evaluate each step's candidate
+// moves in parallel, each on a private arena. Move selection replays
+// candidates in a fixed order, so every worker count commits the exact
+// same move sequence — parallelism changes wall-clock time, never the
+// solution (the one exception is a wall-clock Options.Deadline, which
+// cuts faster runs off after more committed steps).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

@@ -162,8 +162,13 @@ func NewUtilityFunction(name string, bandwidth, delay Curve) (UtilityFunction, e
 
 // Model.
 type (
-	// Model evaluates the §2.3 TCP-like traffic model.
+	// Model evaluates the §2.3 TCP-like traffic model. It is immutable
+	// after NewModel; concurrent evaluators each take a ModelEval arena
+	// via Model.NewEval.
 	Model = flowmodel.Model
+	// ModelEval is a reusable evaluation arena; one goroutine per arena
+	// may Evaluate concurrently over a shared Model.
+	ModelEval = flowmodel.Eval
 	// Bundle is a group of one aggregate's flows on one path.
 	Bundle = flowmodel.Bundle
 	// ModelResult is one model evaluation.

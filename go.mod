@@ -1,0 +1,3 @@
+module fubar
+
+go 1.24

@@ -106,8 +106,12 @@ type aggState struct {
 // Run once; a second Run restarts from scratch with the same options.
 type Annealer struct {
 	model *flowmodel.Model
-	mat   *traffic.Matrix
-	opts  Options
+	// eval is the annealer's private evaluation arena: annealing runs do
+	// not contend with (or perturb) the model's default arena, so an
+	// annealer and other evaluators can share one Model concurrently.
+	eval *flowmodel.Eval
+	mat  *traffic.Matrix
+	opts Options
 
 	aggs      []aggState
 	movable   []int // aggregate ids with >1 candidate path
@@ -126,7 +130,7 @@ func New(model *flowmodel.Model, opts Options) (*Annealer, error) {
 		return nil, err
 	}
 	mat := model.Matrix()
-	a := &Annealer{model: model, mat: mat, opts: opts}
+	a := &Annealer{model: model, eval: model.NewEval(), mat: mat, opts: opts}
 	nA := mat.NumAggregates()
 	a.aggs = make([]aggState, nA)
 	for i := 0; i < nA; i++ {
@@ -226,7 +230,7 @@ func (a *Annealer) Run() *Solution {
 	sol.Evaluations++ // the final rebuild below
 	// Re-evaluate so callers can rely on Utility matching Bundles even
 	// after float round-trips.
-	res := a.model.Evaluate(sol.Bundles)
+	res := a.eval.Evaluate(sol.Bundles)
 	sol.Utility = res.NetworkUtility
 	return sol
 }
@@ -292,7 +296,7 @@ func (a *Annealer) reset() {
 // evaluate rebuilds the bundle set and runs the traffic model.
 func (a *Annealer) evaluate() float64 {
 	a.bundleBuf = a.buildBundles(a.bundleBuf[:0])
-	return a.model.Evaluate(a.bundleBuf).NetworkUtility
+	return a.eval.Evaluate(a.bundleBuf).NetworkUtility
 }
 
 // buildBundles appends one bundle per (aggregate, path) with flows > 0.

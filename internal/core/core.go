@@ -10,11 +10,28 @@
 // utility it escalates N — moving larger and larger chunks, up to whole
 // aggregates — to escape local optima (§2.5, "Escaping local optima");
 // when even whole-aggregate moves cannot improve utility, it terminates.
+//
+// # Parallel candidate evaluation
+//
+// Trial evaluations dominate the runtime: every step tests each
+// (aggregate × crossing-bundle × alternative) candidate with a full
+// water-filling over all bundles. The optimizer therefore first collects
+// the step's candidate moves and then evaluates them across
+// Options.Workers goroutines (default GOMAXPROCS), each owning a private
+// flowmodel.Eval arena and assembling its trial bundle list from the
+// committed list plus a patched segment for the moving aggregate. Move
+// selection replays the candidates in collection order, so the committed
+// move sequence — and thus the whole Solution — is identical for any
+// worker count (unless a wall-clock Options.Deadline truncates the run;
+// see Options.Workers).
 package core
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fubar/internal/flowmodel"
@@ -81,6 +98,14 @@ type Options struct {
 	MinGain float64
 	// MaxSteps bounds committed moves; 0 means unbounded.
 	MaxSteps int
+	// Workers is the number of goroutines evaluating candidate moves per
+	// step, each with a private flowmodel.Eval arena. Default GOMAXPROCS;
+	// 1 evaluates serially on the calling goroutine. Any value commits
+	// the exact move sequence of Workers=1 — except when a wall-clock
+	// Deadline truncates the run, since faster workers then fit more
+	// steps before the cutoff (a Deadline makes even two Workers=1 runs
+	// machine-dependent).
+	Workers int
 	// Deadline bounds wall-clock optimization time; 0 means unbounded.
 	Deadline time.Duration
 	// AltMode restricts the alternative trio (ablation only).
@@ -119,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinGain <= 0 {
 		o.MinGain = defaultMinGain
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -213,10 +241,35 @@ type Optimizer struct {
 
 	aggs      []aggState
 	bundleBuf []flowmodel.Bundle
+	// segStart[i] is the offset of aggregate i's bundles within the list
+	// buildBundles last produced (segStart[len(aggs)] == len(list)); the
+	// trial-move engine patches one segment without rebuilding the rest.
+	segStart []int
+
 	// scratch
+	// congAll and congUsed are set from the congested-link list before a
+	// pathgen call and unset from the same list afterwards, so their cost
+	// scales with the congestion set, not the topology.
 	congAll  []bool
 	congUsed []bool
-	usedMark []bool
+	// usedStamp[e] == usedEpoch marks links the current aggregate uses;
+	// bumping the epoch invalidates all marks without an O(numLinks)
+	// clear.
+	usedStamp []uint32
+	usedEpoch uint32
+	crossBuf  []int
+	cands     []candidate
+
+	// workers are the persistent trial evaluators, one arena + bundle
+	// buffer each, grown on demand up to Options.Workers.
+	workers []*worker
+}
+
+// worker is one candidate evaluator: a private flowmodel arena plus the
+// scratch it assembles trial bundle lists into.
+type worker struct {
+	eval *flowmodel.Eval
+	buf  []flowmodel.Bundle
 }
 
 // New builds an optimizer.
@@ -231,13 +284,13 @@ func New(model *flowmodel.Model, opts Options) (*Optimizer, error) {
 	}
 	nL := model.Topology().NumLinks()
 	return &Optimizer{
-		model:    model,
-		gen:      gen,
-		mat:      model.Matrix(),
-		opts:     opts,
-		congAll:  make([]bool, nL),
-		congUsed: make([]bool, nL),
-		usedMark: make([]bool, nL),
+		model:     model,
+		gen:       gen,
+		mat:       model.Matrix(),
+		opts:      opts,
+		congAll:   make([]bool, nL),
+		congUsed:  make([]bool, nL),
+		usedStamp: make([]uint32, nL),
 	}, nil
 }
 
@@ -254,9 +307,10 @@ func (o *Optimizer) Run() (*Solution, error) {
 	escLevel := 0
 	o.trace(Snapshot{Step: 0, Elapsed: time.Since(start), Result: res})
 
-	// Snapshot what the pass loop needs by value: trial evaluations inside
-	// step() reuse the model's result storage, so res's contents are only
-	// meaningful immediately after an evaluate.
+	// Snapshot what the pass loop needs by value: trial evaluations run
+	// on private worker arenas and leave res alone, but every evaluate()
+	// call here reuses the model's default arena, so res's contents are
+	// only meaningful immediately after an evaluate.
 	uCur := res.NetworkUtility
 	congested := append([]graph.EdgeID(nil), res.Congested...)
 	links := o.model.CongestedByOversubscription(res)
@@ -425,10 +479,17 @@ func (o *Optimizer) applyWarmStart(bundles []flowmodel.Bundle) error {
 	return nil
 }
 
-// buildBundles assembles the model input from the current allocation.
+// buildBundles assembles the model input from the current allocation,
+// recording each aggregate's segment offsets in o.segStart so the
+// trial-move engine can patch a single aggregate in place.
 func (o *Optimizer) buildBundles() []flowmodel.Bundle {
 	o.bundleBuf = o.bundleBuf[:0]
+	if cap(o.segStart) < len(o.aggs)+1 {
+		o.segStart = make([]int, len(o.aggs)+1)
+	}
+	o.segStart = o.segStart[:len(o.aggs)+1]
 	for i := range o.aggs {
+		o.segStart[i] = len(o.bundleBuf)
 		st := &o.aggs[i]
 		if st.self {
 			o.bundleBuf = append(o.bundleBuf, flowmodel.Bundle{
@@ -448,6 +509,7 @@ func (o *Optimizer) buildBundles() []flowmodel.Bundle {
 			})
 		}
 	}
+	o.segStart[len(o.aggs)] = len(o.bundleBuf)
 	return o.bundleBuf
 }
 
@@ -470,39 +532,68 @@ func (o *Optimizer) snapshotBundles() []flowmodel.Bundle {
 	return out
 }
 
-// move describes a candidate reallocation: N flows of aggregate agg from
-// path index from to path target (which may be outside the set yet).
-type move struct {
+// candidate describes one trial reallocation discovered by
+// collectCandidates: n flows of aggregate agg from path index from to
+// path index to (already present in the aggregate's path set). utility is
+// filled by evaluateCandidates.
+type candidate struct {
 	agg     int
 	from    int
+	to      int
 	n       int
-	path    graph.Path
 	utility float64
 }
 
-// step implements Listing 2 for one congested link: test every bundle
-// crossing it against the three alternatives, commit the best improving
-// move. uInit and congested describe the committed allocation (they must
-// not alias the model's reusable result storage). Returns whether
-// progress was made.
+// step implements Listing 2 for one congested link: collect every
+// candidate move over bundles crossing it, evaluate the candidates across
+// the worker pool, and commit the best improving move. uInit and
+// congested describe the committed allocation (congested must not alias
+// storage a later evaluate() on the model's default arena overwrites).
+// Returns whether progress was made.
+//
+// Selection replays the candidates in collection order with the same
+// improve-by-MinGain rule the serial mutate-evaluate-revert loop used, so
+// any worker count commits the identical move.
 func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.EdgeID, fraction float64) bool {
-	for i := range o.congAll {
-		o.congAll[i] = false
+	cands := o.collectCandidates(link, congested, fraction)
+	if len(cands) == 0 {
+		return false
 	}
+	committed := o.buildBundles()
+	o.evaluateCandidates(cands, committed)
+
+	bestU := uInit
+	bestIdx := -1
+	for i := range cands {
+		if cands[i].utility > bestU+o.opts.MinGain {
+			bestU = cands[i].utility
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	o.commit(cands[bestIdx])
+	return true
+}
+
+// collectCandidates enumerates the step's trial moves without evaluating
+// any of them. Genuinely new alternative paths are added to their
+// aggregate's path set here (with zero flows — path sets only grow,
+// §2.4), exactly as the serial trial loop did, so enumeration order and
+// the path-set cap behave identically at any worker count.
+func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeID, fraction float64) []candidate {
+	o.cands = o.cands[:0]
 	for _, l := range congested {
 		o.congAll[l] = true
 	}
-
-	best := move{utility: uInit}
-	haveBest := false
-
 	for ai := range o.aggs {
 		st := &o.aggs[ai]
 		if st.self {
 			continue
 		}
 		// Find this aggregate's bundles crossing the link.
-		crossing := crossingPaths(st, link)
+		crossing := o.crossingPaths(st, link)
 		if len(crossing) == 0 {
 			continue
 		}
@@ -520,64 +611,146 @@ func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.Edg
 				if alt.Equal(st.set.Path(from)) {
 					continue
 				}
-				// Respect the path-set cap for genuinely new paths.
-				if st.set.IndexOf(alt) < 0 && o.opts.MaxPathsPerAggregate > 0 &&
-					st.set.Len() >= o.opts.MaxPathsPerAggregate {
-					continue
+				ti := st.set.IndexOf(alt)
+				if ti < 0 {
+					// Respect the path-set cap for genuinely new paths.
+					if o.opts.MaxPathsPerAggregate > 0 &&
+						st.set.Len() >= o.opts.MaxPathsPerAggregate {
+						continue
+					}
+					if !st.set.Add(alt) {
+						continue
+					}
+					ti = st.set.Len() - 1
+					st.flows = append(st.flows, 0)
+					st.delays = append(st.delays, o.model.Topology().PathDelay(alt))
 				}
-				u, ok := o.tryMove(ai, from, n, alt)
-				if ok && u > best.utility+o.opts.MinGain {
-					best = move{agg: ai, from: from, n: n, path: alt, utility: u}
-					haveBest = true
-				}
+				o.cands = append(o.cands, candidate{agg: ai, from: from, to: ti, n: n})
 			}
 		}
 	}
-	if !haveBest {
-		return false
+	for _, l := range congested {
+		o.congAll[l] = false
 	}
-	o.commit(best)
-	return true
+	return o.cands
+}
+
+// evaluateCandidates fills each candidate's utility, fanning the work out
+// over up to Options.Workers goroutines. committed is the bundle list of
+// the current allocation (with o.segStart per-aggregate offsets); workers
+// only read it and the aggregate states.
+func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.Bundle) {
+	nw := o.opts.Workers
+	if nw > len(cands) {
+		nw = len(cands)
+	}
+	o.growWorkers(nw)
+	if nw <= 1 {
+		w := o.workers[0]
+		for i := range cands {
+			cands[i].utility = o.evalCandidate(w, &cands[i], committed)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		w := o.workers[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				cands[i].utility = o.evalCandidate(w, &cands[i], committed)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalCandidate evaluates one trial move on the worker's private arena.
+// The trial bundle list is the committed list with the moving aggregate's
+// segment rebuilt under the (from, to, n) patch — the same list the
+// serial loop obtained by mutating state and rebuilding everything.
+func (o *Optimizer) evalCandidate(w *worker, c *candidate, committed []flowmodel.Bundle) float64 {
+	st := &o.aggs[c.agg]
+	segA, segB := o.segStart[c.agg], o.segStart[c.agg+1]
+	buf := append(w.buf[:0], committed[:segA]...)
+	for pi, f := range st.flows {
+		if pi == c.from {
+			f -= c.n
+		} else if pi == c.to {
+			f += c.n
+		}
+		if f <= 0 {
+			continue
+		}
+		buf = append(buf, flowmodel.Bundle{
+			Agg:   traffic.AggregateID(c.agg),
+			Flows: f,
+			Edges: st.set.Path(pi).Edges,
+			Delay: st.delays[pi],
+		})
+	}
+	buf = append(buf, committed[segB:]...)
+	w.buf = buf
+	return w.eval.Evaluate(buf).NetworkUtility
+}
+
+// growWorkers ensures at least n evaluator workers exist.
+func (o *Optimizer) growWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for len(o.workers) < n {
+		o.workers = append(o.workers, &worker{eval: o.model.NewEval()})
+	}
 }
 
 // crossingPaths returns the path indices of st whose path uses the link
-// and currently carries flows.
-func crossingPaths(st *aggState, link graph.EdgeID) []int {
-	var out []int
+// and currently carries flows. The returned slice is the optimizer's
+// scratch, valid until the next call.
+func (o *Optimizer) crossingPaths(st *aggState, link graph.EdgeID) []int {
+	o.crossBuf = o.crossBuf[:0]
 	for pi, f := range st.flows {
 		if f <= 0 {
 			continue
 		}
 		if st.set.Path(pi).Contains(link) {
-			out = append(out, pi)
+			o.crossBuf = append(o.crossBuf, pi)
 		}
 	}
-	return out
+	return o.crossBuf
 }
 
 // alternativesFor computes the §2.4 trio for an aggregate given the
 // current congestion set.
 func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.EdgeID) []graph.Path {
-	// Mark the links the aggregate currently uses.
-	for i := range o.usedMark {
-		o.usedMark[i] = false
+	// Mark the links the aggregate currently uses: a fresh epoch
+	// invalidates the previous aggregate's marks, so the cost scales with
+	// the aggregate's path lengths, not the topology size.
+	o.usedEpoch++
+	if o.usedEpoch == 0 { // epoch wrapped: old stamps would alias it
+		clear(o.usedStamp)
+		o.usedEpoch = 1
 	}
 	for pi, f := range st.flows {
 		if f <= 0 {
 			continue
 		}
 		for _, e := range st.set.Path(pi).Edges {
-			o.usedMark[e] = true
+			o.usedStamp[e] = o.usedEpoch
 		}
 	}
 	// congUsed = congested ∩ used; find the most oversubscribed used link
-	// (the list is already sorted by oversubscription).
-	for i := range o.congUsed {
-		o.congUsed[i] = false
-	}
+	// (the list is already sorted by oversubscription). The marks are
+	// unset from the same list after the pathgen call.
 	most := graph.EdgeID(-1)
 	for _, l := range congested {
-		if o.usedMark[l] {
+		if o.usedStamp[l] == o.usedEpoch {
 			o.congUsed[l] = true
 			if most < 0 {
 				most = l
@@ -592,6 +765,9 @@ func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.Edge
 		MostCongested: most,
 	}
 	alts := o.gen.Alternatives(req)
+	for _, l := range congested {
+		o.congUsed[l] = false
+	}
 
 	var paths []graph.Path
 	add := func(p graph.Path, ok bool) {
@@ -640,45 +816,12 @@ func (o *Optimizer) moveSize(aggFlows, bundleFlows int, fraction float64) int {
 	return n
 }
 
-// tryMove tentatively applies a move, evaluates the model, and reverts.
-// Returns the candidate utility.
-func (o *Optimizer) tryMove(ai, from, n int, alt graph.Path) (float64, bool) {
-	st := &o.aggs[ai]
-	ti := st.set.IndexOf(alt)
-	appended := false
-	if ti < 0 {
-		if !st.set.Add(alt) {
-			return 0, false
-		}
-		ti = st.set.Len() - 1
-		st.flows = append(st.flows, 0)
-		st.delays = append(st.delays, o.model.Topology().PathDelay(alt))
-		appended = true
-	}
-	st.flows[from] -= n
-	st.flows[ti] += n
-	u := o.model.Evaluate(o.buildBundles()).NetworkUtility
-	st.flows[from] += n
-	st.flows[ti] -= n
-	// If the path was appended for this trial it stays in the set with
-	// zero flows: path sets only grow (§2.4), and a rejected alternative
-	// is often retried on a later iteration.
-	_ = appended
-	return u, true
-}
-
-// commit permanently applies a move.
-func (o *Optimizer) commit(m move) {
-	st := &o.aggs[m.agg]
-	ti := st.set.IndexOf(m.path)
-	if ti < 0 {
-		st.set.Add(m.path)
-		ti = st.set.Len() - 1
-		st.flows = append(st.flows, 0)
-		st.delays = append(st.delays, o.model.Topology().PathDelay(m.path))
-	}
-	st.flows[m.from] -= m.n
-	st.flows[ti] += m.n
+// commit permanently applies a candidate move. Its target path joined the
+// aggregate's path set during collection.
+func (o *Optimizer) commit(c candidate) {
+	st := &o.aggs[c.agg]
+	st.flows[c.from] -= c.n
+	st.flows[c.to] += c.n
 }
 
 func (o *Optimizer) trace(s Snapshot) {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// benchOptimizer builds an optimizer over the bundled congested ring
+// instance, primed to the state step() sees on the first pass: initial
+// allocation placed, model evaluated, congested links ranked.
+func benchOptimizer(b *testing.B, workers int) (*Optimizer, float64, []graph.EdgeID, []graph.EdgeID) {
+	b.Helper()
+	topo, err := topology.Ring(10, 6, 1500*unit.Kbps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(33)
+	cfg.RealTimeFlows = [2]int{5, 20}
+	cfg.BulkFlows = [2]int{3, 10}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(model, Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := o.initAllocation(); err != nil {
+		b.Fatal(err)
+	}
+	res := o.evaluate()
+	if len(res.Congested) == 0 {
+		b.Fatal("bench instance is not congested")
+	}
+	congested := append([]graph.EdgeID(nil), res.Congested...)
+	links := o.model.CongestedByOversubscription(res)
+	return o, res.NetworkUtility, congested, links
+}
+
+// BenchmarkStepCandidates measures one step's candidate fan-out — collect
+// plus evaluation over the most congested link — at several worker
+// counts. This is the optimizer's hot path; the speedup between workers=1
+// and workers=N is the headline number of the concurrent evaluation
+// engine (it saturates at the machine's core count).
+func BenchmarkStepCandidates(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o, u, congested, links := benchOptimizer(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands := o.collectCandidates(links[0], congested, o.opts.MoveFraction)
+				if len(cands) == 0 {
+					b.Fatal("no candidates collected")
+				}
+				committed := o.buildBundles()
+				o.evaluateCandidates(cands, committed)
+				// Selection without commit keeps every iteration identical.
+				best := u
+				for j := range cands {
+					if cands[j].utility > best+o.opts.MinGain {
+						best = cands[j].utility
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunWorkers measures a whole optimization end to end at several
+// worker counts (what cmd/fubar-bench -exp corebench records).
+func BenchmarkRunWorkers(b *testing.B) {
+	topo, err := topology.Ring(10, 6, 1500*unit.Kbps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(33)
+	cfg.RealTimeFlows = [2]int{5, 20}
+	cfg.BulkFlows = [2]int{3, 10}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model, err := flowmodel.New(topo, mat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Run(model, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// congestedInstance builds a mid-size ring instance with enough contention
+// that the optimizer commits a nontrivial move sequence.
+func congestedInstance(t *testing.T, seed int64) (*topology.Topology, *traffic.Matrix) {
+	t.Helper()
+	topo, err := topology.Ring(10, 6, 1500*unit.Kbps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(seed + 32)
+	cfg.RealTimeFlows = [2]int{5, 20}
+	cfg.BulkFlows = [2]int{3, 10}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, mat
+}
+
+// runWithWorkers optimizes the instance at the given worker count and
+// returns the solution plus the traced per-step utility trajectory.
+func runWithWorkers(t *testing.T, topo *topology.Topology, mat *traffic.Matrix, workers int) (*Solution, []float64) {
+	t.Helper()
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []float64
+	opts := Options{
+		Workers: workers,
+		Trace: func(s Snapshot) {
+			steps = append(steps, s.Result.NetworkUtility)
+		},
+	}
+	sol, err := Run(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, steps
+}
+
+// TestWorkersDeterminism asserts the acceptance criterion: any worker
+// count commits the exact move sequence of Workers=1 — same step count,
+// same committed bundles, same per-step and final utility, bit for bit.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		topo, mat := congestedInstance(t, seed)
+		serial, serialTrace := runWithWorkers(t, topo, mat, 1)
+		if serial.Steps == 0 {
+			t.Fatalf("seed %d: serial run committed no moves; instance not congested enough", seed)
+		}
+		for _, workers := range []int{2, 4, 9} {
+			par, parTrace := runWithWorkers(t, topo, mat, workers)
+			if par.Steps != serial.Steps {
+				t.Errorf("seed %d workers=%d: steps = %d, want %d", seed, workers, par.Steps, serial.Steps)
+			}
+			if par.Utility != serial.Utility {
+				t.Errorf("seed %d workers=%d: utility = %v, want %v (exact)", seed, workers, par.Utility, serial.Utility)
+			}
+			if par.Stop != serial.Stop {
+				t.Errorf("seed %d workers=%d: stop = %v, want %v", seed, workers, par.Stop, serial.Stop)
+			}
+			if !reflect.DeepEqual(par.Bundles, serial.Bundles) {
+				t.Errorf("seed %d workers=%d: committed bundles differ from serial run", seed, workers)
+			}
+			if !reflect.DeepEqual(parTrace, serialTrace) {
+				t.Errorf("seed %d workers=%d: per-step utility trajectory differs from serial run", seed, workers)
+			}
+		}
+	}
+}
+
+// TestWorkersRace exercises the parallel trial-move engine with more
+// workers than cores; run under -race this verifies the Eval arenas and
+// the read-only sharing of optimizer state.
+func TestWorkersRace(t *testing.T) {
+	topo, mat := congestedInstance(t, 3)
+	sol, _ := runWithWorkers(t, topo, mat, 4)
+	if sol.Steps == 0 {
+		t.Fatal("run committed no moves; instance not congested enough to exercise workers")
+	}
+	if sol.Utility <= sol.InitialUtility {
+		t.Errorf("utility %v did not improve over initial %v", sol.Utility, sol.InitialUtility)
+	}
+}
+
+// TestWorkersDefault checks the GOMAXPROCS default and that explicit
+// worker counts survive withDefaults.
+func TestWorkersDefault(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers < 1 {
+		t.Errorf("default Workers = %d, want >= 1", o.Workers)
+	}
+	o = Options{Workers: 3}.withDefaults()
+	if o.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", o.Workers)
+	}
+}

@@ -33,7 +33,9 @@ type Config struct {
 	// DelayScale stretches the delay utility component of non-large
 	// aggregates (Fig 6 relaxed delay); 0 or 1 disables.
 	DelayScale float64
-	// Options tunes the optimizer.
+	// Options tunes the optimizer, including Options.Workers — the
+	// per-step parallel candidate-evaluation fan-out (results are
+	// identical at any worker count).
 	Options core.Options
 	// Topology overrides the HE-31 substitute (tests use smaller nets).
 	Topology *topology.Topology

@@ -1,0 +1,133 @@
+package flowmodel
+
+import (
+	"sync"
+	"testing"
+
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// evalInstance builds a congested ring model plus several distinct bundle
+// placements (shortest-path flows split across rotated path choices).
+func evalInstance(t *testing.T) (*Model, [][]Bundle) {
+	t.Helper()
+	topo, err := topology.Ring(8, 4, 1200*unit.Kbps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(11)
+	cfg.RealTimeFlows = [2]int{5, 15}
+	cfg.BulkFlows = [2]int{3, 9}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base placement: every aggregate on one shortest path.
+	var base []Bundle
+	for _, a := range mat.Aggregates() {
+		if a.IsSelfPair() {
+			base = append(base, Bundle{Agg: a.ID, Flows: a.Flows})
+			continue
+		}
+		p, ok := graph.ShortestPath(topo.Graph(), a.Src, a.Dst, graph.Constraints{})
+		if !ok {
+			t.Fatalf("no path for aggregate %d", a.ID)
+		}
+		base = append(base, NewBundle(topo, a.ID, a.Flows, p))
+	}
+	// Variants: drop a different bundle's flows to zero so each input is a
+	// distinct evaluation with a distinct result.
+	inputs := make([][]Bundle, 8)
+	for i := range inputs {
+		in := append([]Bundle(nil), base...)
+		in[i%len(in)].Flows = 0
+		inputs[i] = in
+	}
+	return m, inputs
+}
+
+// TestEvalMatchesModelEvaluate pins the shim contract: an arena from
+// NewEval returns exactly what Model.Evaluate returns.
+func TestEvalMatchesModelEvaluate(t *testing.T) {
+	m, inputs := evalInstance(t)
+	arena := m.NewEval()
+	for i, in := range inputs {
+		want := m.Evaluate(in).Clone()
+		got := arena.Evaluate(in)
+		if got.NetworkUtility != want.NetworkUtility {
+			t.Errorf("input %d: arena utility %v != model utility %v", i, got.NetworkUtility, want.NetworkUtility)
+		}
+		for b := range want.BundleRate {
+			if got.BundleRate[b] != want.BundleRate[b] {
+				t.Fatalf("input %d bundle %d: arena rate %v != model rate %v", i, b, got.BundleRate[b], want.BundleRate[b])
+			}
+		}
+	}
+}
+
+// TestEvalArenasConcurrent runs ≥4 arenas over one shared Model at once,
+// each evaluating every input many times and checking against the serial
+// reference. Under -race this is the arena-safety acceptance test.
+func TestEvalArenasConcurrent(t *testing.T) {
+	m, inputs := evalInstance(t)
+	// Serial reference results.
+	want := make([]*Result, len(inputs))
+	for i, in := range inputs {
+		want[i] = m.Evaluate(in).Clone()
+	}
+	const arenas = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, arenas)
+	for a := 0; a < arenas; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			arena := m.NewEval()
+			for rep := 0; rep < 20; rep++ {
+				// Stagger the input order per arena so concurrent arenas
+				// are always working on different bundle sets.
+				for k := range inputs {
+					i := (k + a) % len(inputs)
+					got := arena.Evaluate(inputs[i])
+					if got.NetworkUtility != want[i].NetworkUtility {
+						errs <- "arena utility diverged from serial reference"
+						return
+					}
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestEvalArenaIndependentResults verifies two arenas do not share result
+// storage: one arena's Evaluate must not clobber another's Result.
+func TestEvalArenaIndependentResults(t *testing.T) {
+	m, inputs := evalInstance(t)
+	a1, a2 := m.NewEval(), m.NewEval()
+	r1 := a1.Evaluate(inputs[0])
+	u1 := r1.NetworkUtility
+	rates := append([]float64(nil), r1.BundleRate...)
+	if r2 := a2.Evaluate(inputs[1]); r2 == r1 {
+		t.Fatal("arenas returned the same Result pointer")
+	}
+	if r1.NetworkUtility != u1 {
+		t.Error("a2.Evaluate clobbered a1's NetworkUtility")
+	}
+	for i := range rates {
+		if r1.BundleRate[i] != rates[i] {
+			t.Fatalf("a2.Evaluate clobbered a1's BundleRate[%d]", i)
+		}
+	}
+}

@@ -12,9 +12,24 @@
 // per-bundle demand caps.
 //
 // Evaluate is the optimizer's inner loop: it runs thousands of times per
-// optimization, so the implementation indexes dense slices owned by the
-// Model and performs no per-call allocation once the bundle count
-// stabilizes.
+// optimization, so the implementation indexes dense slices owned by an
+// evaluation arena and performs no per-call allocation once the bundle
+// count stabilizes.
+//
+// # Concurrency: Model vs Eval
+//
+// A Model is immutable after New — topology, matrix, capacities and
+// per-aggregate demand never change — and may be shared freely between
+// goroutines. All mutable evaluation scratch lives in an Eval arena
+// obtained from Model.NewEval. Arenas are independent: any number of
+// goroutines may call Evaluate concurrently as long as each goroutine
+// owns its arena. One Eval must never be used from two goroutines at
+// once, and its Result is overwritten by the arena's next Evaluate call.
+//
+// Model.Evaluate remains as a convenience shim over a single default
+// arena embedded in the Model; callers using it inherit that arena's
+// non-reentrancy — clone a Model result (or use separate arenas) before
+// evaluating again.
 package flowmodel
 
 import (
@@ -113,8 +128,9 @@ func (r *Result) Clone() *Result {
 	return c
 }
 
-// Model evaluates the traffic model for one topology + traffic matrix.
-// It is not safe for concurrent use; clone one per goroutine.
+// Model holds the immutable half of an evaluation: topology, traffic
+// matrix, link capacities and per-aggregate demand. It never changes
+// after New and is safe for concurrent use by any number of Eval arenas.
 type Model struct {
 	topo *topology.Topology
 	mat  *traffic.Matrix
@@ -124,6 +140,19 @@ type Model struct {
 	aggFlows    []int
 	aggWeight   []float64
 	totalWeight float64 // sum of weight*flows over all aggregates
+
+	// def is the arena backing the Model.Evaluate shim. It carries the
+	// Model's only mutable state; concurrent callers must use NewEval
+	// arenas instead of sharing it.
+	def *Eval
+}
+
+// Eval is a reusable evaluation arena: all the mutable scratch one
+// water-filling run needs, plus the Result it fills. Arenas over the same
+// Model are independent — one goroutine per arena may Evaluate
+// concurrently — but a single arena is not reentrant.
+type Eval struct {
+	m *Model
 
 	// Scratch state, sized on demand.
 	weight     []float64 // per bundle: flows/RTT
@@ -152,16 +181,12 @@ func New(topo *topology.Topology, mat *traffic.Matrix) (*Model, error) {
 	nL := topo.NumLinks()
 	nA := mat.NumAggregates()
 	m := &Model{
-		topo:       topo,
-		mat:        mat,
-		capacity:   make([]float64, nL),
-		demandPer:  make([]float64, nA),
-		aggFlows:   make([]int, nA),
-		aggWeight:  make([]float64, nA),
-		linkW:      make([]float64, nL),
-		linkFrozen: make([]float64, nL),
-		linkBun:    make([][]int32, nL),
-		linkTSat:   make([]float64, nL),
+		topo:      topo,
+		mat:       mat,
+		capacity:  make([]float64, nL),
+		demandPer: make([]float64, nA),
+		aggFlows:  make([]int, nA),
+		aggWeight: make([]float64, nA),
 	}
 	for i := 0; i < nL; i++ {
 		m.capacity[i] = float64(topo.Capacity(graph.EdgeID(i)))
@@ -173,10 +198,7 @@ func New(topo *topology.Topology, mat *traffic.Matrix) (*Model, error) {
 		m.aggWeight[i] = a.Weight
 		m.totalWeight += a.Weight * float64(a.Flows)
 	}
-	m.res.LinkLoad = make([]float64, nL)
-	m.res.LinkDemand = make([]float64, nL)
-	m.res.IsCongested = make([]bool, nL)
-	m.res.AggUtility = make([]float64, nA)
+	m.def = m.NewEval()
 	return m, nil
 }
 
@@ -186,22 +208,51 @@ func (m *Model) Topology() *topology.Topology { return m.topo }
 // Matrix returns the model's traffic matrix.
 func (m *Model) Matrix() *traffic.Matrix { return m.mat }
 
-// Evaluate runs the water-filling over the bundle set and returns the
-// shared Result (valid until the next Evaluate call).
+// NewEval returns a fresh evaluation arena over the model. The arena is
+// independent of every other arena; hand one to each goroutine that needs
+// to Evaluate concurrently.
+func (m *Model) NewEval() *Eval {
+	nL := m.topo.NumLinks()
+	nA := m.mat.NumAggregates()
+	e := &Eval{
+		m:          m,
+		linkW:      make([]float64, nL),
+		linkFrozen: make([]float64, nL),
+		linkBun:    make([][]int32, nL),
+		linkTSat:   make([]float64, nL),
+	}
+	e.res.LinkLoad = make([]float64, nL)
+	e.res.LinkDemand = make([]float64, nL)
+	e.res.IsCongested = make([]bool, nL)
+	e.res.AggUtility = make([]float64, nA)
+	return e
+}
+
+// Evaluate runs the water-filling on the Model's default arena and
+// returns its shared Result (valid until the next Evaluate call through
+// the same Model). Not safe for concurrent use — concurrent evaluators
+// must each own an arena from NewEval.
 func (m *Model) Evaluate(bundles []Bundle) *Result {
+	return m.def.Evaluate(bundles)
+}
+
+// Evaluate runs the water-filling over the bundle set and returns the
+// arena's Result (valid until this arena's next Evaluate call).
+func (e *Eval) Evaluate(bundles []Bundle) *Result {
+	m := e.m
 	nB := len(bundles)
 	nL := m.topo.NumLinks()
-	m.grow(nB)
-	res := &m.res
+	e.grow(nB)
+	res := &e.res
 	res.BundleRate = res.BundleRate[:nB]
 	res.BundleSatisfied = res.BundleSatisfied[:nB]
 	res.Congested = res.Congested[:0]
 
 	for i := 0; i < nL; i++ {
-		m.linkW[i] = 0
-		m.linkFrozen[i] = 0
-		m.linkBun[i] = m.linkBun[i][:0]
-		m.linkTSat[i] = math.Inf(1)
+		e.linkW[i] = 0
+		e.linkFrozen[i] = 0
+		e.linkBun[i] = e.linkBun[i][:0]
+		e.linkTSat[i] = math.Inf(1)
 		res.LinkLoad[i] = 0
 		res.LinkDemand[i] = 0
 		res.IsCongested[i] = false
@@ -211,27 +262,27 @@ func (m *Model) Evaluate(bundles []Bundle) *Result {
 	active := 0
 	for i, b := range bundles {
 		d := m.demandPer[b.Agg] * float64(b.Flows)
-		m.demand[i] = d
+		e.demand[i] = d
 		res.BundleRate[i] = 0
 		res.BundleSatisfied[i] = false
 		if len(b.Edges) == 0 || b.Flows <= 0 || d == 0 {
 			// Self-pair or empty bundle: satisfied immediately.
 			res.BundleRate[i] = d
 			res.BundleSatisfied[i] = true
-			m.frozen[i] = true
-			m.weight[i] = 0
-			m.tDemand[i] = 0
+			e.frozen[i] = true
+			e.weight[i] = 0
+			e.tDemand[i] = 0
 			continue
 		}
 		w := float64(b.Flows) / b.RTT()
-		m.weight[i] = w
-		m.tDemand[i] = d / w
-		m.frozen[i] = false
+		e.weight[i] = w
+		e.tDemand[i] = d / w
+		e.frozen[i] = false
 		active++
-		for _, e := range b.Edges {
-			m.linkW[e] += w
-			m.linkBun[e] = append(m.linkBun[e], int32(i))
-			res.LinkDemand[e] += d
+		for _, eid := range b.Edges {
+			e.linkW[eid] += w
+			e.linkBun[eid] = append(e.linkBun[eid], int32(i))
+			res.LinkDemand[eid] += d
 		}
 	}
 
@@ -240,55 +291,55 @@ func (m *Model) Evaluate(bundles []Bundle) *Result {
 	// sort correctly as integers, and demand events commute, so float32
 	// granularity cannot change the outcome — only the processing order
 	// of near-simultaneous satisfactions.
-	m.order = m.order[:0]
+	e.order = e.order[:0]
 	for i := 0; i < nB; i++ {
-		if !m.frozen[i] {
-			m.order = append(m.order, uint64(math.Float32bits(float32(m.tDemand[i])))<<32|uint64(uint32(i)))
+		if !e.frozen[i] {
+			e.order = append(e.order, uint64(math.Float32bits(float32(e.tDemand[i])))<<32|uint64(uint32(i)))
 		}
 	}
-	slices.Sort(m.order)
+	slices.Sort(e.order)
 	next := 0 // index into order of the earliest pending demand event
 
 	// Cache each link's saturation time; freezeBundle refreshes the
 	// entries of links it touches and maintains a running minimum so most
 	// events avoid rescanning the whole array.
 	for l := 0; l < nL; l++ {
-		if m.linkW[l] > 0 {
-			m.linkTSat[l] = (m.capacity[l] - m.linkFrozen[l]) / m.linkW[l]
+		if e.linkW[l] > 0 {
+			e.linkTSat[l] = (m.capacity[l] - e.linkFrozen[l]) / e.linkW[l]
 		}
 	}
-	m.minDirty = true
+	e.minDirty = true
 
 	for active > 0 {
 		// Earliest pending demand event.
-		for next < len(m.order) && m.frozen[uint32(m.order[next])] {
+		for next < len(e.order) && e.frozen[uint32(e.order[next])] {
 			next++
 		}
 		tDem := math.Inf(1)
-		if next < len(m.order) {
-			tDem = m.tDemand[uint32(m.order[next])]
+		if next < len(e.order) {
+			tDem = e.tDemand[uint32(e.order[next])]
 		}
 		// Earliest link saturation event (cached; rescan only when the
 		// previous minimum link was itself touched).
-		if m.minDirty {
-			m.minTSat = math.Inf(1)
-			m.minLink = -1
-			for l, t := range m.linkTSat {
-				if t < m.minTSat {
-					m.minTSat = t
-					m.minLink = int32(l)
+		if e.minDirty {
+			e.minTSat = math.Inf(1)
+			e.minLink = -1
+			for l, t := range e.linkTSat {
+				if t < e.minTSat {
+					e.minTSat = t
+					e.minLink = int32(l)
 				}
 			}
-			m.minDirty = false
+			e.minDirty = false
 		}
-		tLink := m.minTSat
-		linkIdx := int(m.minLink)
+		tLink := e.minTSat
+		linkIdx := int(e.minLink)
 		switch {
 		case tDem <= tLink:
 			// Demand satisfied first (ties resolve to satisfaction).
-			i := int(uint32(m.order[next]))
+			i := int(uint32(e.order[next]))
 			next++
-			m.freezeBundle(bundles, i, m.demand[i], true, res)
+			e.freezeBundle(bundles, i, e.demand[i], true, res)
 			active--
 		case linkIdx >= 0:
 			// Link saturates: freeze every active bundle crossing it at
@@ -298,20 +349,20 @@ func (m *Model) Evaluate(bundles []Bundle) *Result {
 				t = 0 // link already over capacity from frozen load
 			}
 			froze, truncated := 0, 0
-			for _, bi := range m.linkBun[linkIdx] {
-				if m.frozen[bi] {
+			for _, bi := range e.linkBun[linkIdx] {
+				if e.frozen[bi] {
 					continue
 				}
-				rate := m.weight[bi] * t
+				rate := e.weight[bi] * t
 				// Floating-point tie: a bundle reaching its demand at the
 				// very instant the link fills is satisfied, not congested.
-				sat := rate >= m.demand[bi]*(1-1e-9)
+				sat := rate >= e.demand[bi]*(1-1e-9)
 				if sat {
-					rate = m.demand[bi]
+					rate = e.demand[bi]
 				} else {
 					truncated++
 				}
-				m.freezeBundle(bundles, int(bi), rate, sat, res)
+				e.freezeBundle(bundles, int(bi), rate, sat, res)
 				active--
 				froze++
 			}
@@ -325,9 +376,9 @@ func (m *Model) Evaluate(bundles []Bundle) *Result {
 			default:
 				// Residual float weight with no active bundle: clear it so
 				// the filling cannot stall on this link.
-				m.linkW[linkIdx] = 0
-				m.linkTSat[linkIdx] = math.Inf(1)
-				m.minDirty = true
+				e.linkW[linkIdx] = 0
+				e.linkTSat[linkIdx] = math.Inf(1)
+				e.minDirty = true
 			}
 		default:
 			// No pending events but active bundles remain: impossible,
@@ -338,44 +389,44 @@ func (m *Model) Evaluate(bundles []Bundle) *Result {
 
 	// Final per-link loads.
 	for l := 0; l < nL; l++ {
-		res.LinkLoad[l] = m.linkFrozen[l]
+		res.LinkLoad[l] = e.linkFrozen[l]
 		if res.LinkLoad[l] > m.capacity[l] {
 			res.LinkLoad[l] = m.capacity[l]
 		}
 	}
-	m.computeUtility(bundles, res)
-	m.computeUtilization(res)
+	e.computeUtility(bundles, res)
+	e.computeUtilization(res)
 	return res
 }
 
 // freezeBundle fixes bundle i at the given rate and removes its weight
 // from its links.
-func (m *Model) freezeBundle(bundles []Bundle, i int, rate float64, satisfied bool, res *Result) {
-	m.frozen[i] = true
+func (e *Eval) freezeBundle(bundles []Bundle, i int, rate float64, satisfied bool, res *Result) {
+	e.frozen[i] = true
 	res.BundleRate[i] = rate
 	res.BundleSatisfied[i] = satisfied
-	w := m.weight[i]
-	for _, e := range bundles[i].Edges {
-		m.linkW[e] -= w
-		if m.linkW[e] < 0 {
-			m.linkW[e] = 0
+	w := e.weight[i]
+	for _, eid := range bundles[i].Edges {
+		e.linkW[eid] -= w
+		if e.linkW[eid] < 0 {
+			e.linkW[eid] = 0
 		}
-		m.linkFrozen[e] += rate
+		e.linkFrozen[eid] += rate
 		var t float64
-		if m.linkW[e] > 0 {
-			t = (m.capacity[e] - m.linkFrozen[e]) / m.linkW[e]
+		if e.linkW[eid] > 0 {
+			t = (e.m.capacity[eid] - e.linkFrozen[eid]) / e.linkW[eid]
 		} else {
 			t = math.Inf(1)
 		}
-		m.linkTSat[e] = t
+		e.linkTSat[eid] = t
 		// Maintain the running minimum: a touched link with a smaller
 		// time becomes the new minimum; touching the minimum itself
 		// forces a rescan (its time may have grown).
-		if e == graph.EdgeID(m.minLink) {
-			m.minDirty = true
-		} else if t < m.minTSat {
-			m.minTSat = t
-			m.minLink = int32(e)
+		if eid == graph.EdgeID(e.minLink) {
+			e.minDirty = true
+		} else if t < e.minTSat {
+			e.minTSat = t
+			e.minLink = int32(eid)
 		}
 	}
 }
@@ -386,7 +437,8 @@ func (m *Model) freezeBundle(bundles []Bundle, i int, rate float64, satisfied bo
 // application experiences — matching the paper's Fig 6 delay spread); an
 // aggregate's utility is its flow-weighted bundle mean; the network's is
 // the weight*flows weighted mean over aggregates (§3 "total average").
-func (m *Model) computeUtility(bundles []Bundle, res *Result) {
+func (e *Eval) computeUtility(bundles []Bundle, res *Result) {
+	m := e.m
 	nA := m.mat.NumAggregates()
 	for i := 0; i < nA; i++ {
 		res.AggUtility[i] = 0
@@ -424,13 +476,13 @@ func (m *Model) computeUtility(bundles []Bundle, res *Result) {
 
 // computeUtilization fills the two §3 utilization metrics over links that
 // carry traffic.
-func (m *Model) computeUtilization(res *Result) {
+func (e *Eval) computeUtilization(res *Result) {
 	var usedCap, load, demand float64
 	for l := range res.LinkLoad {
 		if res.LinkLoad[l] <= 0 && res.LinkDemand[l] <= 0 {
 			continue
 		}
-		usedCap += m.capacity[l]
+		usedCap += e.m.capacity[l]
 		load += res.LinkLoad[l]
 		demand += res.LinkDemand[l]
 	}
@@ -444,20 +496,20 @@ func (m *Model) computeUtilization(res *Result) {
 }
 
 // grow resizes the per-bundle scratch slices.
-func (m *Model) grow(nB int) {
-	if cap(m.weight) < nB {
-		m.weight = make([]float64, nB)
-		m.demand = make([]float64, nB)
-		m.tDemand = make([]float64, nB)
-		m.frozen = make([]bool, nB)
-		m.res.BundleRate = make([]float64, nB)
-		m.res.BundleSatisfied = make([]bool, nB)
-		m.order = make([]uint64, 0, nB)
+func (e *Eval) grow(nB int) {
+	if cap(e.weight) < nB {
+		e.weight = make([]float64, nB)
+		e.demand = make([]float64, nB)
+		e.tDemand = make([]float64, nB)
+		e.frozen = make([]bool, nB)
+		e.res.BundleRate = make([]float64, nB)
+		e.res.BundleSatisfied = make([]bool, nB)
+		e.order = make([]uint64, 0, nB)
 	}
-	m.weight = m.weight[:nB]
-	m.demand = m.demand[:nB]
-	m.tDemand = m.tDemand[:nB]
-	m.frozen = m.frozen[:nB]
+	e.weight = e.weight[:nB]
+	e.demand = e.demand[:nB]
+	e.tDemand = e.tDemand[:nB]
+	e.frozen = e.frozen[:nB]
 }
 
 // Oversubscription returns demand/capacity for a link in the last result.
