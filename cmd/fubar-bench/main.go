@@ -32,6 +32,7 @@ import (
 	"fubar/internal/netsim"
 	"fubar/internal/pathgen"
 	"fubar/internal/report"
+	"fubar/internal/scenario"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -40,13 +41,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench (explicit only; writes -bench-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario (explicit only; write -bench-out/-scenario-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
 		csv      = flag.Bool("csv", false, "emit CSV after each chart")
 		workers  = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_core.json", "output file for the corebench speedup record")
+		scenName = flag.String("scenario", "diurnal", "canned scenario for -exp scenario: diurnal|storm|flashcrowd")
+		epochs   = flag.Int("epochs", 20, "scenario replay epoch count")
+		scenOut  = flag.String("scenario-out", "BENCH_scenario.json", "output file for the scenario replay record")
 	)
 	flag.Parse()
 
@@ -111,12 +115,122 @@ func main() {
 	if want("failover") {
 		run("failover: link failure and warm-start recovery", func() error { return failover(*seed) })
 	}
-	// corebench is explicit-only (not part of "all"): it writes a file in
-	// the working directory, which a figure-reproduction run never asked
-	// for.
+	// corebench and scenario are explicit-only (not part of "all"): they
+	// write files in the working directory, which a figure-reproduction
+	// run never asked for.
 	if *exp == "corebench" {
 		run("corebench: parallel candidate-evaluation speedup", func() error { return coreBench(*seed, *workers, *deadline, *benchOut) })
 	}
+	if *exp == "scenario" {
+		run("scenario: time-varying replay, warm vs cold re-optimization", func() error {
+			return scenarioBench(*scenName, *seed, *epochs, *scenOut)
+		})
+	}
+}
+
+// scenarioBenchRecord is the JSON time-series record `-exp scenario`
+// writes: the scenario's full warm-start epoch table plus the warm/cold
+// totals and the worker-count determinism check.
+type scenarioBenchRecord struct {
+	Benchmark       string           `json:"benchmark"`
+	Scenario        string           `json:"scenario"`
+	Seed            int64            `json:"seed"`
+	Topology        string           `json:"topology"`
+	Aggregates      int              `json:"aggregates"`
+	Epochs          int              `json:"epochs"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	Deterministic   bool             `json:"deterministic"`
+	WarmTotalSteps  int              `json:"warm_total_steps"`
+	ColdTotalSteps  int              `json:"cold_total_steps"`
+	StepRatio       float64          `json:"cold_over_warm_steps"`
+	WarmMeanUtility float64          `json:"warm_mean_utility"`
+	ColdMeanUtility float64          `json:"cold_mean_utility"`
+	WarmElapsedNs   int64            `json:"warm_elapsed_ns"`
+	ColdElapsedNs   int64            `json:"cold_elapsed_ns"`
+	Warm            *scenario.Result `json:"warm"`
+}
+
+// scenarioBench replays a canned scenario on the Hurricane Electric
+// instance three ways — warm-started at one and at four candidate
+// workers (checking the epoch tables are identical) and cold-started —
+// prints the warm epoch table and the comparison, and writes the
+// time-series record to outPath.
+func scenarioBench(name string, seed int64, epochs int, outPath string) error {
+	topo, mat, err := scenario.HEBenchInstance(seed + 4)
+	if err != nil {
+		return err
+	}
+	sc, err := scenario.ByName(name, seed, epochs)
+	if err != nil {
+		return err
+	}
+	measure := func(opts scenario.Options) (*scenario.Result, time.Duration, error) {
+		start := time.Now()
+		r, err := scenario.Run(topo, mat, sc, opts)
+		return r, time.Since(start), err
+	}
+	warm1, warmT, err := measure(scenario.Options{Core: core.Options{Workers: 1}})
+	if err != nil {
+		return err
+	}
+	warm4, _, err := measure(scenario.Options{Core: core.Options{Workers: 4}})
+	if err != nil {
+		return err
+	}
+	cold, coldT, err := measure(scenario.Options{ColdStart: true, Core: core.Options{Workers: 1}})
+	if err != nil {
+		return err
+	}
+	det := warm1.Equivalent(warm4)
+	if err := warm1.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	rec := scenarioBenchRecord{
+		Benchmark:       "scenario replay: warm-started vs cold re-optimization",
+		Scenario:        sc.Name,
+		Seed:            seed,
+		Topology:        topo.Summary(),
+		Aggregates:      mat.NumAggregates(),
+		Epochs:          epochs,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Deterministic:   det,
+		WarmTotalSteps:  warm1.TotalSteps(),
+		ColdTotalSteps:  cold.TotalSteps(),
+		StepRatio:       float64(cold.TotalSteps()) / float64(max(1, warm1.TotalSteps())),
+		WarmMeanUtility: warm1.MeanUtility(),
+		ColdMeanUtility: cold.MeanUtility(),
+		WarmElapsedNs:   warmT.Nanoseconds(),
+		ColdElapsedNs:   coldT.Nanoseconds(),
+		Warm:            warm1,
+	}
+	t := report.NewTable("warm vs cold over "+sc.Name, "metric", "warm", "cold")
+	t.AddRow("total optimizer steps", rec.WarmTotalSteps, rec.ColdTotalSteps)
+	t.AddRow("mean utility", fmt.Sprintf("%.4f", rec.WarmMeanUtility), fmt.Sprintf("%.4f", rec.ColdMeanUtility))
+	t.AddRow("total flow mods", warm1.TotalFlowMods(), cold.TotalFlowMods())
+	t.AddRow("elapsed", warmT.Truncate(time.Millisecond), coldT.Truncate(time.Millisecond))
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	detNote := "identical tables at 1 and 4 workers"
+	if !det {
+		detNote = "TABLES DIVERGED between 1 and 4 workers"
+	}
+	fmt.Printf("utility/epoch: %s  (cold starts commit %.1fx the steps; %s)\n",
+		warm1.UtilitySparkline(), rec.StepRatio, detNote)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scenario record written to %s\n", outPath)
+	// The record is on disk either way; a divergence still fails the run
+	// (and the CI smoke step) loudly.
+	if !det {
+		return fmt.Errorf("scenario: epoch tables diverged between Workers=1 and Workers=4")
+	}
+	return nil
 }
 
 // coreBenchRecord is the JSON speedup record corebench writes: the same
@@ -248,7 +362,9 @@ func failover(seed int64) error {
 	t := report.NewTable("link failure episode", "state", "utility", "notes")
 	t.AddRow("healthy (optimized)", fmt.Sprintf("%.4f", res.Healthy), "")
 	t.AddRow("failed, stale routing", fmt.Sprintf("%.4f", res.Degraded),
-		fmt.Sprintf("link %s down", res.FailedLinkName))
+		fmt.Sprintf("link %s down, crossing flows black-holed", res.FailedLinkName))
+	t.AddRow("repaired warm start", fmt.Sprintf("%.4f", res.Stale),
+		fmt.Sprintf("%d stranded flows rehomed", res.RepairedFlows))
 	t.AddRow("re-optimized (warm start)", fmt.Sprintf("%.4f", res.Recovered),
 		fmt.Sprintf("%d moves in %v", res.ReoptimizeSteps, res.ReoptimizeTime.Truncate(time.Millisecond)))
 	return t.Render(os.Stdout)

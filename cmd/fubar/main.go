@@ -6,9 +6,15 @@
 //	fubar -topology net.topo -seed 7            # random §3-style workload
 //	fubar -he -capacity 75Mbps -seed 1 -v       # HE-31 underprovisioned
 //	fubar -he -large-weight 8                   # prioritize large flows
+//	fubar -scenario diurnal -epochs 12          # replay a demand/topology timeline
 //
 // Without -topology the HE-31 substitute is used. The traffic matrix is
 // always generated from -seed with the paper's class mix.
+//
+// With -scenario the instance becomes epoch 0 of a canned scenario
+// (diurnal | storm | flashcrowd) and every epoch re-optimizes
+// warm-started from the previous allocation; the epoch table reports
+// stale vs re-optimized utility, optimizer effort and routing churn.
 package main
 
 import (
@@ -33,17 +39,21 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "trace progress every 100 steps")
 		showPaths   = flag.Bool("paths", false, "dump the final allocation's paths")
+		scenName    = flag.String("scenario", "", "replay a canned scenario (diurnal|storm|flashcrowd) instead of one optimization")
+		epochs      = flag.Int("epochs", 12, "scenario replay epoch count")
+		cold        = flag.Bool("cold", false, "disable warm starts in the scenario replay")
 	)
 	flag.Parse()
 
-	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths); err != nil {
+	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths, *scenName, *epochs, *cold); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
 		os.Exit(1)
 	}
 }
 
 func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
-	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool) error {
+	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool,
+	scenName string, epochs int, cold bool) error {
 
 	cap, err := fubar.ParseBandwidth(capStr)
 	if err != nil {
@@ -79,6 +89,10 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 					s.Step, s.Elapsed.Truncate(time.Millisecond), s.Result.NetworkUtility, len(s.Result.Congested))
 			}
 		}
+	}
+
+	if scenName != "" {
+		return replay(cfg, scenName, seed, epochs, cold)
 	}
 
 	r, err := fubar.RunExperiment(cfg)
@@ -121,5 +135,34 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 			return err
 		}
 	}
+	return nil
+}
+
+// replay runs the configured instance through a canned scenario and
+// prints the epoch table.
+func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, cold bool) error {
+	topo, mat, err := fubar.ExperimentInstance(cfg)
+	if err != nil {
+		return err
+	}
+	sc, err := fubar.ScenarioByName(name, seed, epochs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %s\n", topo.Summary())
+	fmt.Printf("traffic:  %s (epoch 0)\n", mat.Summary())
+	res, err := fubar.ReplayScenario(topo, mat, sc, fubar.ScenarioOptions{
+		Core:      cfg.Options,
+		ColdStart: cold,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("utility/epoch: %s\n", res.UtilitySparkline())
+	fmt.Printf("totals: %d optimizer steps, %d flow mods, mean utility %.4f (min %.4f)\n",
+		res.TotalSteps(), res.TotalFlowMods(), res.MeanUtility(), res.MinUtility())
 	return nil
 }

@@ -14,6 +14,10 @@
 //   - the optimizer (§2.5, Listings 1–2): Optimize
 //   - baselines (§3): ShortestPathRouting, UpperBound, ECMP, GreedyCSPF
 //   - the full evaluation (§3, Figs 3–7): RunExperiment, Repeatability
+//   - scenario replay (time-varying traffic and topology through
+//     repeated warm-started re-optimization): ReplayScenario,
+//     DiurnalScenario, FailureStormScenario, FlashCrowdScenario,
+//     RepairWarmStart
 //   - the SDN measurement substrate (§2.1–2.2): NewSim, NewEstimator
 //   - traffic classification (§1): NewClassifier
 //   - the naive simulated-annealing comparator (§2.5): Anneal
@@ -43,6 +47,22 @@
 // same move sequence — parallelism changes wall-clock time, never the
 // solution (the one exception is a wall-clock Options.Deadline, which
 // cuts faster runs off after more committed steps).
+//
+// # Scenario replay
+//
+// The paper's system "periodically adjusts" routing as demand and
+// topology change. ReplayScenario makes that a first-class experiment: a
+// Scenario is a seeded timeline of events (diurnal demand scaling,
+// per-aggregate churn, aggregate arrival/departure, link failure and
+// recovery, capacity changes) replayed in discrete epochs. Each epoch
+// re-optimizes warm-started from the previous epoch's installed bundles
+// — RepairWarmStart first remaps, drops and rescales bundles that the
+// epoch's events invalidated, so a warm start never fails validation —
+// and records the stale allocation's utility, the re-optimized utility,
+// the optimizer's effort, and the routing churn (paths changed, flows
+// moved, flow-table operations) a controller would push. Replays are
+// deterministic per seed at any worker count. See the
+// examples/scenario-replay walkthrough and `fubar-bench -exp scenario`.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

@@ -17,6 +17,7 @@ import (
 	"fubar/internal/mpls"
 	"fubar/internal/netsim"
 	"fubar/internal/pathgen"
+	"fubar/internal/scenario"
 	"fubar/internal/sdnsim"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
@@ -215,6 +216,29 @@ const (
 	AltLinkLocalOnly = core.AltLinkLocalOnly
 )
 
+// Warm-start repair.
+type (
+	// RepairStats summarizes what a warm-start repair changed.
+	RepairStats = core.RepairStats
+)
+
+// RepairWarmStart makes an installed allocation a valid warm start for a
+// new (topology, matrix) instance after demand or topology events:
+// bundles on forbidden or vanished links are dropped and their flows
+// rehomed, per-aggregate totals are rescaled to the new matrix, and
+// uncovered aggregates fall back to their lowest-delay compliant path.
+// maxPaths must match the consuming run's Options.MaxPathsPerAggregate
+// (0 = default).
+func RepairWarmStart(topo *Topology, mat *Matrix, bundles []Bundle, policy Policy, maxPaths int) ([]Bundle, RepairStats, error) {
+	return core.RepairWarmStart(topo, mat, bundles, policy, maxPaths)
+}
+
+// ForbidLinks builds a Policy.ForbiddenLinks mask marking each given
+// physical link in both directions.
+func ForbidLinks(topo *Topology, links ...LinkID) []bool {
+	return pathgen.ForbidLinks(topo, links...)
+}
+
 // Optimize runs FUBAR end to end on a topology and matrix.
 func Optimize(topo *Topology, mat *Matrix, opts Options) (*Solution, error) {
 	model, err := flowmodel.New(topo, mat)
@@ -283,9 +307,86 @@ func RelaxedDelay(seed int64) ExperimentConfig { return experiment.RelaxedDelay(
 // RunExperiment executes a configured evaluation run.
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
 
-// Repeatability reruns a configuration across consecutive seeds (Fig 7).
+// ExperimentInstance materializes a configuration's topology and traffic
+// matrix without optimizing — e.g. as epoch 0 of a scenario replay.
+func ExperimentInstance(cfg ExperimentConfig) (*Topology, *Matrix, error) {
+	return experiment.Instance(cfg)
+}
+
+// Repeatability reruns a configuration across consecutive seeds (Fig 7),
+// parallelized across Options.Workers with per-run arenas; the
+// distributions are identical at any worker count.
 func Repeatability(base ExperimentConfig, runs int) (*RepeatabilityResult, error) {
 	return experiment.Repeatability(base, runs)
+}
+
+// Scenario replay (time-varying traffic and topology through repeated
+// warm-started re-optimization).
+type (
+	// Scenario is a seeded timeline of demand/topology events replayed
+	// over a start instance.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timeline entry.
+	ScenarioEvent = scenario.Event
+	// ScenarioEventKind enumerates the event types.
+	ScenarioEventKind = scenario.EventKind
+	// ScenarioOptions tunes a replay.
+	ScenarioOptions = scenario.Options
+	// ScenarioResult is a completed replay (one EpochRecord per epoch).
+	ScenarioResult = scenario.Result
+	// EpochRecord is one epoch of a replay: stale vs re-optimized
+	// utility, optimizer effort and routing churn.
+	EpochRecord = scenario.EpochResult
+)
+
+// Scenario event kinds.
+const (
+	EventDemandScale     = scenario.DemandScale
+	EventDemandChurn     = scenario.DemandChurn
+	EventAggregateArrive = scenario.AggregateArrive
+	EventAggregateDepart = scenario.AggregateDepart
+	EventLinkFail        = scenario.LinkFail
+	EventLinkRecover     = scenario.LinkRecover
+	EventCapacityScale   = scenario.CapacityScale
+)
+
+// DiurnalScenario traces a day of demand: a sinusoid between
+// (1-amplitude) and (1+amplitude) of base demand with per-aggregate
+// churn layered on each epoch.
+func DiurnalScenario(seed int64, epochs int, amplitude, churn float64) Scenario {
+	return scenario.Diurnal(seed, epochs, amplitude, churn)
+}
+
+// FailureStormScenario fails random links one per epoch, rides the
+// degraded plateau, then recovers them oldest-first.
+func FailureStormScenario(seed int64, epochs, failures int) Scenario {
+	return scenario.FailureStorm(seed, epochs, failures)
+}
+
+// FlashCrowdScenario spikes demand (plus a burst of new aggregates) a
+// quarter into the timeline and decays it back.
+func FlashCrowdScenario(seed int64, epochs int, spike float64, arrivals int) Scenario {
+	return scenario.FlashCrowd(seed, epochs, spike, arrivals)
+}
+
+// ScenarioByName resolves a canned scenario ("diurnal", "storm",
+// "flashcrowd") with its default shape for the epoch count.
+func ScenarioByName(name string, seed int64, epochs int) (Scenario, error) {
+	return scenario.ByName(name, seed, epochs)
+}
+
+// ReplayScenario replays a scenario over the start instance: each epoch
+// applies its events, repairs the installed allocation into a valid warm
+// start, re-optimizes, and records utility, effort and churn. Replays
+// are deterministic per seed at any worker count.
+func ReplayScenario(topo *Topology, mat *Matrix, sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	return scenario.Run(topo, mat, sc, opts)
+}
+
+// ReplayScenarioSeeds replays a scenario once per seed across
+// ScenarioOptions.Workers goroutines, results ordered by seed index.
+func ReplayScenarioSeeds(topo *Topology, mat *Matrix, sc Scenario, seeds []int64, opts ScenarioOptions) ([]*ScenarioResult, error) {
+	return scenario.RunSeeds(topo, mat, sc, seeds, opts)
 }
 
 // SDN measurement substrate.

@@ -427,7 +427,67 @@ func TestFacadeFailover(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Failover: %v", err)
 	}
-	if !(res.Degraded < res.Healthy && res.Recovered >= res.Degraded) {
+	// Recovery improves on the repaired (installable) stale state; the
+	// pre-repair Degraded number black-holes stranded flows and is not a
+	// floor.
+	if !(res.Degraded < res.Healthy && res.Recovered >= res.Stale && res.Stale <= res.Degraded) {
 		t.Fatalf("failover shape wrong: %+v", res)
+	}
+}
+
+func TestFacadeScenarioReplay(t *testing.T) {
+	topo, mat := testRingInstance(t, 31)
+	sc := DiurnalScenario(3, 4, 0.3, 0.1)
+	res, err := ReplayScenario(topo, mat, sc, ScenarioOptions{})
+	if err != nil {
+		t.Fatalf("ReplayScenario: %v", err)
+	}
+	if len(res.Epochs) != 4 || res.TotalSteps() == 0 {
+		t.Fatalf("replay shape wrong: %+v", res)
+	}
+	for i, e := range res.Epochs {
+		if e.Utility < e.StaleUtility-1e-9 {
+			t.Fatalf("epoch %d lost utility: %+v", i, e)
+		}
+	}
+	// Hand-written timeline through the facade event constants.
+	custom := Scenario{
+		Name: "facade-events", Seed: 1, Epochs: 3,
+		Events: []ScenarioEvent{
+			{Epoch: 1, Kind: EventLinkFail, Link: 0},
+			{Epoch: 2, Kind: EventLinkRecover, Link: 0},
+		},
+	}
+	cres, err := ReplayScenario(topo, mat, custom, ScenarioOptions{})
+	if err != nil {
+		t.Fatalf("custom replay: %v", err)
+	}
+	if cres.Epochs[1].FailedLinks != 1 || cres.Epochs[2].FailedLinks != 0 {
+		t.Fatalf("failure timeline not reflected: %+v", cres.Epochs)
+	}
+	// Seed fan-out through the facade.
+	many, err := ReplayScenarioSeeds(topo, mat, sc, []int64{5, 6}, ScenarioOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("ReplayScenarioSeeds: %v", err)
+	}
+	if len(many) != 2 || many[0].Seed != 5 || many[1].Seed != 6 {
+		t.Fatalf("seed fan-out wrong: %+v", many)
+	}
+	// Warm-start repair exposed directly.
+	sol, err := Optimize(topo, mat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forb := ForbidLinks(topo, 0)
+	repaired, _, err := RepairWarmStart(topo, mat, sol.Bundles, Policy{ForbiddenLinks: forb}, 0)
+	if err != nil {
+		t.Fatalf("RepairWarmStart: %v", err)
+	}
+	for _, b := range repaired {
+		for _, e := range b.Edges {
+			if forb[e] {
+				t.Fatalf("repaired bundle crosses forbidden link: %+v", b)
+			}
+		}
 	}
 }

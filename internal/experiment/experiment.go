@@ -5,12 +5,14 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"fubar/internal/baseline"
 	"fubar/internal/core"
 	"fubar/internal/flowmodel"
 	"fubar/internal/metrics"
+	"fubar/internal/par"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -93,19 +95,21 @@ type RunResult struct {
 	Topology *topology.Topology
 }
 
-// Run executes one configured optimization.
-func Run(cfg Config) (*RunResult, error) {
+// Instance materializes the configured topology and traffic matrix
+// without optimizing — the preparation half of Run, shared with the
+// scenario-replay front ends, which use it as epoch 0 of a timeline.
+func Instance(cfg Config) (*topology.Topology, *traffic.Matrix, error) {
 	topo := cfg.Topology
 	var err error
 	if topo == nil {
 		topo, err = topology.HurricaneElectric(cfg.Capacity)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else if cfg.Capacity > 0 {
 		topo, err = topo.WithUniformCapacity(cfg.Capacity)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	tc := traffic.DefaultGenConfig(cfg.Seed)
@@ -115,7 +119,7 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	mat, err := traffic.Generate(topo, tc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.LargeWeight > 0 && cfg.LargeWeight != 1 {
 		mat, err = mat.WithWeights(func(a traffic.Aggregate) float64 {
@@ -125,7 +129,7 @@ func Run(cfg Config) (*RunResult, error) {
 			return 1
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if cfg.DelayScale > 0 && cfg.DelayScale != 1 {
@@ -133,8 +137,17 @@ func Run(cfg Config) (*RunResult, error) {
 			return a.Class != utility.ClassLargeFile
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+	}
+	return topo, mat, nil
+}
+
+// Run executes one configured optimization.
+func Run(cfg Config) (*RunResult, error) {
+	topo, mat, err := Instance(cfg)
+	if err != nil {
+		return nil, err
 	}
 	return RunOn(topo, mat, cfg.Options)
 }
@@ -221,24 +234,49 @@ type RepeatabilityResult struct {
 }
 
 // Repeatability reruns the configuration across `runs` consecutive seeds
-// (Fig 7 uses 100 runs of the provisioned case).
+// (Fig 7 uses 100 runs of the provisioned case). Runs execute in
+// parallel: the base.Options.Workers budget (default GOMAXPROCS) is
+// split between across-seed fan-out and within-run candidate
+// evaluation, so few runs on many cores still parallelize inside each
+// run while many runs get one evaluator each. Each run owns its model,
+// matrix and evaluation arenas — runs share nothing — and results are
+// collected by seed index, so the distributions are identical at any
+// worker count; a Trace callback on base.Options must be safe for
+// concurrent invocation.
 func Repeatability(base Config, runs int) (*RepeatabilityResult, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
 	}
-	fub := make([]float64, 0, runs)
-	sp := make([]float64, 0, runs)
-	ub := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
+	workers := base.Options.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	width := workers
+	if width > runs {
+		width = runs
+	}
+	perRun := workers / width // >= 1: the leftover budget parallelizes within runs
+	fub := make([]float64, runs)
+	sp := make([]float64, runs)
+	ub := make([]float64, runs)
+	errs := make([]error, runs)
+	par.ForEach(runs, width, func(i int) {
 		cfg := base
 		cfg.Seed = base.Seed + int64(i)
+		cfg.Options.Workers = perRun
 		r, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: seed %d: %v", cfg.Seed, err)
+			errs[i] = fmt.Errorf("experiment: seed %d: %v", cfg.Seed, err)
+			return
 		}
-		fub = append(fub, r.Solution.Utility)
-		sp = append(sp, r.ShortestPath)
-		ub = append(ub, r.UpperBound)
+		fub[i] = r.Solution.Utility
+		sp[i] = r.ShortestPath
+		ub[i] = r.UpperBound
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &RepeatabilityResult{
 		Fubar:        metrics.NewCDF(fub),

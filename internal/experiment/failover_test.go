@@ -33,26 +33,35 @@ func TestFailoverShape(t *testing.T) {
 			t.Fatalf("seed %d: Failover: %v", seed, err)
 		}
 		// The failure must hurt and the re-optimization must recover a
-		// real part of the loss (full recovery is impossible: capacity
-		// genuinely shrank).
+		// real part of the loss over the repaired (installable) stale
+		// state. Degraded is not a recovery floor: it black-holes the
+		// stranded flows, which a valid allocation cannot do. Full
+		// recovery is impossible: capacity genuinely shrank.
 		if res.Degraded >= res.Healthy {
 			t.Fatalf("seed %d: failure did not hurt: healthy %.4f, degraded %.4f",
 				seed, res.Healthy, res.Degraded)
 		}
-		if res.Recovered <= res.Degraded {
-			t.Fatalf("seed %d: no recovery: degraded %.4f, recovered %.4f",
-				seed, res.Degraded, res.Recovered)
+		if res.Stale >= res.Degraded {
+			t.Fatalf("seed %d: rehoming stranded flows should cost utility before re-optimizing: degraded %.4f, stale %.4f",
+				seed, res.Degraded, res.Stale)
+		}
+		if res.Recovered <= res.Stale {
+			t.Fatalf("seed %d: no recovery: stale %.4f, recovered %.4f",
+				seed, res.Stale, res.Recovered)
 		}
 		if res.Recovered > res.Healthy+1e-9 {
 			t.Fatalf("seed %d: recovered %.4f above healthy %.4f with less capacity",
 				seed, res.Recovered, res.Healthy)
 		}
+		if res.RepairedFlows == 0 {
+			t.Fatalf("seed %d: hottest link failed but repair moved no flows", seed)
+		}
 		if res.FailedLinkName == "" || res.ReoptimizeSteps == 0 {
 			t.Fatalf("seed %d: episode metadata missing: %+v", seed, res)
 		}
-		t.Logf("seed %d: %s failed: %.4f -> %.4f -> %.4f (%d steps, %v)",
-			seed, res.FailedLinkName, res.Healthy, res.Degraded, res.Recovered,
-			res.ReoptimizeSteps, res.ReoptimizeTime)
+		t.Logf("seed %d: %s failed: %.4f -> %.4f (stale %.4f) -> %.4f (%d steps, %v, %d flows repaired)",
+			seed, res.FailedLinkName, res.Healthy, res.Degraded, res.Stale, res.Recovered,
+			res.ReoptimizeSteps, res.ReoptimizeTime, res.RepairedFlows)
 	}
 }
 

@@ -1,0 +1,44 @@
+// Package par holds the tiny parallel fan-out helper the experiment
+// runners share: independent indexed work items claimed from an atomic
+// counter across a bounded goroutine pool. Callers collect results and
+// errors into per-index slices, which keeps output deterministic at any
+// worker count.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs f(i) for every i in [0, n) across up to `workers`
+// goroutines (claiming indices in order from an atomic counter) and
+// returns when all calls have finished. workers <= 1 runs serially on
+// the calling goroutine. f must be safe for concurrent invocation on
+// distinct indices.
+func ForEach(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

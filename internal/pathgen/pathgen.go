@@ -37,6 +37,24 @@ type Policy struct {
 	MaxDelay unit.Delay
 }
 
+// ForbidLinks returns a ForbiddenLinks mask over the topology with each
+// given physical link marked in both directions. IDs outside the
+// topology are ignored. It centralizes the "forbid the link and its
+// reverse" dance the failure experiments and the scenario engine share.
+func ForbidLinks(topo *topology.Topology, links ...topology.LinkID) []bool {
+	mask := make([]bool, topo.NumLinks())
+	for _, id := range links {
+		if int(id) < 0 || int(id) >= len(mask) {
+			continue
+		}
+		mask[id] = true
+		if r := topo.Link(id).Reverse; r >= 0 {
+			mask[r] = true
+		}
+	}
+	return mask
+}
+
 // Generator produces policy-compliant paths over one topology. It caches
 // lowest-delay paths (they never change) and reuses exclusion scratch
 // space. Not safe for concurrent use.

@@ -1,0 +1,535 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
+
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/par"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+	"fubar/internal/utility"
+)
+
+// scenAgg is one aggregate's scenario-lifetime state. The key survives
+// matrix re-indexing; flows at epoch e are
+// round(baseFlows * globalScale * mult), floored at 1.
+type scenAgg struct {
+	key       int64
+	src, dst  topology.NodeID
+	class     utility.Class
+	fn        utility.Function
+	weight    float64
+	baseFlows int
+	mult      float64
+	active    bool
+}
+
+// engine holds one replay's accumulated state.
+type engine struct {
+	base     *topology.Topology
+	baseCaps []unit.Bandwidth
+	// capFactor accumulates CapacityScale events per directed link;
+	// failed marks directed links of downed physical links.
+	capFactor   []float64
+	failed      []bool
+	failedOrder []topology.LinkID // forward IDs of downed physical links, oldest first
+	outAdj      [][]topology.LinkID
+	inAdj       [][]topology.LinkID
+
+	aggs    []scenAgg
+	nextKey int64
+	scale   float64
+
+	sc       Scenario
+	opts     Options
+	arrivals traffic.GenConfig
+
+	installed []keyedBundle
+}
+
+// Run replays the scenario over the start instance and returns the epoch
+// table. The base matrix must be bound to the base topology. Replays are
+// deterministic for a given (scenario, seed) at any worker count; only
+// EpochResult.Elapsed varies.
+func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*Result, error) {
+	if topo == nil || mat == nil {
+		return nil, fmt.Errorf("scenario: nil topology or matrix")
+	}
+	if mat.Topology() != topo {
+		return nil, fmt.Errorf("scenario: matrix bound to a different topology")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	nL := topo.NumLinks()
+	for _, e := range sc.Events {
+		if (e.Kind == LinkFail || e.Kind == LinkRecover || e.Kind == CapacityScale) &&
+			int(e.Link) >= nL {
+			return nil, fmt.Errorf("scenario: event targets link %d, topology has %d", e.Link, nL)
+		}
+	}
+	en := &engine{
+		base:      topo,
+		baseCaps:  make([]unit.Bandwidth, nL),
+		capFactor: make([]float64, nL),
+		failed:    make([]bool, nL),
+		outAdj:    make([][]topology.LinkID, topo.NumNodes()),
+		inAdj:     make([][]topology.LinkID, topo.NumNodes()),
+		scale:     1,
+		sc:        sc,
+		opts:      opts,
+		arrivals:  opts.Arrivals,
+	}
+	if reflect.DeepEqual(en.arrivals, traffic.GenConfig{}) {
+		en.arrivals = traffic.DefaultGenConfig(sc.Seed)
+	} else if err := en.arrivals.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: Arrivals config: %w", err)
+	}
+	for i := 0; i < nL; i++ {
+		l := topo.Link(topology.LinkID(i))
+		en.baseCaps[i] = l.Capacity
+		en.capFactor[i] = 1
+		en.outAdj[l.From] = append(en.outAdj[l.From], l.ID)
+		en.inAdj[l.To] = append(en.inAdj[l.To], l.ID)
+	}
+	for _, a := range mat.Aggregates() {
+		en.aggs = append(en.aggs, scenAgg{
+			key: en.nextKey, src: a.Src, dst: a.Dst, class: a.Class,
+			fn: a.Fn, weight: a.Weight, baseFlows: a.Flows, mult: 1, active: true,
+		})
+		en.nextKey++
+	}
+
+	// Index the timeline by epoch, preserving slice order within one.
+	byEpoch := make([][]Event, sc.Epochs)
+	for _, e := range sc.Events {
+		byEpoch[e.Epoch] = append(byEpoch[e.Epoch], e)
+	}
+
+	res := &Result{Name: sc.Name, Seed: sc.Seed, Topology: topo.Summary(), ColdStart: opts.ColdStart}
+	for epoch := 0; epoch < sc.Epochs; epoch++ {
+		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
+		var events []string
+		for _, e := range byEpoch[epoch] {
+			desc, err := en.apply(e, rng)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
+			}
+			events = append(events, desc)
+		}
+		er, err := en.optimizeEpoch(epoch, events)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
+		}
+		res.Epochs = append(res.Epochs, *er)
+	}
+	return res, nil
+}
+
+// RunSeeds replays the scenario once per seed (each run uses the
+// scenario with its Seed replaced), fanning the independent runs across
+// Options.Workers goroutines. Each run owns its engine, models and
+// arenas. When Core.Workers is left default, the worker budget is split
+// between the fan-out and within-run candidate evaluation (few seeds on
+// many cores still parallelize inside each replay); an explicit
+// Core.Workers is honored as-is. Results are ordered by seed index
+// regardless of completion order.
+func RunSeeds(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, seeds []int64, opts Options) ([]*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("scenario: no seeds")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	width := workers
+	if width > len(seeds) {
+		width = len(seeds)
+	}
+	runOpts := opts
+	if runOpts.Core.Workers <= 0 {
+		runOpts.Core.Workers = workers / width // >= 1
+	}
+	out := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	par.ForEach(len(seeds), width, func(i int) {
+		s := sc
+		s.Seed = seeds[i]
+		out[i], errs[i] = Run(topo, mat, s, runOpts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: seed %d: %w", seeds[i], err)
+		}
+	}
+	return out, nil
+}
+
+// apply mutates the engine state for one event and describes it.
+func (en *engine) apply(e Event, rng *rand.Rand) (string, error) {
+	switch e.Kind {
+	case DemandScale:
+		en.scale = e.Factor
+		return fmt.Sprintf("demand x%.2f", e.Factor), nil
+
+	case DemandChurn:
+		hit := 0
+		for i := range en.aggs {
+			if !en.aggs[i].active {
+				continue
+			}
+			if rng.Float64() >= e.Fraction {
+				continue
+			}
+			m := en.aggs[i].mult * math.Exp(rng.NormFloat64()*e.Factor)
+			en.aggs[i].mult = math.Min(8, math.Max(0.125, m))
+			hit++
+		}
+		return fmt.Sprintf("churn %d aggs (s=%.2f)", hit, e.Factor), nil
+
+	case AggregateArrive:
+		n := en.base.NumNodes()
+		if n < 2 {
+			return "+0 aggregates (no peer nodes)", nil
+		}
+		for i := 0; i < e.Count; i++ {
+			a, err := traffic.RandomAggregate(rng, en.arrivals)
+			if err != nil {
+				return "", err
+			}
+			src := topology.NodeID(rng.Intn(n))
+			dst := (src + 1 + topology.NodeID(rng.Intn(n-1))) % topology.NodeID(n)
+			en.aggs = append(en.aggs, scenAgg{
+				key: en.nextKey, src: src, dst: dst, class: a.Class,
+				fn: a.Fn, weight: a.Weight, baseFlows: a.Flows, mult: 1, active: true,
+			})
+			en.nextKey++
+		}
+		return fmt.Sprintf("+%d aggregates", e.Count), nil
+
+	case AggregateDepart:
+		gone := 0
+		for i := 0; i < e.Count; i++ {
+			var active []int
+			for j := range en.aggs {
+				if en.aggs[j].active {
+					active = append(active, j)
+				}
+			}
+			if len(active) <= 1 {
+				break
+			}
+			en.aggs[active[rng.Intn(len(active))]].active = false
+			gone++
+		}
+		return fmt.Sprintf("-%d aggregates", gone), nil
+
+	case LinkFail:
+		id := e.Link
+		if id < 0 {
+			id = en.pickFailableLink(rng)
+			if id < 0 {
+				return "fail: no failable link", nil
+			}
+		}
+		id = en.forwardID(id)
+		if en.failed[id] {
+			return fmt.Sprintf("fail %s (already down)", en.base.LinkName(id)), nil
+		}
+		en.setFailed(id, true)
+		en.failedOrder = append(en.failedOrder, id)
+		return fmt.Sprintf("fail %s", en.base.LinkName(id)), nil
+
+	case LinkRecover:
+		id := e.Link
+		if id < 0 {
+			if len(en.failedOrder) == 0 {
+				return "recover: nothing down", nil
+			}
+			id = en.failedOrder[0]
+		}
+		id = en.forwardID(id)
+		if !en.failed[id] {
+			return fmt.Sprintf("recover %s (already up)", en.base.LinkName(id)), nil
+		}
+		en.setFailed(id, false)
+		for i, f := range en.failedOrder {
+			if f == id {
+				en.failedOrder = append(en.failedOrder[:i], en.failedOrder[i+1:]...)
+				break
+			}
+		}
+		return fmt.Sprintf("recover %s", en.base.LinkName(id)), nil
+
+	case CapacityScale:
+		if e.Link < 0 {
+			for i := range en.capFactor {
+				en.capFactor[i] *= e.Factor
+			}
+			return fmt.Sprintf("capacity x%.2f (all links)", e.Factor), nil
+		}
+		id := en.forwardID(e.Link)
+		en.capFactor[id] *= e.Factor
+		if r := en.base.Link(id).Reverse; r >= 0 {
+			en.capFactor[r] *= e.Factor
+		}
+		return fmt.Sprintf("capacity x%.2f %s", e.Factor, en.base.LinkName(id)), nil
+	}
+	return "", fmt.Errorf("unknown event kind %d", uint8(e.Kind))
+}
+
+// forwardID canonicalizes a directed link ID to its physical link's
+// forward direction (the lower ID of the pair).
+func (en *engine) forwardID(id topology.LinkID) topology.LinkID {
+	if r := en.base.Link(id).Reverse; r >= 0 && r < id {
+		return r
+	}
+	return id
+}
+
+// setFailed marks both directions of a physical link.
+func (en *engine) setFailed(id topology.LinkID, down bool) {
+	en.failed[id] = down
+	if r := en.base.Link(id).Reverse; r >= 0 {
+		en.failed[r] = down
+	}
+}
+
+// pickFailableLink chooses a random live physical link whose loss keeps
+// the topology strongly connected, or -1 if none qualifies. Candidates
+// are enumerated in ID order so the choice is deterministic.
+func (en *engine) pickFailableLink(rng *rand.Rand) topology.LinkID {
+	var cands []topology.LinkID
+	for i := 0; i < en.base.NumLinks(); i++ {
+		l := en.base.Link(topology.LinkID(i))
+		if l.Reverse >= 0 && l.Reverse < l.ID {
+			continue // reverse direction of an already-seen pair
+		}
+		if en.failed[l.ID] {
+			continue
+		}
+		if en.connectedWithout(l.ID) {
+			cands = append(cands, l.ID)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// connectedWithout reports whether the topology stays strongly connected
+// with the currently failed links plus the given physical link removed.
+func (en *engine) connectedWithout(extra topology.LinkID) bool {
+	skip := func(id topology.LinkID) bool {
+		if en.failed[id] || id == extra {
+			return true
+		}
+		if r := en.base.Link(extra).Reverse; r >= 0 && id == r {
+			return true
+		}
+		return false
+	}
+	return en.reaches(en.outAdj, func(id topology.LinkID) topology.NodeID { return en.base.Link(id).To }, skip) &&
+		en.reaches(en.inAdj, func(id topology.LinkID) topology.NodeID { return en.base.Link(id).From }, skip)
+}
+
+// reaches BFSes from node 0 over the adjacency and reports whether every
+// node is reached.
+func (en *engine) reaches(adj [][]topology.LinkID, next func(topology.LinkID) topology.NodeID, skip func(topology.LinkID) bool) bool {
+	n := en.base.NumNodes()
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []topology.NodeID{0}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range adj[u] {
+			if skip(id) {
+				continue
+			}
+			v := next(id)
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// optimizeEpoch materializes the epoch instance, repairs and applies the
+// warm start, re-optimizes, and records the epoch row.
+func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error) {
+	// Epoch topology: base capacities under accumulated factors, failed
+	// links at zero.
+	caps := make([]unit.Bandwidth, len(en.baseCaps))
+	for i := range caps {
+		if en.failed[i] {
+			continue // zero
+		}
+		caps[i] = unit.Bandwidth(float64(en.baseCaps[i]) * en.capFactor[i])
+	}
+	topoE, err := en.base.WithCapacities(caps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Epoch matrix: active aggregates under the demand state, with the
+	// stable key of each dense matrix index recorded for remapping.
+	var aggs []traffic.Aggregate
+	var keys []int64
+	for _, a := range en.aggs {
+		if !a.active {
+			continue
+		}
+		flows := int(math.Round(float64(a.baseFlows) * en.scale * a.mult))
+		if flows < 1 {
+			flows = 1
+		}
+		aggs = append(aggs, traffic.Aggregate{
+			Src: a.src, Dst: a.dst, Class: a.class, Flows: flows,
+			Fn: a.fn, Weight: a.weight,
+		})
+		keys = append(keys, a.key)
+	}
+	matE, err := traffic.NewMatrix(topoE, aggs)
+	if err != nil {
+		return nil, err
+	}
+	model, err := flowmodel.New(topoE, matE)
+	if err != nil {
+		return nil, err
+	}
+
+	// Epoch policy: the user's policy with failed links forbidden.
+	coreOpts := en.opts.Core
+	forb := make([]bool, topoE.NumLinks())
+	copy(forb, coreOpts.Policy.ForbiddenLinks)
+	for i, f := range en.failed {
+		if f {
+			forb[i] = true
+		}
+	}
+	coreOpts.Policy.ForbiddenLinks = forb
+	coreOpts.InitialBundles = nil
+
+	er := &EpochResult{
+		Epoch:      epoch,
+		Events:     events,
+		Aggregates: matE.NumAggregates(),
+		Flows:      matE.TotalFlows(),
+		DemandKbps: float64(matE.TotalDemand()),
+	}
+	er.FailedLinks = len(en.failedOrder)
+
+	if len(en.installed) > 0 {
+		// Remap installed bundles onto the epoch's aggregate IDs via the
+		// stable keys; departed aggregates drop here.
+		keyToID := make(map[int64]traffic.AggregateID, len(keys))
+		for i, k := range keys {
+			keyToID[k] = traffic.AggregateID(i)
+		}
+		var remapped []flowmodel.Bundle
+		for _, kb := range en.installed {
+			id, ok := keyToID[kb.key]
+			if !ok {
+				er.RepairDropped++
+				continue
+			}
+			remapped = append(remapped, flowmodel.Bundle{Agg: id, Flows: kb.flows, Edges: kb.edges})
+		}
+		repaired, stats, err := core.RepairWarmStart(topoE, matE, remapped, coreOpts.Policy, coreOpts.MaxPathsPerAggregate)
+		if err != nil {
+			return nil, err
+		}
+		er.RepairDropped += stats.DroppedBundles
+		er.RepairMovedFlows = stats.MovedFlows
+		er.StaleUtility = model.Evaluate(repaired).NetworkUtility
+		if !en.opts.ColdStart {
+			coreOpts.InitialBundles = repaired
+			er.WarmStart = true
+		}
+	}
+
+	sol, err := core.Run(model, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	if len(en.installed) == 0 {
+		er.StaleUtility = sol.InitialUtility
+	}
+	er.Utility = sol.Utility
+	er.Steps = sol.Steps
+	er.Escalations = sol.Escalations
+	er.Stop = sol.Stop
+	er.StopReason = sol.Stop.String()
+	er.Elapsed = sol.Elapsed
+
+	// Routing churn against the previously installed allocation, keyed
+	// by stable aggregate identity and path.
+	next := make([]keyedBundle, 0, len(sol.Bundles))
+	for _, b := range sol.Bundles {
+		if len(b.Edges) == 0 {
+			continue // self-pair traffic never hits the flow tables
+		}
+		next = append(next, keyedBundle{key: keys[b.Agg], flows: b.Flows, edges: b.Edges})
+	}
+	er.PathsChanged, er.FlowsMoved, er.FlowMods = churn(en.installed, next)
+	en.installed = next
+	return er, nil
+}
+
+// churn diffs two installed allocations over (aggregate key, path)
+// pairs. See EpochResult for the metric definitions.
+func churn(prev, next []keyedBundle) (pathsChanged, flowsMoved, flowMods int) {
+	index := func(bs []keyedBundle) map[string]int {
+		m := make(map[string]int, len(bs))
+		for _, b := range bs {
+			k := strconv.FormatInt(b.key, 10) + "|" + pathKey(b.edges)
+			m[k] += b.flows
+		}
+		return m
+	}
+	old, cur := index(prev), index(next)
+	for k, nf := range cur {
+		of := old[k]
+		if of == 0 {
+			pathsChanged++
+		}
+		if nf != of {
+			flowMods++
+		}
+		if nf > of {
+			flowsMoved += nf - of
+		}
+	}
+	for k := range old {
+		if _, ok := cur[k]; !ok {
+			pathsChanged++
+			flowMods++
+		}
+	}
+	return
+}
+
+// pathKey renders an edge sequence as a map key.
+func pathKey(edges []topology.LinkID) string {
+	var b []byte
+	for i, e := range edges {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(e), 10)
+	}
+	return string(b)
+}

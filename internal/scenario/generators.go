@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// HEBenchInstance is the canonical replay-benchmark instance shared by
+// the acceptance test and `fubar-bench -exp scenario`: the Hurricane
+// Electric 31-POP substitute at 6 Mbps per link with a deterministic
+// every-5th-pair thinning of the §3 workload — HE's spatial structure
+// at a fifth of the optimization cost, so a 20-epoch replay finishes in
+// seconds.
+func HEBenchInstance(seed int64) (*topology.Topology, *traffic.Matrix, error) {
+	topo, err := topology.HurricaneElectric(6 * unit.Mbps)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := traffic.DefaultGenConfig(seed)
+	cfg.RealTimeFlows = [2]int{2, 10}
+	cfg.BulkFlows = [2]int{1, 4}
+	cfg.IncludeSelfPairs = false
+	full, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mat, err := full.Subset(func(a traffic.Aggregate) bool { return a.ID%5 == 0 })
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, mat, nil
+}
+
+// Diurnal returns a day-long demand curve: every epoch sets the global
+// demand factor from a sinusoid starting at the overnight trough
+// (1-amplitude), peaking mid-timeline (1+amplitude) and returning to the
+// trough, with optional per-aggregate churn layered on every epoch
+// (churn is the lognormal sigma; 0 disables). This is the canonical
+// "periodically adjust as demand shifts" workload.
+func Diurnal(seed int64, epochs int, amplitude, churn float64) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("diurnal-%dep-a%.2f", epochs, amplitude),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	for e := 0; e < epochs; e++ {
+		phase := 2 * math.Pi * float64(e) / float64(epochs)
+		factor := 1 - amplitude*math.Cos(phase)
+		sc.Events = append(sc.Events, Event{Epoch: e, Kind: DemandScale, Factor: factor})
+		if churn > 0 {
+			sc.Events = append(sc.Events, Event{Epoch: e, Kind: DemandChurn, Factor: churn, Fraction: 0.3})
+		}
+	}
+	return sc
+}
+
+// FailureStorm returns a cascading-failure episode: after a healthy
+// first epoch, one random (non-partitioning) link fails per epoch until
+// `failures` links are down, the network rides out the degraded plateau,
+// and the links then recover oldest-first. Epochs must leave room for
+// the storm: epochs >= 2*failures + 2.
+func FailureStorm(seed int64, epochs, failures int) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("failure-storm-%dep-f%d", epochs, failures),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	if failures < 1 {
+		failures = 1
+	}
+	// Failures start at epoch 1; recoveries fill the tail.
+	for i := 0; i < failures && 1+i < epochs; i++ {
+		sc.Events = append(sc.Events, Event{Epoch: 1 + i, Kind: LinkFail, Link: -1})
+	}
+	for i := 0; i < failures; i++ {
+		e := epochs - failures + i
+		if e <= failures { // timeline too short: recover as late as possible
+			e = failures + 1 + i
+		}
+		if e < epochs {
+			sc.Events = append(sc.Events, Event{Epoch: e, Kind: LinkRecover, Link: -1})
+		}
+	}
+	return sc
+}
+
+// FlashCrowd returns a sudden-hotspot episode: at one quarter of the
+// timeline `arrivals` new aggregates appear and global demand spikes to
+// `spike`x, then decays geometrically back to baseline while the crowd
+// departs near the end.
+func FlashCrowd(seed int64, epochs int, spike float64, arrivals int) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("flash-crowd-%dep-x%.1f", epochs, spike),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	onset := epochs / 4
+	tau := float64(epochs) / 6
+	if tau < 1 {
+		tau = 1
+	}
+	for e := 0; e < epochs; e++ {
+		factor := 1.0
+		if e >= onset {
+			factor = 1 + (spike-1)*math.Exp(-float64(e-onset)/tau)
+		}
+		sc.Events = append(sc.Events, Event{Epoch: e, Kind: DemandScale, Factor: factor})
+	}
+	if arrivals > 0 && onset < epochs {
+		sc.Events = append(sc.Events, Event{Epoch: onset, Kind: AggregateArrive, Count: arrivals})
+		depart := epochs - 1 - epochs/8
+		if depart > onset {
+			sc.Events = append(sc.Events, Event{Epoch: depart, Kind: AggregateDepart, Count: arrivals})
+		}
+	}
+	return sc
+}
+
+// ByName resolves a canned scenario by its short name ("diurnal",
+// "storm", "flashcrowd") with that scenario's default shape for the
+// given epoch count — the lookup the CLI front ends share.
+func ByName(name string, seed int64, epochs int) (Scenario, error) {
+	switch name {
+	case "diurnal":
+		return Diurnal(seed, epochs, 0.4, 0.15), nil
+	case "storm":
+		failures := epochs / 4
+		if failures < 1 {
+			failures = 1
+		}
+		return FailureStorm(seed, epochs, failures), nil
+	case "flashcrowd":
+		return FlashCrowd(seed, epochs, 2.0, 8), nil
+	default:
+		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have diurnal, storm, flashcrowd)", name)
+	}
+}

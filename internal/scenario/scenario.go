@@ -1,0 +1,322 @@
+// Package scenario replays a timeline of demand and topology events
+// through repeated warm-started re-optimization — the "periodically
+// adjusts routing as demand and topology change" operating mode of the
+// paper's offline controller, made into a first-class experiment.
+//
+// A Scenario is a start instance (topology + traffic matrix) plus an
+// ordered timeline of events: diurnal demand scaling, per-aggregate
+// demand churn, aggregate arrival and departure, link failure and
+// recovery, capacity changes. Time is discrete: epoch e applies the
+// events scheduled at e, materializes the epoch's topology and matrix,
+// and re-optimizes via the core optimizer warm-started from the previous
+// epoch's installed bundles (repaired by core.RepairWarmStart so a
+// topology event never invalidates the warm start). Each epoch records
+// an EpochResult: the utility of the stale allocation before
+// re-optimizing, the re-optimized utility, optimizer effort, and the
+// routing churn a controller would have to push.
+//
+// All randomness inside a replay derives from a per-epoch RNG seeded by
+// mixing the scenario seed with the epoch index, so a scenario replays
+// bit-identically for a given seed at any Options.Workers or
+// Options.Core.Workers count (wall-clock fields aside).
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// EventKind enumerates the timeline event types.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// DemandScale sets the global demand factor: every aggregate's flow
+	// count becomes round(base * Factor * churn multiplier). The factor
+	// is absolute against the base matrix, not cumulative, so a diurnal
+	// curve cannot drift.
+	DemandScale EventKind = iota
+	// DemandChurn redraws per-aggregate demand multipliers: each active
+	// aggregate is selected with probability Fraction and has its
+	// multiplier scaled by a lognormal step of sigma Factor.
+	DemandChurn
+	// AggregateArrive adds Count new aggregates with random endpoints
+	// and a class drawn from the arrival GenConfig.
+	AggregateArrive
+	// AggregateDepart removes Count random active aggregates (at least
+	// one aggregate always remains).
+	AggregateDepart
+	// LinkFail takes a physical link down (capacity zero both
+	// directions, link forbidden to new paths). Link < 0 picks a random
+	// live link whose loss keeps the topology connected.
+	LinkFail
+	// LinkRecover restores a failed physical link. Link < 0 recovers
+	// the longest-failed one.
+	LinkRecover
+	// CapacityScale multiplies a physical link's capacity by Factor
+	// (cumulative). Link < 0 scales every link.
+	CapacityScale
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case DemandScale:
+		return "demand-scale"
+	case DemandChurn:
+		return "demand-churn"
+	case AggregateArrive:
+		return "arrive"
+	case AggregateDepart:
+		return "depart"
+	case LinkFail:
+		return "link-fail"
+	case LinkRecover:
+		return "link-recover"
+	case CapacityScale:
+		return "capacity-scale"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one timeline entry, applied at the start of its epoch.
+// Events sharing an epoch apply in slice order.
+type Event struct {
+	// Epoch the event fires at, in [0, Scenario.Epochs).
+	Epoch int
+	// Kind selects the event type.
+	Kind EventKind
+	// Link targets a physical link for LinkFail / LinkRecover /
+	// CapacityScale; -1 lets the engine pick (see the kind docs).
+	Link topology.LinkID
+	// Factor parameterizes DemandScale (absolute demand factor),
+	// DemandChurn (lognormal sigma) and CapacityScale (multiplier).
+	Factor float64
+	// Fraction is the share of aggregates a DemandChurn redraws.
+	Fraction float64
+	// Count is how many aggregates an AggregateArrive / AggregateDepart
+	// adds or removes.
+	Count int
+}
+
+// Scenario is a named, seeded timeline over a start instance.
+type Scenario struct {
+	// Name labels reports and bench records.
+	Name string
+	// Seed drives every random choice of the replay via per-epoch RNGs.
+	Seed int64
+	// Epochs is the number of re-optimization rounds (at least 1).
+	Epochs int
+	// Events is the timeline; entries apply at the start of their epoch.
+	Events []Event
+}
+
+// Validate checks the timeline against the epoch count.
+func (s Scenario) Validate() error {
+	if s.Epochs <= 0 {
+		return fmt.Errorf("scenario: %q has %d epochs", s.Name, s.Epochs)
+	}
+	for i, e := range s.Events {
+		if e.Epoch < 0 || e.Epoch >= s.Epochs {
+			return fmt.Errorf("scenario: event %d epoch %d outside [0,%d)", i, e.Epoch, s.Epochs)
+		}
+		switch e.Kind {
+		case DemandScale, CapacityScale:
+			if e.Factor <= 0 {
+				return fmt.Errorf("scenario: event %d (%s) needs a positive Factor, got %v", i, e.Kind, e.Factor)
+			}
+		case DemandChurn:
+			if e.Factor <= 0 || e.Fraction <= 0 || e.Fraction > 1 {
+				return fmt.Errorf("scenario: event %d (%s) needs Factor > 0 and Fraction in (0,1], got %v/%v",
+					i, e.Kind, e.Factor, e.Fraction)
+			}
+		case AggregateArrive, AggregateDepart:
+			if e.Count <= 0 {
+				return fmt.Errorf("scenario: event %d (%s) needs a positive Count, got %d", i, e.Kind, e.Count)
+			}
+		case LinkFail, LinkRecover:
+			// Link is validated against the topology at run time.
+		default:
+			return fmt.Errorf("scenario: event %d has unknown kind %d", i, uint8(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Options tunes a replay. The zero value is usable.
+type Options struct {
+	// Core configures each epoch's optimizer run. InitialBundles and
+	// Policy.ForbiddenLinks are managed by the engine (warm start and
+	// failed links); anything set there is overridden or merged.
+	Core core.Options
+	// ColdStart disables warm starting: every epoch optimizes from the
+	// shortest-path placement. The stale-allocation utility is still
+	// recorded, so cold and warm replays stay comparable.
+	ColdStart bool
+	// Arrivals is the class mix AggregateArrive events draw from; the
+	// zero value means traffic.DefaultGenConfig, and anything else is
+	// validated up front (its Seed field is ignored — the per-epoch RNG
+	// drives the draws).
+	Arrivals traffic.GenConfig
+	// Workers bounds the RunSeeds fan-out (default GOMAXPROCS). A
+	// single Run is inherently sequential — every epoch warm-starts
+	// from the previous one — so within a run only Core.Workers
+	// parallelism applies.
+	Workers int
+}
+
+// EpochResult is one epoch of a replay. Two replays of the same scenario
+// and seed produce identical results at any worker count, except for the
+// wall-clock Elapsed field.
+type EpochResult struct {
+	// Epoch indexes the round, 0-based.
+	Epoch int `json:"epoch"`
+	// Events describes the timeline entries applied this epoch.
+	Events []string `json:"events,omitempty"`
+	// Aggregates and Flows describe the epoch's traffic matrix.
+	Aggregates int `json:"aggregates"`
+	Flows      int `json:"flows"`
+	// DemandKbps is the matrix's total backbone demand.
+	DemandKbps float64 `json:"demand_kbps"`
+	// FailedLinks counts physical links currently down.
+	FailedLinks int `json:"failed_links"`
+	// WarmStart reports whether this epoch re-optimized from the
+	// previous installed allocation (false for epoch 0 and cold runs).
+	WarmStart bool `json:"warm_start"`
+	// StaleUtility is the utility of the allocation in the network
+	// before this epoch re-optimized: the previous installed bundles,
+	// repaired onto the epoch's instance. For epoch 0 it is the
+	// shortest-path placement's utility.
+	StaleUtility float64 `json:"stale_utility"`
+	// Utility is the re-optimized network utility.
+	Utility float64 `json:"utility"`
+	// Steps and Escalations are the optimizer's committed moves and
+	// escalation count; Stop is its termination reason.
+	Steps       int             `json:"steps"`
+	Escalations int             `json:"escalations"`
+	Stop        core.StopReason `json:"-"`
+	// StopReason is Stop rendered for JSON records.
+	StopReason string `json:"stop"`
+	// Elapsed is the epoch's optimization wall time (not deterministic).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// RepairDropped / RepairMovedFlows summarize the warm-start repair:
+	// bundles dropped (dead paths, departed aggregates) and flows the
+	// repair re-placed before the optimizer ran.
+	RepairDropped    int `json:"repair_dropped"`
+	RepairMovedFlows int `json:"repair_moved_flows"`
+	// Routing churn against the previously installed allocation, over
+	// (aggregate, path) pairs keyed by the scenario's stable aggregate
+	// identity:
+	//
+	//   PathsChanged — pairs present in exactly one of the two
+	//   allocations (paths brought up plus paths torn down);
+	//   FlowsMoved   — sum of positive per-pair flow increases: flows
+	//   now on a path they were not on before;
+	//   FlowMods     — pairs whose flow count changed at all: the
+	//   flow-table add/modify/delete operations a controller would push.
+	//
+	// Epoch 0 reports the full initial installation.
+	PathsChanged int `json:"paths_changed"`
+	FlowsMoved   int `json:"flows_moved"`
+	FlowMods     int `json:"flow_mods"`
+}
+
+// Result is a completed replay.
+type Result struct {
+	// Name and Seed identify the scenario run.
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Topology summarizes the base topology.
+	Topology string `json:"topology"`
+	// ColdStart records whether warm starting was disabled.
+	ColdStart bool `json:"cold_start"`
+	// Epochs holds one entry per epoch in order.
+	Epochs []EpochResult `json:"epochs"`
+}
+
+// TotalSteps sums committed optimizer moves over all epochs.
+func (r *Result) TotalSteps() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += e.Steps
+	}
+	return n
+}
+
+// TotalFlowMods sums the controller-visible flow-table operations over
+// all epochs (including the epoch-0 installation).
+func (r *Result) TotalFlowMods() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += e.FlowMods
+	}
+	return n
+}
+
+// MeanUtility averages the re-optimized utility over epochs.
+func (r *Result) MeanUtility() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range r.Epochs {
+		s += e.Utility
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// MinUtility is the worst re-optimized epoch utility.
+func (r *Result) MinUtility() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	m := r.Epochs[0].Utility
+	for _, e := range r.Epochs[1:] {
+		if e.Utility < m {
+			m = e.Utility
+		}
+	}
+	return m
+}
+
+// Equivalent reports whether two replays produced the same epoch table,
+// ignoring wall-clock fields — the determinism contract checked by tests
+// and the bench harness.
+func (r *Result) Equivalent(o *Result) bool {
+	if r.Name != o.Name || r.Seed != o.Seed || r.ColdStart != o.ColdStart || len(r.Epochs) != len(o.Epochs) {
+		return false
+	}
+	for i := range r.Epochs {
+		a, b := r.Epochs[i], o.Epochs[i]
+		a.Elapsed, b.Elapsed = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyedBundle is one installed (aggregate, path) entry carried between
+// epochs under the scenario's stable aggregate key, which survives
+// matrix re-indexing as aggregates arrive and depart.
+type keyedBundle struct {
+	key   int64
+	flows int
+	edges []graph.EdgeID
+}
+
+// epochSeed mixes the scenario seed with the epoch index (splitmix64
+// finalizer) so every epoch owns an independent deterministic stream.
+func epochSeed(seed int64, epoch int) int64 {
+	z := uint64(seed) + uint64(epoch+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"fubar/internal/report"
+)
+
+// Table renders the replay as a report table: one row per epoch with the
+// demand/topology state, the stale-vs-reoptimized utilities, optimizer
+// effort and routing churn — the CLI front ends' shared epoch view.
+func (r *Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("scenario %s (seed %d)", r.Name, r.Seed),
+		"epoch", "events", "aggs", "flows", "down", "stale", "utility", "steps", "elapsed", "flowmods", "moved",
+	)
+	for _, e := range r.Epochs {
+		events := ""
+		for i, ev := range e.Events {
+			if i > 0 {
+				events += "; "
+			}
+			events += ev
+		}
+		t.AddRow(e.Epoch, events, e.Aggregates, e.Flows, e.FailedLinks,
+			fmt.Sprintf("%.4f", e.StaleUtility), fmt.Sprintf("%.4f", e.Utility),
+			e.Steps, e.Elapsed.Truncate(time.Millisecond), e.FlowMods, e.FlowsMoved)
+	}
+	return t
+}
+
+// UtilitySparkline renders the per-epoch re-optimized utility as a
+// compact sparkline for log lines.
+func (r *Result) UtilitySparkline() string {
+	vals := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		vals[i] = e.Utility
+	}
+	return report.Sparkline(vals)
+}

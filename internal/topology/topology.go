@@ -179,6 +179,25 @@ func (t *Topology) WithLinkCapacity(id LinkID, c unit.Bandwidth) (*Topology, err
 	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, g: t.g}, nil
 }
 
+// WithCapacities returns a copy with every directed link's capacity
+// replaced by caps[linkID]. A zero capacity models a failed link (as in
+// WithLinkCapacity); negative capacities and a length mismatch are
+// rejected. The scenario engine uses this to materialize one topology per
+// epoch from an accumulated failure/degradation state.
+func (t *Topology) WithCapacities(caps []unit.Bandwidth) (*Topology, error) {
+	if len(caps) != len(t.links) {
+		return nil, fmt.Errorf("topology: WithCapacities got %d capacities for %d links", len(caps), len(t.links))
+	}
+	links := append([]Link(nil), t.links...)
+	for i := range links {
+		if caps[i] < 0 {
+			return nil, fmt.Errorf("topology: negative capacity %v for link %s", caps[i], t.LinkName(LinkID(i)))
+		}
+		links[i].Capacity = caps[i]
+	}
+	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, g: t.g}, nil
+}
+
 // LinkName renders a directed link as "A->B".
 func (t *Topology) LinkName(id LinkID) string {
 	l := t.links[id]

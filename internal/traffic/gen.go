@@ -61,7 +61,9 @@ func DefaultGenConfig(seed int64) GenConfig {
 	}
 }
 
-func (c GenConfig) validate() error {
+// Validate checks the generation parameters; the zero value is invalid
+// (flow ranges must be positive).
+func (c GenConfig) Validate() error {
 	if c.RealTimeFraction < 0 || c.RealTimeFraction > 1 {
 		return fmt.Errorf("traffic: RealTimeFraction %v outside [0,1]", c.RealTimeFraction)
 	}
@@ -85,7 +87,7 @@ func (c GenConfig) validate() error {
 // Generate draws a random traffic matrix over all ordered node pairs of the
 // topology according to the config. Deterministic for a given seed.
 func Generate(topo *topology.Topology, cfg GenConfig) (*Matrix, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -172,6 +174,18 @@ func drawAggregate(rng *rand.Rand, cfg GenConfig) Aggregate {
 			Weight: 1,
 		}
 	}
+}
+
+// RandomAggregate draws one aggregate's class, flow count, utility
+// function and weight from the config's class mix using the caller's RNG
+// stream — the single-aggregate form of Generate, used by the scenario
+// engine to materialize aggregate arrivals mid-replay. Src and Dst are
+// left zero for the caller to fill.
+func RandomAggregate(rng *rand.Rand, cfg GenConfig) (Aggregate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Aggregate{}, err
+	}
+	return drawAggregate(rng, cfg), nil
 }
 
 // Uniform builds a deterministic all-pairs matrix in which every aggregate

@@ -172,6 +172,24 @@ func (m *Matrix) WithDelayScaled(factor float64, match func(Aggregate) bool) (*M
 	return &Matrix{topo: m.topo, aggs: aggs}, nil
 }
 
+// Subset returns a copy keeping only the aggregates the predicate
+// accepts, re-densifying IDs in order. Useful for thinning an all-pairs
+// matrix into a faster instance with the same spatial structure (the
+// scenario bench keeps every k-th pair); at least one aggregate must
+// survive.
+func (m *Matrix) Subset(keep func(Aggregate) bool) (*Matrix, error) {
+	var aggs []Aggregate
+	for _, a := range m.aggs {
+		if keep(a) {
+			aggs = append(aggs, a)
+		}
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("traffic: Subset kept no aggregates")
+	}
+	return NewMatrix(m.topo, aggs)
+}
+
 // Summary renders a one-line description of the matrix composition.
 func (m *Matrix) Summary() string {
 	return fmt.Sprintf("%d aggregates (%d real-time, %d bulk, %d large), %d flows, demand %s",
