@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario (explicit only; write -bench-out/-scenario-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench (explicit only; write -bench-out/-scenario-out/-eval-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
@@ -51,6 +51,8 @@ func main() {
 		scenName = flag.String("scenario", "diurnal", "canned scenario for -exp scenario: diurnal|storm|flashcrowd")
 		epochs   = flag.Int("epochs", 20, "scenario replay epoch count")
 		scenOut  = flag.String("scenario-out", "BENCH_scenario.json", "output file for the scenario replay record")
+		evalOut  = flag.String("eval-out", "BENCH_eval.json", "output file for the evalbench record")
+		evalInst = flag.String("eval-instance", "he", "evalbench instance: he (thinned HE-31) or ring (small CI smoke)")
 	)
 	flag.Parse()
 
@@ -126,6 +128,179 @@ func main() {
 			return scenarioBench(*scenName, *seed, *epochs, *scenOut)
 		})
 	}
+	if *exp == "evalbench" {
+		run("evalbench: incremental vs full candidate evaluation", func() error {
+			return evalBench(*evalInst, *seed, *evalOut)
+		})
+	}
+}
+
+// evalBenchRecord is the JSON record `-exp evalbench` writes: paired
+// per-candidate timing medians for the full and incremental (delta)
+// evaluation strategies over one real optimization run, the differential
+// verdict, and the end-to-end on/off comparison.
+type evalBenchRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Instance        string  `json:"instance"`
+	Topology        string  `json:"topology"`
+	Aggregates      int     `json:"aggregates"`
+	DenseBundles    int     `json:"dense_bundles"`
+	Seed            int64   `json:"seed"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	Workers         int     `json:"workers"`
+	Candidates      int     `json:"candidates"`
+	Identical       bool    `json:"identical"`
+	MedianFullNs    int64   `json:"median_full_ns"`
+	MedianDeltaNs   int64   `json:"median_delta_ns"`
+	MedianSpeedup   float64 `json:"median_speedup"`
+	MeanSpeedup     float64 `json:"mean_speedup"`
+	DeltaCalls      int64   `json:"delta_calls"`
+	DeltaFallbacks  int64   `json:"delta_fallbacks"`
+	DeltaExpansions int64   `json:"delta_expansions"`
+	AffectedFrac    float64 `json:"affected_frac"`
+	RunFullNs       int64   `json:"run_full_best_ns"`
+	RunDeltaNs      int64   `json:"run_delta_best_ns"`
+	RunSpeedup      float64 `json:"run_speedup"`
+	Steps           int     `json:"steps"`
+	Utility         float64 `json:"utility"`
+	Deterministic   bool    `json:"deterministic"`
+}
+
+// evalBench times every candidate of one real optimization both ways
+// (core.RunCandidateBench — the differential doubles as a correctness
+// assertion), then measures the optimizer end to end with DeltaEval on
+// vs off at Workers=1, and writes the record to outPath. The speedup is
+// single-core algorithmic, so it is meaningful even on a 1-CPU host.
+func evalBench(instance string, seed int64, outPath string) error {
+	var topo *topology.Topology
+	var mat *traffic.Matrix
+	var err error
+	switch instance {
+	case "he":
+		topo, mat, err = scenario.HEBenchInstance(seed + 4)
+	case "ring":
+		topo, mat, err = benchInstance(seed)
+	default:
+		err = fmt.Errorf("evalbench: unknown instance %q (want he or ring)", instance)
+	}
+	if err != nil {
+		return err
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return err
+	}
+	cb, err := core.RunCandidateBench(model, core.Options{})
+	if err != nil {
+		return err
+	}
+	if !cb.Identical {
+		return fmt.Errorf("evalbench: delta utilities diverged from full evaluations")
+	}
+
+	// End to end at Workers=1, best of 3, both strategies.
+	const rounds = 3
+	measure := func(mode core.DeltaMode) (time.Duration, *core.Solution, error) {
+		var best time.Duration
+		var sol *core.Solution
+		for i := 0; i < rounds; i++ {
+			m, err := flowmodel.New(topo, mat)
+			if err != nil {
+				return 0, nil, err
+			}
+			start := time.Now()
+			s, err := core.Run(m, core.Options{Workers: 1, DeltaEval: mode})
+			if err != nil {
+				return 0, nil, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			sol = s
+		}
+		return best, sol, nil
+	}
+	deltaT, deltaSol, err := measure(core.DeltaAuto)
+	if err != nil {
+		return err
+	}
+	fullT, fullSol, err := measure(core.DeltaOff)
+	if err != nil {
+		return err
+	}
+	det := deltaSol.Steps == fullSol.Steps && deltaSol.Utility == fullSol.Utility &&
+		reflect.DeepEqual(deltaSol.Bundles, fullSol.Bundles)
+
+	st := cb.Delta
+	affected := 0.0
+	if st.ListBundles > 0 {
+		affected = float64(st.AffectedBundles) / float64(st.ListBundles)
+	}
+	dense := 0
+	// ListBundles accumulates only for non-fallback calls; divide by the
+	// same population.
+	if n := st.Calls - st.Fallbacks; n > 0 {
+		dense = int(st.ListBundles / n)
+	}
+	rec := evalBenchRecord{
+		Benchmark:       "flowmodel: incremental (delta) vs full candidate evaluation",
+		Instance:        instance,
+		Topology:        topo.Summary(),
+		Aggregates:      mat.NumAggregates(),
+		DenseBundles:    dense,
+		Seed:            seed,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Workers:         1,
+		Candidates:      cb.Candidates(),
+		Identical:       cb.Identical,
+		MedianFullNs:    cb.MedianFullNs(),
+		MedianDeltaNs:   cb.MedianDeltaNs(),
+		MedianSpeedup:   cb.MedianSpeedup(),
+		MeanSpeedup:     cb.MeanSpeedup(),
+		DeltaCalls:      st.Calls,
+		DeltaFallbacks:  st.Fallbacks,
+		DeltaExpansions: st.Expansions,
+		AffectedFrac:    affected,
+		RunFullNs:       fullT.Nanoseconds(),
+		RunDeltaNs:      deltaT.Nanoseconds(),
+		RunSpeedup:      float64(fullT) / float64(deltaT),
+		Steps:           deltaSol.Steps,
+		Utility:         deltaSol.Utility,
+		Deterministic:   det,
+	}
+	t := report.NewTable("incremental candidate evaluation", "metric", "value")
+	t.AddRow("instance", fmt.Sprintf("%s (%d aggregates, %d dense bundles)", instance, rec.Aggregates, rec.DenseBundles))
+	t.AddRow("candidates timed", rec.Candidates)
+	// Table duration cells truncate to milliseconds; these are µs-scale.
+	t.AddRow("median full eval", time.Duration(rec.MedianFullNs).String())
+	t.AddRow("median delta eval", time.Duration(rec.MedianDeltaNs).String())
+	t.AddRow("median speedup", fmt.Sprintf("%.2fx", rec.MedianSpeedup))
+	t.AddRow("mean speedup", fmt.Sprintf("%.2fx", rec.MeanSpeedup))
+	t.AddRow("affected fraction", fmt.Sprintf("%.3f", rec.AffectedFrac))
+	t.AddRow("fallbacks / expansions", fmt.Sprintf("%d / %d of %d", rec.DeltaFallbacks, rec.DeltaExpansions, rec.DeltaCalls))
+	t.AddRow("run (delta on, Workers=1)", deltaT.Truncate(time.Microsecond))
+	t.AddRow("run (delta off, Workers=1)", fullT.Truncate(time.Microsecond))
+	t.AddRow("run speedup", fmt.Sprintf("%.2fx", rec.RunSpeedup))
+	t.AddRow("bit-identical candidates", rec.Identical)
+	t.AddRow("identical solutions on/off", det)
+	t.AddRow("GOMAXPROCS", rec.GOMAXPROCS)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("evalbench record written to %s\n", outPath)
+	if !det {
+		return fmt.Errorf("evalbench: DeltaAuto and DeltaOff runs diverged (steps %d vs %d)", deltaSol.Steps, fullSol.Steps)
+	}
+	return nil
 }
 
 // scenarioBenchRecord is the JSON time-series record `-exp scenario`

@@ -48,6 +48,28 @@
 // solution (the one exception is a wall-clock Options.Deadline, which
 // cuts faster runs off after more committed steps).
 //
+// # Incremental evaluation
+//
+// Each candidate move perturbs one aggregate, so by default the
+// optimizer evaluates candidates incrementally (Options.DeltaEval,
+// default DeltaAuto): every step captures one full evaluation of the
+// committed allocation (ModelEval.EvaluateBase) and each candidate
+// re-solves only the affected sub-problem against it
+// (ModelEval.EvaluateDelta) — the fixpoint of links whose crossing
+// bundles changed, propagated through binding (capacity-constraining)
+// links, with optimistic exclusion of demand-frozen bundles and
+// slack links verified by an in-fill guard and a monotone-load check.
+// Delta results are bit-identical to full evaluations (rates, loads,
+// congested set, utilities), so the committed move sequence is the same
+// with DeltaEval on or off at any worker count; only the cost changes —
+// proportional to the move's congested neighborhood instead of the whole
+// network (~2x median per-candidate on the HE-31 bench instance, see
+// `fubar-bench -exp evalbench` / BENCH_eval.json). Solution.Delta
+// reports call, fallback and expansion counters. The same anatomy powers
+// parallel annealing restarts: AnnealRestarts fans best-of-n
+// seed-indexed restarts across workers with per-restart arenas,
+// worker-count-invariant.
+//
 // # Scenario replay
 //
 // The paper's system "periodically adjusts" routing as demand and

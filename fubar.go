@@ -198,6 +198,14 @@ type (
 	Policy = pathgen.Policy
 	// AltMode restricts the alternative-path trio (ablations).
 	AltMode = core.AltMode
+	// DeltaMode selects the candidate-evaluation strategy
+	// (Options.DeltaEval).
+	DeltaMode = core.DeltaMode
+	// DeltaStats counts incremental-evaluation activity
+	// (Solution.Delta).
+	DeltaStats = flowmodel.DeltaStats
+	// ModelBase is a captured base evaluation for ModelEval.EvaluateDelta.
+	ModelBase = flowmodel.Base
 )
 
 // Stop reasons.
@@ -214,6 +222,16 @@ const (
 	AltGlobalOnly    = core.AltGlobalOnly
 	AltLocalOnly     = core.AltLocalOnly
 	AltLinkLocalOnly = core.AltLinkLocalOnly
+)
+
+// Candidate-evaluation strategies (Options.DeltaEval).
+const (
+	// DeltaAuto (default) evaluates candidate moves incrementally against
+	// a per-step base snapshot — bit-identical to full evaluation, cost
+	// proportional to the move's affected sub-problem.
+	DeltaAuto = core.DeltaAuto
+	// DeltaOff runs a full water-filling per candidate.
+	DeltaOff = core.DeltaOff
 )
 
 // Warm-start repair.
@@ -456,11 +474,21 @@ type (
 	AnnealOptions = anneal.Options
 	// AnnealSolution is a simulated-annealing outcome.
 	AnnealSolution = anneal.Solution
+	// AnnealRestartsResult is a parallel best-of-n restarts outcome.
+	AnnealRestartsResult = anneal.RestartsResult
 )
 
 // Anneal runs the naive simulated-annealing allocator on a model.
 func Anneal(model *Model, opts AnnealOptions) (*AnnealSolution, error) {
 	return anneal.Run(model, opts)
+}
+
+// AnnealRestarts runs n independent annealing restarts (seeds
+// opts.Seed..opts.Seed+n-1) across up to workers goroutines, each on a
+// private evaluation arena, and returns the per-seed solutions plus the
+// best. Results are identical at any worker count.
+func AnnealRestarts(model *Model, opts AnnealOptions, n, workers int) (*AnnealRestartsResult, error) {
+	return anneal.RunRestarts(model, opts, n, workers)
 }
 
 // Traffic classification (§1 "crude heuristics supplemented by operator

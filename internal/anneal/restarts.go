@@ -1,0 +1,68 @@
+package anneal
+
+import (
+	"fmt"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/par"
+)
+
+// RestartsResult is the outcome of RunRestarts: every restart's solution
+// in seed order plus the best one.
+type RestartsResult struct {
+	// Solutions holds one solution per restart, indexed by restart number
+	// (restart i ran with seed Options.Seed + i).
+	Solutions []*Solution
+	// Best is the highest-utility solution; ties resolve to the lowest
+	// restart index, so the pick is worker-count-invariant.
+	Best *Solution
+	// BestIndex is Best's restart number.
+	BestIndex int
+}
+
+// RunRestarts runs n independent annealing restarts over one shared
+// model, fanning them across up to workers goroutines (workers <= 0 means
+// one per restart). Restart i runs with seed opts.Seed + i and its own
+// Annealer — a private flowmodel.Eval arena and private path state — so
+// restarts never contend; results are collected by restart index and the
+// best pick breaks ties toward the lower index, making the whole result
+// identical at any worker count. This is the cheap way to spend cores on
+// the §2.5 comparator: the naive annealer is randomized and restart
+// variance is large, so the best-of-n envelope is the fair baseline
+// against FUBAR's deterministic escalation.
+func RunRestarts(model *flowmodel.Model, opts Options, n, workers int) (*RestartsResult, error) {
+	if model == nil {
+		return nil, fmt.Errorf("anneal: nil model")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("anneal: restarts must be positive, got %d", n)
+	}
+	if workers <= 0 {
+		workers = n
+	}
+	sols := make([]*Solution, n)
+	errs := make([]error, n)
+	par.ForEach(n, workers, func(i int) {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		a, err := New(model, o)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sols[i] = a.Run()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &RestartsResult{Solutions: sols, Best: sols[0]}
+	for i, s := range sols {
+		if s.Utility > r.Best.Utility {
+			r.Best = s
+			r.BestIndex = i
+		}
+	}
+	return r, nil
+}

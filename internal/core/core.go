@@ -14,16 +14,28 @@
 // # Parallel candidate evaluation
 //
 // Trial evaluations dominate the runtime: every step tests each
-// (aggregate × crossing-bundle × alternative) candidate with a full
+// (aggregate × crossing-bundle × alternative) candidate with a
 // water-filling over all bundles. The optimizer therefore first collects
 // the step's candidate moves and then evaluates them across
 // Options.Workers goroutines (default GOMAXPROCS), each owning a private
 // flowmodel.Eval arena and assembling its trial bundle list from the
-// committed list plus a patched segment for the moving aggregate. Move
-// selection replays the candidates in collection order, so the committed
-// move sequence — and thus the whole Solution — is identical for any
-// worker count (unless a wall-clock Options.Deadline truncates the run;
-// see Options.Workers).
+// step's dense committed list with the moving aggregate's two path
+// entries patched. Move selection replays the candidates in collection
+// order, so the committed move sequence — and thus the whole Solution —
+// is identical for any worker count (unless a wall-clock Options.Deadline
+// truncates the run; see Options.Workers).
+//
+// # Incremental candidate evaluation
+//
+// With Options.DeltaEval left at DeltaAuto (the default), each step
+// evaluates the committed allocation once (flowmodel.Eval.EvaluateBase on
+// the optimizer's base arena) and every candidate runs
+// flowmodel.Eval.EvaluateDelta against that shared read-only base: only
+// the sub-problem the move actually perturbs is re-filled, with automatic
+// fallback to a full evaluation when the affected set is large. Delta
+// results are bit-identical to full evaluations of the same list, so
+// DeltaAuto and DeltaOff commit the exact same move sequence at any
+// worker count.
 package core
 
 import (
@@ -75,6 +87,33 @@ func (m AltMode) String() string {
 	}
 }
 
+// DeltaMode selects the candidate-evaluation strategy.
+type DeltaMode uint8
+
+// Candidate-evaluation strategies.
+const (
+	// DeltaAuto (default): evaluate candidates incrementally against a
+	// per-step base snapshot, falling back to full evaluations when a
+	// move's affected set is too large to pay off. Bit-identical results
+	// to DeltaOff, usually much faster.
+	DeltaAuto DeltaMode = iota
+	// DeltaOff: every candidate runs a full water-filling (the pre-delta
+	// behavior; also useful for benchmarking the incremental path).
+	DeltaOff
+)
+
+// String names the mode.
+func (m DeltaMode) String() string {
+	switch m {
+	case DeltaAuto:
+		return "auto"
+	case DeltaOff:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
+
 // Options tunes the optimizer. The zero value is usable: every field has a
 // sensible default applied by Run.
 type Options struct {
@@ -110,6 +149,12 @@ type Options struct {
 	Deadline time.Duration
 	// AltMode restricts the alternative trio (ablation only).
 	AltMode AltMode
+	// DeltaEval selects how candidate moves are evaluated. The zero
+	// value, DeltaAuto, evaluates each candidate incrementally against a
+	// per-step base snapshot — exact (bit-identical to full evaluation)
+	// but proportional to the move's affected sub-problem instead of the
+	// whole network. DeltaOff restores full per-candidate evaluations.
+	DeltaEval DeltaMode
 	// DisableEscalation turns off §2.5 escalation (ablation only): the
 	// optimizer then terminates at the first local optimum.
 	DisableEscalation bool
@@ -220,6 +265,10 @@ type Solution struct {
 	Stop StopReason
 	// PathsPerAggregate is the mean path-set size at termination.
 	PathsPerAggregate float64
+	// Delta aggregates the incremental-evaluation counters of every
+	// worker arena: calls, fallbacks and affected-set sizes. All zero
+	// when Options.DeltaEval is DeltaOff.
+	Delta flowmodel.DeltaStats
 }
 
 // aggState tracks one aggregate's path set and flow split.
@@ -242,9 +291,32 @@ type Optimizer struct {
 	aggs      []aggState
 	bundleBuf []flowmodel.Bundle
 	// segStart[i] is the offset of aggregate i's bundles within the list
-	// buildBundles last produced (segStart[len(aggs)] == len(list)); the
-	// trial-move engine patches one segment without rebuilding the rest.
+	// buildBundles last produced; full-evaluation trial moves patch one
+	// segment without rebuilding the rest.
 	segStart []int
+	// denseBuf is the trial-move engine's per-step committed list: one
+	// bundle per (aggregate, path-set entry) including zero-flow
+	// placeholders, so every candidate is a two-entry flow patch at a
+	// stable index and all candidates of a step share one list layout.
+	// denseSeg[i] is the offset of aggregate i's segment
+	// (denseSeg[len(aggs)] == len(denseBuf)).
+	denseBuf []flowmodel.Bundle
+	denseSeg []int
+	// baseEval owns the per-step base evaluation the delta path splices
+	// from; base is the captured snapshot, read-only while workers run.
+	baseEval *flowmodel.Eval
+	base     flowmodel.Base
+	// candAgg marks the aggregates of the current step's candidates while
+	// buildStepBundles runs (cleared after).
+	candAgg []bool
+	// deltaOff latches once DeltaAuto's running statistics show the
+	// instance's affected components are too large for incremental
+	// evaluation to pay; the rest of the run uses full evaluations. The
+	// statistics are sums over the step's candidate set — identical at
+	// any worker count — so the latch is deterministic, and candidate
+	// utilities are bit-identical either way, so it never changes the
+	// committed sequence.
+	deltaOff bool
 
 	// scratch
 	// congAll and congUsed are set from the congested-link list before a
@@ -263,13 +335,19 @@ type Optimizer struct {
 	// workers are the persistent trial evaluators, one arena + bundle
 	// buffer each, grown on demand up to Options.Workers.
 	workers []*worker
+
+	// probe, when set (RunCandidateBench), replaces the candidate
+	// evaluation call so instrumentation can time/verify both evaluation
+	// strategies on the exact trial lists the optimizer produces.
+	probe func(w *worker, buf []flowmodel.Bundle, changed []int, base *flowmodel.Base) float64
 }
 
 // worker is one candidate evaluator: a private flowmodel arena plus the
 // scratch it assembles trial bundle lists into.
 type worker struct {
-	eval *flowmodel.Eval
-	buf  []flowmodel.Bundle
+	eval    *flowmodel.Eval
+	buf     []flowmodel.Bundle
+	changed [2]int // delta changed-index scratch (from, to dense indices)
 }
 
 // New builds an optimizer.
@@ -310,15 +388,17 @@ func (o *Optimizer) Run() (*Solution, error) {
 	// Snapshot what the pass loop needs by value: trial evaluations run
 	// on private worker arenas and leave res alone, but every evaluate()
 	// call here reuses the model's default arena, so res's contents are
-	// only meaningful immediately after an evaluate.
+	// only meaningful immediately after an evaluate. links is freshly
+	// allocated by CongestedByOversubscription, so it cannot alias
+	// arena storage, and its sorted order is what alternativesFor's
+	// most-congested pick relies on.
 	uCur := res.NetworkUtility
-	congested := append([]graph.EdgeID(nil), res.Congested...)
 	links := o.model.CongestedByOversubscription(res)
 
 	var stop StopReason
 loop:
 	for {
-		if len(congested) == 0 {
+		if len(links) == 0 {
 			stop = StopNoCongestion
 			break
 		}
@@ -334,7 +414,7 @@ loop:
 		// the first link whose step() makes progress ends the pass.
 		progress := false
 		for _, link := range links {
-			if o.step(link, uCur, congested, fraction) {
+			if o.step(link, uCur, links, fraction) {
 				progress = true
 				break
 			}
@@ -345,14 +425,13 @@ loop:
 			escLevel = 0
 			res = o.evaluate()
 			uCur = res.NetworkUtility
-			congested = append(congested[:0], res.Congested...)
 			links = o.model.CongestedByOversubscription(res)
 			o.trace(Snapshot{Step: steps, Elapsed: time.Since(start), Escalation: escLevel, Result: res})
 			continue
 		}
 		// Local optimum (§2.5): escalate the move size; give up once even
 		// whole-aggregate moves fail. The allocation did not change, so
-		// the uCur/congested/links snapshot stays valid.
+		// the uCur/links snapshot stays valid.
 		if o.opts.DisableEscalation || fraction >= 1 {
 			stop = StopLocalOptimum
 			break loop
@@ -375,6 +454,9 @@ loop:
 		Escalations:    escal,
 		Elapsed:        time.Since(start),
 		Stop:           stop,
+	}
+	for _, w := range o.workers {
+		sol.Delta.Add(w.eval.DeltaStats())
 	}
 	var totalPaths int
 	nonSelf := 0
@@ -479,9 +561,11 @@ func (o *Optimizer) applyWarmStart(bundles []flowmodel.Bundle) error {
 	return nil
 }
 
-// buildBundles assembles the model input from the current allocation,
-// recording each aggregate's segment offsets in o.segStart so the
-// trial-move engine can patch a single aggregate in place.
+// buildBundles assembles the model input from the current allocation —
+// one bundle per (aggregate, path) with positive flows — recording each
+// aggregate's segment offsets in o.segStart (segStart[len(aggs)] ==
+// len(list)) so full-evaluation trial moves can patch a single
+// aggregate's segment without rebuilding the rest.
 func (o *Optimizer) buildBundles() []flowmodel.Bundle {
 	o.bundleBuf = o.bundleBuf[:0]
 	if cap(o.segStart) < len(o.aggs)+1 {
@@ -511,6 +595,59 @@ func (o *Optimizer) buildBundles() []flowmodel.Bundle {
 	}
 	o.segStart[len(o.aggs)] = len(o.bundleBuf)
 	return o.bundleBuf
+}
+
+// buildStepBundles assembles the trial-move engine's committed list for
+// one step, recording each aggregate's segment offset in o.denseSeg.
+// Aggregates that appear in the step's candidates are emitted densely —
+// one bundle per path-set entry, zero-flow paths included — so a
+// candidate move patches the Flows of two entries at fixed indices
+// instead of reshaping the list, which is what lets the delta evaluator
+// map candidate bundles onto base bundles one-to-one. Every other
+// aggregate contributes only its positive bundles, keeping the list (and
+// thus every evaluation over it) near the sparse committed size.
+// Zero-flow placeholders are inert in the traffic model (no weight, no
+// demand, no link contributions), so the list evaluates to exactly the
+// same utility as buildBundles'.
+func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
+	if cap(o.candAgg) < len(o.aggs) {
+		o.candAgg = make([]bool, len(o.aggs))
+	}
+	o.candAgg = o.candAgg[:len(o.aggs)]
+	for i := range cands {
+		o.candAgg[cands[i].agg] = true
+	}
+	o.denseBuf = o.denseBuf[:0]
+	if cap(o.denseSeg) < len(o.aggs)+1 {
+		o.denseSeg = make([]int, len(o.aggs)+1)
+	}
+	o.denseSeg = o.denseSeg[:len(o.aggs)+1]
+	for i := range o.aggs {
+		o.denseSeg[i] = len(o.denseBuf)
+		st := &o.aggs[i]
+		if st.self {
+			o.denseBuf = append(o.denseBuf, flowmodel.Bundle{
+				Agg: traffic.AggregateID(i), Flows: st.total,
+			})
+			continue
+		}
+		for pi := range st.flows {
+			if st.flows[pi] <= 0 && !o.candAgg[i] {
+				continue
+			}
+			o.denseBuf = append(o.denseBuf, flowmodel.Bundle{
+				Agg:   traffic.AggregateID(i),
+				Flows: st.flows[pi],
+				Edges: st.set.Path(pi).Edges,
+				Delay: st.delays[pi],
+			})
+		}
+	}
+	o.denseSeg[len(o.aggs)] = len(o.denseBuf)
+	for i := range cands {
+		o.candAgg[cands[i].agg] = false
+	}
+	return o.denseBuf
 }
 
 func (o *Optimizer) evaluate() *flowmodel.Result {
@@ -547,9 +684,16 @@ type candidate struct {
 // step implements Listing 2 for one congested link: collect every
 // candidate move over bundles crossing it, evaluate the candidates across
 // the worker pool, and commit the best improving move. uInit and
-// congested describe the committed allocation (congested must not alias
-// storage a later evaluate() on the model's default arena overwrites).
-// Returns whether progress was made.
+// congested describe the committed allocation — congested sorted by
+// decreasing oversubscription (alternativesFor's most-congested pick
+// depends on that order) and not aliasing storage a later evaluate() on
+// the model's default arena overwrites. Returns whether progress was
+// made.
+//
+// Under DeltaAuto the committed dense list is evaluated once on the base
+// arena and every candidate is an incremental delta against that shared
+// snapshot; under DeltaOff each candidate is a full evaluation of the
+// same patched list. Both produce bit-identical candidate utilities.
 //
 // Selection replays the candidates in collection order with the same
 // improve-by-MinGain rule the serial mutate-evaluate-revert loop used, so
@@ -559,8 +703,33 @@ func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.Edg
 	if len(cands) == 0 {
 		return false
 	}
-	committed := o.buildBundles()
-	o.evaluateCandidates(cands, committed)
+	// The base snapshot costs one full evaluation plus its capture; a
+	// step with fewer candidates than that buys cannot amortize it, so
+	// tiny steps take the full-evaluation path. The guard depends only on
+	// the candidate count, keeping the choice deterministic, and both
+	// strategies are bit-identical, so the committed sequence is
+	// unaffected. (probe runs always take the delta path: they measure
+	// both strategies per candidate.)
+	const deltaMinCandidates = 3
+	if (o.opts.DeltaEval == DeltaAuto && !o.deltaOff && len(cands) >= deltaMinCandidates) ||
+		o.probe != nil {
+		// Incremental: evaluate the committed state once (over the step's
+		// semi-dense list, so every candidate is a two-index patch of it)
+		// and delta-evaluate each candidate against that shared snapshot.
+		dense := o.buildStepBundles(cands)
+		if o.baseEval == nil {
+			o.baseEval = o.model.NewEval()
+		}
+		o.baseEval.EvaluateBase(dense, &o.base)
+		o.evaluateCandidates(cands, dense, &o.base)
+		o.maybeLatchDeltaOff()
+	} else {
+		// Full evaluations: per-candidate positive lists, patched one
+		// aggregate segment at a time. Zero-flow placeholders are
+		// float-inert and only reindex the list monotonically, so both
+		// strategies produce bit-identical candidate utilities.
+		o.evaluateCandidates(cands, o.buildBundles(), nil)
+	}
 
 	bestU := uInit
 	bestIdx := -1
@@ -636,10 +805,13 @@ func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeI
 }
 
 // evaluateCandidates fills each candidate's utility, fanning the work out
-// over up to Options.Workers goroutines. committed is the bundle list of
-// the current allocation (with o.segStart per-aggregate offsets); workers
-// only read it and the aggregate states.
-func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.Bundle) {
+// over up to Options.Workers goroutines. committed is the step's
+// committed bundle list — the semi-dense one (o.denseSeg offsets) when
+// base carries its captured evaluation for the delta path, the positive
+// one (o.segStart offsets) when base is nil and every candidate runs a
+// full evaluation. Workers only read committed, base and the aggregate
+// states.
+func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.Bundle, base *flowmodel.Base) {
 	nw := o.opts.Workers
 	if nw > len(cands) {
 		nw = len(cands)
@@ -648,7 +820,7 @@ func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.
 	if nw <= 1 {
 		w := o.workers[0]
 		for i := range cands {
-			cands[i].utility = o.evalCandidate(w, &cands[i], committed)
+			cands[i].utility = o.evalCandidate(w, &cands[i], committed, base)
 		}
 		return
 	}
@@ -664,7 +836,7 @@ func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.
 				if i >= len(cands) {
 					return
 				}
-				cands[i].utility = o.evalCandidate(w, &cands[i], committed)
+				cands[i].utility = o.evalCandidate(w, &cands[i], committed, base)
 			}
 		}()
 	}
@@ -672,10 +844,47 @@ func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.
 }
 
 // evalCandidate evaluates one trial move on the worker's private arena.
-// The trial bundle list is the committed list with the moving aggregate's
+// With a base snapshot the trial list is the semi-dense committed list
+// with the (from, to, n) flow patch at two fixed indices — the delta's
+// changed set — and the evaluation is incremental. Without one the trial
+// list is the positive committed list with the moving aggregate's
+// segment rebuilt under the patch, run through a full water-filling.
+// Either way the utility is bit-identical: placeholders are float-inert
+// and only reindex the active bundles monotonically.
+func (o *Optimizer) evalCandidate(w *worker, c *candidate, committed []flowmodel.Bundle, base *flowmodel.Base) float64 {
+	if base == nil {
+		return w.eval.Evaluate(o.patchCandidateSparse(w, c, committed)).NetworkUtility
+	}
+	buf := o.patchCandidate(w, c, committed)
+	if o.probe != nil {
+		return o.probe(w, buf, w.changed[:], base)
+	}
+	return w.eval.EvaluateDelta(base, buf, w.changed[:]).NetworkUtility
+}
+
+// patchCandidate assembles the candidate's trial list into the worker's
+// buffer — the semi-dense committed list with the (from, to, n) flow
+// patch — and records the two patched indices in w.changed (ascending).
+func (o *Optimizer) patchCandidate(w *worker, c *candidate, dense []flowmodel.Bundle) []flowmodel.Bundle {
+	buf := append(w.buf[:0], dense...)
+	iFrom := o.denseSeg[c.agg] + c.from
+	iTo := o.denseSeg[c.agg] + c.to
+	buf[iFrom].Flows -= c.n
+	buf[iTo].Flows += c.n
+	w.buf = buf
+	if iFrom > iTo {
+		iFrom, iTo = iTo, iFrom
+	}
+	w.changed[0], w.changed[1] = iFrom, iTo
+	return buf
+}
+
+// patchCandidateSparse assembles the candidate's trial list for a full
+// evaluation: the positive committed list with the moving aggregate's
 // segment rebuilt under the (from, to, n) patch — the same list the
-// serial loop obtained by mutating state and rebuilding everything.
-func (o *Optimizer) evalCandidate(w *worker, c *candidate, committed []flowmodel.Bundle) float64 {
+// serial mutate-evaluate-revert loop used to obtain by mutating state
+// and rebuilding everything.
+func (o *Optimizer) patchCandidateSparse(w *worker, c *candidate, committed []flowmodel.Bundle) []flowmodel.Bundle {
 	st := &o.aggs[c.agg]
 	segA, segB := o.segStart[c.agg], o.segStart[c.agg+1]
 	buf := append(w.buf[:0], committed[:segA]...)
@@ -697,7 +906,46 @@ func (o *Optimizer) evalCandidate(w *worker, c *candidate, committed []flowmodel
 	}
 	buf = append(buf, committed[segB:]...)
 	w.buf = buf
-	return w.eval.Evaluate(buf).NetworkUtility
+	return buf
+}
+
+// deltaMinCalls and deltaOffWorkFrac govern the DeltaAuto self-disable:
+// once enough candidates have been delta-evaluated, estimate the
+// incremental path's work as a fraction of full evaluations — affected
+// fraction scaled by the expansion re-run rate, plus the fallback rate —
+// and latch it off for the rest of the run when the estimate says the
+// instance's components are too coupled to profit.
+const (
+	deltaMinCalls    = 256
+	deltaOffWorkFrac = 0.5
+)
+
+// maybeLatchDeltaOff inspects the cumulative worker statistics after a
+// delta-evaluated step and latches o.deltaOff when incremental
+// evaluation is not paying — including the degenerate case where every
+// call falls back because the instance is one tightly coupled component.
+// Sums over the candidate set are identical at any worker count, so the
+// latch point is deterministic.
+func (o *Optimizer) maybeLatchDeltaOff() {
+	if o.probe != nil {
+		return // instrumented runs always measure the delta path
+	}
+	var s flowmodel.DeltaStats
+	for _, w := range o.workers {
+		s.Add(w.eval.DeltaStats())
+	}
+	if s.Calls < deltaMinCalls {
+		return
+	}
+	var affected float64
+	if s.ListBundles > 0 {
+		affected = float64(s.AffectedBundles) / float64(s.ListBundles)
+	}
+	expand := float64(s.Expansions) / float64(s.Calls)
+	fallback := float64(s.Fallbacks) / float64(s.Calls)
+	if affected*(1+expand)+fallback > deltaOffWorkFrac {
+		o.deltaOff = true
+	}
 }
 
 // growWorkers ensures at least n evaluator workers exist.

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fubar/internal/flowmodel"
+)
+
+// CandidateBenchResult is RunCandidateBench's record: the paired
+// per-candidate wall times of the full and incremental evaluation
+// strategies over one real optimization run, plus the differential
+// verdict (every pair must produce bit-identical utility).
+type CandidateBenchResult struct {
+	// Solution is the completed run (committed with the delta utilities,
+	// which equal the full ones bit for bit).
+	Solution *Solution
+	// FullNs and DeltaNs are the paired per-candidate evaluation times.
+	FullNs  []int64
+	DeltaNs []int64
+	// Identical reports whether every candidate's delta utility matched
+	// its full-evaluation utility exactly.
+	Identical bool
+	// Delta is the run's incremental-evaluation counters.
+	Delta flowmodel.DeltaStats
+}
+
+// Candidates returns the number of timed candidate evaluations.
+func (r *CandidateBenchResult) Candidates() int { return len(r.FullNs) }
+
+// MedianSpeedup is the headline number: median full time over median
+// delta time.
+func (r *CandidateBenchResult) MedianSpeedup() float64 {
+	mf, md := medianNs(r.FullNs), medianNs(r.DeltaNs)
+	if md <= 0 {
+		return 0
+	}
+	return float64(mf) / float64(md)
+}
+
+// MeanSpeedup is total full time over total delta time.
+func (r *CandidateBenchResult) MeanSpeedup() float64 {
+	var f, d int64
+	for i := range r.FullNs {
+		f += r.FullNs[i]
+		d += r.DeltaNs[i]
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(f) / float64(d)
+}
+
+// MedianFullNs and MedianDeltaNs expose the two medians.
+func (r *CandidateBenchResult) MedianFullNs() int64  { return medianNs(r.FullNs) }
+func (r *CandidateBenchResult) MedianDeltaNs() int64 { return medianNs(r.DeltaNs) }
+
+func medianNs(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// RunCandidateBench runs a full optimization with every candidate
+// evaluated twice — once through the incremental delta path (whose
+// utility drives the run) and once through a full water-filling on a
+// separate arena — timing both and asserting they agree bit for bit.
+// Workers is forced to 1 so the timings don't contend for the CPU.
+func RunCandidateBench(model *flowmodel.Model, opts Options) (*CandidateBenchResult, error) {
+	opts.Workers = 1
+	opts.DeltaEval = DeltaAuto
+	o, err := New(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &CandidateBenchResult{Identical: true}
+	full := model.NewEval()
+	o.probe = func(w *worker, buf []flowmodel.Bundle, changed []int, base *flowmodel.Base) float64 {
+		// Alternate the measurement order per candidate: whichever path
+		// runs second sees caches its predecessor warmed, so a fixed
+		// order would systematically bias the comparison.
+		var uFull, uDelta float64
+		var tFull, tDelta time.Duration
+		if len(r.FullNs)%2 == 0 {
+			t0 := time.Now()
+			uFull = full.Evaluate(buf).NetworkUtility
+			tFull = time.Since(t0)
+			t1 := time.Now()
+			uDelta = w.eval.EvaluateDelta(base, buf, changed).NetworkUtility
+			tDelta = time.Since(t1)
+		} else {
+			t0 := time.Now()
+			uDelta = w.eval.EvaluateDelta(base, buf, changed).NetworkUtility
+			tDelta = time.Since(t0)
+			t1 := time.Now()
+			uFull = full.Evaluate(buf).NetworkUtility
+			tFull = time.Since(t1)
+		}
+		r.FullNs = append(r.FullNs, tFull.Nanoseconds())
+		r.DeltaNs = append(r.DeltaNs, tDelta.Nanoseconds())
+		if uFull != uDelta {
+			r.Identical = false
+		}
+		return uDelta
+	}
+	sol, err := o.Run()
+	if err != nil {
+		return nil, err
+	}
+	r.Solution = sol
+	r.Delta = sol.Delta
+	if len(r.FullNs) == 0 {
+		return nil, fmt.Errorf("core: candidate bench run committed no trial evaluations (instance not congested)")
+	}
+	return r, nil
+}

@@ -48,32 +48,46 @@ func benchOptimizer(b *testing.B, workers int) (*Optimizer, float64, []graph.Edg
 }
 
 // BenchmarkStepCandidates measures one step's candidate fan-out — collect
-// plus evaluation over the most congested link — at several worker
-// counts. This is the optimizer's hot path; the speedup between workers=1
-// and workers=N is the headline number of the concurrent evaluation
-// engine (it saturates at the machine's core count).
+// plus evaluation over the most congested link — at several worker counts
+// and both candidate-evaluation strategies. This is the optimizer's hot
+// path; delta=auto vs delta=off is the headline algorithmic speedup, the
+// worker scaling the concurrency one (it saturates at the core count).
 func BenchmarkStepCandidates(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			o, u, congested, links := benchOptimizer(b, workers)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cands := o.collectCandidates(links[0], congested, o.opts.MoveFraction)
-				if len(cands) == 0 {
-					b.Fatal("no candidates collected")
-				}
-				committed := o.buildBundles()
-				o.evaluateCandidates(cands, committed)
-				// Selection without commit keeps every iteration identical.
-				best := u
-				for j := range cands {
-					if cands[j].utility > best+o.opts.MinGain {
-						best = cands[j].utility
+	for _, delta := range []DeltaMode{DeltaAuto, DeltaOff} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("delta=%s/workers=%d", delta, workers), func(b *testing.B) {
+				o, u, congested, links := benchOptimizer(b, workers)
+				o.opts.DeltaEval = delta
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cands := o.collectCandidates(links[0], congested, o.opts.MoveFraction)
+					if len(cands) == 0 {
+						b.Fatal("no candidates collected")
+					}
+					// Mirror step(): the delta path patches the semi-dense
+					// list against a base snapshot, the full path patches
+					// per-candidate positive lists.
+					if delta == DeltaAuto {
+						dense := o.buildStepBundles(cands)
+						if o.baseEval == nil {
+							o.baseEval = o.model.NewEval()
+						}
+						o.baseEval.EvaluateBase(dense, &o.base)
+						o.evaluateCandidates(cands, dense, &o.base)
+					} else {
+						o.evaluateCandidates(cands, o.buildBundles(), nil)
+					}
+					// Selection without commit keeps every iteration identical.
+					best := u
+					for j := range cands {
+						if cands[j].utility > best+o.opts.MinGain {
+							best = cands[j].utility
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -32,16 +33,20 @@ func congestedInstance(t *testing.T, seed int64) (*topology.Topology, *traffic.M
 // returns the solution plus the traced per-step utility trajectory.
 func runWithWorkers(t *testing.T, topo *topology.Topology, mat *traffic.Matrix, workers int) (*Solution, []float64) {
 	t.Helper()
+	return runWithOptions(t, topo, mat, Options{Workers: workers})
+}
+
+// runWithOptions optimizes the instance under opts, tracing the per-step
+// utility trajectory.
+func runWithOptions(t *testing.T, topo *topology.Topology, mat *traffic.Matrix, opts Options) (*Solution, []float64) {
+	t.Helper()
 	model, err := flowmodel.New(topo, mat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var steps []float64
-	opts := Options{
-		Workers: workers,
-		Trace: func(s Snapshot) {
-			steps = append(steps, s.Result.NetworkUtility)
-		},
+	opts.Trace = func(s Snapshot) {
+		steps = append(steps, s.Result.NetworkUtility)
 	}
 	sol, err := Run(model, opts)
 	if err != nil {
@@ -78,6 +83,75 @@ func TestWorkersDeterminism(t *testing.T) {
 				t.Errorf("seed %d workers=%d: per-step utility trajectory differs from serial run", seed, workers)
 			}
 		}
+	}
+}
+
+// TestDeltaEvalDeterminism asserts the incremental-evaluation acceptance
+// criterion: the committed move sequence — step count, per-step utility
+// trajectory, final bundles, stop reason — is identical with DeltaEval on
+// and off, at one and at several workers, bit for bit.
+func TestDeltaEvalDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		topo, mat := congestedInstance(t, seed)
+		ref, refTrace := runWithOptions(t, topo, mat, Options{Workers: 1, DeltaEval: DeltaOff})
+		if ref.Steps == 0 {
+			t.Fatalf("seed %d: reference run committed no moves", seed)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, mode := range []DeltaMode{DeltaAuto, DeltaOff} {
+				if workers == 1 && mode == DeltaOff {
+					continue // that's the reference itself
+				}
+				sol, trace := runWithOptions(t, topo, mat, Options{Workers: workers, DeltaEval: mode})
+				tag := fmt.Sprintf("seed %d workers=%d delta=%s", seed, workers, mode)
+				if sol.Steps != ref.Steps {
+					t.Errorf("%s: steps = %d, want %d", tag, sol.Steps, ref.Steps)
+				}
+				if sol.Utility != ref.Utility {
+					t.Errorf("%s: utility = %v, want %v (exact)", tag, sol.Utility, ref.Utility)
+				}
+				if sol.Stop != ref.Stop {
+					t.Errorf("%s: stop = %v, want %v", tag, sol.Stop, ref.Stop)
+				}
+				if !reflect.DeepEqual(sol.Bundles, ref.Bundles) {
+					t.Errorf("%s: committed bundles differ from reference", tag)
+				}
+				if !reflect.DeepEqual(trace, refTrace) {
+					t.Errorf("%s: per-step utility trajectory differs from reference", tag)
+				}
+				if mode == DeltaAuto && sol.Delta.Calls == 0 {
+					t.Errorf("%s: DeltaAuto run made no delta evaluations", tag)
+				}
+				if mode == DeltaOff && sol.Delta.Calls != 0 {
+					t.Errorf("%s: DeltaOff run made %d delta evaluations", tag, sol.Delta.Calls)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateBenchDifferential replays a real optimization with every
+// candidate evaluated through both strategies (core.RunCandidateBench),
+// asserting bit-identical utilities across well over 1000 recorded
+// optimizer candidates.
+func TestCandidateBenchDifferential(t *testing.T) {
+	topo, mat := congestedInstance(t, 1)
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunCandidateBench(model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("delta candidate utilities diverged from full evaluations")
+	}
+	if r.Candidates() < 1000 {
+		t.Fatalf("bench exercised only %d candidates, want >= 1000", r.Candidates())
+	}
+	if r.Delta.Calls != int64(r.Candidates()) {
+		t.Fatalf("delta calls %d != candidates %d", r.Delta.Calls, r.Candidates())
 	}
 }
 

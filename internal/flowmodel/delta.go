@@ -1,0 +1,702 @@
+// Incremental (delta) evaluation: re-solve only the sub-problem a
+// candidate move perturbs, splicing everything else from a captured base
+// evaluation.
+//
+// # Affected-set fixpoint
+//
+// A candidate changes a handful of bundles. The links those bundles cross
+// (in the base and the candidate list) are the seed links; the binding
+// ones — and the ones the move's added demand projects to fill — join the
+// sub-problem, while the rest only get their demand/load bookkeeping
+// recomputed over the adjusted crossing set ("touched-seed"). Every
+// bundle crossing a sub-problem link is affected (its rate may change).
+// From an affected bundle the perturbation propagates onward only under
+// two conditions:
+//
+//   - Through binding links: links the base fill actually constrained —
+//     they truncated a bundle or filled to capacity. Every other link
+//     fired no effective saturation event in the base, and as long as
+//     that stays true in the candidate it transmits nothing; it is merely
+//     "touched" — its load is recomputed from the new rates, it freezes
+//     nobody and recruits nothing into the sub-problem.
+//
+//   - Out of bundles that can change their trajectory. A bundle that
+//     froze at its own demand event (base byDemand) follows a trajectory
+//     — grow at weight w until tDemand, freeze at exactly its demand —
+//     that no other bundle influences, so as long as it still freezes by
+//     demand in the candidate it transmits nothing, and its links stay
+//     out of the sub-problem. Bundles the base froze at a link event (and
+//     all changed bundles) propagate eagerly.
+//
+// Both halves of that rule are optimistic, and both are verified:
+//
+//   - The fill loop aborts the moment a link event reaches a bundle the
+//     closure treated lazily (e.guardLazy); that bundle is promoted to
+//     eager and the sub-problem re-runs wider.
+//
+//   - In the water-filling every bundle's instantaneous rate is
+//     non-decreasing until it freezes, so a link's load is non-decreasing
+//     over the fill and its maximum is its final load. A touched link
+//     whose recomputed final load stays below capacity therefore provably
+//     never saturates mid-fill — excluding it was exact. One that reaches
+//     capacity (within float margin) is promoted into the sub-problem and
+//     the solve re-runs.
+//
+// In practice candidates rarely flip either assumption, and the affected
+// component stays proportional to the congested neighborhood of the move
+// instead of swallowing the network.
+//
+// The closure property this yields — every bundle crossing a sub-problem
+// link is affected — means the sub-problem water-fills against full link
+// capacities with exactly the crossers the full evaluation would see, in
+// the same bundle-index order, so its arithmetic is bit-identical to the
+// full evaluation restricted to the affected component. Unaffected
+// bundles keep their base rates; untouched links keep their base loads.
+//
+// When the affected set grows past half the bundle list the delta solve
+// cannot win, so EvaluateDelta falls back to a full Evaluate — results
+// are bit-identical either way, only the cost differs.
+package flowmodel
+
+import (
+	"math"
+	"slices"
+
+	"fubar/internal/graph"
+)
+
+// Base captures one full evaluation of a bundle list so later
+// EvaluateDelta calls can re-solve only the sub-problem a candidate
+// perturbs. Capture with Eval.EvaluateBase; a captured Base is read-only
+// and may be shared by any number of concurrently-evaluating arenas.
+type Base struct {
+	bundles  []Bundle
+	rate     []float64
+	sat      []bool
+	byDemand []bool
+	// weight/demand/tDemand cache every bundle's fill parameters so a
+	// delta setup splices them instead of recomputing (weight 0 = inert).
+	weight  []float64
+	demand  []float64
+	tDemand []float64
+	// order is the base's sorted demand-event list; a delta fill filters
+	// it down to the affected set instead of re-sorting.
+	order    []uint64
+	linkBun  [][]int32 // per link: active crossing bundles, index order
+	aggBun   [][]int32 // per aggregate: its bundle indices, index order
+	linkLoad []float64
+	linkDem  []float64
+	isCong   []bool
+	// binding marks links the base fill actually constrained — they
+	// truncated a bundle or filled to (within float dust of) capacity.
+	// They are the only conduits the affected-set fixpoint propagates
+	// through eagerly; every other link is excluded optimistically and
+	// verified by the final-load check.
+	binding    []bool
+	aggUtil    []float64 // post-division per-aggregate utilities
+	netUtility float64
+}
+
+// NumBundles returns the length of the captured bundle list (0 before the
+// first capture).
+func (b *Base) NumBundles() int { return len(b.bundles) }
+
+// DeltaStats counts an arena's incremental-evaluation activity.
+type DeltaStats struct {
+	// Calls is the number of EvaluateDelta invocations.
+	Calls int64
+	// Fallbacks counts calls that ran a full Evaluate instead: oversized
+	// affected set, list mismatch against the base, or no base.
+	Fallbacks int64
+	// Expansions counts optimistic-closure retries: a lazily-treated
+	// bundle got truncated by the candidate, forcing a wider re-solve.
+	Expansions int64
+	// AffectedBundles accumulates the affected-set sizes of non-fallback
+	// calls; AffectedBundles/(Calls-Fallbacks) is the mean sub-problem.
+	AffectedBundles int64
+	// ListBundles accumulates the candidate list lengths of non-fallback
+	// calls, for computing the mean affected fraction.
+	ListBundles int64
+}
+
+// Add accumulates other into s.
+func (s *DeltaStats) Add(other DeltaStats) {
+	s.Calls += other.Calls
+	s.Fallbacks += other.Fallbacks
+	s.Expansions += other.Expansions
+	s.AffectedBundles += other.AffectedBundles
+	s.ListBundles += other.ListBundles
+}
+
+// DeltaStats returns the arena's cumulative incremental-evaluation
+// counters.
+func (e *Eval) DeltaStats() DeltaStats { return e.stats }
+
+// deltaMaxAffectedFrac is the fallback threshold: when more than this
+// fraction of the bundle list is affected, a delta solve re-does most of
+// the work with extra bookkeeping on top, so run the full evaluation.
+const deltaMaxAffectedFrac = 0.5
+
+// bindingSlack is the relative margin under capacity at which a link
+// counts as filled: a load within float dust of capacity could fire a
+// (possibly harmlessly tie-satisfied) saturation event whose timing the
+// lazy closure would otherwise not model, so the load check promotes such
+// links into the sub-problem.
+const bindingSlack = 1e-9
+
+// bindingEagerFrac classifies base links as binding up front: a link
+// already loaded to this fraction of capacity is likely to reach it under
+// the candidate's extra load, and modeling it eagerly is cheaper than a
+// promote-and-rerun round. Purely a performance knob — the load check
+// keeps exactness whatever its value.
+const bindingEagerFrac = 0.98
+
+// deltaScratch is the per-arena mutable state of affected-set
+// computation. Marks are epoch-stamped so resets are O(1).
+type deltaScratch struct {
+	epoch     uint32
+	bunMark   []uint32  // per bundle: affected
+	chMark    []uint32  // per bundle: listed in changed
+	eagerMark []uint32  // per bundle: already propagated eagerly
+	linkMark  []uint32  // per link: in the sub-problem
+	tchMark   []uint32  // per link: touched (load recompute only)
+	aggMark   []uint32  // per aggregate: utility recompute needed
+	affected  []int32   // affected bundle indices (sorted before each fill)
+	subLinks  []int32   // sub-problem links, discovery order (worklist)
+	touched   []int32   // touched slack links
+	dirtyAggs []int32   // aggregates needing utility recompute
+	seedMark  []uint32  // per link: crossed by a changed bundle
+	tsMark    []uint32  // per link: touched-seed (demand+load recompute)
+	seedLinks []int32   // seed links, discovery order
+	tchSeed   []int32   // touched-seed links
+	chCross   []int32   // scratch: changed bundles crossing one link
+	wDelta    []float64 // per seed link: crossing-weight change of the move
+	dDelta    []float64 // per seed link: crossing-demand change of the move
+}
+
+func (d *deltaScratch) grow(nB, nL, nA int) {
+	if cap(d.bunMark) < nB {
+		d.bunMark = make([]uint32, nB)
+		d.chMark = make([]uint32, nB)
+		d.eagerMark = make([]uint32, nB)
+		// Fresh zeroed arrays are consistent with any epoch except 0,
+		// which bump() skips.
+	}
+	d.bunMark = d.bunMark[:nB]
+	d.chMark = d.chMark[:nB]
+	d.eagerMark = d.eagerMark[:nB]
+	if d.linkMark == nil {
+		d.linkMark = make([]uint32, nL)
+		d.tchMark = make([]uint32, nL)
+		d.aggMark = make([]uint32, nA)
+		d.seedMark = make([]uint32, nL)
+		d.tsMark = make([]uint32, nL)
+		d.wDelta = make([]float64, nL)
+		d.dDelta = make([]float64, nL)
+	}
+}
+
+func (d *deltaScratch) bump() {
+	d.epoch++
+	if d.epoch == 0 { // wrapped: stale stamps would alias the new epoch
+		// The per-bundle arrays shrink and regrow with the list length;
+		// clear their full capacity so no stale stamp survives in the
+		// tail beyond the current length.
+		clear(d.bunMark[:cap(d.bunMark)])
+		clear(d.chMark[:cap(d.chMark)])
+		clear(d.eagerMark[:cap(d.eagerMark)])
+		clear(d.linkMark)
+		clear(d.tchMark)
+		clear(d.aggMark)
+		clear(d.seedMark)
+		clear(d.tsMark)
+		d.epoch = 1
+	}
+	d.affected = d.affected[:0]
+	d.subLinks = d.subLinks[:0]
+	d.touched = d.touched[:0]
+	d.dirtyAggs = d.dirtyAggs[:0]
+	d.seedLinks = d.seedLinks[:0]
+	d.tchSeed = d.tchSeed[:0]
+}
+
+// EvaluateBase runs a full Evaluate over the bundle list and captures the
+// outcome into base for subsequent EvaluateDelta calls. The captured Base
+// is self-contained (it copies the list and the result) and read-only;
+// base's storage is reused across captures. Returns the arena's Result,
+// valid until the arena's next evaluation.
+func (e *Eval) EvaluateBase(bundles []Bundle, base *Base) *Result {
+	res := e.Evaluate(bundles)
+	base.bundles = append(base.bundles[:0], bundles...)
+	base.rate = append(base.rate[:0], res.BundleRate...)
+	base.sat = append(base.sat[:0], res.BundleSatisfied...)
+	base.byDemand = append(base.byDemand[:0], e.byDemand[:len(bundles)]...)
+	base.weight = append(base.weight[:0], e.weight[:len(bundles)]...)
+	base.demand = append(base.demand[:0], e.demand[:len(bundles)]...)
+	base.tDemand = append(base.tDemand[:0], e.tDemand[:len(bundles)]...)
+	base.order = append(base.order[:0], e.order...)
+	base.linkLoad = append(base.linkLoad[:0], res.LinkLoad...)
+	base.linkDem = append(base.linkDem[:0], res.LinkDemand...)
+	base.isCong = append(base.isCong[:0], res.IsCongested...)
+	base.aggUtil = append(base.aggUtil[:0], res.AggUtility...)
+	base.netUtility = res.NetworkUtility
+	nL := len(res.LinkLoad)
+	if cap(base.linkBun) < nL {
+		base.linkBun = make([][]int32, nL)
+	}
+	base.linkBun = base.linkBun[:nL]
+	if cap(base.binding) < nL {
+		base.binding = make([]bool, nL)
+	}
+	base.binding = base.binding[:nL]
+	for l := 0; l < nL; l++ {
+		base.linkBun[l] = append(base.linkBun[l][:0], e.linkBun[l]...)
+		base.binding[l] = res.IsCongested[l] || res.LinkLoad[l] >= e.m.capacity[l]*bindingEagerFrac
+	}
+	nA := e.m.mat.NumAggregates()
+	if cap(base.aggBun) < nA {
+		base.aggBun = make([][]int32, nA)
+	}
+	base.aggBun = base.aggBun[:nA]
+	for a := range base.aggBun {
+		base.aggBun[a] = base.aggBun[a][:0]
+	}
+	for i, b := range bundles {
+		base.aggBun[b.Agg] = append(base.aggBun[b.Agg], int32(i))
+	}
+	return res
+}
+
+// EvaluateDelta evaluates a candidate bundle list incrementally against a
+// captured base. The candidate list must have the same length as the
+// base's list; every index not in changed must hold a bundle identical to
+// the base's at that index, and changed bundles must keep their base
+// aggregate (Flows, Edges and Delay may differ freely). changed lists the
+// indices that may differ and may safely over-approximate. The result —
+// rates, satisfaction, link loads and demands, congested set, utilities —
+// is bit-identical to Evaluate(bundles); only the work is smaller. Falls
+// back to a full Evaluate when the affected set exceeds half the list,
+// the contract cannot be validated cheaply, or base was never captured.
+func (e *Eval) EvaluateDelta(base *Base, bundles []Bundle, changed []int) *Result {
+	e.stats.Calls++
+	nB := len(bundles)
+	if base == nil || len(base.bundles) != nB || nB == 0 {
+		e.stats.Fallbacks++
+		return e.Evaluate(bundles)
+	}
+	for _, i := range changed {
+		if i < 0 || i >= nB || bundles[i].Agg != base.bundles[i].Agg {
+			e.stats.Fallbacks++
+			return e.Evaluate(bundles)
+		}
+	}
+	m := e.m
+	nL := m.topo.NumLinks()
+	d := &e.delta
+	d.grow(nB, nL, m.mat.NumAggregates())
+	d.bump()
+
+	// Seeds: the changed bundles (eager) and every link they cross in
+	// either list, with d.wDelta/d.dDelta accumulating each seed link's
+	// crossing-weight and crossing-demand change.
+	for _, ci := range changed {
+		if d.chMark[ci] == d.epoch {
+			continue // duplicate index in changed: already seeded
+		}
+		d.bunMark[ci] = d.epoch
+		d.chMark[ci] = d.epoch
+		d.eagerMark[ci] = d.epoch
+		d.affected = append(d.affected, int32(ci))
+		for _, eid := range base.bundles[ci].Edges {
+			d.addSeedLink(int32(eid))
+		}
+		for _, eid := range bundles[ci].Edges {
+			d.addSeedLink(int32(eid))
+		}
+		if w := activeWeight(m, base.bundles[ci]); w > 0 {
+			dem := m.demandPer[base.bundles[ci].Agg] * float64(base.bundles[ci].Flows)
+			for _, eid := range base.bundles[ci].Edges {
+				d.wDelta[eid] -= w
+				d.dDelta[eid] -= dem
+			}
+		}
+		if w := activeWeight(m, bundles[ci]); w > 0 {
+			dem := m.demandPer[bundles[ci].Agg] * float64(bundles[ci].Flows)
+			for _, eid := range bundles[ci].Edges {
+				d.wDelta[eid] += w
+				d.dDelta[eid] += dem
+			}
+		}
+	}
+
+	// Classify the seed links. Binding ones, and ones the move's added
+	// demand projects to fill (base load plus the demand shift reaching
+	// capacity — the to-path links of a sizeable move), join the
+	// sub-problem: they can truncate, so every crosser must be re-solved.
+	// The rest cannot fire an effective saturation event in either fill
+	// (same argument as for ordinary touched links, verified by the same
+	// final-load check) and only need their demand and load bookkeeping
+	// recomputed over the changed crossing set — which keeps the affected
+	// set proportional to the move's congested neighborhood instead of
+	// every crosser of every link the move merely brushes.
+	for _, l := range d.seedLinks {
+		if base.binding[l] ||
+			base.linkLoad[l]+max(d.dDelta[l], 0) >= m.capacity[l]*(1-bindingSlack) {
+			d.addSubLink(l)
+		} else if d.tsMark[l] != d.epoch {
+			d.tsMark[l] = d.epoch
+			d.tchSeed = append(d.tchSeed, l)
+		}
+	}
+
+	// Risk promotion: a sub-problem seed link that gained crossing weight
+	// saturates earlier, which is exactly what truncates previously
+	// demand-frozen crossers. Promoting those crossers to eager up front
+	// usually saves the verify-expand-rerun cycle; the in-fill guard
+	// still catches the cases this heuristic misses. (wDelta/dDelta are
+	// scratch: reset after use.)
+	for _, l := range d.subLinks {
+		if d.wDelta[l] > 0 {
+			for _, bi := range base.linkBun[l] {
+				if d.bunMark[bi] != d.epoch {
+					d.bunMark[bi] = d.epoch
+					d.affected = append(d.affected, bi)
+				}
+				if d.eagerMark[bi] != d.epoch {
+					d.eagerMark[bi] = d.epoch
+					d.propagate(base, bundles[bi].Edges)
+				}
+			}
+		}
+	}
+	for _, l := range d.seedLinks {
+		d.wDelta[l] = 0
+		d.dDelta[l] = 0
+	}
+
+	e.grow(nB)
+	res := &e.res
+	res.BundleRate = append(res.BundleRate[:0], base.rate...)
+	res.BundleSatisfied = append(res.BundleSatisfied[:0], base.sat...)
+	copy(res.LinkLoad, base.linkLoad)
+	copy(res.LinkDemand, base.linkDem)
+	copy(res.IsCongested, base.isCong)
+	copy(res.AggUtility, base.aggUtil)
+
+	// Optimistic closure + sub-problem fill, re-run after promoting any
+	// lazily-treated bundle the candidate truncated.
+	closed := 0 // d.subLinks prefix already processed by the fixpoint
+	for {
+		// Fixpoint: crossers of sub-problem links are affected; eager
+		// bundles recruit their congestible links into the sub-problem
+		// and mark their slack links touched; demand-frozen bundles stay
+		// lazy. d.subLinks doubles as the worklist.
+		for ; closed < len(d.subLinks); closed++ {
+			l := d.subLinks[closed]
+			for _, bi := range base.linkBun[l] {
+				if d.bunMark[bi] == d.epoch {
+					continue
+				}
+				d.bunMark[bi] = d.epoch
+				d.affected = append(d.affected, bi)
+				if base.byDemand[bi] {
+					continue // lazy: transmits nothing while it stays demand-frozen
+				}
+				d.eagerMark[bi] = d.epoch
+				d.propagate(base, bundles[bi].Edges)
+			}
+		}
+		if float64(len(d.affected)) > deltaMaxAffectedFrac*float64(nB) {
+			e.stats.Fallbacks++
+			return e.Evaluate(bundles)
+		}
+
+		// Canonical (bundle index) order for all per-link accumulations.
+		slices.Sort(d.affected)
+
+		// Sub-problem link reset + participation stamp: freezeBundle and
+		// setupBundle ignore links outside the stamp, so affected
+		// bundles' slack links keep their base bookkeeping untouched.
+		e.bumpLinkEpoch()
+		for _, l := range d.subLinks {
+			e.linkW[l] = 0
+			e.linkFrozen[l] = 0
+			e.linkBun[l] = e.linkBun[l][:0]
+			e.linkIn[l] = e.linkEpoch
+			res.LinkDemand[l] = 0
+			res.IsCongested[l] = false
+		}
+
+		active := 0
+		for _, i := range d.affected {
+			if d.chMark[i] == d.epoch {
+				active += e.setupBundle(bundles, int(i), res)
+				continue
+			}
+			// Unchanged bundle: splice the base's cached fill parameters
+			// instead of recomputing them (bit-identical by definition).
+			w := base.weight[i]
+			e.weight[i] = w
+			e.demand[i] = base.demand[i]
+			e.tDemand[i] = base.tDemand[i]
+			if w == 0 {
+				// Inert in the base, hence inert now: its spliced base
+				// rate/satisfaction already stand.
+				e.frozen[i] = true
+				e.byDemand[i] = true
+				continue
+			}
+			res.BundleRate[i] = 0
+			res.BundleSatisfied[i] = false
+			e.frozen[i] = false
+			active++
+			dem := e.demand[i]
+			for _, eid := range bundles[i].Edges {
+				if e.linkIn[eid] != e.linkEpoch {
+					continue // outside the sub-problem
+				}
+				e.linkW[eid] += w
+				e.linkBun[eid] = append(e.linkBun[eid], i)
+				res.LinkDemand[eid] += dem
+			}
+		}
+		// Demand events: filter the base's sorted order down to the
+		// active unchanged affected bundles, then merge in the (few)
+		// changed ones — same keys, same relative order as a fresh sort.
+		e.order = e.order[:0]
+		for _, k := range base.order {
+			i := uint32(k)
+			if d.bunMark[i] == d.epoch && d.chMark[i] != d.epoch {
+				e.order = append(e.order, k)
+			}
+		}
+		for _, ci := range changed {
+			if !e.frozen[ci] {
+				k := uint64(math.Float32bits(float32(e.tDemand[ci])))<<32 | uint64(uint32(ci))
+				if at, dup := slices.BinarySearch(e.order, k); !dup {
+					e.order = slices.Insert(e.order, at, k)
+				}
+			}
+		}
+		e.events.reset()
+		for _, l := range d.subLinks {
+			if e.linkW[l] > 0 {
+				e.events.update(l, (m.capacity[l]-e.linkFrozen[l])/e.linkW[l])
+			}
+		}
+		e.guardLazy = true
+		abortLink := e.fill(bundles, active, res)
+		e.guardLazy = false
+		if abortLink >= 0 {
+			// Optimistic closure missed: the aborting link truncates
+			// bundles assumed to stay demand-frozen. Promote every lazy
+			// crosser of that link and re-run wider: the next setup pass
+			// rewrites every affected bundle's entries, the sub reset
+			// re-zeroes every sub link (including freshly promoted ones,
+			// whose res bookkeeping still holds untouched base values),
+			// and loads are only written after the loop — nothing needs
+			// restoring.
+			for _, bi := range base.linkBun[abortLink] {
+				if d.eagerMark[bi] != d.epoch {
+					d.eagerMark[bi] = d.epoch
+					d.propagate(base, bundles[bi].Edges)
+				}
+			}
+			e.stats.Expansions++
+			continue
+		}
+		// Load-check the optimistically excluded links: link load is
+		// non-decreasing over a fill, so a touched link whose recomputed
+		// final load stays under capacity provably never saturated —
+		// excluding it was exact. One that reached capacity is promoted
+		// into the sub-problem and the solve re-runs. Touched-seed links
+		// get the same check over their adjusted crossing set, which also
+		// rewrites their demand bookkeeping.
+		promoted := false
+		for _, l := range d.touched {
+			if d.linkMark[l] == d.epoch {
+				continue // already promoted into the sub-problem
+			}
+			load := e.linkLoadOf(res, base.linkBun[l], m.capacity[l])
+			res.LinkLoad[l] = load
+			if load >= m.capacity[l]*(1-bindingSlack) {
+				d.addSubLink(l)
+				promoted = true
+			}
+		}
+		for _, l := range d.tchSeed {
+			if d.linkMark[l] == d.epoch {
+				continue // already promoted into the sub-problem
+			}
+			if e.touchedSeedFix(base, bundles, l, changed, res) >= m.capacity[l]*(1-bindingSlack) {
+				d.addSubLink(l)
+				promoted = true
+			}
+		}
+		if !promoted {
+			break
+		}
+		e.stats.Expansions++
+	}
+	e.stats.AffectedBundles += int64(len(d.affected))
+	e.stats.ListBundles += int64(nB)
+
+	// Finalize sub-problem link loads from their rebuilt crosser lists
+	// (touched links were already written by the load check; their base
+	// crosser lists match the candidate's — no changed bundle crosses a
+	// touched link).
+	for _, l := range d.subLinks {
+		res.LinkLoad[l] = e.linkLoadOf(res, e.linkBun[l], m.capacity[l])
+	}
+	e.rebuildCongested(res)
+	e.deltaUtility(base, bundles, changed, res)
+	e.computeUtilization(res)
+	return res
+}
+
+// activeWeight returns the filling weight (flows/RTT) a bundle
+// contributes to its links, or 0 for inert bundles.
+func activeWeight(m *Model, b Bundle) float64 {
+	if len(b.Edges) == 0 || b.Flows <= 0 || m.demandPer[b.Agg]*float64(b.Flows) == 0 {
+		return 0
+	}
+	return float64(b.Flows) / b.RTT()
+}
+
+// addSubLink admits a link into the sub-problem (idempotent).
+func (d *deltaScratch) addSubLink(eid int32) {
+	if d.linkMark[eid] != d.epoch {
+		d.linkMark[eid] = d.epoch
+		d.subLinks = append(d.subLinks, eid)
+	}
+}
+
+// addSeedLink records a link crossed by a changed bundle (idempotent);
+// classification into sub-problem vs touched-seed happens once the
+// demand deltas are complete.
+func (d *deltaScratch) addSeedLink(eid int32) {
+	if d.seedMark[eid] != d.epoch {
+		d.seedMark[eid] = d.epoch
+		d.seedLinks = append(d.seedLinks, eid)
+	}
+}
+
+// propagate routes an eager bundle's influence: binding links join the
+// sub-problem, all other links are only touched — their loads are
+// recomputed (and load-checked) at finalize. Touched-seed links already
+// have their own recompute path.
+func (d *deltaScratch) propagate(base *Base, edges []graph.EdgeID) {
+	for _, eid := range edges {
+		if d.linkMark[eid] == d.epoch || d.tsMark[eid] == d.epoch {
+			continue
+		}
+		if base.binding[eid] {
+			d.addSubLink(int32(eid))
+		} else if d.tchMark[eid] != d.epoch {
+			d.tchMark[eid] = d.epoch
+			d.touched = append(d.touched, int32(eid))
+		}
+	}
+}
+
+// touchedSeedFix recomputes a touched-seed link's demand and load over
+// the candidate's crossing set — the base's active crossers with the
+// changed bundles' membership adjusted — in bundle-index order, matching
+// the full evaluation's accumulation bit for bit. Returns the clamped
+// load for the caller's capacity check.
+func (e *Eval) touchedSeedFix(base *Base, bundles []Bundle, l int32, changed []int, res *Result) float64 {
+	d := &e.delta
+	// The (few) changed bundles that actively cross l in the new list,
+	// ascending.
+	ch := d.chCross[:0]
+	for _, ci := range changed {
+		if activeWeight(e.m, bundles[ci]) <= 0 {
+			continue
+		}
+		for _, eid := range bundles[ci].Edges {
+			if int32(eid) == l {
+				ch = append(ch, int32(ci))
+				break
+			}
+		}
+	}
+	slices.Sort(ch)
+	ch = slices.Compact(ch) // changed may list an index twice
+	d.chCross = ch
+	var dem, load float64
+	k := 0
+	take := func(bi int32) {
+		dem += e.demand[bi]
+		load += res.BundleRate[bi]
+	}
+	for _, bi := range base.linkBun[l] {
+		if d.chMark[bi] == d.epoch {
+			continue // old membership; merged back below if still crossing
+		}
+		for k < len(ch) && ch[k] < bi {
+			take(ch[k])
+			k++
+		}
+		dem += base.demand[bi]
+		load += res.BundleRate[bi]
+	}
+	for ; k < len(ch); k++ {
+		take(ch[k])
+	}
+	res.LinkDemand[l] = dem
+	if load > e.m.capacity[l] {
+		load = e.m.capacity[l]
+	}
+	res.LinkLoad[l] = load
+	return load
+}
+
+// deltaUtility recomputes utility for the aggregates whose bundles
+// actually changed outcome (or were patched), reusing the base's
+// utilities for every other aggregate, then re-folds the network total
+// over every aggregate in index order — the same accumulation the full
+// path performs, so the result is bit-identical.
+func (e *Eval) deltaUtility(base *Base, bundles []Bundle, changed []int, res *Result) {
+	m := e.m
+	d := &e.delta
+	markAgg := func(a int32) {
+		if d.aggMark[a] != d.epoch {
+			d.aggMark[a] = d.epoch
+			d.dirtyAggs = append(d.dirtyAggs, a)
+		}
+	}
+	for _, i := range changed {
+		markAgg(int32(bundles[i].Agg))
+	}
+	for _, i := range d.affected {
+		// A verified-unchanged outcome contributes the identical utility
+		// term; only rate or satisfaction changes dirty the aggregate.
+		if res.BundleRate[i] != base.rate[i] || res.BundleSatisfied[i] != base.sat[i] {
+			markAgg(int32(bundles[i].Agg))
+		}
+	}
+	for _, a := range d.dirtyAggs {
+		var sum float64
+		for _, bi := range base.aggBun[a] {
+			b := bundles[bi]
+			if b.Flows <= 0 {
+				continue
+			}
+			sum += m.utilityTerm(b, res.BundleRate[bi])
+		}
+		if f := float64(m.aggFlows[a]); f > 0 {
+			sum /= f
+		}
+		res.AggUtility[a] = sum
+	}
+	nA := m.mat.NumAggregates()
+	var total float64
+	for i := 0; i < nA; i++ {
+		total += res.AggUtility[i] * m.aggWeight[i] * float64(m.aggFlows[i])
+	}
+	if m.totalWeight > 0 {
+		res.NetworkUtility = total / m.totalWeight
+	} else {
+		res.NetworkUtility = 0
+	}
+}

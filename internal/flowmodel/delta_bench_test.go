@@ -1,0 +1,156 @@
+package flowmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fubar/internal/pathgen"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// heLikeInstance builds a HE-31-shaped congested instance with a dense
+// allocation (every aggregate's flows split across its 3 lowest-delay
+// paths, some entries zero) — the list shape core's trial-move engine
+// evaluates.
+func heLikeInstance(tb testing.TB) (*Model, []Bundle) {
+	tb.Helper()
+	topo, err := topology.HurricaneElectric(6 * unit.Mbps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := traffic.DefaultGenConfig(5)
+	cfg.RealTimeFlows = [2]int{2, 10}
+	cfg.BulkFlows = [2]int{1, 4}
+	cfg.IncludeSelfPairs = false
+	full, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mat, err := full.Subset(func(a traffic.Aggregate) bool { return a.ID%5 == 0 })
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := New(topo, mat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen, err := pathgen.New(topo, pathgen.Policy{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var bundles []Bundle
+	for _, a := range mat.Aggregates() {
+		if a.IsSelfPair() {
+			bundles = append(bundles, Bundle{Agg: a.ID, Flows: a.Flows})
+			continue
+		}
+		paths := gen.KLowestDelay(a.Src, a.Dst, 3)
+		if len(paths) == 0 {
+			tb.Fatalf("no path for aggregate %d", a.ID)
+		}
+		left := a.Flows
+		for pi, p := range paths {
+			n := 0
+			if pi == len(paths)-1 {
+				n = left
+			} else if left > 0 {
+				n = rng.Intn(left + 1)
+			}
+			bundles = append(bundles, NewBundle(topo, a.ID, n, p))
+			left -= n
+		}
+	}
+	return m, bundles
+}
+
+// moveCandidates derives core-shaped trial moves from a dense list: shift
+// some flows between two same-aggregate entries.
+func moveCandidates(bundles []Bundle, n int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	var segs [][]int
+	maxAgg := traffic.AggregateID(-1)
+	for _, b := range bundles {
+		if b.Agg > maxAgg {
+			maxAgg = b.Agg
+		}
+	}
+	byAgg := make([][]int, maxAgg+1)
+	for i, b := range bundles {
+		byAgg[b.Agg] = append(byAgg[b.Agg], i)
+	}
+	for _, idx := range byAgg {
+		if len(idx) > 1 {
+			segs = append(segs, idx)
+		}
+	}
+	var out [][2]int
+	for len(out) < n {
+		seg := segs[rng.Intn(len(segs))]
+		from := seg[rng.Intn(len(seg))]
+		to := seg[rng.Intn(len(seg))]
+		if from == to || bundles[from].Flows == 0 {
+			continue
+		}
+		out = append(out, [2]int{from, to})
+	}
+	return out
+}
+
+// BenchmarkEvaluateFullCandidate is the pre-delta cost of one candidate:
+// a full water-filling of the patched list.
+func BenchmarkEvaluateFullCandidate(b *testing.B) {
+	m, bundles := heLikeInstance(b)
+	moves := moveCandidates(bundles, 256, 3)
+	arena := m.NewEval()
+	buf := append([]Bundle(nil), bundles...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		n := 1 + buf[mv[0]].Flows/2
+		buf[mv[0]].Flows -= n
+		buf[mv[1]].Flows += n
+		arena.Evaluate(buf)
+		buf[mv[0]].Flows += n
+		buf[mv[1]].Flows -= n
+	}
+}
+
+// BenchmarkEvaluateDeltaCandidate is the same candidates through the
+// incremental path against a captured base.
+func BenchmarkEvaluateDeltaCandidate(b *testing.B) {
+	m, bundles := heLikeInstance(b)
+	moves := moveCandidates(bundles, 256, 3)
+	arena := m.NewEval()
+	var base Base
+	m.NewEval().EvaluateBase(bundles, &base)
+	buf := append([]Bundle(nil), bundles...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		n := 1 + buf[mv[0]].Flows/2
+		buf[mv[0]].Flows -= n
+		buf[mv[1]].Flows += n
+		changed := [2]int{mv[0], mv[1]}
+		if changed[0] > changed[1] {
+			changed[0], changed[1] = changed[1], changed[0]
+		}
+		arena.EvaluateDelta(&base, buf, changed[:])
+		buf[mv[0]].Flows += n
+		buf[mv[1]].Flows -= n
+	}
+	st := arena.DeltaStats()
+	b.ReportMetric(float64(st.Fallbacks)/float64(st.Calls), "fallback-frac")
+	b.ReportMetric(float64(st.AffectedBundles)/float64(max64(1, st.ListBundles)), "affected-frac")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

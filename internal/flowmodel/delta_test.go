@@ -1,0 +1,336 @@
+package flowmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fubar/internal/graph"
+	"fubar/internal/pathgen"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// deltaInstance draws a seeded random congested instance plus a dense
+// bundle list: every aggregate's flows split over up to three candidate
+// paths, zero-flow entries included so perturbations can grow them — the
+// same list shape the optimizer's trial-move engine evaluates.
+func deltaInstance(tb testing.TB, seed int64) (*Model, []Bundle, [][]graph.Path) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo, err := topology.Ring(5+rng.Intn(6), 2+rng.Intn(4),
+		unit.Bandwidth(300+rng.Intn(1500))*unit.Kbps, seed)
+	if err != nil {
+		tb.Fatalf("Ring: %v", err)
+	}
+	cfg := traffic.DefaultGenConfig(seed)
+	cfg.RealTimeFlows = [2]int{1, 10}
+	cfg.BulkFlows = [2]int{1, 6}
+	mat, err := traffic.Generate(topo, cfg)
+	if err != nil {
+		tb.Fatalf("Generate: %v", err)
+	}
+	m, err := New(topo, mat)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	gen, err := pathgen.New(topo, pathgen.Policy{})
+	if err != nil {
+		tb.Fatalf("pathgen.New: %v", err)
+	}
+	var bundles []Bundle
+	var paths [][]graph.Path
+	for _, a := range mat.Aggregates() {
+		if a.IsSelfPair() {
+			bundles = append(bundles, Bundle{Agg: a.ID, Flows: a.Flows})
+			paths = append(paths, nil)
+			continue
+		}
+		ps := gen.KLowestDelay(a.Src, a.Dst, 1+rng.Intn(3))
+		if len(ps) == 0 {
+			tb.Fatalf("no path for aggregate %d", a.ID)
+		}
+		left := a.Flows
+		for pi, p := range ps {
+			n := 0
+			if pi == len(ps)-1 {
+				n = left
+			} else if left > 0 {
+				n = rng.Intn(left + 1)
+			}
+			bundles = append(bundles, NewBundle(topo, a.ID, n, p))
+			paths = append(paths, ps)
+			left -= n
+		}
+	}
+	return m, bundles, paths
+}
+
+// perturb applies a random optimizer-shaped move to the list: shift some
+// flows between two same-aggregate entries (one may hit zero, one may
+// start from zero). Returns the changed indices, or nil when the draw
+// found no movable pair.
+func perturb(rng *rand.Rand, bundles []Bundle) []int {
+	// Group indices by aggregate, in deterministic aggregate order.
+	maxAgg := traffic.AggregateID(-1)
+	for _, b := range bundles {
+		if b.Agg > maxAgg {
+			maxAgg = b.Agg
+		}
+	}
+	byAgg := make([][]int, maxAgg+1)
+	for i, b := range bundles {
+		if len(b.Edges) > 0 {
+			byAgg[b.Agg] = append(byAgg[b.Agg], i)
+		}
+	}
+	var multi [][]int
+	for _, idx := range byAgg {
+		if len(idx) > 1 {
+			multi = append(multi, idx)
+		}
+	}
+	if len(multi) == 0 {
+		return nil
+	}
+	for tries := 0; tries < 20; tries++ {
+		seg := multi[rng.Intn(len(multi))]
+		from := seg[rng.Intn(len(seg))]
+		to := seg[rng.Intn(len(seg))]
+		if from == to || bundles[from].Flows == 0 {
+			continue
+		}
+		n := 1 + rng.Intn(bundles[from].Flows)
+		bundles[from].Flows -= n
+		bundles[to].Flows += n
+		if from > to {
+			from, to = to, from
+		}
+		return []int{from, to}
+	}
+	return nil
+}
+
+// requireIdentical asserts two results agree bit for bit on every field
+// the differential contract covers.
+func requireIdentical(t *testing.T, tag string, want, got *Result) {
+	t.Helper()
+	if want.NetworkUtility != got.NetworkUtility {
+		t.Fatalf("%s: NetworkUtility %v != %v", tag, got.NetworkUtility, want.NetworkUtility)
+	}
+	for i := range want.BundleRate {
+		if want.BundleRate[i] != got.BundleRate[i] {
+			t.Fatalf("%s: BundleRate[%d] %v != %v", tag, i, got.BundleRate[i], want.BundleRate[i])
+		}
+		if want.BundleSatisfied[i] != got.BundleSatisfied[i] {
+			t.Fatalf("%s: BundleSatisfied[%d] %v != %v", tag, i, got.BundleSatisfied[i], want.BundleSatisfied[i])
+		}
+	}
+	for l := range want.LinkLoad {
+		if want.LinkLoad[l] != got.LinkLoad[l] {
+			t.Fatalf("%s: LinkLoad[%d] %v != %v", tag, l, got.LinkLoad[l], want.LinkLoad[l])
+		}
+		if want.LinkDemand[l] != got.LinkDemand[l] {
+			t.Fatalf("%s: LinkDemand[%d] %v != %v", tag, l, got.LinkDemand[l], want.LinkDemand[l])
+		}
+		if want.IsCongested[l] != got.IsCongested[l] {
+			t.Fatalf("%s: IsCongested[%d] %v != %v", tag, l, got.IsCongested[l], want.IsCongested[l])
+		}
+	}
+	for a := range want.AggUtility {
+		if want.AggUtility[a] != got.AggUtility[a] {
+			t.Fatalf("%s: AggUtility[%d] %v != %v", tag, a, got.AggUtility[a], want.AggUtility[a])
+		}
+	}
+	if len(want.Congested) != len(got.Congested) {
+		t.Fatalf("%s: Congested %v != %v", tag, got.Congested, want.Congested)
+	}
+	for i := range want.Congested {
+		if want.Congested[i] != got.Congested[i] {
+			t.Fatalf("%s: Congested %v != %v", tag, got.Congested, want.Congested)
+		}
+	}
+	if want.ActualUtilization != got.ActualUtilization || want.DemandedUtilization != got.DemandedUtilization {
+		t.Fatalf("%s: utilization (%v,%v) != (%v,%v)", tag,
+			got.ActualUtilization, got.DemandedUtilization, want.ActualUtilization, want.DemandedUtilization)
+	}
+}
+
+// TestDeltaDifferential is the differential property test: across seeded
+// random instances and > 1000 random candidate moves, EvaluateDelta must
+// produce bit-identical results to a full Evaluate of the same list. The
+// base is re-captured every few moves so deltas run against bases of
+// varying staleness shapes, and the walk keeps moving (committing the
+// perturbed list) so congestion patterns vary.
+func TestDeltaDifferential(t *testing.T) {
+	evals := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		m, bundles, _ := deltaInstance(t, seed)
+		rng := rand.New(rand.NewSource(seed * 977))
+		baseArena := m.NewEval()
+		deltaArena := m.NewEval()
+		fullArena := m.NewEval()
+		var base Base
+		baseArena.EvaluateBase(bundles, &base)
+		for move := 0; move < 50; move++ {
+			cand := append([]Bundle(nil), bundles...)
+			changed := perturb(rng, cand)
+			if changed == nil {
+				break
+			}
+			want := fullArena.Evaluate(cand)
+			got := deltaArena.EvaluateDelta(&base, cand, changed)
+			requireIdentical(t, "delta vs full", want, got)
+			evals++
+			// Commit every other move and periodically refresh the base.
+			if move%2 == 0 {
+				bundles = cand
+				baseArena.EvaluateBase(bundles, &base)
+			}
+		}
+	}
+	if evals < 1000 {
+		t.Fatalf("differential exercised only %d delta evaluations, want >= 1000", evals)
+	}
+}
+
+// TestDeltaStackedMoves checks deltas against a stale base: several
+// successive moves evaluated against one capture, with the changed set
+// accumulating — the contract only requires the changed list to cover
+// every index that differs from the base.
+func TestDeltaStackedMoves(t *testing.T) {
+	m, bundles, _ := deltaInstance(t, 11)
+	rng := rand.New(rand.NewSource(4242))
+	var base Base
+	m.NewEval().EvaluateBase(bundles, &base)
+	deltaArena := m.NewEval()
+	fullArena := m.NewEval()
+	cand := append([]Bundle(nil), bundles...)
+	var changed []int
+	for move := 0; move < 12; move++ {
+		ch := perturb(rng, cand)
+		if ch == nil {
+			break
+		}
+		changed = append(changed, ch...)
+		want := fullArena.Evaluate(cand)
+		got := deltaArena.EvaluateDelta(&base, cand, changed)
+		requireIdentical(t, "stacked", want, got)
+	}
+}
+
+// TestDeltaFallbacks pins the fallback conditions: no base, length
+// mismatch, out-of-range changed index, aggregate swap. All must still
+// return correct (full-evaluation) results.
+func TestDeltaFallbacks(t *testing.T) {
+	m, bundles, _ := deltaInstance(t, 7)
+	arena := m.NewEval()
+	var base Base
+	arena.EvaluateBase(bundles, &base)
+
+	check := func(tag string, base *Base, list []Bundle, changed []int) {
+		t.Helper()
+		want := m.NewEval().Evaluate(list).Clone()
+		before := arena.DeltaStats().Fallbacks
+		got := arena.EvaluateDelta(base, list, changed)
+		if arena.DeltaStats().Fallbacks != before+1 {
+			t.Fatalf("%s: expected a fallback", tag)
+		}
+		if got.NetworkUtility != want.NetworkUtility {
+			t.Fatalf("%s: utility %v != %v", tag, got.NetworkUtility, want.NetworkUtility)
+		}
+	}
+	check("nil base", nil, bundles, []int{0})
+	check("length mismatch", &base, bundles[:len(bundles)-1], []int{0})
+	check("index out of range", &base, bundles, []int{len(bundles)})
+	swapped := append([]Bundle(nil), bundles...)
+	swapped[0].Agg = swapped[len(swapped)-1].Agg
+	res := arena.EvaluateDelta(&base, swapped, []int{0})
+	if res.NetworkUtility != m.NewEval().Evaluate(swapped).NetworkUtility {
+		t.Fatalf("aggregate-swap fallback returned a wrong result")
+	}
+}
+
+// TestDeltaBaseSharedAcrossArenas runs concurrent deltas from many arenas
+// against one shared Base; under -race this is the read-only-Base
+// acceptance test.
+func TestDeltaBaseSharedAcrossArenas(t *testing.T) {
+	m, bundles, _ := deltaInstance(t, 19)
+	var base Base
+	m.NewEval().EvaluateBase(bundles, &base)
+	// Reference results for a handful of perturbations.
+	rng := rand.New(rand.NewSource(5))
+	type tc struct {
+		cand    []Bundle
+		changed []int
+		want    *Result
+	}
+	var cases []tc
+	ref := m.NewEval()
+	for len(cases) < 6 {
+		cand := append([]Bundle(nil), bundles...)
+		ch := perturb(rng, cand)
+		if ch == nil {
+			t.Fatal("no movable pair")
+		}
+		cases = append(cases, tc{cand, ch, ref.Evaluate(cand).Clone()})
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			arena := m.NewEval()
+			for rep := 0; rep < 25; rep++ {
+				c := cases[(g+rep)%len(cases)]
+				got := arena.EvaluateDelta(&base, c.cand, c.changed)
+				if got.NetworkUtility != c.want.NetworkUtility {
+					done <- errDelta
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDelta = errString("delta result diverged from serial reference")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// FuzzEvaluateDelta fuzzes the differential contract: arbitrary
+// (instance seed, move seed, move count) triples must keep EvaluateDelta
+// bit-identical to full evaluation.
+func FuzzEvaluateDelta(f *testing.F) {
+	f.Add(int64(1), int64(1), uint8(3))
+	f.Add(int64(7), int64(99), uint8(10))
+	f.Add(int64(23), int64(5), uint8(1))
+	f.Fuzz(func(t *testing.T, instSeed, moveSeed int64, moves uint8) {
+		if instSeed <= 0 || instSeed > 1<<20 {
+			t.Skip()
+		}
+		m, bundles, _ := deltaInstance(t, instSeed)
+		rng := rand.New(rand.NewSource(moveSeed))
+		var base Base
+		m.NewEval().EvaluateBase(bundles, &base)
+		deltaArena := m.NewEval()
+		fullArena := m.NewEval()
+		for mv := 0; mv < int(moves%16)+1; mv++ {
+			cand := append([]Bundle(nil), bundles...)
+			changed := perturb(rng, cand)
+			if changed == nil {
+				return
+			}
+			want := fullArena.Evaluate(cand)
+			got := deltaArena.EvaluateDelta(&base, cand, changed)
+			requireIdentical(t, "fuzz", want, got)
+			bundles = cand
+			m.NewEval().EvaluateBase(bundles, &base)
+		}
+	})
+}

@@ -95,7 +95,7 @@ type Result struct {
 	// LinkDemand is the total demand (kbps) of bundles crossing each link.
 	LinkDemand []float64
 	// Congested lists links that froze at least one bundle, i.e. actual
-	// bottlenecks, in no particular order.
+	// bottlenecks, in increasing link order.
 	Congested []graph.EdgeID
 	// IsCongested is the set view of Congested.
 	IsCongested []bool
@@ -155,19 +155,37 @@ type Eval struct {
 	m *Model
 
 	// Scratch state, sized on demand.
-	weight     []float64 // per bundle: flows/RTT
-	demand     []float64 // per bundle: flows * demandPerFlow
-	tDemand    []float64 // per bundle: demand / weight
-	frozen     []bool
+	weight  []float64 // per bundle: flows/RTT
+	demand  []float64 // per bundle: flows * demandPerFlow
+	tDemand []float64 // per bundle: demand / weight
+	frozen  []bool
+	// byDemand records how each bundle froze: true = at its own demand
+	// event (time tDemand, rate = demand — a trajectory independent of
+	// every other bundle), false = at a link-saturation event. The delta
+	// path uses it to decide which bundles can transmit influence.
+	byDemand   []bool
 	order      []uint64 // demand events: float32(tDemand) bits << 32 | index
 	linkW      []float64
 	linkFrozen []float64
 	linkBun    [][]int32 // per link: bundles crossing it
-	linkTSat   []float64 // cached saturation time; +Inf when unloaded
-	minTSat    float64   // running minimum of linkTSat
-	minLink    int32     // index of the minimum, -1 when none
-	minDirty   bool      // true when the cached minimum needs a rescan
-	res        Result
+	events     linkHeap  // pending link-saturation events
+	// linkIn stamps the links participating in the current fill (all
+	// crossed links for a full Evaluate, the affected sub-problem for
+	// EvaluateDelta); freezeBundle ignores edges outside the stamp so a
+	// delta fill never reads another fill's stale per-link scratch.
+	linkIn    []uint32
+	linkEpoch uint32
+	// stallClears counts residual-float-weight stall-guard activations
+	// (the linkW-dust branch of the fill loop), for tests.
+	stallClears int64
+	// guardLazy arms the fill loop's optimistic-closure guard: freezing a
+	// lazily-treated bundle at a link event aborts the fill so the delta
+	// path can widen the sub-problem and re-run.
+	guardLazy bool
+
+	delta deltaScratch
+	stats DeltaStats
+	res   Result
 }
 
 // New builds a model for the topology and matrix.
@@ -219,8 +237,9 @@ func (m *Model) NewEval() *Eval {
 		linkW:      make([]float64, nL),
 		linkFrozen: make([]float64, nL),
 		linkBun:    make([][]int32, nL),
-		linkTSat:   make([]float64, nL),
+		linkIn:     make([]uint32, nL),
 	}
+	e.events.init(nL)
 	e.res.LinkLoad = make([]float64, nL)
 	e.res.LinkDemand = make([]float64, nL)
 	e.res.IsCongested = make([]bool, nL)
@@ -246,13 +265,13 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 	res := &e.res
 	res.BundleRate = res.BundleRate[:nB]
 	res.BundleSatisfied = res.BundleSatisfied[:nB]
-	res.Congested = res.Congested[:0]
 
+	e.bumpLinkEpoch()
 	for i := 0; i < nL; i++ {
 		e.linkW[i] = 0
 		e.linkFrozen[i] = 0
 		e.linkBun[i] = e.linkBun[i][:0]
-		e.linkTSat[i] = math.Inf(1)
+		e.linkIn[i] = e.linkEpoch
 		res.LinkLoad[i] = 0
 		res.LinkDemand[i] = 0
 		res.IsCongested[i] = false
@@ -260,56 +279,95 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 
 	// Set up per-bundle filling parameters.
 	active := 0
-	for i, b := range bundles {
-		d := m.demandPer[b.Agg] * float64(b.Flows)
-		e.demand[i] = d
-		res.BundleRate[i] = 0
-		res.BundleSatisfied[i] = false
-		if len(b.Edges) == 0 || b.Flows <= 0 || d == 0 {
-			// Self-pair or empty bundle: satisfied immediately.
-			res.BundleRate[i] = d
-			res.BundleSatisfied[i] = true
-			e.frozen[i] = true
-			e.weight[i] = 0
-			e.tDemand[i] = 0
-			continue
-		}
-		w := float64(b.Flows) / b.RTT()
-		e.weight[i] = w
-		e.tDemand[i] = d / w
-		e.frozen[i] = false
-		active++
-		for _, eid := range b.Edges {
-			e.linkW[eid] += w
-			e.linkBun[eid] = append(e.linkBun[eid], int32(i))
-			res.LinkDemand[eid] += d
+	for i := range bundles {
+		active += e.setupBundle(bundles, i, res)
+	}
+
+	e.buildDemandOrder()
+
+	// Seed the saturation-event queue with every loaded link.
+	e.events.reset()
+	for l := 0; l < nL; l++ {
+		if e.linkW[l] > 0 {
+			e.events.update(int32(l), (m.capacity[l]-e.linkFrozen[l])/e.linkW[l])
 		}
 	}
 
-	// Demand events in increasing tDemand order. Keys pack a float32 of
-	// the demand time above the bundle index: non-negative float32 bits
-	// sort correctly as integers, and demand events commute, so float32
-	// granularity cannot change the outcome — only the processing order
-	// of near-simultaneous satisfactions.
+	e.fill(bundles, active, res)
+
+	// Final per-link loads: sum crossing-bundle rates in bundle index
+	// order, a canonical order shared with the delta path so full and
+	// incremental evaluations agree bit for bit.
+	for l := 0; l < nL; l++ {
+		res.LinkLoad[l] = e.linkLoadOf(res, e.linkBun[l], m.capacity[l])
+	}
+	e.rebuildCongested(res)
+	e.computeUtility(bundles, res)
+	e.computeUtilization(res)
+	return res
+}
+
+// setupBundle initializes bundle i's filling parameters and accumulates
+// its weight and demand onto the stamped links it crosses. Returns 1 when
+// the bundle enters the filling as active, 0 when it freezes immediately
+// (self-pair, empty, or zero-demand placeholder).
+func (e *Eval) setupBundle(bundles []Bundle, i int, res *Result) int {
+	b := bundles[i]
+	d := e.m.demandPer[b.Agg] * float64(b.Flows)
+	e.demand[i] = d
+	res.BundleRate[i] = 0
+	res.BundleSatisfied[i] = false
+	if len(b.Edges) == 0 || b.Flows <= 0 || d == 0 {
+		// Self-pair or empty bundle: satisfied immediately.
+		res.BundleRate[i] = d
+		res.BundleSatisfied[i] = true
+		e.frozen[i] = true
+		e.byDemand[i] = true
+		e.weight[i] = 0
+		e.tDemand[i] = 0
+		return 0
+	}
+	w := float64(b.Flows) / b.RTT()
+	e.weight[i] = w
+	e.tDemand[i] = d / w
+	e.frozen[i] = false
+	for _, eid := range b.Edges {
+		if e.linkIn[eid] != e.linkEpoch {
+			continue // outside the delta sub-problem
+		}
+		e.linkW[eid] += w
+		e.linkBun[eid] = append(e.linkBun[eid], int32(i))
+		res.LinkDemand[eid] += d
+	}
+	return 1
+}
+
+// buildDemandOrder sorts the active bundles' demand events in increasing
+// tDemand order. Keys pack a float32 of the demand time above the bundle
+// index: non-negative float32 bits sort correctly as integers, and demand
+// events commute, so float32 granularity cannot change the outcome — only
+// the processing order of near-simultaneous satisfactions. (The delta
+// path derives its event order from a Base's captured copy of this list
+// instead of re-sorting.)
+func (e *Eval) buildDemandOrder() {
 	e.order = e.order[:0]
-	for i := 0; i < nB; i++ {
+	for i := range e.frozen {
 		if !e.frozen[i] {
 			e.order = append(e.order, uint64(math.Float32bits(float32(e.tDemand[i])))<<32|uint64(uint32(i)))
 		}
 	}
 	slices.Sort(e.order)
+}
+
+// fill runs the progressive water-filling event loop until every active
+// bundle froze. Demand events come from e.order; saturation events from
+// the e.events heap. Both full and delta evaluations share this loop —
+// only the set of participating bundles and links differs. When
+// e.guardLazy is armed and a link event is about to freeze a bundle the
+// delta closure treated lazily, the fill aborts and returns that link so
+// the caller can widen the sub-problem; otherwise returns -1.
+func (e *Eval) fill(bundles []Bundle, active int, res *Result) int32 {
 	next := 0 // index into order of the earliest pending demand event
-
-	// Cache each link's saturation time; freezeBundle refreshes the
-	// entries of links it touches and maintains a running minimum so most
-	// events avoid rescanning the whole array.
-	for l := 0; l < nL; l++ {
-		if e.linkW[l] > 0 {
-			e.linkTSat[l] = (m.capacity[l] - e.linkFrozen[l]) / e.linkW[l]
-		}
-	}
-	e.minDirty = true
-
 	for active > 0 {
 		// Earliest pending demand event.
 		for next < len(e.order) && e.frozen[uint32(e.order[next])] {
@@ -319,26 +377,15 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 		if next < len(e.order) {
 			tDem = e.tDemand[uint32(e.order[next])]
 		}
-		// Earliest link saturation event (cached; rescan only when the
-		// previous minimum link was itself touched).
-		if e.minDirty {
-			e.minTSat = math.Inf(1)
-			e.minLink = -1
-			for l, t := range e.linkTSat {
-				if t < e.minTSat {
-					e.minTSat = t
-					e.minLink = int32(l)
-				}
-			}
-			e.minDirty = false
-		}
-		tLink := e.minTSat
-		linkIdx := int(e.minLink)
+		// Earliest link saturation event.
+		link, tLink := e.events.peek()
+		linkIdx := int(link)
 		switch {
 		case tDem <= tLink:
 			// Demand satisfied first (ties resolve to satisfaction).
 			i := int(uint32(e.order[next]))
 			next++
+			e.byDemand[i] = true
 			e.freezeBundle(bundles, i, e.demand[i], true, res)
 			active--
 		case linkIdx >= 0:
@@ -353,6 +400,12 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 				if e.frozen[bi] {
 					continue
 				}
+				if e.guardLazy && e.delta.eagerMark[bi] != e.delta.epoch {
+					// Optimistic closure missed: a link event reached a
+					// bundle assumed to stay demand-frozen. Abort so the
+					// delta path can promote it and re-solve wider.
+					return link
+				}
 				rate := e.weight[bi] * t
 				// Floating-point tie: a bundle reaching its demand at the
 				// very instant the link fills is satisfied, not congested.
@@ -362,6 +415,9 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 				} else {
 					truncated++
 				}
+				// Even a tie-satisfied bundle froze at the link's time,
+				// not its own demand time — it can transmit influence.
+				e.byDemand[bi] = false
 				e.freezeBundle(bundles, int(bi), rate, sat, res)
 				active--
 				froze++
@@ -369,16 +425,19 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 			switch {
 			case truncated > 0:
 				res.IsCongested[linkIdx] = true
-				res.Congested = append(res.Congested, graph.EdgeID(linkIdx))
 			case froze > 0:
 				// Every crosser finished exactly at its demand: the link
 				// is full but nobody is denied bandwidth — not congested.
 			default:
-				// Residual float weight with no active bundle: clear it so
-				// the filling cannot stall on this link.
+				// Residual float weight with no active bundle: clear the
+				// dust and retire the link's event so the filling cannot
+				// stall on it. The link's Result bookkeeping is left
+				// consistent — LinkDemand keeps the true crossing demand
+				// set up front, the canonical load summation never sees
+				// the dust, and the link is not marked congested.
 				e.linkW[linkIdx] = 0
-				e.linkTSat[linkIdx] = math.Inf(1)
-				e.minDirty = true
+				e.events.remove(link)
+				e.stallClears++
 			}
 		default:
 			// No pending events but active bundles remain: impossible,
@@ -386,48 +445,65 @@ func (e *Eval) Evaluate(bundles []Bundle) *Result {
 			panic("flowmodel: stalled filling")
 		}
 	}
-
-	// Final per-link loads.
-	for l := 0; l < nL; l++ {
-		res.LinkLoad[l] = e.linkFrozen[l]
-		if res.LinkLoad[l] > m.capacity[l] {
-			res.LinkLoad[l] = m.capacity[l]
-		}
-	}
-	e.computeUtility(bundles, res)
-	e.computeUtilization(res)
-	return res
+	return -1
 }
 
 // freezeBundle fixes bundle i at the given rate and removes its weight
-// from its links.
+// from its links, rescheduling their saturation events.
 func (e *Eval) freezeBundle(bundles []Bundle, i int, rate float64, satisfied bool, res *Result) {
 	e.frozen[i] = true
 	res.BundleRate[i] = rate
 	res.BundleSatisfied[i] = satisfied
 	w := e.weight[i]
 	for _, eid := range bundles[i].Edges {
+		if e.linkIn[eid] != e.linkEpoch {
+			continue // outside the delta sub-problem
+		}
 		e.linkW[eid] -= w
 		if e.linkW[eid] < 0 {
 			e.linkW[eid] = 0
 		}
 		e.linkFrozen[eid] += rate
-		var t float64
 		if e.linkW[eid] > 0 {
-			t = (e.m.capacity[eid] - e.linkFrozen[eid]) / e.linkW[eid]
+			e.events.update(int32(eid), (e.m.capacity[eid]-e.linkFrozen[eid])/e.linkW[eid])
 		} else {
-			t = math.Inf(1)
+			e.events.remove(int32(eid))
 		}
-		e.linkTSat[eid] = t
-		// Maintain the running minimum: a touched link with a smaller
-		// time becomes the new minimum; touching the minimum itself
-		// forces a rescan (its time may have grown).
-		if eid == graph.EdgeID(e.minLink) {
-			e.minDirty = true
-		} else if t < e.minTSat {
-			e.minTSat = t
-			e.minLink = int32(eid)
+	}
+}
+
+// linkLoadOf sums the final rates of the given crossing bundles (in the
+// canonical bundle-index order the lists are built in) and clamps at the
+// link's capacity.
+func (e *Eval) linkLoadOf(res *Result, crossers []int32, capacity float64) float64 {
+	var load float64
+	for _, bi := range crossers {
+		load += res.BundleRate[bi]
+	}
+	if load > capacity {
+		load = capacity
+	}
+	return load
+}
+
+// rebuildCongested derives the Congested list from IsCongested in
+// increasing link order — canonical, so full and delta evaluations of the
+// same allocation produce identical lists.
+func (e *Eval) rebuildCongested(res *Result) {
+	res.Congested = res.Congested[:0]
+	for l := range res.IsCongested {
+		if res.IsCongested[l] {
+			res.Congested = append(res.Congested, graph.EdgeID(l))
 		}
+	}
+}
+
+// bumpLinkEpoch starts a new link-participation stamp generation.
+func (e *Eval) bumpLinkEpoch() {
+	e.linkEpoch++
+	if e.linkEpoch == 0 { // wrapped: old stamps would alias the new epoch
+		clear(e.linkIn)
+		e.linkEpoch = 1
 	}
 }
 
@@ -449,15 +525,7 @@ func (e *Eval) computeUtility(bundles []Bundle, res *Result) {
 		if b.Flows <= 0 {
 			continue
 		}
-		agg := m.mat.Aggregate(b.Agg)
-		perFlow := unit.Bandwidth(res.BundleRate[bi] / float64(b.Flows))
-		var u float64
-		if len(b.Edges) == 0 {
-			u = 1 // same-POP traffic never crosses the backbone
-		} else {
-			u = agg.Fn.Eval(perFlow, 2*b.Delay) // delay curves are RTT
-		}
-		res.AggUtility[b.Agg] += u * float64(b.Flows)
+		res.AggUtility[b.Agg] += m.utilityTerm(b, res.BundleRate[bi])
 	}
 	var total float64
 	for i := 0; i < nA; i++ {
@@ -472,6 +540,22 @@ func (e *Eval) computeUtility(bundles []Bundle, res *Result) {
 	} else {
 		res.NetworkUtility = 0
 	}
+}
+
+// utilityTerm returns one bundle's flow-weighted utility contribution:
+// its flows see per-flow bandwidth rate/flows at the bundle's path
+// round-trip time. The full and delta paths both sum aggregates from
+// this helper, keeping their arithmetic identical term for term — the
+// bit-identity contract of EvaluateDelta depends on that.
+func (m *Model) utilityTerm(b Bundle, rate float64) float64 {
+	perFlow := unit.Bandwidth(rate / float64(b.Flows))
+	var u float64
+	if len(b.Edges) == 0 {
+		u = 1 // same-POP traffic never crosses the backbone
+	} else {
+		u = m.mat.Aggregate(b.Agg).Fn.Eval(perFlow, 2*b.Delay) // delay curves are RTT
+	}
+	return u * float64(b.Flows)
 }
 
 // computeUtilization fills the two §3 utilization metrics over links that
@@ -502,6 +586,7 @@ func (e *Eval) grow(nB int) {
 		e.demand = make([]float64, nB)
 		e.tDemand = make([]float64, nB)
 		e.frozen = make([]bool, nB)
+		e.byDemand = make([]bool, nB)
 		e.res.BundleRate = make([]float64, nB)
 		e.res.BundleSatisfied = make([]bool, nB)
 		e.order = make([]uint64, 0, nB)
@@ -510,6 +595,7 @@ func (e *Eval) grow(nB int) {
 	e.demand = e.demand[:nB]
 	e.tDemand = e.tDemand[:nB]
 	e.frozen = e.frozen[:nB]
+	e.byDemand = e.byDemand[:nB]
 }
 
 // Oversubscription returns demand/capacity for a link in the last result.

@@ -1,0 +1,134 @@
+package flowmodel
+
+import "math"
+
+// linkHeap is the fill loop's saturation-event queue: an indexed binary
+// min-heap of links keyed by (saturation time, link index). The explicit
+// index tie-break makes the pop order a pure function of the key set —
+// never of insertion or update history — so every fill (full or delta)
+// processes simultaneous saturations in the same deterministic order the
+// old linear rescan did: earliest time first, lowest link index on ties.
+//
+// pos[l] is l's position in heap, or -1 while l has no pending event;
+// updates are O(log n) sift operations instead of the previous O(nL)
+// minDirty rescan, which dominated fills on large topologies.
+type linkHeap struct {
+	time []float64 // per-link saturation time; valid while pos[l] >= 0
+	heap []int32   // heap of link indices ordered by (time, index)
+	pos  []int32   // heap position per link; -1 = no pending event
+}
+
+// init sizes the heap for nL links with no pending events.
+func (h *linkHeap) init(nL int) {
+	h.time = make([]float64, nL)
+	h.pos = make([]int32, nL)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+// reset drops every pending event in O(pending) without touching the
+// per-link arrays of absent links.
+func (h *linkHeap) reset() {
+	for _, l := range h.heap {
+		h.pos[l] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+func (h *linkHeap) less(a, b int32) bool {
+	ta, tb := h.time[a], h.time[b]
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (h *linkHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *linkHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// down sifts position i toward the leaves; reports whether it moved.
+func (h *linkHeap) down(i int) bool {
+	start := i
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(h.heap[r], h.heap[c]) {
+			c = r
+		}
+		if !h.less(h.heap[c], h.heap[i]) {
+			break
+		}
+		h.swap(i, c)
+		i = c
+	}
+	return i > start
+}
+
+// update inserts link l at saturation time t, or repositions it if it
+// already has a pending event. t = +Inf removes the event instead (the
+// link can no longer saturate).
+func (h *linkHeap) update(l int32, t float64) {
+	if math.IsInf(t, 1) {
+		h.remove(l)
+		return
+	}
+	h.time[l] = t
+	p := h.pos[l]
+	if p < 0 {
+		h.pos[l] = int32(len(h.heap))
+		h.heap = append(h.heap, l)
+		h.up(len(h.heap) - 1)
+		return
+	}
+	if !h.down(int(p)) {
+		h.up(int(p))
+	}
+}
+
+// remove drops link l's pending event, if any.
+func (h *linkHeap) remove(l int32) {
+	p := int(h.pos[l])
+	if p < 0 {
+		return
+	}
+	n := len(h.heap) - 1
+	if p != n {
+		h.swap(p, n)
+	}
+	h.heap = h.heap[:n]
+	h.pos[l] = -1
+	if p < n {
+		if !h.down(p) {
+			h.up(p)
+		}
+	}
+}
+
+// peek returns the earliest pending event as (link, time), or (-1, +Inf)
+// when no link can saturate.
+func (h *linkHeap) peek() (int32, float64) {
+	if len(h.heap) == 0 {
+		return -1, math.Inf(1)
+	}
+	l := h.heap[0]
+	return l, h.time[l]
+}
