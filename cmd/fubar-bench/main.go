@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench (explicit only; write -bench-out/-scenario-out/-eval-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
@@ -53,6 +53,8 @@ func main() {
 		scenOut  = flag.String("scenario-out", "BENCH_scenario.json", "output file for the scenario replay record")
 		evalOut  = flag.String("eval-out", "BENCH_eval.json", "output file for the evalbench record")
 		evalInst = flag.String("eval-instance", "he", "evalbench instance: he (thinned HE-31) or ring (small CI smoke)")
+		ctrlOut  = flag.String("ctrlloop-out", "BENCH_ctrlloop.json", "output file for the ctrlloop record")
+		budget   = flag.Duration("budget", 250*time.Millisecond, "ctrlloop per-epoch optimization deadline for the budgeted run")
 	)
 	flag.Parse()
 
@@ -133,6 +135,160 @@ func main() {
 			return evalBench(*evalInst, *seed, *evalOut)
 		})
 	}
+	if *exp == "ctrlloop" {
+		run("ctrlloop: closed-loop scenario replay over the control plane", func() error {
+			return ctrlloopBench(*scenName, *seed, *epochs, *budget, *ctrlOut)
+		})
+	}
+}
+
+// ctrlloopBenchRecord is the JSON record `-exp ctrlloop` writes: the
+// closed-loop replay's counted wire FlowMods warm vs cold, the
+// worker-count determinism verdict, make-before-break headroom, and the
+// deadline-miss rate of a budgeted run.
+type ctrlloopBenchRecord struct {
+	Benchmark        string           `json:"benchmark"`
+	Scenario         string           `json:"scenario"`
+	Seed             int64            `json:"seed"`
+	Topology         string           `json:"topology"`
+	Aggregates       int              `json:"aggregates"`
+	Epochs           int              `json:"epochs"`
+	GOMAXPROCS       int              `json:"gomaxprocs"`
+	Deterministic    bool             `json:"deterministic"`
+	WarmWireFlowMods int              `json:"warm_wire_flow_mods"`
+	ColdWireFlowMods int              `json:"cold_wire_flow_mods"`
+	WireRatio        float64          `json:"cold_over_warm_wire_flow_mods"`
+	WarmEstFlowMods  int              `json:"warm_estimated_flow_mods"`
+	ColdEstFlowMods  int              `json:"cold_estimated_flow_mods"`
+	WarmTrueUtility  float64          `json:"warm_mean_true_utility"`
+	ColdTrueUtility  float64          `json:"cold_mean_true_utility"`
+	MinMBBHeadroom   float64          `json:"min_mbb_headroom"`
+	BudgetNs         int64            `json:"budget_ns"`
+	DeadlineMissRate float64          `json:"deadline_miss_rate"`
+	BudgetedTrueU    float64          `json:"budgeted_mean_true_utility"`
+	Warm             *scenario.Result `json:"warm"`
+}
+
+func meanTrueUtility(r *scenario.Result) float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range r.Epochs {
+		s += e.TrueUtility
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// ctrlloopBench replays a canned scenario on the thinned HE-31 instance
+// with the control plane in the loop, four ways: warm-started at one
+// and at four candidate workers with no budget (checking the epoch
+// tables, counted FlowMods and install sequences are identical),
+// cold-started (every epoch optimizes from scratch — the FlowMod
+// comparison the warm start is buying), and warm-started under a
+// per-epoch optimization deadline (recording the miss rate and the
+// utility cost of publishing best-so-far solutions; wall-clock, so this
+// run is machine-dependent by design).
+func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, outPath string) error {
+	topo, mat, err := scenario.HEBenchInstance(seed + 4)
+	if err != nil {
+		return err
+	}
+	// Declare two shared-risk conduits so `-scenario srlg` exercises
+	// correlated failures on this instance too.
+	topoS, err := topo.WithSRLGs([]topology.SRLG{
+		{Name: "conduit-0", Links: []topology.LinkID{0, 2}},
+		{Name: "conduit-1", Links: []topology.LinkID{4, 6}},
+	})
+	if err != nil {
+		return err
+	}
+	matS, err := traffic.NewMatrix(topoS, mat.Aggregates())
+	if err != nil {
+		return err
+	}
+	topo, mat = topoS, matS
+	sc, err := scenario.ByName(name, seed, epochs)
+	if err != nil {
+		return err
+	}
+	warm1, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}})
+	if err != nil {
+		return err
+	}
+	warm4, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 4}})
+	if err != nil {
+		return err
+	}
+	det := warm1.Equivalent(warm4)
+	cold, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{ColdStart: true, Core: core.Options{Workers: 1}})
+	if err != nil {
+		return err
+	}
+	budgeted, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{
+		Core: core.Options{Workers: 1}, EpochBudget: budget,
+	})
+	if err != nil {
+		return err
+	}
+	if err := warm1.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	rec := ctrlloopBenchRecord{
+		Benchmark:        "closed-loop scenario replay: counted wire FlowMods, warm vs cold, deadline budgeting",
+		Scenario:         sc.Name,
+		Seed:             seed,
+		Topology:         topo.Summary(),
+		Aggregates:       mat.NumAggregates(),
+		Epochs:           epochs,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Deterministic:    det,
+		WarmWireFlowMods: warm1.TotalWireFlowMods(),
+		ColdWireFlowMods: cold.TotalWireFlowMods(),
+		WireRatio:        float64(cold.TotalWireFlowMods()) / float64(max(1, warm1.TotalWireFlowMods())),
+		WarmEstFlowMods:  warm1.TotalFlowMods(),
+		ColdEstFlowMods:  cold.TotalFlowMods(),
+		WarmTrueUtility:  meanTrueUtility(warm1),
+		ColdTrueUtility:  meanTrueUtility(cold),
+		MinMBBHeadroom:   warm1.MinMBBHeadroom(),
+		BudgetNs:         budget.Nanoseconds(),
+		DeadlineMissRate: budgeted.DeadlineMissRate(),
+		BudgetedTrueU:    meanTrueUtility(budgeted),
+		Warm:             warm1,
+	}
+	t := report.NewTable("closed loop over "+sc.Name, "metric", "warm", "cold")
+	t.AddRow("wire FlowMods (counted)", rec.WarmWireFlowMods, rec.ColdWireFlowMods)
+	t.AddRow("estimated flow mods (diff)", rec.WarmEstFlowMods, rec.ColdEstFlowMods)
+	t.AddRow("mean true utility", fmt.Sprintf("%.4f", rec.WarmTrueUtility), fmt.Sprintf("%.4f", rec.ColdTrueUtility))
+	t.AddRow("optimizer steps", warm1.TotalSteps(), cold.TotalSteps())
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	b := report.NewTable("deadline budgeting ("+budget.String()+"/epoch)", "metric", "value")
+	b.AddRow("deadline-miss rate", fmt.Sprintf("%.0f%%", 100*rec.DeadlineMissRate))
+	b.AddRow("mean true utility (budgeted)", fmt.Sprintf("%.4f", rec.BudgetedTrueU))
+	b.AddRow("min MBB headroom (unbudgeted warm)", fmt.Sprintf("%+.3f", rec.MinMBBHeadroom))
+	if err := b.Render(os.Stdout); err != nil {
+		return err
+	}
+	detNote := "identical tables + install sequences at 1 and 4 workers"
+	if !det {
+		detNote = "TABLES DIVERGED between 1 and 4 workers"
+	}
+	fmt.Printf("trueU/epoch: %s  (cold pushes %.1fx the wire FlowMods; %s)\n",
+		warm1.UtilitySparkline(), rec.WireRatio, detNote)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ctrlloop record written to %s\n", outPath)
+	if !det {
+		return fmt.Errorf("ctrlloop: closed-loop replays diverged between Workers=1 and Workers=4")
+	}
+	return nil
 }
 
 // evalBenchRecord is the JSON record `-exp evalbench` writes: paired

@@ -7,14 +7,20 @@
 //	fubar -he -capacity 75Mbps -seed 1 -v       # HE-31 underprovisioned
 //	fubar -he -large-weight 8                   # prioritize large flows
 //	fubar -scenario diurnal -epochs 12          # replay a demand/topology timeline
+//	fubar -scenario storm -ctrlplane -budget 1s # drive the control plane end to end
 //
 // Without -topology the HE-31 substitute is used. The traffic matrix is
 // always generated from -seed with the paper's class mix.
 //
 // With -scenario the instance becomes epoch 0 of a canned scenario
-// (diurnal | storm | flashcrowd) and every epoch re-optimizes
-// warm-started from the previous allocation; the epoch table reports
-// stale vs re-optimized utility, optimizer effort and routing churn.
+// (diurnal | storm | flashcrowd | maintenance | srlg) and every epoch
+// re-optimizes warm-started from the previous allocation; the epoch
+// table reports stale vs re-optimized utility, optimizer effort and
+// routing churn. Adding -ctrlplane runs the closed loop instead:
+// simulated switches over a TCP control protocol, counter-based matrix
+// estimation, per-epoch deadline budgeting (-budget), make-before-break
+// churn pricing, and differential installs whose FlowMods are counted
+// wire messages.
 package main
 
 import (
@@ -39,13 +45,15 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "trace progress every 100 steps")
 		showPaths   = flag.Bool("paths", false, "dump the final allocation's paths")
-		scenName    = flag.String("scenario", "", "replay a canned scenario (diurnal|storm|flashcrowd) instead of one optimization")
+		scenName    = flag.String("scenario", "", "replay a canned scenario (diurnal|storm|flashcrowd|maintenance|srlg) instead of one optimization")
 		epochs      = flag.Int("epochs", 12, "scenario replay epoch count")
 		cold        = flag.Bool("cold", false, "disable warm starts in the scenario replay")
+		ctrlplane   = flag.Bool("ctrlplane", false, "drive the scenario replay through the SDN control plane (simulated switches over TCP, counted wire FlowMods)")
+		budget      = flag.Duration("budget", 0, "per-epoch optimization deadline for -ctrlplane replays (0 = none)")
 	)
 	flag.Parse()
 
-	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths, *scenName, *epochs, *cold); err != nil {
+	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths, *scenName, *epochs, *cold, *ctrlplane, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
 		os.Exit(1)
 	}
@@ -53,7 +61,7 @@ func main() {
 
 func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool,
-	scenName string, epochs int, cold bool) error {
+	scenName string, epochs int, cold, ctrlplane bool, budget time.Duration) error {
 
 	cap, err := fubar.ParseBandwidth(capStr)
 	if err != nil {
@@ -92,7 +100,7 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 	}
 
 	if scenName != "" {
-		return replay(cfg, scenName, seed, epochs, cold)
+		return replay(cfg, scenName, seed, epochs, cold, ctrlplane, budget)
 	}
 
 	r, err := fubar.RunExperiment(cfg)
@@ -139,8 +147,11 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 }
 
 // replay runs the configured instance through a canned scenario and
-// prints the epoch table.
-func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, cold bool) error {
+// prints the epoch table. With ctrlplane the replay drives the full
+// control plane: simulated switches over TCP, counter-based matrix
+// estimation, deadline-budgeted re-optimization and differential wire
+// installs with counted FlowMods.
+func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, cold, ctrlplane bool, budget time.Duration) error {
 	topo, mat, err := fubar.ExperimentInstance(cfg)
 	if err != nil {
 		return err
@@ -151,10 +162,19 @@ func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, col
 	}
 	fmt.Printf("topology: %s\n", topo.Summary())
 	fmt.Printf("traffic:  %s (epoch 0)\n", mat.Summary())
-	res, err := fubar.ReplayScenario(topo, mat, sc, fubar.ScenarioOptions{
-		Core:      cfg.Options,
-		ColdStart: cold,
-	})
+	var res *fubar.ScenarioResult
+	if ctrlplane {
+		res, err = fubar.ReplayScenarioClosedLoop(topo, mat, sc, fubar.ClosedLoopOptions{
+			Core:        cfg.Options,
+			ColdStart:   cold,
+			EpochBudget: budget,
+		})
+	} else {
+		res, err = fubar.ReplayScenario(topo, mat, sc, fubar.ScenarioOptions{
+			Core:      cfg.Options,
+			ColdStart: cold,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -164,5 +184,9 @@ func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, col
 	fmt.Printf("utility/epoch: %s\n", res.UtilitySparkline())
 	fmt.Printf("totals: %d optimizer steps, %d flow mods, mean utility %.4f (min %.4f)\n",
 		res.TotalSteps(), res.TotalFlowMods(), res.MeanUtility(), res.MinUtility())
+	if ctrlplane {
+		fmt.Printf("wire:   %d counted FlowMods over %d installs, %.0f%% deadline misses, min MBB headroom %+.3f\n",
+			res.TotalWireFlowMods(), len(res.Installs), 100*res.DeadlineMissRate(), res.MinMBBHeadroom())
+	}
 	return nil
 }

@@ -21,7 +21,7 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 2, false, true, "", 0, false); err != nil {
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 2, false, true, "", 0, false, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -39,19 +39,37 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false); err != nil {
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false, false, 0); err != nil {
 		t.Fatalf("scenario replay: %v", err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "bogus", 3, false); err == nil {
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "bogus", 3, false, false, 0); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }
 
+func TestRunScenarioClosedLoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.topo")
+	topo := `topology smoke
+link A B 2Mbps 5ms
+link B C 2Mbps 5ms
+link A C 2Mbps 12ms
+link C D 2Mbps 5ms
+link B D 2Mbps 9ms
+`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "maintenance", 3, false, true, time.Minute); err != nil {
+		t.Fatalf("closed-loop replay: %v", err)
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("", "notarate", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false); err == nil {
+	if err := run("", "notarate", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0); err == nil {
 		t.Error("bad capacity accepted")
 	}
-	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false); err == nil {
+	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0); err == nil {
 		t.Error("missing topology file accepted")
 	}
 }
@@ -67,7 +85,7 @@ link A C 1Mbps 15ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, 4, true, false, "", 0, false); err != nil {
+	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, 4, true, false, "", 0, false, false, 0); err != nil {
 		t.Fatalf("run with knobs: %v", err)
 	}
 }

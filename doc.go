@@ -17,7 +17,9 @@
 //   - scenario replay (time-varying traffic and topology through
 //     repeated warm-started re-optimization): ReplayScenario,
 //     DiurnalScenario, FailureStormScenario, FlashCrowdScenario,
-//     RepairWarmStart
+//     MaintenanceScenario, SRLGOutageScenario, RepairWarmStart
+//   - closed-loop replay (scenario timelines driving the control plane
+//     end to end): ReplayScenarioClosedLoop, PlanMBBTransition
 //   - the SDN measurement substrate (§2.1–2.2): NewSim, NewEstimator
 //   - traffic classification (§1): NewClassifier
 //   - the naive simulated-annealing comparator (§2.5): Anneal
@@ -83,8 +85,33 @@
 // and records the stale allocation's utility, the re-optimized utility,
 // the optimizer's effort, and the routing churn (paths changed, flows
 // moved, flow-table operations) a controller would push. Replays are
-// deterministic per seed at any worker count. See the
-// examples/scenario-replay walkthrough and `fubar-bench -exp scenario`.
+// deterministic per seed at any worker count. Event kinds cover demand
+// scaling and churn, aggregate arrival/departure, link failure and
+// recovery, capacity changes, correlated SRLG failures (shared-risk
+// groups declared with Topology.WithSRLGs) and planned maintenance
+// windows. See the examples/scenario-replay walkthrough and
+// `fubar-bench -exp scenario`.
+//
+// # Closed-loop replay
+//
+// ReplayScenarioClosedLoop puts the control plane inside that loop,
+// reproducing the paper's full deployment cycle per epoch: the events
+// hit a simulated SDN network (switch rule tables survive the epoch
+// boundary, as hardware does), the controller pushes the repaired
+// routing over the TCP control protocol, polls per-switch counters,
+// reconstructs the traffic matrix from them (§2.1–2.2), re-optimizes
+// warm-started under a per-epoch wall-clock budget ("re-optimize
+// within the measurement interval" — overruns publish the best-so-far
+// solution and record a deadline miss), prices the transition
+// make-before-break (PlanMBBTransition: transient double-reservation
+// headroom, teardown counts), and installs the new allocation
+// differentially — only switches whose table changed receive a
+// FlowMod. Per-epoch FlowMods are therefore counted wire messages,
+// cross-checked against the switches' own ack ledger, not bundle-diff
+// estimates; EpochRecord keeps both so they can be compared. With no
+// budget the whole loop is deterministic per seed at any worker count,
+// install sequence included. See `fubar -scenario <name> -ctrlplane`
+// and `fubar-bench -exp ctrlloop` (BENCH_ctrlloop.json).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

@@ -61,6 +61,10 @@ type (
 	LinkID = topology.LinkID
 	// Link is one directed link.
 	Link = topology.Link
+	// SRLG is a shared-risk link group: links that fail together.
+	// Declare groups with Topology.WithSRLGs; scenario SRLG events and
+	// the closed-loop replay consume them.
+	SRLG = topology.SRLG
 	// Path is an edge sequence through the topology's graph.
 	Path = graph.Path
 )
@@ -359,13 +363,17 @@ type (
 
 // Scenario event kinds.
 const (
-	EventDemandScale     = scenario.DemandScale
-	EventDemandChurn     = scenario.DemandChurn
-	EventAggregateArrive = scenario.AggregateArrive
-	EventAggregateDepart = scenario.AggregateDepart
-	EventLinkFail        = scenario.LinkFail
-	EventLinkRecover     = scenario.LinkRecover
-	EventCapacityScale   = scenario.CapacityScale
+	EventDemandScale      = scenario.DemandScale
+	EventDemandChurn      = scenario.DemandChurn
+	EventAggregateArrive  = scenario.AggregateArrive
+	EventAggregateDepart  = scenario.AggregateDepart
+	EventLinkFail         = scenario.LinkFail
+	EventLinkRecover      = scenario.LinkRecover
+	EventCapacityScale    = scenario.CapacityScale
+	EventSRLGFail         = scenario.SRLGFail
+	EventSRLGRecover      = scenario.SRLGRecover
+	EventMaintenanceStart = scenario.MaintenanceStart
+	EventMaintenanceEnd   = scenario.MaintenanceEnd
 )
 
 // DiurnalScenario traces a day of demand: a sinusoid between
@@ -387,8 +395,21 @@ func FlashCrowdScenario(seed int64, epochs int, spike float64, arrivals int) Sce
 	return scenario.FlashCrowd(seed, epochs, spike, arrivals)
 }
 
+// MaintenanceScenario drains a random link for a planned window in the
+// middle of the timeline and returns it to service.
+func MaintenanceScenario(seed int64, epochs int) Scenario {
+	return scenario.Maintenance(seed, epochs)
+}
+
+// SRLGOutageScenario fails a random shared-risk group declared on the
+// topology (Topology.WithSRLGs) and later recovers it.
+func SRLGOutageScenario(seed int64, epochs int) Scenario {
+	return scenario.SRLGOutage(seed, epochs)
+}
+
 // ScenarioByName resolves a canned scenario ("diurnal", "storm",
-// "flashcrowd") with its default shape for the epoch count.
+// "flashcrowd", "maintenance", "srlg") with its default shape for the
+// epoch count.
 func ScenarioByName(name string, seed int64, epochs int) (Scenario, error) {
 	return scenario.ByName(name, seed, epochs)
 }
@@ -405,6 +426,30 @@ func ReplayScenario(topo *Topology, mat *Matrix, sc Scenario, opts ScenarioOptio
 // ScenarioOptions.Workers goroutines, results ordered by seed index.
 func ReplayScenarioSeeds(topo *Topology, mat *Matrix, sc Scenario, seeds []int64, opts ScenarioOptions) ([]*ScenarioResult, error) {
 	return scenario.RunSeeds(topo, mat, sc, seeds, opts)
+}
+
+// Closed-loop replay (scenario timelines driving the control plane end
+// to end).
+type (
+	// ClosedLoopOptions tunes a closed-loop replay: simulated network,
+	// TCP control plane, counter-based estimation, deadline-budgeted
+	// re-optimization, differential wire installs.
+	ClosedLoopOptions = scenario.ClosedLoopOptions
+	// InstallRecord is one wire allocation push of a closed-loop replay.
+	InstallRecord = scenario.InstallRecord
+)
+
+// ReplayScenarioClosedLoop replays a scenario with the control plane in
+// the loop: per epoch the events hit a simulated SDN network
+// (internal/sdnsim), switch agents report counters over the TCP
+// protocol, the controller estimates the traffic matrix, re-optimizes
+// warm-started under the per-epoch deadline budget, prices the
+// transition make-before-break, and installs the new allocation
+// differentially over the wire — so per-epoch FlowMods are counted
+// messages acked by the switches, not bundle-diff estimates. With no
+// EpochBudget the replay is deterministic per seed at any worker count.
+func ReplayScenarioClosedLoop(topo *Topology, mat *Matrix, sc Scenario, opts ClosedLoopOptions) (*ScenarioResult, error) {
+	return scenario.RunClosedLoop(topo, mat, sc, opts)
 }
 
 // SDN measurement substrate.
@@ -592,6 +637,22 @@ type (
 
 // NewLSPDB builds an empty MPLS-TE database over a topology.
 func NewLSPDB(topo *Topology) (*LSPDB, error) { return mpls.NewDB(topo) }
+
+// Make-before-break transition planning.
+type (
+	// MBBReservedPath is one keyed (aggregate, path) reservation.
+	MBBReservedPath = mpls.ReservedPath
+	// MBBTransitionStats prices a make-before-break move: transient
+	// double-reservation headroom, setup and teardown counts.
+	MBBTransitionStats = mpls.TransitionStats
+)
+
+// PlanMBBTransition computes the transient cost of moving one installed
+// allocation to another make-before-break (shared-explicit per key) —
+// the closed-loop replay's per-epoch churn pricing.
+func PlanMBBTransition(topo *Topology, old, next []MBBReservedPath) MBBTransitionStats {
+	return mpls.PlanTransition(topo, old, next)
+}
 
 // SyncToMPLS reconciles an LSP database with a FUBAR allocation,
 // reserving each bundle's predicted rate and moving existing tunnels

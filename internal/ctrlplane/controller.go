@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,10 @@ type Controller struct {
 	mu       sync.Mutex
 	switches map[uint32]*swConn
 	closed   bool
+	// lastTables is the rule table last successfully pushed (and acked)
+	// per switch — the differential-install cache InstallAllocationDiff
+	// diffs against. A missing entry means "empty table".
+	lastTables map[uint32][]Rule
 
 	wg    sync.WaitGroup
 	token atomic.Uint64
@@ -96,9 +101,10 @@ func Listen(addr string, cfg ControllerConfig) (*Controller, error) {
 		return nil, fmt.Errorf("ctrlplane: listen %s: %w", addr, err)
 	}
 	c := &Controller{
-		cfg:      cfg,
-		ln:       ln,
-		switches: make(map[uint32]*swConn),
+		cfg:        cfg,
+		ln:         ln,
+		switches:   make(map[uint32]*swConn),
+		lastTables: make(map[uint32][]Rule),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -334,12 +340,13 @@ func (c *Controller) Ping(datapathID uint32) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// InstallAllocation pushes a network-wide bundle allocation: each bundle
-// becomes a rule on the switch at its aggregate's ingress POP. Switches
-// holding stale rules for aggregates absent from the allocation receive
-// an empty table. The call blocks until every involved switch acks, and
-// returns the generation number used.
-func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) error {
+// allocationTables converts a bundle allocation into per-switch rule
+// tables: each bundle becomes a rule on the switch at its aggregate's
+// ingress POP. Tables are canonically ordered (by aggregate, then path)
+// so two allocations carrying the same rules produce identical tables
+// regardless of bundle-list order — which is what lets differential
+// installs recognize an unchanged switch.
+func allocationTables(mat *traffic.Matrix, bundles []flowmodel.Bundle) map[uint32][]Rule {
 	perSwitch := make(map[uint32][]Rule)
 	for _, b := range bundles {
 		agg := mat.Aggregate(b.Agg)
@@ -354,21 +361,105 @@ func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.
 			Links: links,
 		})
 	}
+	for _, rules := range perSwitch {
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].Agg != rules[j].Agg {
+				return rules[i].Agg < rules[j].Agg
+			}
+			return slices.Compare(rules[i].Links, rules[j].Links) < 0
+		})
+	}
+	return perSwitch
+}
+
+// rulesEqual compares two rule tables entry by entry. The comparison is
+// order-sensitive, which is why allocationTables canonically sorts
+// every table it builds — without that sort, equal tables in different
+// bundle order would be re-pushed and inflate the counted FlowMods.
+func rulesEqual(a, b []Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Agg != b[i].Agg || a[i].Flows != b[i].Flows || len(a[i].Links) != len(b[i].Links) {
+			return false
+		}
+		for j := range a[i].Links {
+			if a[i].Links[j] != b[i].Links[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InstallAllocation pushes a network-wide bundle allocation: each bundle
+// becomes a rule on the switch at its aggregate's ingress POP. Switches
+// holding stale rules for aggregates absent from the allocation receive
+// an empty table. The call blocks until every involved switch acks, and
+// returns the generation number used.
+func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) error {
+	_, err := c.install(mat, bundles, generation, false)
+	return err
+}
+
+// InstallOutcome reports one differential allocation push: how many
+// FlowMod messages actually hit the wire and what came back.
+type InstallOutcome struct {
+	// Generation is the install token used.
+	Generation uint64
+	// Targeted is the number of connected switches considered.
+	Targeted int
+	// FlowMods is the number of FlowMod messages written — switches
+	// whose desired table differed from the controller's last acked
+	// push (differential installs skip unchanged switches).
+	FlowMods int
+	// Rules is the total rule count across those messages.
+	Rules int
+	// Acks is the number of FlowModAck replies received.
+	Acks int
+}
+
+// InstallAllocationDiff pushes an allocation differentially: only
+// switches whose desired rule table differs from the controller's last
+// acked push receive a FlowMod (switch tables are physical state — an
+// unchanged table needs no message). The outcome counts the FlowMod
+// messages actually written and acked, which is how a closed-loop
+// replay measures real install churn rather than estimating it from
+// bundle diffs.
+func (c *Controller) InstallAllocationDiff(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) (InstallOutcome, error) {
+	return c.install(mat, bundles, generation, true)
+}
+
+// install implements both install flavors.
+func (c *Controller) install(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64, diff bool) (InstallOutcome, error) {
+	perSwitch := allocationTables(mat, bundles)
 
 	c.mu.Lock()
 	targets := make([]*swConn, 0, len(c.switches))
 	for _, sw := range c.switches {
+		if diff && rulesEqual(perSwitch[sw.id], c.lastTables[sw.id]) {
+			continue
+		}
 		targets = append(targets, sw)
 	}
+	total := len(c.switches)
 	c.mu.Unlock()
+	out := InstallOutcome{Generation: generation, Targeted: total}
+	if total == 0 {
+		return out, fmt.Errorf("ctrlplane: no switches connected")
+	}
 	if len(targets) == 0 {
-		return fmt.Errorf("ctrlplane: no switches connected")
+		return out, nil // every table already current
 	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(targets))
+	acked := make([]bool, len(targets))
 	for i, sw := range targets {
 		rules := perSwitch[sw.id]
+		out.FlowMods++
+		out.Rules += len(rules)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -379,11 +470,24 @@ func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.
 			}
 			if _, ok := reply.(FlowModAck); !ok {
 				errs[i] = fmt.Errorf("switch %s(%d): got %v, want FlowModAck", sw.name, sw.id, reply.Type())
+				return
 			}
+			acked[i] = true
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	c.mu.Lock()
+	for i, sw := range targets {
+		if acked[i] {
+			out.Acks++
+			c.lastTables[sw.id] = perSwitch[sw.id]
+		} else {
+			// Unknown switch state: never skip it on the next diff.
+			delete(c.lastTables, sw.id)
+		}
+	}
+	c.mu.Unlock()
+	return out, errors.Join(errs...)
 }
 
 // CollectStats polls every connected switch and returns their replies

@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,6 +49,7 @@ type Fabric struct {
 	perSwitch map[uint32][]Rule
 	last      *sdnsim.EpochStats
 	installs  int
+	acked     int
 	pending   bool
 }
 
@@ -89,6 +91,35 @@ func (f *Fabric) Installs() int {
 	return f.installs
 }
 
+// AckedFlowMods reports how many per-switch table replacements the
+// fabric has accepted — each corresponds to one FlowModAck an agent
+// sent back, so a controller's counted wire FlowMods can be checked
+// against the environment's own ledger.
+func (f *Fabric) AckedFlowMods() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.acked
+}
+
+// Retarget points the fabric at a new simulated network — the next
+// epoch of a scenario replay — while preserving every switch's
+// installed rule table: hardware state survives environment changes.
+// When the carried tables still cover the new ground truth exactly
+// (quiescent epoch) the routing activates immediately; otherwise the
+// union stays pending until the controller reconciles the stale
+// switches, exactly as a real network keeps forwarding on old rules
+// until the controller reacts.
+func (f *Fabric) Retarget(sim *sdnsim.Sim) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sim = sim
+	f.topo = sim.Topology()
+	f.truth = sim.Truth()
+	f.last = nil
+	f.pending = true
+	_ = f.tryActivate()
+}
+
 // TrueUtility reports the ground-truth utility of the last epoch
 // (evaluation only; a real deployment cannot observe this).
 func (f *Fabric) TrueUtility() (float64, bool) {
@@ -120,20 +151,46 @@ func (f *Fabric) install(node uint32, rules []Rule) error {
 		}
 	}
 	f.perSwitch[node] = append([]Rule(nil), rules...)
+	f.acked++
 	f.pending = true
 	return f.tryActivate()
 }
 
 // tryActivate converts the union of switch tables to bundles and
-// installs them when coverage is complete. Called with f.mu held.
+// installs them when coverage is complete. Tables left over from a
+// previous epoch's ground truth (after Retarget) may reference
+// aggregates that no longer exist or sit at the wrong ingress; such a
+// union simply stays pending — the old rules keep forwarding until the
+// controller reconciles them. Called with f.mu held.
 func (f *Fabric) tryActivate() error {
 	if !f.pending {
 		return nil
 	}
-	covered := make([]int, f.truth.NumAggregates())
+	nA := f.truth.NumAggregates()
+	nL := f.topo.NumLinks()
+	covered := make([]int, nA)
+	// Walk switches in ID order: the union's bundle order — and thus the
+	// float summation order of every downstream evaluation — must not
+	// depend on map iteration.
+	nodes := make([]uint32, 0, len(f.perSwitch))
+	for node := range f.perSwitch {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	var bundles []flowmodel.Bundle
-	for _, rules := range f.perSwitch {
-		for _, r := range rules {
+	for _, node := range nodes {
+		for _, r := range f.perSwitch[node] {
+			if int(r.Agg) < 0 || int(r.Agg) >= nA {
+				return nil // stale table: stay pending
+			}
+			if f.truth.Aggregate(traffic.AggregateID(r.Agg)).Src != topology.NodeID(node) {
+				return nil // aggregate re-indexed away from this ingress
+			}
+			for _, l := range r.Links {
+				if int(l) >= nL {
+					return nil
+				}
+			}
 			covered[r.Agg] += int(r.Flows)
 			bundles = append(bundles, ruleToBundle(f.topo, r))
 		}

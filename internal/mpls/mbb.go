@@ -1,0 +1,178 @@
+package mpls
+
+import (
+	"sort"
+	"strconv"
+
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+)
+
+// ReservedPath is one (aggregate, path) reservation of an installed
+// allocation, keyed by a caller-stable aggregate identity (the scenario
+// engine's stable aggregate key, or any identifier that survives matrix
+// re-indexing).
+type ReservedPath struct {
+	// Key identifies the reservation's session: reservations of the
+	// same key share links RSVP shared-explicit style during a
+	// make-before-break move (old and new paths of one session count
+	// once on common links); different keys always sum.
+	Key int64
+	// Edges is the reserved route (empty paths are ignored).
+	Edges []graph.EdgeID
+	// Rate is the reserved bandwidth in kbps — the traffic model's
+	// predicted bundle rate.
+	Rate float64
+}
+
+// TransitionStats summarizes a make-before-break move from one
+// installed allocation to another: every new path is signaled and
+// reserved while the old paths still hold their reservations, traffic
+// switches, then old-only reservations release. The interesting number
+// is the transient: for a moment both generations of reservations
+// coexist, and links must have the headroom to hold them.
+type TransitionStats struct {
+	// Setups counts (key, path) pairs present only in the new
+	// allocation: tunnels signaled fresh.
+	Setups int
+	// Teardowns counts (key, path) pairs present only in the old
+	// allocation: tunnels torn down after traffic switches.
+	Teardowns int
+	// Kept counts pairs present in both (possibly re-sized in place).
+	Kept int
+	// PeakTransientUtil is the maximum per-link utilization while both
+	// generations coexist (shared-explicit per key: common links of one
+	// session count max(old, new), different sessions sum). Above 1 the
+	// transition cannot complete without ordering or over-subscription.
+	PeakTransientUtil float64
+	// MinHeadroomFrac is 1 - PeakTransientUtil: the tightest margin any
+	// link has during the transition (negative: some link would need
+	// more than its capacity).
+	MinHeadroomFrac float64
+	// SteadyPeakUtil is the maximum per-link utilization after the
+	// transition settles, for contrast with the transient.
+	SteadyPeakUtil float64
+	// OverCommittedLinks counts links whose transient reservation
+	// exceeds capacity (including any reservation on a zero-capacity
+	// link).
+	OverCommittedLinks int
+}
+
+// PlanTransition computes the transient cost of moving an installed
+// allocation to a new one make-before-break on the given topology.
+// It is a pure planning function — no LSPDB state changes — so a
+// control loop can price a transition before pushing it.
+func PlanTransition(topo *topology.Topology, old, next []ReservedPath) TransitionStats {
+	perKeyLoads := func(rs []ReservedPath) map[int64]map[graph.EdgeID]float64 {
+		by := make(map[int64]map[graph.EdgeID]float64)
+		for _, r := range rs {
+			if len(r.Edges) == 0 {
+				continue
+			}
+			m := by[r.Key]
+			if m == nil {
+				m = make(map[graph.EdgeID]float64)
+				by[r.Key] = m
+			}
+			for _, e := range r.Edges {
+				m[e] += r.Rate
+			}
+		}
+		return by
+	}
+	pairRates := func(rs []ReservedPath) map[string]float64 {
+		m := make(map[string]float64)
+		for _, r := range rs {
+			if len(r.Edges) == 0 {
+				continue
+			}
+			m[reservationKey(r)] += r.Rate
+		}
+		return m
+	}
+
+	oldBy, newBy := perKeyLoads(old), perKeyLoads(next)
+	nL := topo.NumLinks()
+	transient := make([]float64, nL)
+	steady := make([]float64, nL)
+	addMax := func(key int64) {
+		o, n := oldBy[key], newBy[key]
+		for e, lo := range o {
+			ln := n[e]
+			if lo > ln {
+				transient[e] += lo
+			} else {
+				transient[e] += ln
+			}
+		}
+		for e, ln := range n {
+			if _, shared := o[e]; !shared {
+				transient[e] += ln
+			}
+			steady[e] += ln
+		}
+	}
+	// Accumulate per key in sorted order so the float sums are
+	// reproducible (each (key, link) contributes exactly once, so only
+	// the cross-key order matters).
+	keys := make([]int64, 0, len(oldBy)+len(newBy))
+	for key := range oldBy {
+		keys = append(keys, key)
+	}
+	for key := range newBy {
+		if _, seen := oldBy[key]; !seen {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		addMax(key)
+	}
+
+	var st TransitionStats
+	const eps = 1e-9
+	for l := 0; l < nL; l++ {
+		c := float64(topo.Capacity(topology.LinkID(l)))
+		if c <= 0 {
+			if transient[l] > eps {
+				st.OverCommittedLinks++
+			}
+			continue
+		}
+		if u := transient[l] / c; u > st.PeakTransientUtil {
+			st.PeakTransientUtil = u
+		}
+		if transient[l] > c+eps {
+			st.OverCommittedLinks++
+		}
+		if u := steady[l] / c; u > st.SteadyPeakUtil {
+			st.SteadyPeakUtil = u
+		}
+	}
+	st.MinHeadroomFrac = 1 - st.PeakTransientUtil
+
+	oldPairs, newPairs := pairRates(old), pairRates(next)
+	for k := range oldPairs {
+		if _, ok := newPairs[k]; ok {
+			st.Kept++
+		} else {
+			st.Teardowns++
+		}
+	}
+	for k := range newPairs {
+		if _, ok := oldPairs[k]; !ok {
+			st.Setups++
+		}
+	}
+	return st
+}
+
+// reservationKey renders a (key, path) pair as a map key.
+func reservationKey(r ReservedPath) string {
+	b := strconv.AppendInt(nil, r.Key, 10)
+	for _, e := range r.Edges {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(e), 10)
+	}
+	return string(b)
+}

@@ -1,0 +1,126 @@
+package mpls
+
+import (
+	"math"
+	"testing"
+
+	"fubar/internal/graph"
+	"fubar/internal/topology"
+	"fubar/internal/unit"
+)
+
+// mbbTriangle: A-B (0/1), B-C (2/3), A-C (4/5), 100 kbps per link.
+func mbbTriangle(t *testing.T) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("mbb")
+	b.AddLink("A", "B", 100*unit.Kbps, unit.Millisecond)
+	b.AddLink("B", "C", 100*unit.Kbps, unit.Millisecond)
+	b.AddLink("A", "C", 100*unit.Kbps, 5*unit.Millisecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPlanTransitionMove(t *testing.T) {
+	topo := mbbTriangle(t)
+	old := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 60}}
+	next := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{4}, Rate: 60}}
+	st := PlanTransition(topo, old, next)
+	if st.Setups != 1 || st.Teardowns != 1 || st.Kept != 0 {
+		t.Fatalf("setups/teardowns/kept = %d/%d/%d, want 1/1/0", st.Setups, st.Teardowns, st.Kept)
+	}
+	// Disjoint paths: both generations reserve simultaneously, peak 0.6.
+	if !almost(st.PeakTransientUtil, 0.6) || !almost(st.MinHeadroomFrac, 0.4) {
+		t.Fatalf("transient %v headroom %v, want 0.6/0.4", st.PeakTransientUtil, st.MinHeadroomFrac)
+	}
+	if !almost(st.SteadyPeakUtil, 0.6) {
+		t.Fatalf("steady %v, want 0.6", st.SteadyPeakUtil)
+	}
+	if st.OverCommittedLinks != 0 {
+		t.Fatalf("over-committed links %d, want 0", st.OverCommittedLinks)
+	}
+}
+
+func TestPlanTransitionSharedExplicit(t *testing.T) {
+	topo := mbbTriangle(t)
+	// The session keeps link 0 on both generations: shared-explicit
+	// reservation counts the common link once (max, not sum).
+	old := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 60}}
+	next := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{0}, Rate: 60}}
+	st := PlanTransition(topo, old, next)
+	if !almost(st.PeakTransientUtil, 0.6) {
+		t.Fatalf("shared link double-counted: transient %v, want 0.6", st.PeakTransientUtil)
+	}
+
+	// Two *different* sessions converging on one link do sum.
+	old = []ReservedPath{
+		{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 60},
+		{Key: 2, Edges: []graph.EdgeID{0}, Rate: 30},
+	}
+	next = []ReservedPath{
+		{Key: 1, Edges: []graph.EdgeID{4}, Rate: 60},
+		{Key: 2, Edges: []graph.EdgeID{4}, Rate: 30},
+	}
+	st = PlanTransition(topo, old, next)
+	if !almost(st.PeakTransientUtil, 0.9) {
+		t.Fatalf("transient %v, want 0.9 (sessions sum on link 4)", st.PeakTransientUtil)
+	}
+}
+
+func TestPlanTransitionOverCommit(t *testing.T) {
+	topo := mbbTriangle(t)
+	old := []ReservedPath{
+		{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 60},
+		{Key: 2, Edges: []graph.EdgeID{4}, Rate: 60},
+	}
+	// Both sessions end up on link 4: during the transition key 1's new
+	// reservation joins key 2's still-held old one — 120 on a 100 link.
+	next := []ReservedPath{
+		{Key: 1, Edges: []graph.EdgeID{4}, Rate: 60},
+		{Key: 2, Edges: []graph.EdgeID{4}, Rate: 60},
+	}
+	st := PlanTransition(topo, old, next)
+	if st.OverCommittedLinks != 1 {
+		t.Fatalf("over-committed links %d, want 1", st.OverCommittedLinks)
+	}
+	if st.MinHeadroomFrac >= 0 {
+		t.Fatalf("headroom %v, want negative", st.MinHeadroomFrac)
+	}
+	if !almost(st.SteadyPeakUtil, 1.2) {
+		t.Fatalf("steady %v, want 1.2", st.SteadyPeakUtil)
+	}
+}
+
+func TestPlanTransitionResizeInPlace(t *testing.T) {
+	topo := mbbTriangle(t)
+	old := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 60}}
+	next := []ReservedPath{{Key: 1, Edges: []graph.EdgeID{0, 2}, Rate: 80}}
+	st := PlanTransition(topo, old, next)
+	if st.Kept != 1 || st.Setups != 0 || st.Teardowns != 0 {
+		t.Fatalf("kept/setups/teardowns = %d/%d/%d, want 1/0/0", st.Kept, st.Setups, st.Teardowns)
+	}
+	if !almost(st.PeakTransientUtil, 0.8) {
+		t.Fatalf("transient %v, want 0.8 (max of old and new, not sum)", st.PeakTransientUtil)
+	}
+}
+
+func TestPlanTransitionZeroCapacityLink(t *testing.T) {
+	topo := mbbTriangle(t)
+	dead, err := topo.WithLinkCapacity(4, 0)
+	if err != nil {
+		t.Fatalf("WithLinkCapacity: %v", err)
+	}
+	st := PlanTransition(dead, nil, []ReservedPath{{Key: 1, Edges: []graph.EdgeID{4}, Rate: 10}})
+	if st.OverCommittedLinks != 1 {
+		t.Fatalf("reservation on a dead link not flagged: %+v", st)
+	}
+	// Empty transitions and self-pairs (no edges) are no-ops.
+	st = PlanTransition(topo, nil, []ReservedPath{{Key: 1, Rate: 10}})
+	if st.Setups != 0 || st.PeakTransientUtil != 0 {
+		t.Fatalf("edgeless reservation counted: %+v", st)
+	}
+}

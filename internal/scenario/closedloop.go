@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/ctrlplane"
+	"fubar/internal/flowmodel"
+	"fubar/internal/measure"
+	"fubar/internal/mpls"
+	"fubar/internal/sdnsim"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// ClosedLoopOptions tunes a closed-loop replay: a scenario driven
+// through the full deployment cycle (simulated network, TCP control
+// plane, counter-based matrix estimation, deadline-budgeted
+// re-optimization, differential wire installs) instead of the bare
+// optimizer. The zero value is usable.
+type ClosedLoopOptions struct {
+	// Core configures each epoch's optimizer run. InitialBundles,
+	// Policy.ForbiddenLinks and Deadline are managed by the loop.
+	Core core.Options
+	// ColdStart disables warm starting the per-epoch re-optimization
+	// (the repair push still happens: the environment always needs a
+	// valid routing).
+	ColdStart bool
+	// Arrivals is the class mix AggregateArrive events draw from (see
+	// Options.Arrivals).
+	Arrivals traffic.GenConfig
+	// EpochBudget bounds each epoch's re-optimization wall time — the
+	// paper's "re-optimize within the measurement interval". When the
+	// budget truncates a run, the best-so-far solution is published
+	// anyway and the epoch records DeadlineMiss; the stale-utility cost
+	// of the early publish is visible as Utility vs StaleUtility (and
+	// TrueUtility vs StaleTrueUtility on the simulated network). 0
+	// leaves Core.Deadline (if any) in effect. A real budget makes
+	// replays machine-dependent (see core.Options.Deadline); leave it 0
+	// when checking determinism.
+	EpochBudget time.Duration
+	// MeasureEpochs is how many simulator measurement epochs are polled
+	// and folded into the traffic-matrix estimate before each
+	// re-optimization (default 2).
+	MeasureEpochs int
+	// SimEpoch is the simulated measurement interval (default 10s;
+	// scales byte counters only).
+	SimEpoch time.Duration
+	// DemandJitter is the simulator's per-epoch true-demand variation,
+	// invisible to the controller except through counters (default 0.1;
+	// negative disables). Deterministic per seed.
+	DemandJitter float64
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o ClosedLoopOptions) withDefaults() ClosedLoopOptions {
+	if o.MeasureEpochs <= 0 {
+		o.MeasureEpochs = 2
+	}
+	if o.SimEpoch <= 0 {
+		o.SimEpoch = 10 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// simSeedSalt decouples the simulator's jitter stream from the event
+// RNG stream derived from the same (seed, epoch).
+const simSeedSalt = 0x73696d5f657063 // "sim_epc"
+
+// closedLoop is one closed-loop replay's live state: the persistent
+// control plane (controller + one agent per POP over loopback TCP) and
+// the per-epoch environment handle.
+type closedLoop struct {
+	en     *engine
+	opts   ClosedLoopOptions
+	ctrl   *ctrlplane.Controller
+	fabric *ctrlplane.Fabric
+	res    *Result
+
+	generation uint64
+	ackedBase  int // fabric AckedFlowMods watermark
+}
+
+// RunClosedLoop replays the scenario with the control plane in the
+// loop. Per epoch it:
+//
+//  1. applies the epoch's events and materializes the epoch's
+//     ground-truth instance;
+//  2. repairs the previously installed allocation onto it
+//     (core.RepairWarmStart) and pushes the repair over the wire — the
+//     immediate failover reaction that keeps the network forwarding;
+//  3. runs the measurement loop: advances the simulated network
+//     (internal/sdnsim) MeasureEpochs epochs, polls per-switch
+//     counters over the control protocol, and folds them into a
+//     traffic-matrix estimate (internal/measure);
+//  4. re-optimizes the *estimated* matrix warm-started from the
+//     repaired allocation under the per-epoch wall-clock budget,
+//     recording a deadline miss when the budget truncates;
+//  5. prices the transition make-before-break (mpls.PlanTransition:
+//     transient double-reservation headroom, teardown counts) and
+//     pushes the new allocation differentially — only switches whose
+//     rule table changed receive a FlowMod, and every message and ack
+//     is counted and checked against the environment's own ledger;
+//  6. advances one more epoch to record the ground-truth utility the
+//     installed allocation actually achieves.
+//
+// The wire FlowMod counts are real message counts, not bundle-diff
+// estimates; Result.Installs records the full install sequence. With
+// EpochBudget 0 a replay is deterministic for a given seed at any
+// Core.Workers count and either DeltaEval mode (only Elapsed varies).
+func RunClosedLoop(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	en, err := newEngine(topo, mat, sc, Options{Core: opts.Core, ColdStart: opts.ColdStart, Arrivals: opts.Arrivals})
+	if err != nil {
+		return nil, err
+	}
+
+	// The control plane persists across epochs: switches are hardware,
+	// epochs are weather. The fabric starts against a placeholder
+	// simulator and is retargeted to each epoch's environment.
+	simBase, err := sdnsim.New(topo, mat, sdnsim.Config{Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	fabric := ctrlplane.NewFabric(simBase)
+	ctrl, err := ctrlplane.Listen("127.0.0.1:0", ctrlplane.ControllerConfig{
+		Name:           "fubar-closedloop",
+		EpochMs:        uint32(opts.SimEpoch / time.Millisecond),
+		RequestTimeout: 30 * time.Second,
+		Logf:           opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nNodes := topo.NumNodes()
+	agents := make([]*ctrlplane.Agent, 0, nNodes)
+	serveErr := make(chan error, nNodes)
+	defer func() {
+		ctrl.Close()
+		for _, a := range agents {
+			a.Close()
+		}
+		for range agents {
+			<-serveErr
+		}
+	}()
+	for node := 0; node < nNodes; node++ {
+		agent, err := ctrlplane.Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
+			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logf: opts.Logf})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: agent %d: %w", node, err)
+		}
+		agents = append(agents, agent)
+		go func() { serveErr <- agent.Serve() }()
+	}
+	if err := ctrl.WaitForSwitches(nNodes, 10*time.Second); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	l := &closedLoop{
+		en:     en,
+		opts:   opts,
+		ctrl:   ctrl,
+		fabric: fabric,
+		res: &Result{
+			Name: sc.Name, Seed: sc.Seed, Topology: topo.Summary(),
+			ColdStart: opts.ColdStart, ClosedLoop: true,
+		},
+		generation: 1,
+	}
+	byEpoch := en.timeline()
+	for epoch := 0; epoch < sc.Epochs; epoch++ {
+		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
+		events, err := en.applyEpochEvents(byEpoch, epoch, rng)
+		if err != nil {
+			return nil, err
+		}
+		er, err := l.runEpoch(epoch, events)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
+		}
+		l.res.Epochs = append(l.res.Epochs, *er)
+		opts.Logf("closed loop: epoch %d: stale %.4f -> %.4f (true %.4f), %d wire flowmods, miss=%v",
+			epoch, er.StaleUtility, er.Utility, er.TrueUtility, er.WireFlowMods, er.DeadlineMiss)
+	}
+	return l.res, nil
+}
+
+// runEpoch drives one epoch of the closed loop.
+func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) {
+	inst, err := l.en.materialize()
+	if err != nil {
+		return nil, err
+	}
+	trueModel, err := flowmodel.New(inst.topo, inst.mat)
+	if err != nil {
+		return nil, err
+	}
+	er := l.en.newEpochResult(epoch, events, inst)
+
+	// Repair the carried allocation onto the epoch instance. Epoch 0 has
+	// nothing installed: repairing an empty allocation yields the
+	// all-on-lowest-delay placement, the state of a network before FUBAR
+	// runs — and the loop's first wire install.
+	repaired, err := l.en.repairInstalled(inst, er)
+	if err != nil {
+		return nil, err
+	}
+	if repaired == nil {
+		repaired, _, err = core.RepairWarmStart(inst.topo, inst.mat, nil, inst.opts.Policy, inst.opts.MaxPathsPerAggregate)
+		if err != nil {
+			return nil, err
+		}
+	}
+	staleRes := trueModel.Evaluate(repaired)
+	er.StaleUtility = staleRes.NetworkUtility
+	oldRates := append([]float64(nil), staleRes.BundleRate...)
+
+	// Fresh environment for the epoch; switch tables carry over.
+	sim, err := sdnsim.New(inst.topo, inst.mat, sdnsim.Config{
+		Seed:         epochSeed(l.res.Seed, epoch) ^ simSeedSalt,
+		Epoch:        l.opts.SimEpoch,
+		DemandJitter: l.opts.DemandJitter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.fabric.Retarget(sim)
+
+	// Failover push: restore a valid routing before anything else.
+	if err := l.install(epoch, "repair", inst.mat, repaired, er); err != nil {
+		return nil, err
+	}
+
+	// Measurement loop: advance the network, poll counters over the
+	// wire, fold them into the matrix estimate.
+	est := measure.NewEstimator(measure.KeysFromMatrix(inst.mat))
+	for m := 0; m < l.opts.MeasureEpochs; m++ {
+		if err := l.fabric.RunEpoch(); err != nil {
+			return nil, err
+		}
+		replies, err := l.ctrl.CollectStats()
+		if err != nil {
+			return nil, err
+		}
+		if err := est.Observe(ctrlplane.MergeStats(inst.topo, replies)); err != nil {
+			return nil, err
+		}
+	}
+	er.StaleTrueUtility, _ = l.fabric.TrueUtility()
+	matEst, err := est.Matrix(inst.topo)
+	if err != nil {
+		return nil, err
+	}
+	estModel, err := flowmodel.New(inst.topo, matEst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deadline-budgeted re-optimization of the estimated matrix,
+	// warm-started from the repaired install.
+	coreOpts := inst.opts
+	if l.opts.EpochBudget > 0 {
+		coreOpts.Deadline = l.opts.EpochBudget
+	}
+	if !l.opts.ColdStart && epoch > 0 {
+		coreOpts.InitialBundles = repaired
+		er.WarmStart = true
+	}
+	sol, err := core.Run(estModel, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	er.DeadlineMiss = sol.Stop == core.StopDeadline
+	er.Utility = sol.Utility
+	er.Steps = sol.Steps
+	er.Escalations = sol.Escalations
+	er.Stop = sol.Stop
+	er.StopReason = sol.Stop.String()
+	er.Elapsed = sol.Elapsed
+
+	// Price the transition make-before-break, then push it.
+	plan := mpls.PlanTransition(inst.topo,
+		reservedPaths(repaired, oldRates, inst.keys),
+		reservedPaths(sol.Bundles, sol.Result.BundleRate, inst.keys))
+	er.MBBHeadroom = plan.MinHeadroomFrac
+	er.MBBTeardowns = plan.Teardowns
+	er.MBBSetups = plan.Setups
+	if err := l.install(epoch, "reopt", inst.mat, sol.Bundles, er); err != nil {
+		return nil, err
+	}
+
+	// Settle: what the published allocation actually delivers.
+	if err := l.fabric.RunEpoch(); err != nil {
+		return nil, err
+	}
+	er.TrueUtility, _ = l.fabric.TrueUtility()
+
+	// Estimated churn (bundle-list diff), for comparison with the
+	// counted wire mods, and carry the installed state forward.
+	l.en.recordChurn(er, inst, sol.Bundles)
+	return er, nil
+}
+
+// install pushes an allocation differentially, records the install in
+// the sequence log and on the epoch row, and cross-checks the counted
+// acks against the fabric's own ledger (the "±0 of what the switches
+// actually acked" contract).
+func (l *closedLoop) install(epoch int, phase string, mat *traffic.Matrix, bundles []flowmodel.Bundle, er *EpochResult) error {
+	out, err := l.ctrl.InstallAllocationDiff(mat, bundles, l.generation)
+	if err != nil {
+		return fmt.Errorf("%s install generation %d: %w", phase, l.generation, err)
+	}
+	l.generation++
+	if out.Acks != out.FlowMods {
+		return fmt.Errorf("%s install: %d FlowMods but %d acks", phase, out.FlowMods, out.Acks)
+	}
+	acked := l.fabric.AckedFlowMods()
+	if got := acked - l.ackedBase; got != out.FlowMods {
+		return fmt.Errorf("%s install: controller counted %d FlowMods, switches acked %d", phase, out.FlowMods, got)
+	}
+	l.ackedBase = acked
+	er.WireFlowMods += out.FlowMods
+	er.WireRules += out.Rules
+	er.InstallAcks += out.Acks
+	l.res.Installs = append(l.res.Installs, InstallRecord{
+		Epoch:      epoch,
+		Generation: out.Generation,
+		Phase:      phase,
+		FlowMods:   out.FlowMods,
+		Rules:      out.Rules,
+		Acks:       out.Acks,
+	})
+	return nil
+}
+
+// reservedPaths converts an allocation plus its evaluated bundle rates
+// into MBB planner input, keyed by the scenario's stable aggregate
+// keys.
+func reservedPaths(bundles []flowmodel.Bundle, rates []float64, keys []int64) []mpls.ReservedPath {
+	out := make([]mpls.ReservedPath, 0, len(bundles))
+	for i, b := range bundles {
+		if len(b.Edges) == 0 || b.Flows <= 0 {
+			continue
+		}
+		r := mpls.ReservedPath{Key: keys[b.Agg], Edges: b.Edges}
+		if i < len(rates) {
+			r.Rate = rates[i]
+		}
+		out = append(out, r)
+	}
+	return out
+}

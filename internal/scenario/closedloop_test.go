@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+)
+
+// mixedScenario exercises demand and topology events in one closed-loop
+// timeline.
+func mixedScenario(seed int64) Scenario {
+	return Scenario{
+		Name: "mixed", Seed: seed, Epochs: 4,
+		Events: []Event{
+			{Epoch: 0, Kind: DemandScale, Factor: 0.9},
+			{Epoch: 1, Kind: LinkFail, Link: 0},
+			{Epoch: 1, Kind: DemandChurn, Factor: 0.2, Fraction: 0.4},
+			{Epoch: 2, Kind: DemandScale, Factor: 1.2},
+			{Epoch: 3, Kind: LinkRecover, Link: 0},
+		},
+	}
+}
+
+// TestClosedLoopDeterminism extends the worker-invariance suite to the
+// full loop: same seed ⇒ identical epoch table, counted FlowMods and
+// install sequence at Workers ∈ {1, 4} and DeltaEval on/off.
+func TestClosedLoopDeterminism(t *testing.T) {
+	topo, mat := ringInstance(t, 13)
+	sc := mixedScenario(21)
+	var results []*Result
+	for _, cfg := range []struct {
+		workers int
+		delta   core.DeltaMode
+	}{
+		{1, core.DeltaAuto},
+		{4, core.DeltaAuto},
+		{1, core.DeltaOff},
+		{4, core.DeltaOff},
+	} {
+		res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+			Core: core.Options{Workers: cfg.workers, DeltaEval: cfg.delta},
+		})
+		if err != nil {
+			t.Fatalf("Workers=%d DeltaEval=%v: %v", cfg.workers, cfg.delta, err)
+		}
+		results = append(results, res)
+	}
+	for i, res := range results[1:] {
+		if !results[0].Equivalent(res) {
+			t.Fatalf("config %d diverged from Workers=1/DeltaAuto:\n a=%+v\n b=%+v\n installs a=%+v\n installs b=%+v",
+				i+1, results[0].Epochs, res.Epochs, results[0].Installs, res.Installs)
+		}
+	}
+	res := results[0]
+	if !res.ClosedLoop {
+		t.Fatal("ClosedLoop flag not set")
+	}
+	if len(res.Installs) != 2*sc.Epochs {
+		t.Fatalf("%d install records, want %d (repair + reopt per epoch)", len(res.Installs), 2*sc.Epochs)
+	}
+}
+
+// TestClosedLoopCountsWireFlowMods pins the counted-FlowMods semantics:
+// every message is acked by the simulated switches (install() enforces
+// controller count == fabric ledger), a quiescent epoch's repair push
+// writes no messages at all, and a topology event forces real ones.
+func TestClosedLoopCountsWireFlowMods(t *testing.T) {
+	topo, mat := ringInstance(t, 5)
+	sc := Scenario{
+		Name: "quiet-then-fail", Seed: 3, Epochs: 4,
+		Events: []Event{{Epoch: 2, Kind: LinkFail, Link: 0}},
+	}
+	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+		Core:         core.Options{Workers: 1},
+		DemandJitter: -1, // freeze true demand: epochs 1 and 3 are quiescent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := topo.NumNodes()
+	for _, e := range res.Epochs {
+		if e.WireFlowMods != e.InstallAcks {
+			t.Errorf("epoch %d: %d wire FlowMods but %d acks", e.Epoch, e.WireFlowMods, e.InstallAcks)
+		}
+		if e.WireFlowMods > 2*nodes {
+			t.Errorf("epoch %d: %d wire FlowMods exceeds two full pushes over %d switches", e.Epoch, e.WireFlowMods, nodes)
+		}
+		if e.TrueUtility <= 0 || e.TrueUtility > 1 {
+			t.Errorf("epoch %d: implausible true utility %v", e.Epoch, e.TrueUtility)
+		}
+	}
+	byPhase := map[[2]any]InstallRecord{}
+	for _, in := range res.Installs {
+		byPhase[[2]any{in.Epoch, in.Phase}] = in
+		if in.FlowMods != in.Acks {
+			t.Errorf("install %+v: FlowMods != Acks", in)
+		}
+	}
+	// Epoch 0 installs the initial routing: the repair push must reach
+	// every switch owning rules.
+	if in := byPhase[[2]any{0, "repair"}]; in.FlowMods == 0 {
+		t.Error("epoch 0 repair push wrote no FlowMods")
+	}
+	// Nothing changed in epoch 1: the stale routing is still valid, so
+	// the repair push is message-free.
+	if in := byPhase[[2]any{1, "repair"}]; in.FlowMods != 0 {
+		t.Errorf("quiescent epoch 1 repair pushed %d FlowMods, want 0", in.FlowMods)
+	}
+	// The link failure must force repair messages.
+	if in := byPhase[[2]any{2, "repair"}]; in.FlowMods == 0 {
+		t.Error("link-failure epoch pushed no repair FlowMods")
+	}
+	if res.Epochs[2].RepairMovedFlows == 0 {
+		t.Error("link failure repaired no flows")
+	}
+}
+
+// TestClosedLoopDeadlineBudget: an unmeetable per-epoch budget records
+// misses on every congested epoch while the loop keeps publishing the
+// best-so-far solution.
+func TestClosedLoopDeadlineBudget(t *testing.T) {
+	topo, mat := ringInstance(t, 7)
+	sc := Diurnal(9, 3, 0.3, 0)
+	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+		Core:        core.Options{Workers: 1},
+		EpochBudget: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMissRate() == 0 {
+		t.Fatal("1ns budget missed no deadlines (instance must be congested)")
+	}
+	for _, e := range res.Epochs {
+		if !e.DeadlineMiss {
+			continue
+		}
+		if e.Steps != 0 {
+			t.Errorf("epoch %d: missed the deadline after %d steps, want 0 with a 1ns budget", e.Epoch, e.Steps)
+		}
+		// The best-so-far solution was still published and achieved
+		// something on the real network.
+		if e.TrueUtility <= 0 {
+			t.Errorf("epoch %d: no utility achieved despite publish", e.Epoch)
+		}
+		if e.StopReason != "deadline" {
+			t.Errorf("epoch %d: stop %q, want deadline", e.Epoch, e.StopReason)
+		}
+	}
+	// A generous budget misses nothing.
+	res2, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+		Core:        core.Options{Workers: 1},
+		EpochBudget: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DeadlineMissRate() != 0 {
+		t.Fatalf("1h budget missed %v of deadlines", res2.DeadlineMissRate())
+	}
+}
+
+// srlgRing builds the ring instance with two shared-risk groups
+// declared on it.
+func srlgRing(t *testing.T, seed int64) (*topology.Topology, *traffic.Matrix) {
+	t.Helper()
+	topo, mat := ringInstance(t, seed)
+	// Group the first two ring links as one conduit, the next two as
+	// another (forward IDs; either direction names the physical link).
+	st, err := topo.WithSRLGs([]topology.SRLG{
+		{Name: "conduit-a", Links: []topology.LinkID{0, 2}},
+		{Name: "conduit-b", Links: []topology.LinkID{4, 6}},
+	})
+	if err != nil {
+		t.Fatalf("WithSRLGs: %v", err)
+	}
+	// Rebind the matrix to the SRLG-bearing topology.
+	aggs := mat.Aggregates()
+	mat2, err := traffic.NewMatrix(st, aggs)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	return st, mat2
+}
+
+// TestClosedLoopSRLGAndMaintenance drives correlated failures and a
+// maintenance window through the full loop.
+func TestClosedLoopSRLGAndMaintenance(t *testing.T) {
+	topo, mat := srlgRing(t, 11)
+	sc := Scenario{
+		Name: "srlg-maint", Seed: 4, Epochs: 6,
+		Events: []Event{
+			{Epoch: 1, Kind: SRLGFail, Group: "conduit-a"},
+			// A random drainable link: the picker only chooses links whose
+			// loss keeps the topology connected given what is already down.
+			{Epoch: 2, Kind: MaintenanceStart, Link: -1},
+			{Epoch: 3, Kind: SRLGRecover, Group: "conduit-a"},
+			{Epoch: 4, Kind: MaintenanceEnd, Link: -1},
+		},
+	}
+	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{Core: core.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFailed := []int{0, 2, 2, 0, 0, 0}
+	wantMaint := []int{0, 0, 1, 1, 0, 0}
+	for i, e := range res.Epochs {
+		if e.FailedLinks != wantFailed[i] {
+			t.Errorf("epoch %d: FailedLinks = %d, want %d (%v)", i, e.FailedLinks, wantFailed[i], e.Events)
+		}
+		if e.MaintenanceLinks != wantMaint[i] {
+			t.Errorf("epoch %d: MaintenanceLinks = %d, want %d (%v)", i, e.MaintenanceLinks, wantMaint[i], e.Events)
+		}
+	}
+	if res.Epochs[1].RepairMovedFlows == 0 {
+		t.Error("SRLG failure (two ring links) repaired no flows")
+	}
+	if res.Epochs[1].WireFlowMods == 0 {
+		t.Error("SRLG failure pushed no wire FlowMods")
+	}
+	if res.Epochs[2].WireFlowMods == 0 {
+		t.Error("maintenance drain pushed no wire FlowMods")
+	}
+	// After everything recovers the loop must be healthy again.
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.TrueUtility < res.Epochs[1].TrueUtility {
+		t.Errorf("recovered utility %.4f below outage utility %.4f", last.TrueUtility, res.Epochs[1].TrueUtility)
+	}
+}
+
+// TestScenarioSRLGEventsPlainReplay covers the SRLG/maintenance kinds
+// on the bare-optimizer replay path too, including random group picks.
+func TestScenarioSRLGEventsPlainReplay(t *testing.T) {
+	topo, mat := srlgRing(t, 15)
+	sc := Scenario{
+		Name: "srlg-random", Seed: 8, Epochs: 5,
+		Events: []Event{
+			{Epoch: 1, Kind: SRLGFail},                   // random group
+			{Epoch: 2, Kind: MaintenanceStart, Link: -1}, // random drainable link
+			{Epoch: 3, Kind: SRLGRecover},                // random downed group
+			{Epoch: 4, Kind: MaintenanceEnd, Link: -1},
+		},
+	}
+	a, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equivalent(b) {
+		t.Fatal("SRLG replay diverged across worker counts")
+	}
+	if a.Epochs[1].FailedLinks != 2 {
+		t.Errorf("SRLG failure downed %d links, want 2", a.Epochs[1].FailedLinks)
+	}
+	if a.Epochs[3].FailedLinks != 0 {
+		t.Errorf("SRLG recovery left %d links down", a.Epochs[3].FailedLinks)
+	}
+	if a.Epochs[2].MaintenanceLinks != 1 || a.Epochs[4].MaintenanceLinks != 0 {
+		t.Errorf("maintenance trajectory wrong: %d then %d", a.Epochs[2].MaintenanceLinks, a.Epochs[4].MaintenanceLinks)
+	}
+
+	// Undeclared groups are a validation error; a topology without SRLGs
+	// turns random SRLG events into no-ops.
+	bad := Scenario{Epochs: 1, Events: []Event{{Kind: SRLGFail, Group: "nope"}}}
+	if _, err := Run(topo, mat, bad, Options{}); err == nil {
+		t.Error("undeclared SRLG accepted")
+	}
+	plainTopo, plainMat := ringInstance(t, 15)
+	noop := Scenario{Name: "noop", Seed: 1, Epochs: 2, Events: []Event{{Epoch: 1, Kind: SRLGFail}}}
+	rn, err := Run(plainTopo, plainMat, noop, Options{Core: core.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Epochs[1].FailedLinks != 0 {
+		t.Error("SRLG event on an SRLG-free topology failed links")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fubar/internal/core"
 	"fubar/internal/flowmodel"
 	"fubar/internal/par"
+	"fubar/internal/pathgen"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -36,10 +37,12 @@ type engine struct {
 	base     *topology.Topology
 	baseCaps []unit.Bandwidth
 	// capFactor accumulates CapacityScale events per directed link;
-	// failed marks directed links of downed physical links.
+	// failed marks directed links of out-of-service physical links
+	// (unplanned failures and maintenance drains alike).
 	capFactor   []float64
 	failed      []bool
-	failedOrder []topology.LinkID // forward IDs of downed physical links, oldest first
+	failedOrder []topology.LinkID // forward IDs of unplanned-down physical links, oldest first
+	maintOrder  []topology.LinkID // forward IDs of drained physical links, oldest first
 	outAdj      [][]topology.LinkID
 	inAdj       [][]topology.LinkID
 
@@ -54,11 +57,9 @@ type engine struct {
 	installed []keyedBundle
 }
 
-// Run replays the scenario over the start instance and returns the epoch
-// table. The base matrix must be bound to the base topology. Replays are
-// deterministic for a given (scenario, seed) at any worker count; only
-// EpochResult.Elapsed varies.
-func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*Result, error) {
+// newEngine validates the instance and scenario and builds the replay
+// state shared by Run and RunClosedLoop.
+func newEngine(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*engine, error) {
 	if topo == nil || mat == nil {
 		return nil, fmt.Errorf("scenario: nil topology or matrix")
 	}
@@ -70,9 +71,17 @@ func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options
 	}
 	nL := topo.NumLinks()
 	for _, e := range sc.Events {
-		if (e.Kind == LinkFail || e.Kind == LinkRecover || e.Kind == CapacityScale) &&
-			int(e.Link) >= nL {
-			return nil, fmt.Errorf("scenario: event targets link %d, topology has %d", e.Link, nL)
+		switch e.Kind {
+		case LinkFail, LinkRecover, CapacityScale, MaintenanceStart, MaintenanceEnd:
+			if int(e.Link) >= nL {
+				return nil, fmt.Errorf("scenario: event targets link %d, topology has %d", e.Link, nL)
+			}
+		case SRLGFail, SRLGRecover:
+			if e.Group != "" {
+				if _, ok := topo.SRLGByName(e.Group); !ok {
+					return nil, fmt.Errorf("scenario: event targets undeclared SRLG %q", e.Group)
+				}
+			}
 		}
 	}
 	en := &engine{
@@ -106,23 +115,49 @@ func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options
 		})
 		en.nextKey++
 	}
+	return en, nil
+}
 
-	// Index the timeline by epoch, preserving slice order within one.
-	byEpoch := make([][]Event, sc.Epochs)
-	for _, e := range sc.Events {
+// timeline indexes the scenario's events by epoch, preserving slice
+// order within one.
+func (en *engine) timeline() [][]Event {
+	byEpoch := make([][]Event, en.sc.Epochs)
+	for _, e := range en.sc.Events {
 		byEpoch[e.Epoch] = append(byEpoch[e.Epoch], e)
 	}
+	return byEpoch
+}
 
+// applyEpochEvents applies epoch e's events under its deterministic RNG
+// and returns the event descriptions.
+func (en *engine) applyEpochEvents(byEpoch [][]Event, epoch int, rng *rand.Rand) ([]string, error) {
+	var events []string
+	for _, e := range byEpoch[epoch] {
+		desc, err := en.apply(e, rng)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
+		}
+		events = append(events, desc)
+	}
+	return events, nil
+}
+
+// Run replays the scenario over the start instance and returns the epoch
+// table. The base matrix must be bound to the base topology. Replays are
+// deterministic for a given (scenario, seed) at any worker count; only
+// EpochResult.Elapsed varies.
+func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*Result, error) {
+	en, err := newEngine(topo, mat, sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	byEpoch := en.timeline()
 	res := &Result{Name: sc.Name, Seed: sc.Seed, Topology: topo.Summary(), ColdStart: opts.ColdStart}
 	for epoch := 0; epoch < sc.Epochs; epoch++ {
 		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
-		var events []string
-		for _, e := range byEpoch[epoch] {
-			desc, err := en.apply(e, rng)
-			if err != nil {
-				return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
-			}
-			events = append(events, desc)
+		events, err := en.applyEpochEvents(byEpoch, epoch, rng)
+		if err != nil {
+			return nil, err
 		}
 		er, err := en.optimizeEpoch(epoch, events)
 		if err != nil {
@@ -256,16 +291,11 @@ func (en *engine) apply(e Event, rng *rand.Rand) (string, error) {
 			id = en.failedOrder[0]
 		}
 		id = en.forwardID(id)
-		if !en.failed[id] {
-			return fmt.Sprintf("recover %s (already up)", en.base.LinkName(id)), nil
+		if !en.failed[id] || !en.removeOrder(&en.failedOrder, id) {
+			// Up, or drained for maintenance (MaintenanceEnd owns those).
+			return fmt.Sprintf("recover %s (not failed)", en.base.LinkName(id)), nil
 		}
 		en.setFailed(id, false)
-		for i, f := range en.failedOrder {
-			if f == id {
-				en.failedOrder = append(en.failedOrder[:i], en.failedOrder[i+1:]...)
-				break
-			}
-		}
 		return fmt.Sprintf("recover %s", en.base.LinkName(id)), nil
 
 	case CapacityScale:
@@ -281,8 +311,126 @@ func (en *engine) apply(e Event, rng *rand.Rand) (string, error) {
 			en.capFactor[r] *= e.Factor
 		}
 		return fmt.Sprintf("capacity x%.2f %s", e.Factor, en.base.LinkName(id)), nil
+
+	case SRLGFail:
+		g, ok := en.pickSRLG(e.Group, rng, false)
+		if !ok {
+			return "srlg-fail: no group with a live member", nil
+		}
+		hit := 0
+		for _, raw := range g.Links {
+			id := en.forwardID(raw)
+			if en.failed[id] {
+				continue
+			}
+			en.setFailed(id, true)
+			en.failedOrder = append(en.failedOrder, id)
+			hit++
+		}
+		return fmt.Sprintf("srlg-fail %s (%d links)", g.Name, hit), nil
+
+	case SRLGRecover:
+		g, ok := en.pickSRLG(e.Group, rng, true)
+		if !ok {
+			return "srlg-recover: no group with a downed member", nil
+		}
+		hit := 0
+		for _, raw := range g.Links {
+			id := en.forwardID(raw)
+			if !en.failed[id] || !en.removeOrder(&en.failedOrder, id) {
+				continue // up, or drained for maintenance: not ours to restore
+			}
+			en.setFailed(id, false)
+			hit++
+		}
+		return fmt.Sprintf("srlg-recover %s (%d links)", g.Name, hit), nil
+
+	case MaintenanceStart:
+		id := e.Link
+		if id < 0 {
+			id = en.pickFailableLink(rng)
+			if id < 0 {
+				return "maintenance: no drainable link", nil
+			}
+		}
+		id = en.forwardID(id)
+		if en.failed[id] {
+			return fmt.Sprintf("maintenance %s (already down)", en.base.LinkName(id)), nil
+		}
+		en.setFailed(id, true)
+		en.maintOrder = append(en.maintOrder, id)
+		return fmt.Sprintf("maintenance %s", en.base.LinkName(id)), nil
+
+	case MaintenanceEnd:
+		id := e.Link
+		if id < 0 {
+			if len(en.maintOrder) == 0 {
+				return "maintenance-end: nothing drained", nil
+			}
+			id = en.maintOrder[0]
+		}
+		id = en.forwardID(id)
+		if !en.removeOrder(&en.maintOrder, id) {
+			return fmt.Sprintf("maintenance-end %s (not drained)", en.base.LinkName(id)), nil
+		}
+		en.setFailed(id, false)
+		return fmt.Sprintf("maintenance-end %s", en.base.LinkName(id)), nil
 	}
 	return "", fmt.Errorf("unknown event kind %d", uint8(e.Kind))
+}
+
+// pickSRLG resolves an SRLG event's target: the named group, or — for an
+// empty name — a random declared group with at least one live (wantDown
+// false) or unplanned-down (wantDown true) member, enumerated in
+// declaration order so the choice is deterministic.
+func (en *engine) pickSRLG(name string, rng *rand.Rand, wantDown bool) (topology.SRLG, bool) {
+	if name != "" {
+		return en.base.SRLGByName(name) // existence pre-checked by newEngine
+	}
+	var cands []topology.SRLG
+	for _, g := range en.base.SRLGs() {
+		eligible := false
+		for _, raw := range g.Links {
+			id := en.forwardID(raw)
+			if wantDown {
+				eligible = en.failed[id] && en.inOrder(en.failedOrder, id)
+			} else {
+				eligible = !en.failed[id]
+			}
+			if eligible {
+				break
+			}
+		}
+		if eligible {
+			cands = append(cands, g)
+		}
+	}
+	if len(cands) == 0 {
+		return topology.SRLG{}, false
+	}
+	return cands[rng.Intn(len(cands))], true
+}
+
+// inOrder reports whether id is in the order list.
+func (en *engine) inOrder(order []topology.LinkID, id topology.LinkID) bool {
+	for _, f := range order {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// removeOrder deletes id from an order list, reporting whether it was
+// present.
+func (en *engine) removeOrder(order *[]topology.LinkID, id topology.LinkID) bool {
+	for i, f := range *order {
+		if f == id {
+			*order = append((*order)[:i], (*order)[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // forwardID canonicalizes a directed link ID to its physical link's
@@ -367,11 +515,30 @@ func (en *engine) reaches(adj [][]topology.LinkID, next func(topology.LinkID) to
 	return count == n
 }
 
-// optimizeEpoch materializes the epoch instance, repairs and applies the
-// warm start, re-optimizes, and records the epoch row.
-func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error) {
-	// Epoch topology: base capacities under accumulated factors, failed
-	// links at zero.
+// epochInstance is one epoch's materialized optimization input: the
+// epoch topology and matrix, the stable scenario key of each dense
+// matrix index, and the optimizer options with every out-of-service
+// link folded into the forbidden mask.
+type epochInstance struct {
+	topo *topology.Topology
+	mat  *traffic.Matrix
+	keys []int64
+	opts core.Options
+}
+
+// downLinks lists the forward IDs of every out-of-service physical link
+// (unplanned failures plus maintenance drains).
+func (en *engine) downLinks() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(en.failedOrder)+len(en.maintOrder))
+	out = append(out, en.failedOrder...)
+	return append(out, en.maintOrder...)
+}
+
+// materialize derives the epoch instance from the accumulated state:
+// base capacities under the accumulated factors with out-of-service
+// links at zero, the active aggregates under the demand state, and the
+// epoch policy.
+func (en *engine) materialize() (*epochInstance, error) {
 	caps := make([]unit.Bandwidth, len(en.baseCaps))
 	for i := range caps {
 		if en.failed[i] {
@@ -406,54 +573,104 @@ func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error
 	if err != nil {
 		return nil, err
 	}
-	model, err := flowmodel.New(topoE, matE)
-	if err != nil {
-		return nil, err
-	}
 
-	// Epoch policy: the user's policy with failed links forbidden.
+	// Epoch policy: the user's policy with every out-of-service link
+	// forbidden in both directions.
 	coreOpts := en.opts.Core
-	forb := make([]bool, topoE.NumLinks())
-	copy(forb, coreOpts.Policy.ForbiddenLinks)
-	for i, f := range en.failed {
+	forb := pathgen.ForbidLinks(topoE, en.downLinks()...)
+	for i, f := range coreOpts.Policy.ForbiddenLinks {
 		if f {
 			forb[i] = true
 		}
 	}
 	coreOpts.Policy.ForbiddenLinks = forb
 	coreOpts.InitialBundles = nil
+	return &epochInstance{topo: topoE, mat: matE, keys: keys, opts: coreOpts}, nil
+}
 
-	er := &EpochResult{
-		Epoch:      epoch,
-		Events:     events,
-		Aggregates: matE.NumAggregates(),
-		Flows:      matE.TotalFlows(),
-		DemandKbps: float64(matE.TotalDemand()),
+// newEpochResult starts the epoch row from the materialized instance.
+func (en *engine) newEpochResult(epoch int, events []string, inst *epochInstance) *EpochResult {
+	return &EpochResult{
+		Epoch:            epoch,
+		Events:           events,
+		Aggregates:       inst.mat.NumAggregates(),
+		Flows:            inst.mat.TotalFlows(),
+		DemandKbps:       float64(inst.mat.TotalDemand()),
+		FailedLinks:      len(en.failedOrder),
+		MaintenanceLinks: len(en.maintOrder),
 	}
-	er.FailedLinks = len(en.failedOrder)
+}
 
-	if len(en.installed) > 0 {
-		// Remap installed bundles onto the epoch's aggregate IDs via the
-		// stable keys; departed aggregates drop here.
-		keyToID := make(map[int64]traffic.AggregateID, len(keys))
-		for i, k := range keys {
-			keyToID[k] = traffic.AggregateID(i)
+// repairInstalled remaps the carried installed allocation onto the epoch
+// instance via the stable keys (departed aggregates drop here) and
+// repairs it into a valid warm start, recording the repair stats on er.
+// Returns nil when nothing is installed yet (epoch 0).
+func (en *engine) repairInstalled(inst *epochInstance, er *EpochResult) ([]flowmodel.Bundle, error) {
+	if len(en.installed) == 0 {
+		return nil, nil
+	}
+	keyToID := make(map[int64]traffic.AggregateID, len(inst.keys))
+	for i, k := range inst.keys {
+		keyToID[k] = traffic.AggregateID(i)
+	}
+	var remapped []flowmodel.Bundle
+	for _, kb := range en.installed {
+		id, ok := keyToID[kb.key]
+		if !ok {
+			er.RepairDropped++
+			continue
 		}
-		var remapped []flowmodel.Bundle
-		for _, kb := range en.installed {
-			id, ok := keyToID[kb.key]
-			if !ok {
-				er.RepairDropped++
-				continue
-			}
-			remapped = append(remapped, flowmodel.Bundle{Agg: id, Flows: kb.flows, Edges: kb.edges})
+		remapped = append(remapped, flowmodel.Bundle{Agg: id, Flows: kb.flows, Edges: kb.edges})
+	}
+	repaired, stats, err := core.RepairWarmStart(inst.topo, inst.mat, remapped, inst.opts.Policy, inst.opts.MaxPathsPerAggregate)
+	if err != nil {
+		return nil, err
+	}
+	er.RepairDropped += stats.DroppedBundles
+	er.RepairMovedFlows = stats.MovedFlows
+	return repaired, nil
+}
+
+// keyedAllocation converts a bundle list into scenario-keyed installed
+// state, dropping self-pairs (they never hit the flow tables).
+func keyedAllocation(bundles []flowmodel.Bundle, keys []int64) []keyedBundle {
+	next := make([]keyedBundle, 0, len(bundles))
+	for _, b := range bundles {
+		if len(b.Edges) == 0 {
+			continue
 		}
-		repaired, stats, err := core.RepairWarmStart(topoE, matE, remapped, coreOpts.Policy, coreOpts.MaxPathsPerAggregate)
-		if err != nil {
-			return nil, err
-		}
-		er.RepairDropped += stats.DroppedBundles
-		er.RepairMovedFlows = stats.MovedFlows
+		next = append(next, keyedBundle{key: keys[b.Agg], flows: b.Flows, edges: b.Edges})
+	}
+	return next
+}
+
+// recordChurn diffs the new allocation against the carried installed
+// one over (aggregate key, path) pairs — the estimated churn metrics —
+// then carries it forward as the installed state.
+func (en *engine) recordChurn(er *EpochResult, inst *epochInstance, bundles []flowmodel.Bundle) {
+	next := keyedAllocation(bundles, inst.keys)
+	er.PathsChanged, er.FlowsMoved, er.FlowMods = churn(en.installed, next)
+	en.installed = next
+}
+
+// optimizeEpoch materializes the epoch instance, repairs and applies the
+// warm start, re-optimizes, and records the epoch row.
+func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error) {
+	inst, err := en.materialize()
+	if err != nil {
+		return nil, err
+	}
+	model, err := flowmodel.New(inst.topo, inst.mat)
+	if err != nil {
+		return nil, err
+	}
+	er := en.newEpochResult(epoch, events, inst)
+	coreOpts := inst.opts
+	repaired, err := en.repairInstalled(inst, er)
+	if err != nil {
+		return nil, err
+	}
+	if repaired != nil {
 		er.StaleUtility = model.Evaluate(repaired).NetworkUtility
 		if !en.opts.ColdStart {
 			coreOpts.InitialBundles = repaired
@@ -465,7 +682,7 @@ func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error
 	if err != nil {
 		return nil, err
 	}
-	if len(en.installed) == 0 {
+	if repaired == nil {
 		er.StaleUtility = sol.InitialUtility
 	}
 	er.Utility = sol.Utility
@@ -474,18 +691,7 @@ func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error
 	er.Stop = sol.Stop
 	er.StopReason = sol.Stop.String()
 	er.Elapsed = sol.Elapsed
-
-	// Routing churn against the previously installed allocation, keyed
-	// by stable aggregate identity and path.
-	next := make([]keyedBundle, 0, len(sol.Bundles))
-	for _, b := range sol.Bundles {
-		if len(b.Edges) == 0 {
-			continue // self-pair traffic never hits the flow tables
-		}
-		next = append(next, keyedBundle{key: keys[b.Agg], flows: b.Flows, edges: b.Edges})
-	}
-	er.PathsChanged, er.FlowsMoved, er.FlowMods = churn(en.installed, next)
-	en.installed = next
+	en.recordChurn(er, inst, sol.Bundles)
 	return er, nil
 }
 

@@ -120,9 +120,59 @@ func FlashCrowd(seed int64, epochs int, spike float64, arrivals int) Scenario {
 	return sc
 }
 
+// Maintenance returns a planned-work window: a random link drains at
+// one third of the timeline and returns to service at two thirds, with
+// mild demand churn layered on every epoch. Drained links are tracked
+// in a separate ledger from failures (EpochResult.MaintenanceLinks) but
+// repaired the same way; the closed-loop replay additionally prices
+// each epoch's reroute make-before-break (EpochResult.MBBHeadroom).
+func Maintenance(seed int64, epochs int) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("maintenance-%dep", epochs),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	start := epochs / 3
+	end := 2 * epochs / 3
+	if end <= start {
+		end = start + 1
+	}
+	sc.Events = append(sc.Events, Event{Epoch: start, Kind: MaintenanceStart, Link: -1})
+	if end < epochs {
+		sc.Events = append(sc.Events, Event{Epoch: end, Kind: MaintenanceEnd, Link: -1})
+	}
+	for e := 0; e < epochs; e++ {
+		sc.Events = append(sc.Events, Event{Epoch: e, Kind: DemandChurn, Factor: 0.1, Fraction: 0.2})
+	}
+	return sc
+}
+
+// SRLGOutage returns a correlated-failure episode: a random shared-risk
+// group declared on the topology fails at one quarter of the timeline
+// and recovers at three quarters. With no SRLGs declared
+// (topology.WithSRLGs) the events are no-ops.
+func SRLGOutage(seed int64, epochs int) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("srlg-outage-%dep", epochs),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	fail := epochs / 4
+	recover := 3 * epochs / 4
+	if recover <= fail {
+		recover = fail + 1
+	}
+	sc.Events = append(sc.Events, Event{Epoch: fail, Kind: SRLGFail})
+	if recover < epochs {
+		sc.Events = append(sc.Events, Event{Epoch: recover, Kind: SRLGRecover})
+	}
+	return sc
+}
+
 // ByName resolves a canned scenario by its short name ("diurnal",
-// "storm", "flashcrowd") with that scenario's default shape for the
-// given epoch count — the lookup the CLI front ends share.
+// "storm", "flashcrowd", "maintenance", "srlg") with that scenario's
+// default shape for the given epoch count — the lookup the CLI front
+// ends share.
 func ByName(name string, seed int64, epochs int) (Scenario, error) {
 	switch name {
 	case "diurnal":
@@ -135,7 +185,11 @@ func ByName(name string, seed int64, epochs int) (Scenario, error) {
 		return FailureStorm(seed, epochs, failures), nil
 	case "flashcrowd":
 		return FlashCrowd(seed, epochs, 2.0, 8), nil
+	case "maintenance":
+		return Maintenance(seed, epochs), nil
+	case "srlg":
+		return SRLGOutage(seed, epochs), nil
 	default:
-		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have diurnal, storm, flashcrowd)", name)
+		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have diurnal, storm, flashcrowd, maintenance, srlg)", name)
 	}
 }

@@ -23,6 +23,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"time"
 
@@ -62,6 +63,23 @@ const (
 	// CapacityScale multiplies a physical link's capacity by Factor
 	// (cumulative). Link < 0 scales every link.
 	CapacityScale
+	// SRLGFail takes down every link of a shared-risk group declared on
+	// the topology (topology.SRLGs) — a correlated failure: one conduit
+	// cut, many links gone. Group names the group; empty picks a random
+	// declared group with at least one live member.
+	SRLGFail
+	// SRLGRecover restores a shared-risk group's links. Group names the
+	// group; empty picks a random declared group with a downed member.
+	SRLGRecover
+	// MaintenanceStart drains a physical link for a maintenance window:
+	// the link leaves service like a failure, but is tracked separately
+	// (planned, drained via make-before-break rather than black-holed).
+	// Link < 0 picks a random live link whose loss keeps the topology
+	// connected.
+	MaintenanceStart
+	// MaintenanceEnd returns a drained link to service. Link < 0 ends
+	// the longest-running maintenance window.
+	MaintenanceEnd
 )
 
 // String names the kind.
@@ -81,6 +99,14 @@ func (k EventKind) String() string {
 		return "link-recover"
 	case CapacityScale:
 		return "capacity-scale"
+	case SRLGFail:
+		return "srlg-fail"
+	case SRLGRecover:
+		return "srlg-recover"
+	case MaintenanceStart:
+		return "maintenance-start"
+	case MaintenanceEnd:
+		return "maintenance-end"
 	default:
 		return "unknown"
 	}
@@ -104,6 +130,11 @@ type Event struct {
 	// Count is how many aggregates an AggregateArrive / AggregateDepart
 	// adds or removes.
 	Count int
+	// Group names the shared-risk group an SRLGFail / SRLGRecover
+	// targets; empty lets the engine pick (see the kind docs). Groups
+	// are declared on the topology (topology.WithSRLGs) and validated at
+	// run time.
+	Group string
 }
 
 // Scenario is a named, seeded timeline over a start instance.
@@ -141,8 +172,10 @@ func (s Scenario) Validate() error {
 			if e.Count <= 0 {
 				return fmt.Errorf("scenario: event %d (%s) needs a positive Count, got %d", i, e.Kind, e.Count)
 			}
-		case LinkFail, LinkRecover:
+		case LinkFail, LinkRecover, MaintenanceStart, MaintenanceEnd:
 			// Link is validated against the topology at run time.
+		case SRLGFail, SRLGRecover:
+			// Group is validated against the topology at run time.
 		default:
 			return fmt.Errorf("scenario: event %d has unknown kind %d", i, uint8(e.Kind))
 		}
@@ -185,8 +218,12 @@ type EpochResult struct {
 	Flows      int `json:"flows"`
 	// DemandKbps is the matrix's total backbone demand.
 	DemandKbps float64 `json:"demand_kbps"`
-	// FailedLinks counts physical links currently down.
+	// FailedLinks counts physical links currently down from unplanned
+	// failures (LinkFail and SRLGFail events).
 	FailedLinks int `json:"failed_links"`
+	// MaintenanceLinks counts physical links currently drained for
+	// maintenance windows (tracked separately from failures).
+	MaintenanceLinks int `json:"maintenance_links,omitempty"`
 	// WarmStart reports whether this epoch re-optimized from the
 	// previous installed allocation (false for epoch 0 and cold runs).
 	WarmStart bool `json:"warm_start"`
@@ -223,9 +260,48 @@ type EpochResult struct {
 	//   flow-table add/modify/delete operations a controller would push.
 	//
 	// Epoch 0 reports the full initial installation.
+	//
+	// In a plain replay these are *estimates* derived by diffing bundle
+	// lists; a closed-loop replay (RunClosedLoop) additionally counts the
+	// FlowMod messages actually exchanged with switches in WireFlowMods,
+	// which can differ: the wire protocol replaces whole per-switch
+	// tables, so one message covers every changed pair at that ingress,
+	// and unchanged switches receive nothing.
 	PathsChanged int `json:"paths_changed"`
 	FlowsMoved   int `json:"flows_moved"`
 	FlowMods     int `json:"flow_mods"`
+
+	// Closed-loop fields, populated only by RunClosedLoop (all zero in
+	// plain replays):
+	//
+	//   WireFlowMods — FlowMod messages actually written to switch
+	//   connections this epoch (differential installs: only switches
+	//   whose rule table changed receive one), the repair push plus the
+	//   re-optimization push;
+	//   WireRules — rules carried by those messages;
+	//   InstallAcks — FlowModAck replies received, which the simulated
+	//   switches ack only after applying the table (== WireFlowMods
+	//   when no switch failed);
+	//   DeadlineMiss — the epoch's optimization ran out of its
+	//   wall-clock budget and published the best-so-far solution;
+	//   TrueUtility — ground-truth utility the installed allocation
+	//   achieved on the simulated network after the install;
+	//   StaleTrueUtility — ground truth under the stale (repaired)
+	//   routing during the measurement phase;
+	//   MBBHeadroom — minimum per-link headroom fraction while old and
+	//   new reservations transiently coexist during make-before-break
+	//   (negative: the transition would over-reserve some link);
+	//   MBBTeardowns / MBBSetups — old paths torn down after traffic
+	//   switches / new paths signaled.
+	WireFlowMods     int     `json:"wire_flow_mods,omitempty"`
+	WireRules        int     `json:"wire_rules,omitempty"`
+	InstallAcks      int     `json:"install_acks,omitempty"`
+	DeadlineMiss     bool    `json:"deadline_miss,omitempty"`
+	TrueUtility      float64 `json:"true_utility,omitempty"`
+	StaleTrueUtility float64 `json:"stale_true_utility,omitempty"`
+	MBBHeadroom      float64 `json:"mbb_headroom,omitempty"`
+	MBBTeardowns     int     `json:"mbb_teardowns,omitempty"`
+	MBBSetups        int     `json:"mbb_setups,omitempty"`
 }
 
 // Result is a completed replay.
@@ -237,8 +313,33 @@ type Result struct {
 	Topology string `json:"topology"`
 	// ColdStart records whether warm starting was disabled.
 	ColdStart bool `json:"cold_start"`
+	// ClosedLoop records whether the replay drove the control plane end
+	// to end (RunClosedLoop) rather than the bare optimizer.
+	ClosedLoop bool `json:"closed_loop,omitempty"`
 	// Epochs holds one entry per epoch in order.
 	Epochs []EpochResult `json:"epochs"`
+	// Installs is the closed-loop wire install sequence in order: every
+	// allocation push the controller performed, with its counted FlowMod
+	// messages. Empty for plain replays. Part of the determinism
+	// contract: same seed ⇒ identical sequence at any worker count.
+	Installs []InstallRecord `json:"installs,omitempty"`
+}
+
+// InstallRecord is one allocation push of a closed-loop replay.
+type InstallRecord struct {
+	// Epoch is the scenario epoch the push belongs to.
+	Epoch int `json:"epoch"`
+	// Generation is the wire protocol's install token.
+	Generation uint64 `json:"generation"`
+	// Phase is "repair" (the immediate post-event push restoring a valid
+	// routing) or "reopt" (the deadline-budgeted re-optimization push).
+	Phase string `json:"phase"`
+	// FlowMods is the number of FlowMod messages written (switches whose
+	// table changed); Rules the rules they carried; Acks the
+	// FlowModAck replies received.
+	FlowMods int `json:"flow_mods"`
+	Rules    int `json:"rules"`
+	Acks     int `json:"acks"`
 }
 
 // TotalSteps sums committed optimizer moves over all epochs.
@@ -250,14 +351,62 @@ func (r *Result) TotalSteps() int {
 	return n
 }
 
-// TotalFlowMods sums the controller-visible flow-table operations over
-// all epochs (including the epoch-0 installation).
+// TotalFlowMods sums the *estimated* controller-visible flow-table
+// operations over all epochs (including the epoch-0 installation) —
+// the per-(aggregate, path) diff of consecutive installed allocations.
+// For closed-loop replays, TotalWireFlowMods counts the FlowMod
+// messages actually exchanged with switches, which is the real install
+// sequence and generally smaller (whole-table messages, unchanged
+// switches skipped).
 func (r *Result) TotalFlowMods() int {
 	n := 0
 	for _, e := range r.Epochs {
 		n += e.FlowMods
 	}
 	return n
+}
+
+// TotalWireFlowMods sums the counted wire FlowMod messages over all
+// epochs of a closed-loop replay (zero for plain replays).
+func (r *Result) TotalWireFlowMods() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += e.WireFlowMods
+	}
+	return n
+}
+
+// DeadlineMissRate is the fraction of epochs whose optimization ran out
+// of its wall-clock budget (closed-loop replays with a budget only).
+func (r *Result) DeadlineMissRate() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	miss := 0
+	for _, e := range r.Epochs {
+		if e.DeadlineMiss {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(r.Epochs))
+}
+
+// MinMBBHeadroom is the tightest per-epoch make-before-break headroom
+// of a closed-loop replay: the smallest margin any link had while old
+// and new reservations transiently coexisted (negative means some
+// transition needed more than link capacity; meaningless for plain
+// replays).
+func (r *Result) MinMBBHeadroom() float64 {
+	m := math.Inf(1)
+	for _, e := range r.Epochs {
+		if e.MBBHeadroom < m {
+			m = e.MBBHeadroom
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
 }
 
 // MeanUtility averages the re-optimized utility over epochs.
@@ -290,7 +439,11 @@ func (r *Result) MinUtility() float64 {
 // ignoring wall-clock fields — the determinism contract checked by tests
 // and the bench harness.
 func (r *Result) Equivalent(o *Result) bool {
-	if r.Name != o.Name || r.Seed != o.Seed || r.ColdStart != o.ColdStart || len(r.Epochs) != len(o.Epochs) {
+	if r.Name != o.Name || r.Seed != o.Seed || r.ColdStart != o.ColdStart ||
+		r.ClosedLoop != o.ClosedLoop || len(r.Epochs) != len(o.Epochs) {
+		return false
+	}
+	if !reflect.DeepEqual(r.Installs, o.Installs) {
 		return false
 	}
 	for i := range r.Epochs {

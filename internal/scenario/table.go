@@ -10,10 +10,16 @@ import (
 // Table renders the replay as a report table: one row per epoch with the
 // demand/topology state, the stale-vs-reoptimized utilities, optimizer
 // effort and routing churn — the CLI front ends' shared epoch view.
+// Closed-loop replays gain columns for the counted wire FlowMods, the
+// ground-truth utility, deadline misses and make-before-break headroom.
 func (r *Result) Table() *report.Table {
+	cols := []string{"epoch", "events", "aggs", "flows", "down", "stale", "utility", "steps", "elapsed", "flowmods", "moved"}
+	if r.ClosedLoop {
+		cols = append(cols, "wiremods", "trueU", "miss", "mbb-room")
+	}
 	t := report.NewTable(
 		fmt.Sprintf("scenario %s (seed %d)", r.Name, r.Seed),
-		"epoch", "events", "aggs", "flows", "down", "stale", "utility", "steps", "elapsed", "flowmods", "moved",
+		cols...,
 	)
 	for _, e := range r.Epochs {
 		events := ""
@@ -23,9 +29,22 @@ func (r *Result) Table() *report.Table {
 			}
 			events += ev
 		}
-		t.AddRow(e.Epoch, events, e.Aggregates, e.Flows, e.FailedLinks,
+		down := fmt.Sprintf("%d", e.FailedLinks)
+		if e.MaintenanceLinks > 0 {
+			down += fmt.Sprintf("+%dm", e.MaintenanceLinks)
+		}
+		row := []any{e.Epoch, events, e.Aggregates, e.Flows, down,
 			fmt.Sprintf("%.4f", e.StaleUtility), fmt.Sprintf("%.4f", e.Utility),
-			e.Steps, e.Elapsed.Truncate(time.Millisecond), e.FlowMods, e.FlowsMoved)
+			e.Steps, e.Elapsed.Truncate(time.Millisecond), e.FlowMods, e.FlowsMoved}
+		if r.ClosedLoop {
+			miss := ""
+			if e.DeadlineMiss {
+				miss = "MISS"
+			}
+			row = append(row, e.WireFlowMods, fmt.Sprintf("%.4f", e.TrueUtility),
+				miss, fmt.Sprintf("%+.2f", e.MBBHeadroom))
+		}
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -31,6 +31,17 @@ type Link struct {
 	Reverse LinkID
 }
 
+// SRLG is a shared-risk link group: a set of physical links that fail
+// together (a common conduit, a shared line card, a leased span). Links
+// are given by directed LinkID; either direction of a bidirectional link
+// names the whole physical link.
+type SRLG struct {
+	// Name identifies the group, e.g. "conduit-7".
+	Name string
+	// Links are the member links.
+	Links []LinkID
+}
+
 // Topology is an immutable-after-build network description. Construct with
 // NewBuilder (or a generator) and Build.
 type Topology struct {
@@ -38,6 +49,7 @@ type Topology struct {
 	nodes []string
 	index map[string]NodeID
 	links []Link
+	srlgs []SRLG
 	g     *graph.Graph
 }
 
@@ -83,6 +95,51 @@ func (t *Topology) Links() []Link { return append([]Link(nil), t.links...) }
 // Graph returns the underlying delay-weighted directed graph. The graph is
 // shared, not copied; callers must not mutate it.
 func (t *Topology) Graph() *graph.Graph { return t.g }
+
+// SRLGs returns the declared shared-risk link groups in declaration
+// order. The caller owns the outer slice; group link lists are shared.
+func (t *Topology) SRLGs() []SRLG { return append([]SRLG(nil), t.srlgs...) }
+
+// SRLGByName resolves a shared-risk group.
+func (t *Topology) SRLGByName(name string) (SRLG, bool) {
+	for _, g := range t.srlgs {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return SRLG{}, false
+}
+
+// WithSRLGs returns a copy of the topology with the shared-risk link
+// groups replaced. Groups must have unique non-empty names, at least one
+// member each, and members within the link range. Capacity derivations
+// (WithCapacities etc.) preserve declared groups, so one declaration
+// survives a whole scenario replay.
+func (t *Topology) WithSRLGs(groups []SRLG) (*Topology, error) {
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if g.Name == "" {
+			return nil, fmt.Errorf("topology: SRLG with empty name")
+		}
+		if seen[g.Name] {
+			return nil, fmt.Errorf("topology: duplicate SRLG %q", g.Name)
+		}
+		seen[g.Name] = true
+		if len(g.Links) == 0 {
+			return nil, fmt.Errorf("topology: SRLG %q has no links", g.Name)
+		}
+		for _, l := range g.Links {
+			if int(l) < 0 || int(l) >= len(t.links) {
+				return nil, fmt.Errorf("topology: SRLG %q references link %d, topology has %d", g.Name, l, len(t.links))
+			}
+		}
+	}
+	cp := make([]SRLG, len(groups))
+	for i, g := range groups {
+		cp[i] = SRLG{Name: g.Name, Links: append([]LinkID(nil), g.Links...)}
+	}
+	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: t.links, srlgs: cp, g: t.g}, nil
+}
 
 // Capacity returns the capacity of a directed link.
 func (t *Topology) Capacity(id LinkID) unit.Bandwidth { return t.links[id].Capacity }
@@ -143,6 +200,7 @@ func (t *Topology) WithUniformCapacity(c unit.Bandwidth) (*Topology, error) {
 		nodes: t.nodes,
 		index: t.index,
 		links: links,
+		srlgs: t.srlgs,
 		g:     t.g,
 	}, nil
 }
@@ -156,7 +214,7 @@ func (t *Topology) WithScaledCapacity(f float64) (*Topology, error) {
 	for i := range links {
 		links[i].Capacity = unit.Bandwidth(float64(links[i].Capacity) * f)
 	}
-	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, g: t.g}, nil
+	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, srlgs: t.srlgs, g: t.g}, nil
 }
 
 // WithLinkCapacity returns a copy with one physical link's capacity
@@ -176,7 +234,7 @@ func (t *Topology) WithLinkCapacity(id LinkID, c unit.Bandwidth) (*Topology, err
 	if r := links[id].Reverse; r >= 0 {
 		links[r].Capacity = c
 	}
-	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, g: t.g}, nil
+	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, srlgs: t.srlgs, g: t.g}, nil
 }
 
 // WithCapacities returns a copy with every directed link's capacity
@@ -195,7 +253,7 @@ func (t *Topology) WithCapacities(caps []unit.Bandwidth) (*Topology, error) {
 		}
 		links[i].Capacity = caps[i]
 	}
-	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, g: t.g}, nil
+	return &Topology{name: t.name, nodes: t.nodes, index: t.index, links: links, srlgs: t.srlgs, g: t.g}, nil
 }
 
 // LinkName renders a directed link as "A->B".

@@ -402,3 +402,64 @@ func TestHEWriteParseRoundTrip(t *testing.T) {
 		t.Errorf("round trip shape: %s", topo2.Summary())
 	}
 }
+
+func TestSRLGs(t *testing.T) {
+	topo := triangle(t)
+	if got := topo.SRLGs(); len(got) != 0 {
+		t.Fatalf("fresh topology has %d SRLGs", len(got))
+	}
+	groups := []SRLG{
+		{Name: "conduit-ab-bc", Links: []LinkID{0, 2}},
+		{Name: "span-ac", Links: []LinkID{4}},
+	}
+	st, err := topo.WithSRLGs(groups)
+	if err != nil {
+		t.Fatalf("WithSRLGs: %v", err)
+	}
+	if got := st.SRLGs(); len(got) != 2 || got[0].Name != "conduit-ab-bc" || len(got[0].Links) != 2 {
+		t.Fatalf("SRLGs = %+v", got)
+	}
+	if _, ok := st.SRLGByName("span-ac"); !ok {
+		t.Fatal("SRLGByName missed a declared group")
+	}
+	if _, ok := st.SRLGByName("nope"); ok {
+		t.Fatal("SRLGByName invented a group")
+	}
+	// Mutating the input must not affect the topology's copy.
+	groups[0].Links[0] = 5
+	if st.SRLGs()[0].Links[0] != 0 {
+		t.Fatal("WithSRLGs aliased the caller's link slice")
+	}
+
+	// Groups survive capacity derivations.
+	caps := make([]unit.Bandwidth, st.NumLinks())
+	for i := range caps {
+		caps[i] = 1 * unit.Mbps
+	}
+	for name, derive := range map[string]func() (*Topology, error){
+		"WithUniformCapacity": func() (*Topology, error) { return st.WithUniformCapacity(unit.Mbps) },
+		"WithScaledCapacity":  func() (*Topology, error) { return st.WithScaledCapacity(0.5) },
+		"WithLinkCapacity":    func() (*Topology, error) { return st.WithLinkCapacity(0, unit.Mbps) },
+		"WithCapacities":      func() (*Topology, error) { return st.WithCapacities(caps) },
+	} {
+		d, err := derive()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.SRLGs()) != 2 {
+			t.Errorf("%s dropped SRLGs", name)
+		}
+	}
+
+	// Validation.
+	for name, bad := range map[string][]SRLG{
+		"empty name":        {{Links: []LinkID{0}}},
+		"duplicate name":    {{Name: "x", Links: []LinkID{0}}, {Name: "x", Links: []LinkID{1}}},
+		"no links":          {{Name: "x"}},
+		"out of range link": {{Name: "x", Links: []LinkID{LinkID(topo.NumLinks())}}},
+	} {
+		if _, err := topo.WithSRLGs(bad); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
