@@ -15,6 +15,7 @@ package fubar
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -48,7 +49,7 @@ func runExperiment(b *testing.B, cfg experiment.Config) *experiment.RunResult {
 	cfg.Options.Deadline = benchBudget
 	var last *experiment.RunResult
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.Run(cfg)
+		r, err := experiment.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func BenchmarkFig7Repeatability(b *testing.B) {
 	cfg.Options.Deadline = 5 * time.Second
 	var last *experiment.RepeatabilityResult
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.Repeatability(cfg, 3)
+		r, err := experiment.Repeatability(context.Background(), cfg, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkRunningTimeSmall(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sol, err = core.Run(m, core.Options{})
+		sol, err = core.Run(context.Background(), m, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,7 +326,7 @@ func BenchmarkAblationPathTrio(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sol, err = core.Run(m, core.Options{AltMode: mode})
+				sol, err = core.Run(context.Background(), m, core.Options{AltMode: mode})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -356,7 +357,7 @@ func BenchmarkAblationEscalation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sol, err = core.Run(m, core.Options{DisableEscalation: tc.disable})
+				sol, err = core.Run(context.Background(), m, core.Options{DisableEscalation: tc.disable})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -382,7 +383,7 @@ func BenchmarkQueueAvoidance(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func BenchmarkAblationAnnealing(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sol, err = core.Run(model, core.Options{})
+			sol, err = core.Run(context.Background(), model, core.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -427,7 +428,7 @@ func BenchmarkAblationAnnealing(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sol, err = anneal.Run(model, anneal.Options{Seed: 33, MaxIterations: 30000})
+			sol, err = anneal.Run(context.Background(), model, anneal.Options{Seed: 33, MaxIterations: 30000})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -446,7 +447,7 @@ func BenchmarkModelValidation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -479,7 +480,7 @@ func BenchmarkDynamicQueues(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -567,7 +568,7 @@ func BenchmarkControlPlaneCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -593,7 +594,7 @@ func BenchmarkMPLSSync(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -640,7 +641,7 @@ func BenchmarkFailover(b *testing.B) {
 	var res *experiment.FailoverResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiment.Failover(topo, mat, core.Options{})
+		res, err = experiment.Failover(context.Background(), topo, mat, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,13 +12,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"reflect"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"fubar/internal/anneal"
@@ -39,6 +43,11 @@ import (
 	"fubar/internal/utility"
 )
 
+// benchCtx is the run's root context, cancelled by SIGINT/SIGTERM so
+// interrupted experiments stop at the next candidate batch and the
+// binary exits cleanly instead of dying mid-epoch.
+var benchCtx = context.Background()
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out)")
@@ -58,11 +67,25 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	benchCtx = ctx
+
 	opts := core.Options{Deadline: *deadline, Workers: *workers}
 	run := func(name string, f func() error) {
 		fmt.Printf("\n================ %s ================\n", name)
 		start := time.Now()
-		if err := f(); err != nil {
+		err := f()
+		// A cancelled context is terminal whatever the experiment
+		// returned: optimizer-level cancellation surfaces as truncated
+		// (StopCancelled) solutions with a nil error, and any figures or
+		// records derived from them are garbage — never continue to the
+		// next experiment or exit 0.
+		if benchCtx.Err() != nil || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+			os.Exit(130)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -212,20 +235,20 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	if err != nil {
 		return err
 	}
-	warm1, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}})
+	warm1, err := scenario.RunClosedLoop(benchCtx, topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}})
 	if err != nil {
 		return err
 	}
-	warm4, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 4}})
+	warm4, err := scenario.RunClosedLoop(benchCtx, topo, mat, sc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 4}})
 	if err != nil {
 		return err
 	}
 	det := warm1.Equivalent(warm4)
-	cold, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{ColdStart: true, Core: core.Options{Workers: 1}})
+	cold, err := scenario.RunClosedLoop(benchCtx, topo, mat, sc, scenario.ClosedLoopOptions{ColdStart: true, Core: core.Options{Workers: 1}})
 	if err != nil {
 		return err
 	}
-	budgeted, err := scenario.RunClosedLoop(topo, mat, sc, scenario.ClosedLoopOptions{
+	budgeted, err := scenario.RunClosedLoop(benchCtx, topo, mat, sc, scenario.ClosedLoopOptions{
 		Core: core.Options{Workers: 1}, EpochBudget: budget,
 	})
 	if err != nil {
@@ -318,9 +341,18 @@ type evalBenchRecord struct {
 	RunFullNs       int64   `json:"run_full_best_ns"`
 	RunDeltaNs      int64   `json:"run_delta_best_ns"`
 	RunSpeedup      float64 `json:"run_speedup"`
-	Steps           int     `json:"steps"`
-	Utility         float64 `json:"utility"`
-	Deterministic   bool    `json:"deterministic"`
+	// Persistent-base comparison: the same instance end to end with
+	// per-step base captures (the pre-session behavior) vs the
+	// session-persistent base that is patched on commit and remapped
+	// across step layouts. BaseStats records how the persistent run
+	// obtained each step's base.
+	RunCaptureNs     int64          `json:"run_capture_best_ns"`
+	BaseReuseSpeedup float64        `json:"base_reuse_speedup"`
+	BaseStats        core.BaseStats `json:"base_stats"`
+	CaptureBaseStats core.BaseStats `json:"capture_base_stats"`
+	Steps            int            `json:"steps"`
+	Utility          float64        `json:"utility"`
+	Deterministic    bool           `json:"deterministic"`
 }
 
 // evalBench times every candidate of one real optimization both ways
@@ -355,18 +387,22 @@ func evalBench(instance string, seed int64, outPath string) error {
 		return fmt.Errorf("evalbench: delta utilities diverged from full evaluations")
 	}
 
-	// End to end at Workers=1, best of 3, both strategies.
+	// End to end at Workers=1, best of 3, three strategies: full
+	// per-candidate evaluations, incremental with per-step base captures
+	// (the pre-session behavior), and incremental with the persistent
+	// base (patched on commit, remapped across layouts).
 	const rounds = 3
-	measure := func(mode core.DeltaMode) (time.Duration, *core.Solution, error) {
+	measure := func(opts core.Options) (time.Duration, *core.Solution, error) {
 		var best time.Duration
 		var sol *core.Solution
+		opts.Workers = 1
 		for i := 0; i < rounds; i++ {
 			m, err := flowmodel.New(topo, mat)
 			if err != nil {
 				return 0, nil, err
 			}
 			start := time.Now()
-			s, err := core.Run(m, core.Options{Workers: 1, DeltaEval: mode})
+			s, err := core.Run(benchCtx, m, opts)
 			if err != nil {
 				return 0, nil, err
 			}
@@ -377,16 +413,22 @@ func evalBench(instance string, seed int64, outPath string) error {
 		}
 		return best, sol, nil
 	}
-	deltaT, deltaSol, err := measure(core.DeltaAuto)
+	deltaT, deltaSol, err := measure(core.Options{DeltaEval: core.DeltaAuto})
 	if err != nil {
 		return err
 	}
-	fullT, fullSol, err := measure(core.DeltaOff)
+	captureT, captureSol, err := measure(core.Options{DeltaEval: core.DeltaAuto, DisableBaseReuse: true})
+	if err != nil {
+		return err
+	}
+	fullT, fullSol, err := measure(core.Options{DeltaEval: core.DeltaOff})
 	if err != nil {
 		return err
 	}
 	det := deltaSol.Steps == fullSol.Steps && deltaSol.Utility == fullSol.Utility &&
-		reflect.DeepEqual(deltaSol.Bundles, fullSol.Bundles)
+		reflect.DeepEqual(deltaSol.Bundles, fullSol.Bundles) &&
+		deltaSol.Steps == captureSol.Steps && deltaSol.Utility == captureSol.Utility &&
+		reflect.DeepEqual(deltaSol.Bundles, captureSol.Bundles)
 
 	st := cb.Delta
 	affected := 0.0
@@ -400,31 +442,35 @@ func evalBench(instance string, seed int64, outPath string) error {
 		dense = int(st.ListBundles / n)
 	}
 	rec := evalBenchRecord{
-		Benchmark:       "flowmodel: incremental (delta) vs full candidate evaluation",
-		Instance:        instance,
-		Topology:        topo.Summary(),
-		Aggregates:      mat.NumAggregates(),
-		DenseBundles:    dense,
-		Seed:            seed,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		NumCPU:          runtime.NumCPU(),
-		Workers:         1,
-		Candidates:      cb.Candidates(),
-		Identical:       cb.Identical,
-		MedianFullNs:    cb.MedianFullNs(),
-		MedianDeltaNs:   cb.MedianDeltaNs(),
-		MedianSpeedup:   cb.MedianSpeedup(),
-		MeanSpeedup:     cb.MeanSpeedup(),
-		DeltaCalls:      st.Calls,
-		DeltaFallbacks:  st.Fallbacks,
-		DeltaExpansions: st.Expansions,
-		AffectedFrac:    affected,
-		RunFullNs:       fullT.Nanoseconds(),
-		RunDeltaNs:      deltaT.Nanoseconds(),
-		RunSpeedup:      float64(fullT) / float64(deltaT),
-		Steps:           deltaSol.Steps,
-		Utility:         deltaSol.Utility,
-		Deterministic:   det,
+		Benchmark:        "flowmodel: incremental (delta) vs full candidate evaluation",
+		Instance:         instance,
+		Topology:         topo.Summary(),
+		Aggregates:       mat.NumAggregates(),
+		DenseBundles:     dense,
+		Seed:             seed,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		Workers:          1,
+		Candidates:       cb.Candidates(),
+		Identical:        cb.Identical,
+		MedianFullNs:     cb.MedianFullNs(),
+		MedianDeltaNs:    cb.MedianDeltaNs(),
+		MedianSpeedup:    cb.MedianSpeedup(),
+		MeanSpeedup:      cb.MeanSpeedup(),
+		DeltaCalls:       st.Calls,
+		DeltaFallbacks:   st.Fallbacks,
+		DeltaExpansions:  st.Expansions,
+		AffectedFrac:     affected,
+		RunFullNs:        fullT.Nanoseconds(),
+		RunDeltaNs:       deltaT.Nanoseconds(),
+		RunSpeedup:       float64(fullT) / float64(deltaT),
+		RunCaptureNs:     captureT.Nanoseconds(),
+		BaseReuseSpeedup: float64(captureT) / float64(deltaT),
+		BaseStats:        deltaSol.Base,
+		CaptureBaseStats: captureSol.Base,
+		Steps:            deltaSol.Steps,
+		Utility:          deltaSol.Utility,
+		Deterministic:    det,
 	}
 	t := report.NewTable("incremental candidate evaluation", "metric", "value")
 	t.AddRow("instance", fmt.Sprintf("%s (%d aggregates, %d dense bundles)", instance, rec.Aggregates, rec.DenseBundles))
@@ -436,9 +482,13 @@ func evalBench(instance string, seed int64, outPath string) error {
 	t.AddRow("mean speedup", fmt.Sprintf("%.2fx", rec.MeanSpeedup))
 	t.AddRow("affected fraction", fmt.Sprintf("%.3f", rec.AffectedFrac))
 	t.AddRow("fallbacks / expansions", fmt.Sprintf("%d / %d of %d", rec.DeltaFallbacks, rec.DeltaExpansions, rec.DeltaCalls))
-	t.AddRow("run (delta on, Workers=1)", deltaT.Truncate(time.Microsecond))
+	t.AddRow("run (persistent base, Workers=1)", deltaT.Truncate(time.Microsecond))
+	t.AddRow("run (per-step capture, Workers=1)", captureT.Truncate(time.Microsecond))
 	t.AddRow("run (delta off, Workers=1)", fullT.Truncate(time.Microsecond))
-	t.AddRow("run speedup", fmt.Sprintf("%.2fx", rec.RunSpeedup))
+	t.AddRow("run speedup (vs delta off)", fmt.Sprintf("%.2fx", rec.RunSpeedup))
+	t.AddRow("base-reuse speedup (vs per-step capture)", fmt.Sprintf("%.2fx", rec.BaseReuseSpeedup))
+	t.AddRow("base captures/remaps/skips/rebases", fmt.Sprintf("%d / %d / %d / %d (capture mode: %d captures)",
+		rec.BaseStats.Captures, rec.BaseStats.Remaps, rec.BaseStats.Skips, rec.BaseStats.Rebases, rec.CaptureBaseStats.Captures))
 	t.AddRow("bit-identical candidates", rec.Identical)
 	t.AddRow("identical solutions on/off", det)
 	t.AddRow("GOMAXPROCS", rec.GOMAXPROCS)
@@ -454,7 +504,8 @@ func evalBench(instance string, seed int64, outPath string) error {
 	}
 	fmt.Printf("evalbench record written to %s\n", outPath)
 	if !det {
-		return fmt.Errorf("evalbench: DeltaAuto and DeltaOff runs diverged (steps %d vs %d)", deltaSol.Steps, fullSol.Steps)
+		return fmt.Errorf("evalbench: persistent-base, per-step-capture and DeltaOff runs diverged (steps %d / %d / %d)",
+			deltaSol.Steps, captureSol.Steps, fullSol.Steps)
 	}
 	return nil
 }
@@ -497,7 +548,7 @@ func scenarioBench(name string, seed int64, epochs int, outPath string) error {
 	}
 	measure := func(opts scenario.Options) (*scenario.Result, time.Duration, error) {
 		start := time.Now()
-		r, err := scenario.Run(topo, mat, sc, opts)
+		r, err := scenario.Run(benchCtx, topo, mat, sc, opts)
 		return r, time.Since(start), err
 	}
 	warm1, warmT, err := measure(scenario.Options{Core: core.Options{Workers: 1}})
@@ -608,7 +659,7 @@ func coreBench(seed int64, workers int, deadline time.Duration, outPath string) 
 				return 0, nil, err
 			}
 			start := time.Now()
-			s, err := core.Run(model, core.Options{Workers: workers, Deadline: deadline})
+			s, err := core.Run(benchCtx, model, core.Options{Workers: workers, Deadline: deadline})
 			if err != nil {
 				return 0, nil, err
 			}
@@ -686,7 +737,7 @@ func failover(seed int64) error {
 	if err != nil {
 		return err
 	}
-	res, err := experiment.Failover(topo, mat, core.Options{})
+	res, err := experiment.Failover(benchCtx, topo, mat, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -732,7 +783,7 @@ func annealCompare(seed int64) error {
 		return err
 	}
 	start := time.Now()
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(benchCtx, model, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -744,7 +795,7 @@ func annealCompare(seed int64) error {
 			return err
 		}
 		start = time.Now()
-		sa, err := anneal.Run(m2, anneal.Options{Seed: seed, MaxIterations: iters})
+		sa, err := anneal.Run(benchCtx, m2, anneal.Options{Seed: seed, MaxIterations: iters})
 		if err != nil {
 			return err
 		}
@@ -787,7 +838,7 @@ func validate(seed int64) error {
 	if err := addCase("shortest paths", sp.Bundles); err != nil {
 		return err
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(benchCtx, model, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -812,7 +863,7 @@ func dynamicQueues(seed int64) error {
 	if err != nil {
 		return err
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(benchCtx, model, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -842,7 +893,7 @@ func mplsSync(seed int64) error {
 	if err != nil {
 		return err
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(benchCtx, model, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -902,7 +953,7 @@ func fig12() error {
 // timeSeriesExperiment renders the three panels of Figs 3-5.
 func timeSeriesExperiment(cfg experiment.Config, opts core.Options, csv bool) error {
 	cfg.Options = opts
-	r, err := experiment.Run(cfg)
+	r, err := experiment.Run(benchCtx, cfg)
 	if err != nil {
 		return err
 	}
@@ -954,13 +1005,13 @@ func printRunSummary(r *experiment.RunResult) {
 func fig6(seed int64, opts core.Options) error {
 	baseCfg := experiment.Underprovisioned(seed)
 	baseCfg.Options = opts
-	base, err := experiment.Run(baseCfg)
+	base, err := experiment.Run(benchCtx, baseCfg)
 	if err != nil {
 		return err
 	}
 	relCfg := experiment.RelaxedDelay(seed)
 	relCfg.Options = opts
-	rel, err := experiment.Run(relCfg)
+	rel, err := experiment.Run(benchCtx, relCfg)
 	if err != nil {
 		return err
 	}
@@ -998,7 +1049,7 @@ func queues(seed int64, opts core.Options) error {
 		{"underprovisioned", experiment.Underprovisioned(seed)},
 	} {
 		tc.cfg.Options = opts
-		r, err := experiment.Run(tc.cfg)
+		r, err := experiment.Run(benchCtx, tc.cfg)
 		if err != nil {
 			return err
 		}
@@ -1031,7 +1082,7 @@ func queues(seed int64, opts core.Options) error {
 func fig7(seed int64, runs int, opts core.Options) error {
 	cfg := experiment.Provisioned(seed)
 	cfg.Options = opts
-	r, err := experiment.Repeatability(cfg, runs)
+	r, err := experiment.Repeatability(benchCtx, cfg, runs)
 	if err != nil {
 		return err
 	}
@@ -1056,7 +1107,7 @@ func fig7(seed int64, runs int, opts core.Options) error {
 }
 
 func runtimeTable(seed int64, opts core.Options) error {
-	rows, err := experiment.RuntimeTable(seed, opts)
+	rows, err := experiment.RuntimeTable(benchCtx, seed, opts)
 	if err != nil {
 		return err
 	}
@@ -1085,7 +1136,7 @@ func ablation(seed int64, opts core.Options) error {
 		cfg := experiment.Provisioned(seed)
 		cfg.Options = opts
 		v.mod(&cfg.Options)
-		r, err := experiment.Run(cfg)
+		r, err := experiment.Run(benchCtx, cfg)
 		if err != nil {
 			return err
 		}

@@ -8,25 +8,37 @@
 //	fubar -he -large-weight 8                   # prioritize large flows
 //	fubar -scenario diurnal -epochs 12          # replay a demand/topology timeline
 //	fubar -scenario storm -ctrlplane -budget 1s # drive the control plane end to end
+//	fubar -json                                 # machine-readable output
 //
 // Without -topology the HE-31 substitute is used. The traffic matrix is
 // always generated from -seed with the paper's class mix.
 //
-// With -scenario the instance becomes epoch 0 of a canned scenario
-// (diurnal | storm | flashcrowd | maintenance | srlg) and every epoch
-// re-optimizes warm-started from the previous allocation; the epoch
+// With -scenario the instance becomes epoch 0 of a canned scenario (see
+// fubar.ScenarioNames) and every epoch re-optimizes warm-started from
+// the previous allocation through a long-lived fubar.Session; the epoch
 // table reports stale vs re-optimized utility, optimizer effort and
-// routing churn. Adding -ctrlplane runs the closed loop instead:
-// simulated switches over a TCP control protocol, counter-based matrix
-// estimation, per-epoch deadline budgeting (-budget), make-before-break
-// churn pricing, and differential installs whose FlowMods are counted
-// wire messages.
+// routing churn, streaming epoch by epoch. Adding -ctrlplane runs the
+// closed loop instead: simulated switches over a TCP control protocol,
+// counter-based matrix estimation, per-epoch deadline budgeting
+// (-budget), make-before-break churn pricing, and differential installs
+// whose FlowMods are counted wire messages.
+//
+// SIGINT/SIGTERM cancel the run's context: a single optimization
+// publishes its best-so-far solution (stop reason "cancelled"), a
+// scenario replay prints the epochs completed so far, and the process
+// exits cleanly either way.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"fubar"
@@ -45,7 +57,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "trace progress every 100 steps")
 		showPaths   = flag.Bool("paths", false, "dump the final allocation's paths")
-		scenName    = flag.String("scenario", "", "replay a canned scenario (diurnal|storm|flashcrowd|maintenance|srlg) instead of one optimization")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		scenName    = flag.String("scenario", "", "replay a canned scenario ("+strings.Join(fubar.ScenarioNames(), "|")+") instead of one optimization")
 		epochs      = flag.Int("epochs", 12, "scenario replay epoch count")
 		cold        = flag.Bool("cold", false, "disable warm starts in the scenario replay")
 		ctrlplane   = flag.Bool("ctrlplane", false, "drive the scenario replay through the SDN control plane (simulated switches over TCP, counted wire FlowMods)")
@@ -53,28 +66,50 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*topoPath, *capacity, *seed, *largeWeight, *delayScale, *deadline, *maxPaths, *workers, *verbose, *showPaths, *scenName, *epochs, *cold, *ctrlplane, *budget); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := runConfig{
+		topoPath: *topoPath, capStr: *capacity, seed: *seed,
+		largeWeight: *largeWeight, delayScale: *delayScale,
+		deadline: *deadline, maxPaths: *maxPaths, workers: *workers,
+		verbose: *verbose, showPaths: *showPaths, jsonOut: *jsonOut,
+		scenName: *scenName, epochs: *epochs, cold: *cold,
+		ctrlplane: *ctrlplane, budget: *budget,
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
-	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool,
-	scenName string, epochs int, cold, ctrlplane bool, budget time.Duration) error {
+type runConfig struct {
+	topoPath, capStr        string
+	seed                    int64
+	largeWeight, delayScale float64
+	deadline                time.Duration
+	maxPaths, workers       int
+	verbose, showPaths      bool
+	jsonOut                 bool
+	scenName                string
+	epochs                  int
+	cold, ctrlplane         bool
+	budget                  time.Duration
+}
 
-	cap, err := fubar.ParseBandwidth(capStr)
+func run(ctx context.Context, rc runConfig) error {
+	cap, err := fubar.ParseBandwidth(rc.capStr)
 	if err != nil {
 		return err
 	}
 	cfg := fubar.ExperimentConfig{
 		Capacity:    cap,
-		Seed:        seed,
-		LargeWeight: largeWeight,
-		DelayScale:  delayScale,
+		Seed:        rc.seed,
+		LargeWeight: rc.largeWeight,
+		DelayScale:  rc.delayScale,
 	}
-	if topoPath != "" {
-		f, err := os.Open(topoPath)
+	if rc.topoPath != "" {
+		f, err := os.Open(rc.topoPath)
 		if err != nil {
 			return err
 		}
@@ -85,37 +120,83 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 		}
 		cfg.Topology = topo
 	}
-	cfg.Options = fubar.Options{
-		Deadline:             deadline,
-		MaxPathsPerAggregate: maxPaths,
-		Workers:              workers,
+
+	// Materialize the instance once and hold it in a Session: the model,
+	// arenas and warm state persist across everything this invocation
+	// runs.
+	topo, mat, err := fubar.ExperimentInstance(cfg)
+	if err != nil {
+		return err
 	}
-	if verbose {
-		cfg.Options.Trace = func(s fubar.Snapshot) {
+	opts := []fubar.SessionOption{
+		fubar.WithOptions(fubar.Options{
+			Deadline:             rc.deadline,
+			MaxPathsPerAggregate: rc.maxPaths,
+			Workers:              rc.workers,
+		}),
+	}
+	if rc.verbose {
+		opts = append(opts, fubar.WithObserver(func(s fubar.Snapshot) {
 			if s.Step%100 == 0 {
 				fmt.Printf("  step %5d  t=%8s  utility=%.4f  congested=%d\n",
 					s.Step, s.Elapsed.Truncate(time.Millisecond), s.Result.NetworkUtility, len(s.Result.Congested))
 			}
-		}
+		}))
 	}
-
-	if scenName != "" {
-		return replay(cfg, scenName, seed, epochs, cold, ctrlplane, budget)
+	if rc.cold {
+		opts = append(opts, fubar.WithColdStart())
 	}
-
-	r, err := fubar.RunExperiment(cfg)
+	if rc.budget > 0 {
+		opts = append(opts, fubar.WithBudget(rc.budget))
+	}
+	s, err := fubar.NewSession(topo, mat, opts...)
 	if err != nil {
 		return err
 	}
-	sol := r.Solution
-	fmt.Printf("topology: %s\n", r.Topology.Summary())
-	fmt.Printf("traffic:  %s\n", r.Matrix.Summary())
+	defer s.Close()
+
+	if rc.scenName != "" {
+		return replay(ctx, s, rc)
+	}
+	return optimize(ctx, s, rc)
+}
+
+// optimize runs one optimization on the session and reports it.
+func optimize(ctx context.Context, s *fubar.Session, rc runConfig) error {
+	sol, err := s.Optimize(ctx)
+	if err != nil {
+		return err
+	}
+	sp, err := fubar.ShortestPathRouting(s.Model(), fubar.Policy{})
+	if err != nil {
+		return err
+	}
+	ub, err := fubar.UpperBound(s.Topology(), s.Matrix(), fubar.Policy{})
+	if err != nil {
+		return err
+	}
+
+	if rc.jsonOut {
+		return emitJSON(map[string]any{
+			"topology":              s.Topology().Summary(),
+			"traffic":               s.Matrix().Summary(),
+			"solution":              sol,
+			"shortest_path_utility": sp.Utility,
+			"upper_bound":           ub.Mean,
+		})
+	}
+
+	fmt.Printf("topology: %s\n", s.Topology().Summary())
+	fmt.Printf("traffic:  %s\n", s.Matrix().Summary())
+	if sol.Stop == fubar.StopCancelled {
+		fmt.Println("interrupted: reporting the partial (best-so-far) solution")
+	}
 
 	t := report.NewTable("result", "metric", "value")
 	t.AddRow("network utility", sol.Utility)
-	t.AddRow("shortest-path utility", r.ShortestPath)
-	t.AddRow("upper bound", r.UpperBound)
-	t.AddRow("improvement", fmt.Sprintf("%+.1f%%", 100*(sol.Utility-r.ShortestPath)/r.ShortestPath))
+	t.AddRow("shortest-path utility", sp.Utility)
+	t.AddRow("upper bound", ub.Mean)
+	t.AddRow("improvement", fmt.Sprintf("%+.1f%%", 100*(sol.Utility-sp.Utility)/sp.Utility))
 	t.AddRow("steps", sol.Steps)
 	t.AddRow("escalations", sol.Escalations)
 	t.AddRow("paths/aggregate", sol.PathsPerAggregate)
@@ -125,15 +206,15 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 		return err
 	}
 
-	if showPaths {
+	if rc.showPaths {
 		pt := report.NewTable("allocation", "aggregate", "flows", "hops", "delay", "rate(kbps)", "satisfied")
 		for i, b := range sol.Bundles {
 			if len(b.Edges) == 0 {
 				continue
 			}
-			a := r.Matrix.Aggregate(b.Agg)
+			a := s.Matrix().Aggregate(b.Agg)
 			pt.AddRow(
-				fmt.Sprintf("%s->%s/%s", r.Topology.NodeName(a.Src), r.Topology.NodeName(a.Dst), a.Class),
+				fmt.Sprintf("%s->%s/%s", s.Topology().NodeName(a.Src), s.Topology().NodeName(a.Dst), a.Class),
 				b.Flows, len(b.Edges), b.Delay.String(),
 				fmt.Sprintf("%.0f", sol.Result.BundleRate[i]),
 				sol.Result.BundleSatisfied[i],
@@ -146,37 +227,60 @@ func run(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
 	return nil
 }
 
-// replay runs the configured instance through a canned scenario and
-// prints the epoch table. With ctrlplane the replay drives the full
-// control plane: simulated switches over TCP, counter-based matrix
-// estimation, deadline-budgeted re-optimization and differential wire
-// installs with counted FlowMods.
-func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, cold, ctrlplane bool, budget time.Duration) error {
-	topo, mat, err := fubar.ExperimentInstance(cfg)
+// replay streams a canned scenario through the session — plain
+// warm-started re-optimization, or the full control plane with
+// -ctrlplane — printing the epoch table when the stream ends. An
+// interrupt mid-replay reports the epochs completed so far instead of
+// dying mid-epoch.
+func replay(ctx context.Context, s *fubar.Session, rc runConfig) error {
+	sc, err := fubar.ScenarioByName(rc.scenName, rc.seed, rc.epochs)
 	if err != nil {
 		return err
 	}
-	sc, err := fubar.ScenarioByName(name, seed, epochs)
-	if err != nil {
-		return err
+	if !rc.jsonOut {
+		fmt.Printf("topology: %s\n", s.Topology().Summary())
+		fmt.Printf("traffic:  %s (epoch 0)\n", s.Matrix().Summary())
 	}
-	fmt.Printf("topology: %s\n", topo.Summary())
-	fmt.Printf("traffic:  %s (epoch 0)\n", mat.Summary())
-	var res *fubar.ScenarioResult
-	if ctrlplane {
-		res, err = fubar.ReplayScenarioClosedLoop(topo, mat, sc, fubar.ClosedLoopOptions{
-			Core:        cfg.Options,
-			ColdStart:   cold,
-			EpochBudget: budget,
-		})
+
+	res := &fubar.ScenarioResult{
+		Name: sc.Name, Seed: sc.Seed, Topology: s.Topology().Summary(),
+		ColdStart: rc.cold, ClosedLoop: rc.ctrlplane,
+	}
+	var stream func(context.Context, fubar.Scenario) func(func(fubar.EpochRecord, error) bool)
+	if rc.ctrlplane {
+		stream = func(ctx context.Context, sc fubar.Scenario) func(func(fubar.EpochRecord, error) bool) {
+			return s.ReplayClosedLoop(ctx, sc)
+		}
 	} else {
-		res, err = fubar.ReplayScenario(topo, mat, sc, fubar.ScenarioOptions{
-			Core:      cfg.Options,
-			ColdStart: cold,
-		})
+		stream = func(ctx context.Context, sc fubar.Scenario) func(func(fubar.EpochRecord, error) bool) {
+			return s.Replay(ctx, sc)
+		}
 	}
-	if err != nil {
-		return err
+	interrupted := false
+	for er, err := range stream(ctx, sc) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
+			return err
+		}
+		res.Epochs = append(res.Epochs, er)
+		res.Installs = append(res.Installs, er.Installs...)
+	}
+
+	if rc.jsonOut {
+		// The record carries the interruption state explicitly: a
+		// truncated replay must never be mistaken for a complete one by
+		// downstream tooling.
+		return emitJSON(struct {
+			*fubar.ScenarioResult
+			EpochsRequested int  `json:"epochs_requested"`
+			Interrupted     bool `json:"interrupted,omitempty"`
+		}{res, rc.epochs, interrupted})
+	}
+	if interrupted {
+		fmt.Printf("interrupted: reporting %d of %d epochs\n", len(res.Epochs), rc.epochs)
 	}
 	if err := res.Table().Render(os.Stdout); err != nil {
 		return err
@@ -184,9 +288,16 @@ func replay(cfg fubar.ExperimentConfig, name string, seed int64, epochs int, col
 	fmt.Printf("utility/epoch: %s\n", res.UtilitySparkline())
 	fmt.Printf("totals: %d optimizer steps, %d flow mods, mean utility %.4f (min %.4f)\n",
 		res.TotalSteps(), res.TotalFlowMods(), res.MeanUtility(), res.MinUtility())
-	if ctrlplane {
+	if rc.ctrlplane {
 		fmt.Printf("wire:   %d counted FlowMods over %d installs, %.0f%% deadline misses, min MBB headroom %+.3f\n",
 			res.TotalWireFlowMods(), len(res.Installs), 100*res.DeadlineMissRate(), res.MinMBBHeadroom())
 	}
 	return nil
+}
+
+// emitJSON writes one indented JSON document to stdout.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

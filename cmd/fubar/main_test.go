@@ -1,11 +1,26 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 )
+
+// runArgs builds a runConfig for the table-driven smoke tests.
+func runArgs(topoPath, capStr string, seed int64, largeWeight, delayScale float64,
+	deadline time.Duration, maxPaths, workers int, verbose, showPaths bool,
+	scenName string, epochs int, cold, ctrlplane bool, budget time.Duration) runConfig {
+	return runConfig{
+		topoPath: topoPath, capStr: capStr, seed: seed,
+		largeWeight: largeWeight, delayScale: delayScale,
+		deadline: deadline, maxPaths: maxPaths, workers: workers,
+		verbose: verbose, showPaths: showPaths,
+		scenName: scenName, epochs: epochs, cold: cold,
+		ctrlplane: ctrlplane, budget: budget,
+	}
+}
 
 func TestRunOnGeneratedTopology(t *testing.T) {
 	// Small custom topology keeps the smoke test fast.
@@ -21,7 +36,7 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 2, false, true, "", 0, false, false, 0); err != nil {
+	if err := run(context.Background(), runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 2, false, true, "", 0, false, false, 0)); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -39,10 +54,10 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false, false, 0); err != nil {
+	if err := run(context.Background(), runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false, false, 0)); err != nil {
 		t.Fatalf("scenario replay: %v", err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "bogus", 3, false, false, 0); err == nil {
+	if err := run(context.Background(), runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "bogus", 3, false, false, 0)); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }
@@ -60,16 +75,16 @@ link B D 2Mbps 9ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "maintenance", 3, false, true, time.Minute); err != nil {
+	if err := run(context.Background(), runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "maintenance", 3, false, true, time.Minute)); err != nil {
 		t.Fatalf("closed-loop replay: %v", err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("", "notarate", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0); err == nil {
+	if err := run(context.Background(), runArgs("", "notarate", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0)); err == nil {
 		t.Error("bad capacity accepted")
 	}
-	if err := run("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0); err == nil {
+	if err := run(context.Background(), runArgs("/nonexistent/file.topo", "10Mbps", 1, 1, 1, time.Second, 15, 0, false, false, "", 0, false, false, 0)); err == nil {
 		t.Error("missing topology file accepted")
 	}
 }
@@ -85,7 +100,30 @@ link A C 1Mbps 15ms
 	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, 4, true, false, "", 0, false, false, 0); err != nil {
+	if err := run(context.Background(), runArgs(path, "1Mbps", 2, 8, 2, 5*time.Second, 10, 4, true, false, "", 0, false, false, 0)); err != nil {
 		t.Fatalf("run with knobs: %v", err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.topo")
+	topo := `topology smoke
+link A B 2Mbps 5ms
+link B C 2Mbps 5ms
+link A C 2Mbps 12ms
+`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc := runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "", 0, false, false, 0)
+	rc.jsonOut = true
+	if err := run(context.Background(), rc); err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+	rc = runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false, false, 0)
+	rc.jsonOut = true
+	if err := run(context.Background(), rc); err != nil {
+		t.Fatalf("json scenario run: %v", err)
 	}
 }

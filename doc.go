@@ -4,37 +4,90 @@
 // of flows so as to maximize total network utility, where each flow's
 // utility is the product of a bandwidth component and a delay component.
 //
-// The package is a facade over the implementation packages:
+// # Sessions
+//
+// The primary entry point is the Session: one long-lived handle per
+// (topology, traffic matrix) instance that builds the traffic model,
+// path generator and per-worker evaluation arenas once and keeps them —
+// plus the last committed solution, the persistent incremental
+// evaluation base, and (for closed-loop replays) the control-plane
+// wiring — alive across calls, the way a real online controller holds
+// state between re-optimizations. Every method is context-first:
+// cancellation and deadlines are honored at candidate-batch granularity
+// with results deterministic up to the truncation point.
+//
+//	topo, _ := fubar.HurricaneElectric(100 * fubar.Mbps)
+//	mat, _ := fubar.GenerateTraffic(topo, fubar.DefaultGenConfig(1))
+//	s, _ := fubar.NewSession(topo, mat, fubar.WithWorkers(8))
+//	sol, _ := s.Optimize(ctx)
+//	fmt.Printf("utility %.3f (shortest-path %.3f)\n", sol.Utility, sol.InitialUtility)
+//
+// Sessions are configured with functional options — WithWorkers,
+// WithPolicy, WithDeltaEval, WithBudget, WithObserver, WithColdStart,
+// WithOptions — and expose the optimizer (Optimize), the annealing
+// comparator (Anneal, AnnealRestarts) and scenario replays. A second
+// Optimize call warm-starts from the previous solution: re-optimizing
+// an unchanged instance is a cheap no-op, exactly the idempotence a
+// periodic controller wants.
+//
+// Replays stream. Session.Replay and Session.ReplayClosedLoop return
+// iter.Seq2[EpochRecord, error]: epochs arrive one at a time as they
+// complete, so a million-epoch timeline runs in constant memory, a
+// consumer can break out early, and a cancelled context ends the stream
+// at the next epoch boundary with the already-yielded epochs standing.
+// ReplayAll / ReplayClosedLoopAll collect the stream into a
+// ScenarioResult when the whole table is wanted at once.
+//
+// # Migration from the free functions
+//
+// The original free functions remain as deprecated shims over the same
+// internals, so existing callers compile unchanged:
+//
+//	old free function              session replacement
+//	-----------------              -------------------
+//	Optimize(topo, mat, opts)      NewSession(topo, mat, WithOptions(opts)); s.Optimize(ctx)
+//	OptimizeModel(model, opts)     s.Optimize(ctx)            (the session owns the model)
+//	Anneal(model, aopts)           s.Anneal(ctx, aopts)
+//	AnnealRestarts(model, a, n, w) s.AnnealRestarts(ctx, a, n) (w = WithWorkers)
+//	ReplayScenario(...)            s.Replay(ctx, sc) / s.ReplayAll(ctx, sc)
+//	ReplayScenarioClosedLoop(...)  s.ReplayClosedLoop(ctx, sc) / s.ReplayClosedLoopAll(ctx, sc)
+//	Options.Deadline / EpochBudget ctx deadline, or WithBudget(d) per run/epoch
+//	Options.Trace                  WithObserver(fn)
+//	ScenarioOptions.ColdStart      WithColdStart()
+//
+// The facade also re-exports the substrate the shims and examples use:
 //
 //   - topologies (the Hurricane Electric 31-POP substitute, generators,
 //     a text format): HurricaneElectric, RingTopology, ParseTopology, …
 //   - traffic matrices (§3 workload): GenerateTraffic, DefaultGenConfig
 //   - utility functions (§2.2, Figs 1–2): RealTime, Bulk, LargeFile
 //   - the TCP-like traffic model (§2.3): NewModel, NewEval
-//   - the optimizer (§2.5, Listings 1–2): Optimize
 //   - baselines (§3): ShortestPathRouting, UpperBound, ECMP, GreedyCSPF
 //   - the full evaluation (§3, Figs 3–7): RunExperiment, Repeatability
-//   - scenario replay (time-varying traffic and topology through
-//     repeated warm-started re-optimization): ReplayScenario,
-//     DiurnalScenario, FailureStormScenario, FlashCrowdScenario,
-//     MaintenanceScenario, SRLGOutageScenario, RepairWarmStart
-//   - closed-loop replay (scenario timelines driving the control plane
-//     end to end): ReplayScenarioClosedLoop, PlanMBBTransition
+//   - scenario construction: DiurnalScenario, FailureStormScenario,
+//     FlashCrowdScenario, MaintenanceScenario, SRLGOutageScenario,
+//     ScenarioByName (ScenarioNames lists the canned names)
 //   - the SDN measurement substrate (§2.1–2.2): NewSim, NewEstimator
 //   - traffic classification (§1): NewClassifier
-//   - the naive simulated-annealing comparator (§2.5): Anneal
 //   - dynamic model validation and queue measurement: SimulateDynamics,
 //     ValidateModel
 //   - the online SDN control plane over TCP (§5): ListenController,
-//     DialSwitch, RunControlLoop
-//   - the MPLS-TE deployment substrate (§5): NewLSPDB, SyncToMPLS
+//     DialSwitch, RunControlLoopContext
+//   - the MPLS-TE deployment substrate (§5): NewLSPDB, SyncToMPLS,
+//     PlanMBBTransition
 //
-// # Quick start
+// # Cancellation and deadlines
 //
-//	topo, _ := fubar.HurricaneElectric(100 * fubar.Mbps)
-//	mat, _ := fubar.GenerateTraffic(topo, fubar.DefaultGenConfig(1))
-//	sol, _ := fubar.Optimize(topo, mat, fubar.Options{})
-//	fmt.Printf("utility %.3f (shortest-path %.3f)\n", sol.Utility, sol.InitialUtility)
+// Contexts reach the optimizer's pass loop: between candidate batches
+// the run checks ctx, so one batch is the cancellation granularity and
+// the committed move prefix is deterministic. A context deadline (or
+// WithBudget timeout) stops a run with the best-so-far solution and
+// Stop == StopDeadline — the paper's "re-optimize within the
+// measurement interval", which closed-loop replays implement as a
+// per-epoch context.WithTimeout and record as DeadlineMiss.
+// Cancellation stops a run with Stop == StopCancelled (partial solution
+// returned, no error); a replay stream surfaces the context error as
+// its final yield instead of an epoch.
 //
 // # Concurrency
 //
@@ -42,77 +95,79 @@
 // scratch lives in Eval arenas obtained from Model.NewEval, so any number
 // of goroutines can evaluate one model concurrently as long as each owns
 // its arena (Model.Evaluate remains a serial convenience over a built-in
-// default arena). The optimizer exploits this: Options.Workers (default
+// default arena). The optimizer exploits this: WithWorkers (default
 // GOMAXPROCS) sets how many goroutines evaluate each step's candidate
 // moves in parallel, each on a private arena. Move selection replays
 // candidates in a fixed order, so every worker count commits the exact
 // same move sequence — parallelism changes wall-clock time, never the
-// solution (the one exception is a wall-clock Options.Deadline, which
-// cuts faster runs off after more committed steps).
+// solution (the one exception is a wall-clock deadline, which cuts
+// faster runs off after more committed steps). A Session itself is for
+// one goroutine; the parallelism lives inside its calls.
 //
 // # Incremental evaluation
 //
 // Each candidate move perturbs one aggregate, so by default the
-// optimizer evaluates candidates incrementally (Options.DeltaEval,
-// default DeltaAuto): every step captures one full evaluation of the
-// committed allocation (ModelEval.EvaluateBase) and each candidate
-// re-solves only the affected sub-problem against it
-// (ModelEval.EvaluateDelta) — the fixpoint of links whose crossing
-// bundles changed, propagated through binding (capacity-constraining)
-// links, with optimistic exclusion of demand-frozen bundles and
-// slack links verified by an in-fill guard and a monotone-load check.
-// Delta results are bit-identical to full evaluations (rates, loads,
-// congested set, utilities), so the committed move sequence is the same
-// with DeltaEval on or off at any worker count; only the cost changes —
-// proportional to the move's congested neighborhood instead of the whole
-// network (~2x median per-candidate on the HE-31 bench instance, see
-// `fubar-bench -exp evalbench` / BENCH_eval.json). Solution.Delta
-// reports call, fallback and expansion counters. The same anatomy powers
-// parallel annealing restarts: AnnealRestarts fans best-of-n
-// seed-indexed restarts across workers with per-restart arenas,
-// worker-count-invariant.
+// optimizer evaluates candidates incrementally (WithDeltaEval, default
+// DeltaAuto): the committed allocation is captured once as a base
+// (ModelEval.EvaluateBase) and each candidate re-solves only the
+// affected sub-problem against it (ModelEval.EvaluateDelta) — the
+// fixpoint of links whose crossing bundles changed, propagated through
+// binding (capacity-constraining) links, with optimistic exclusion of
+// demand-frozen bundles and slack links verified by an in-fill guard
+// and a monotone-load check. Delta results are bit-identical to full
+// evaluations (rates, loads, congested set, utilities), so the
+// committed move sequence is the same with DeltaEval on or off at any
+// worker count; only the cost changes.
+//
+// The base itself persists across steps: a committed move is folded
+// into it in place (ModelEval.CommitDelta) and layout changes between
+// steps are index remaps (ModelEval.RemapBase), so steady-state
+// optimization runs no per-step full evaluations at all — Solution.Base
+// counts captures vs remaps vs rebases, and Solution.Delta the
+// candidate-level counters (see `fubar-bench -exp evalbench` /
+// BENCH_eval.json). The same arena anatomy powers parallel annealing
+// restarts: AnnealRestarts fans best-of-n seed-indexed restarts across
+// workers with per-restart arenas, worker-count-invariant.
 //
 // # Scenario replay
 //
 // The paper's system "periodically adjusts" routing as demand and
-// topology change. ReplayScenario makes that a first-class experiment: a
+// topology change. Session.Replay makes that a first-class experiment: a
 // Scenario is a seeded timeline of events (diurnal demand scaling,
 // per-aggregate churn, aggregate arrival/departure, link failure and
-// recovery, capacity changes) replayed in discrete epochs. Each epoch
-// re-optimizes warm-started from the previous epoch's installed bundles
-// — RepairWarmStart first remaps, drops and rescales bundles that the
+// recovery, capacity changes, correlated SRLG failures, maintenance
+// windows) replayed in discrete epochs. Each epoch re-optimizes
+// warm-started from the previous epoch's installed bundles —
+// RepairWarmStart first remaps, drops and rescales bundles that the
 // epoch's events invalidated, so a warm start never fails validation —
 // and records the stale allocation's utility, the re-optimized utility,
 // the optimizer's effort, and the routing churn (paths changed, flows
 // moved, flow-table operations) a controller would push. Replays are
-// deterministic per seed at any worker count. Event kinds cover demand
-// scaling and churn, aggregate arrival/departure, link failure and
-// recovery, capacity changes, correlated SRLG failures (shared-risk
-// groups declared with Topology.WithSRLGs) and planned maintenance
-// windows. See the examples/scenario-replay walkthrough and
-// `fubar-bench -exp scenario`.
+// deterministic per seed at any worker count. See the
+// examples/scenario-replay walkthrough and `fubar-bench -exp scenario`.
 //
 // # Closed-loop replay
 //
-// ReplayScenarioClosedLoop puts the control plane inside that loop,
+// Session.ReplayClosedLoop puts the control plane inside that loop,
 // reproducing the paper's full deployment cycle per epoch: the events
 // hit a simulated SDN network (switch rule tables survive the epoch
-// boundary, as hardware does), the controller pushes the repaired
-// routing over the TCP control protocol, polls per-switch counters,
-// reconstructs the traffic matrix from them (§2.1–2.2), re-optimizes
-// warm-started under a per-epoch wall-clock budget ("re-optimize
-// within the measurement interval" — overruns publish the best-so-far
+// boundary — and, on a session, whole-replay boundaries — as hardware
+// does), the controller pushes the repaired routing over the TCP
+// control protocol, polls per-switch counters, reconstructs the traffic
+// matrix from them (§2.1–2.2), re-optimizes warm-started under the
+// WithBudget per-epoch timeout (overruns publish the best-so-far
 // solution and record a deadline miss), prices the transition
 // make-before-break (PlanMBBTransition: transient double-reservation
 // headroom, teardown counts), and installs the new allocation
 // differentially — only switches whose table changed receive a
 // FlowMod. Per-epoch FlowMods are therefore counted wire messages,
 // cross-checked against the switches' own ack ledger, not bundle-diff
-// estimates; EpochRecord keeps both so they can be compared. With no
-// budget the whole loop is deterministic per seed at any worker count,
-// install sequence included. See `fubar -scenario <name> -ctrlplane`
-// and `fubar-bench -exp ctrlloop` (BENCH_ctrlloop.json).
+// estimates; EpochRecord keeps both so they can be compared, plus the
+// epoch's install records. With no budget the whole loop is
+// deterministic per seed at any worker count, install sequence
+// included. See `fubar -scenario <name> -ctrlplane` and
+// `fubar-bench -exp ctrlloop` (BENCH_ctrlloop.json).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// See DESIGN.md for the system inventory (including the Session
+// lifecycle) and EXPERIMENTS.md for the paper-versus-measured record.
 package fubar

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,13 +32,16 @@ func main() {
 	fmt.Println("topology:", topo.Summary())
 	fmt.Println("traffic: ", mat.Summary())
 
-	// FUBAR: guided greedy with escalation.
-	model, err := fubar.NewModel(topo, mat)
+	// One session runs both optimizers over the same shared model.
+	ctx := context.Background()
+	s, err := fubar.NewSession(topo, mat)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// FUBAR: guided greedy with escalation.
 	start := time.Now()
-	fub, err := fubar.OptimizeModel(model, fubar.Options{})
+	fub, err := s.Optimize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,12 +54,8 @@ func main() {
 		fub.Utility, fub.Steps, fubTime.Truncate(time.Millisecond))
 
 	for _, iters := range []int{2000, 20000, 100000} {
-		model2, err := fubar.NewModel(topo, mat)
-		if err != nil {
-			log.Fatal(err)
-		}
 		start = time.Now()
-		sa, err := fubar.Anneal(model2, fubar.AnnealOptions{Seed: 11, MaxIterations: iters})
+		sa, err := s.Anneal(ctx, fubar.AnnealOptions{Seed: 11, MaxIterations: iters})
 		if err != nil {
 			log.Fatal(err)
 		}

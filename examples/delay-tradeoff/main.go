@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,26 +16,21 @@ import (
 
 func main() {
 	seed := int64(7)
-	budget := 90 * time.Second
+	ctx := context.Background()
 
-	base := fubar.Underprovisioned(seed)
-	base.Options = fubar.Options{Deadline: budget}
-	orig, err := fubar.RunExperiment(base)
+	orig, err := solve(ctx, fubar.Underprovisioned(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	relaxed, err := solve(ctx, fubar.RelaxedDelay(seed)) // small flows, delay curve x2
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	relaxedCfg := fubar.RelaxedDelay(seed) // small flows, delay curve x2
-	relaxedCfg.Options = fubar.Options{Deadline: budget}
-	relaxed, err := fubar.RunExperiment(relaxedCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	co := fubar.NewCDF(flowDelays(orig.Bundles))
+	cr := fubar.NewCDF(flowDelays(relaxed.Bundles))
 
-	co := fubar.NewCDF(orig.FlowDelayMs)
-	cr := fubar.NewCDF(relaxed.FlowDelayMs)
-
-	fmt.Println("per-flow one-way path delay (ms):")
+	fmt.Println("per-flow path RTT (ms, the axis the utility delay curves use):")
 	fmt.Printf("%-10s %8s %8s %8s %8s\n", "case", "p50", "p90", "p99", "max")
 	fmt.Printf("%-10s %8.1f %8.1f %8.1f %8.1f\n", "original",
 		co.Quantile(0.5), co.Quantile(0.9), co.Quantile(0.99), co.Quantile(1))
@@ -44,8 +40,8 @@ func main() {
 	fmt.Printf("\nmedian shift: %+.1f ms, tail (p99) shift: %+.1f ms\n",
 		cr.Quantile(0.5)-co.Quantile(0.5), cr.Quantile(0.99)-co.Quantile(0.99))
 	fmt.Printf("utility: %.4f -> %.4f, elapsed: %v -> %v\n",
-		orig.Solution.Utility, relaxed.Solution.Utility,
-		orig.Solution.Elapsed.Truncate(time.Second), relaxed.Solution.Elapsed.Truncate(time.Second))
+		orig.Utility, relaxed.Utility,
+		orig.Elapsed.Truncate(time.Second), relaxed.Elapsed.Truncate(time.Second))
 
 	// A few CDF sample points, Fig 6 style.
 	fmt.Println("\ndelay CDF samples:")
@@ -53,4 +49,34 @@ func main() {
 	for _, ms := range []float64{10, 25, 50, 75, 100, 150, 200, 250} {
 		fmt.Printf("%8.0f %12.3f %12.3f\n", ms, co.P(ms), cr.P(ms))
 	}
+}
+
+// solve materializes an experiment configuration and optimizes it
+// through a session.
+func solve(ctx context.Context, cfg fubar.ExperimentConfig) (*fubar.Solution, error) {
+	topo, mat, err := fubar.ExperimentInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fubar.NewSession(topo, mat, fubar.WithBudget(90*time.Second))
+	if err != nil {
+		return nil, err
+	}
+	return s.Optimize(ctx)
+}
+
+// flowDelays expands an allocation to one RTT sample per flow —
+// 2x the one-way path delay, matching the utility functions' delay
+// axis (the convention ExperimentResult.FlowDelayMs uses).
+func flowDelays(bundles []fubar.Bundle) []float64 {
+	var out []float64
+	for _, b := range bundles {
+		if len(b.Edges) == 0 {
+			continue
+		}
+		for i := 0; i < b.Flows; i++ {
+			out = append(out, 2*float64(b.Delay))
+		}
+	}
+	return out
 }

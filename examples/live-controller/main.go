@@ -10,14 +10,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"fubar"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// A mid-sized random network so the demo runs in seconds.
 	topo, err := fubar.RingTopology(12, 8, 3*fubar.Mbps, 11)
 	if err != nil {
@@ -77,7 +83,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := fubar.Optimize(topo, estMat, fubar.Options{Deadline: 20 * time.Second})
+		// Each estimate is a new instance: a short-lived session per
+		// re-optimization, budgeted and cancellable via the context.
+		opt, err := fubar.NewSession(topo, estMat, fubar.WithBudget(20*time.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := opt.Optimize(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

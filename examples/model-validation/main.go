@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,13 +33,13 @@ func main() {
 	fmt.Println("topology:", topo.Summary())
 	fmt.Println("traffic: ", mat.Summary())
 
-	model, err := fubar.NewModel(topo, mat)
+	s, err := fubar.NewSession(topo, mat)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Shortest-path allocation, analytic and simulated.
-	sp, err := fubar.ShortestPathRouting(model, fubar.Policy{})
+	sp, err := fubar.ShortestPathRouting(s.Model(), fubar.Policy{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	// FUBAR allocation, analytic and simulated.
-	sol, err := fubar.OptimizeModel(model, fubar.Options{})
+	sol, err := s.Optimize(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

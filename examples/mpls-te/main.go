@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,12 @@ func main() {
 	fmt.Println("traffic: ", mat.Summary())
 
 	// First optimization and tunnel installation.
-	sol, err := fubar.Optimize(topo, mat, fubar.Options{})
+	ctx := context.Background()
+	s, err := fubar.NewSession(topo, mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := s.Optimize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +58,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sol2, err := fubar.Optimize(topo, shifted, fubar.Options{})
+	s2, err := fubar.NewSession(topo, shifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol2, err := s2.Optimize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,57 +13,74 @@ import (
 	"fubar"
 )
 
+// run optimizes one configuration through a session and returns the
+// solution with its instance.
+func run(ctx context.Context, cfg fubar.ExperimentConfig) (*fubar.Solution, *fubar.Matrix, error) {
+	topo, mat, err := fubar.ExperimentInstance(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := fubar.NewSession(topo, mat, fubar.WithBudget(90*time.Second))
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := s.Optimize(ctx)
+	return sol, mat, err
+}
+
 func main() {
 	seed := int64(7)
-	budget := 90 * time.Second
+	ctx := context.Background()
 
-	base := fubar.Underprovisioned(seed)
-	base.Options = fubar.Options{Deadline: budget}
-	plain, err := fubar.RunExperiment(base)
+	plainSol, plainMat, err := run(ctx, fubar.Underprovisioned(seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	prio := fubar.Prioritized(seed) // same seed, large flows weighted 8x
-	prio.Options = fubar.Options{Deadline: budget}
-	weighted, err := fubar.RunExperiment(prio)
+	// Same seed, large flows weighted 8x.
+	weightedSol, weightedMat, err := run(ctx, fubar.Prioritized(seed))
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	largeOf := func(r *fubar.ExperimentResult) float64 {
-		last, ok := r.LargeUtility.Last()
-		if !ok {
-			return 0
-		}
-		return last.V
-	}
-	utilOf := func(r *fubar.ExperimentResult) float64 {
-		last, _ := r.ActualUtilization.Last()
-		return last.V
 	}
 
 	fmt.Println("underprovisioned network, same traffic matrix:")
 	fmt.Printf("%-28s %-16s %-16s %-12s\n", "", "overall utility", "large-flow util", "utilization")
 	fmt.Printf("%-28s %-16.4f %-16.4f %-12.3f\n", "equal weights (Fig 4)",
-		unweightedUtility(plain), largeOf(plain), utilOf(plain))
+		unweightedUtility(plainSol, plainMat), largeUtility(plainSol, plainMat), plainSol.Result.ActualUtilization)
 	fmt.Printf("%-28s %-16.4f %-16.4f %-12.3f\n", "large flows weighted 8x (Fig 5)",
-		unweightedUtility(weighted), largeOf(weighted), utilOf(weighted))
+		unweightedUtility(weightedSol, weightedMat), largeUtility(weightedSol, weightedMat), weightedSol.Result.ActualUtilization)
 
-	fmt.Printf("\nlarge-flow utility gain: %+.3f\n", largeOf(weighted)-largeOf(plain))
+	fmt.Printf("\nlarge-flow utility gain: %+.3f\n",
+		largeUtility(weightedSol, weightedMat)-largeUtility(plainSol, plainMat))
 	fmt.Printf("overall utility change:  %+.3f (paper: 'has not changed a great deal')\n",
-		unweightedUtility(weighted)-unweightedUtility(plain))
+		unweightedUtility(weightedSol, weightedMat)-unweightedUtility(plainSol, plainMat))
 }
 
 // unweightedUtility recomputes the equal-weight network utility of a
 // solution so the two runs are compared on the same scale (the weighted
 // run's own objective inflates large flows by design).
-func unweightedUtility(r *fubar.ExperimentResult) float64 {
+func unweightedUtility(sol *fubar.Solution, mat *fubar.Matrix) float64 {
 	var sum, flows float64
-	for _, a := range r.Matrix.Aggregates() {
-		u := r.Solution.Result.AggUtility[a.ID]
+	for _, a := range mat.Aggregates() {
+		u := sol.Result.AggUtility[a.ID]
 		sum += u * float64(a.Flows)
 		flows += float64(a.Flows)
+	}
+	return sum / flows
+}
+
+// largeUtility is the flow-weighted mean utility of the large-transfer
+// aggregates — the paper's Fig 5 focus metric.
+func largeUtility(sol *fubar.Solution, mat *fubar.Matrix) float64 {
+	var sum, flows float64
+	for _, a := range mat.Aggregates() {
+		if a.Class != fubar.ClassLargeFile {
+			continue
+		}
+		sum += sol.Result.AggUtility[a.ID] * float64(a.Flows)
+		flows += float64(a.Flows)
+	}
+	if flows == 0 {
+		return 0
 	}
 	return sum / flows
 }

@@ -1,10 +1,12 @@
 // Provisioned-vs-underprovisioned: the paper's headline experiment pair
-// (Figs 3 and 4). Runs both capacity regimes on the same seed, compares
-// FUBAR against shortest-path routing and the isolation upper bound, and
-// shows how the utilization gap closes only when capacity allows.
+// (Figs 3 and 4). Runs both capacity regimes on the same seed through a
+// fubar.Session each, compares FUBAR against shortest-path routing and
+// the isolation upper bound, and shows how the utilization gap closes
+// only when capacity allows.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, tc := range []struct {
 		name string
 		cfg  fubar.ExperimentConfig
@@ -20,26 +23,40 @@ func main() {
 		{"provisioned (100 Mbps links)", fubar.Provisioned(7)},
 		{"underprovisioned (75 Mbps links)", fubar.Underprovisioned(7)},
 	} {
-		tc.cfg.Options = fubar.Options{Deadline: 90 * time.Second}
-		r, err := fubar.RunExperiment(tc.cfg)
+		topo, mat, err := fubar.ExperimentInstance(tc.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol := r.Solution
-		actual, _ := r.ActualUtilization.Last()
-		demanded, _ := r.DemandedUtilization.Last()
+		s, err := fubar.NewSession(topo, mat, fubar.WithBudget(90*time.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := s.Optimize(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := fubar.ShortestPathRouting(s.Model(), fubar.Policy{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ub, err := fubar.UpperBound(topo, mat, fubar.Policy{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := sol.Result.ActualUtilization
+		demanded := sol.Result.DemandedUtilization
 
 		fmt.Printf("=== %s ===\n", tc.name)
-		fmt.Printf("  shortest-path utility: %.4f\n", r.ShortestPath)
+		fmt.Printf("  shortest-path utility: %.4f\n", sp.Utility)
 		fmt.Printf("  FUBAR utility:         %.4f (%+.1f%%)\n",
-			sol.Utility, 100*(sol.Utility-r.ShortestPath)/r.ShortestPath)
+			sol.Utility, 100*(sol.Utility-sp.Utility)/sp.Utility)
 		fmt.Printf("  upper bound:           %.4f (%.1f%% of bound reached)\n",
-			r.UpperBound, 100*sol.Utility/r.UpperBound)
-		fmt.Printf("  utilization: actual %.3f vs demanded %.3f", actual.V, demanded.V)
-		if demanded.V-actual.V < 0.02 {
+			ub.Mean, 100*sol.Utility/ub.Mean)
+		fmt.Printf("  utilization: actual %.3f vs demanded %.3f", actual, demanded)
+		if demanded-actual < 0.02 {
 			fmt.Printf(" — demand met, congestion eliminated\n")
 		} else {
-			fmt.Printf(" — gap %.3f persists (not enough capacity)\n", demanded.V-actual.V)
+			fmt.Printf(" — gap %.3f persists (not enough capacity)\n", demanded-actual)
 		}
 		fmt.Printf("  %d moves, %.1f paths/aggregate, stopped: %s in %v\n\n",
 			sol.Steps, sol.PathsPerAggregate, sol.Stop, sol.Elapsed.Truncate(time.Second))

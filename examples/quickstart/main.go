@@ -1,16 +1,26 @@
 // Quickstart: optimize a random traffic matrix on the HE-31 topology and
 // print the headline numbers — the five-line introduction to the library.
+//
+// The entry point is a fubar.Session: one long-lived handle owning the
+// traffic model and evaluation arenas, with context-first methods, so
+// Ctrl-C interrupts the run cleanly with the best-so-far solution.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"fubar"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// The paper's provisioned setup: HE-31 core at 100 Mbps per link.
 	topo, err := fubar.HurricaneElectric(100 * fubar.Mbps)
 	if err != nil {
@@ -25,16 +35,21 @@ func main() {
 	}
 	fmt.Println("traffic: ", mat.Summary())
 
-	// Run FUBAR with a small budget — enough to see it work.
-	sol, err := fubar.Optimize(topo, mat, fubar.Options{
-		Deadline: 30 * time.Second,
-		Trace: func(s fubar.Snapshot) {
+	// One session holds the model, arenas and warm state; run FUBAR with
+	// a small budget — enough to see it work.
+	s, err := fubar.NewSession(topo, mat,
+		fubar.WithBudget(30*time.Second),
+		fubar.WithObserver(func(s fubar.Snapshot) {
 			if s.Step%200 == 0 {
 				fmt.Printf("  step %4d: utility %.4f, %d congested links\n",
 					s.Step, s.Result.NetworkUtility, len(s.Result.Congested))
 			}
-		},
-	})
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := s.Optimize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,17 +5,26 @@
 // routing loses before each re-optimization, how little work the warm
 // start needs to win it back, and how much routing churn a controller
 // would push.
+//
+// Replays stream through Session.Replay: epochs arrive one at a time
+// (arbitrarily long timelines run in constant memory) and Ctrl-C stops
+// the replay cleanly between epochs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"fubar"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// A mid-size congested instance: a 10-POP ring with chords and a
 	// §3-style workload.
 	topo, err := fubar.RingTopology(10, 6, 1500*fubar.Kbps, 1)
@@ -32,36 +41,49 @@ func main() {
 	fmt.Println("topology:", topo.Summary())
 	fmt.Println("traffic: ", mat.Summary())
 
-	// A diurnal day: demand swings ±40% around the base matrix with
-	// per-aggregate churn every epoch.
-	day := fubar.DiurnalScenario(7, 10, 0.4, 0.15)
-	res, err := fubar.ReplayScenario(topo, mat, day, fubar.ScenarioOptions{})
+	s, err := fubar.NewSession(topo, mat)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := res.Table().Render(os.Stdout); err != nil {
-		log.Fatal(err)
+
+	// A diurnal day: demand swings ±40% around the base matrix with
+	// per-aggregate churn every epoch, streamed epoch by epoch.
+	day := fubar.DiurnalScenario(7, 10, 0.4, 0.15)
+	fmt.Println("\nwarm-started diurnal day (streaming):")
+	var warmSteps int
+	var warmMean float64
+	for er, err := range s.Replay(ctx, day) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  epoch %2d: stale %.4f -> %.4f  (%3d moves, %2d flow mods)\n",
+			er.Epoch, er.StaleUtility, er.Utility, er.Steps, er.FlowMods)
+		warmSteps += er.Steps
+		warmMean += er.Utility
 	}
-	fmt.Printf("utility/epoch: %s\n", res.UtilitySparkline())
-	fmt.Printf("day totals: %d steps, %d flow mods, mean utility %.4f\n\n",
-		res.TotalSteps(), res.TotalFlowMods(), res.MeanUtility())
+	warmMean /= float64(day.Epochs)
+	fmt.Printf("day totals: %d steps, mean utility %.4f\n\n", warmSteps, warmMean)
 
 	// The same day without warm starts: every epoch recomputes from
 	// scratch. Same timeline, same seed — compare the optimizer effort.
-	coldRes, err := fubar.ReplayScenario(topo, mat, day, fubar.ScenarioOptions{ColdStart: true})
+	cold, err := fubar.NewSession(topo, mat, fubar.WithColdStart())
+	if err != nil {
+		log.Fatal(err)
+	}
+	coldRes, err := cold.ReplayAll(ctx, day)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cold starts: %d steps vs %d warm (%.1fx), mean utility %.4f vs %.4f\n\n",
-		coldRes.TotalSteps(), res.TotalSteps(),
-		float64(coldRes.TotalSteps())/float64(res.TotalSteps()),
-		coldRes.MeanUtility(), res.MeanUtility())
+		coldRes.TotalSteps(), warmSteps,
+		float64(coldRes.TotalSteps())/float64(warmSteps),
+		coldRes.MeanUtility(), warmMean)
 
 	// A failure storm: two random links die one epoch apart, the network
 	// rides the degraded plateau, then they recover. Warm-started
 	// recovery repairs the installed routing instead of rebuilding it.
 	storm := fubar.FailureStormScenario(7, 8, 2)
-	stormRes, err := fubar.ReplayScenario(topo, mat, storm, fubar.ScenarioOptions{})
+	stormRes, err := s.ReplayAll(ctx, storm)
 	if err != nil {
 		log.Fatal(err)
 	}

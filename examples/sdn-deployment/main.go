@@ -9,8 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sync"
 	"time"
 
@@ -18,6 +21,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// A mid-size network: 12-POP ring with chords, congested at 2 Mbps.
 	topo, err := fubar.RingTopology(12, 6, 2*fubar.Mbps, 7)
 	if err != nil {
@@ -97,7 +103,7 @@ func main() {
 	// The closed loop: three epochs of measurement per optimization,
 	// nine epochs total, everything over the wire.
 	keys := fubar.EstimatorKeys(truth)
-	res, err := fubar.RunControlLoop(ctrl, topo, keys, fubar.ControlLoopConfig{
+	res, err := fubar.RunControlLoopContext(ctx, ctrl, topo, keys, fubar.ControlLoopConfig{
 		Epochs:        9,
 		OptimizeEvery: 3,
 		Logf:          log.Printf,

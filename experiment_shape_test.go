@@ -6,6 +6,7 @@ package fubar
 // who wins, what gets eliminated, which way distributions shift.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func ringConfig(t testing.TB, capacity unit.Bandwidth) experiment.Config {
 // closely approaches the upper bound, and the utilization curves meet.
 func TestShapeProvisioned(t *testing.T) {
 	cfg := ringConfig(t, 5000*unit.Kbps)
-	r, err := experiment.Run(cfg)
+	r, err := experiment.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestShapeProvisioned(t *testing.T) {
 // unreachable.
 func TestShapeUnderprovisioned(t *testing.T) {
 	cfg := ringConfig(t, 1500*unit.Kbps)
-	r, err := experiment.Run(cfg)
+	r, err := experiment.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,13 +102,13 @@ func TestShapeUnderprovisioned(t *testing.T) {
 // while overall (equal-weight) utility changes little.
 func TestShapePrioritization(t *testing.T) {
 	base := ringConfig(t, 1500*unit.Kbps)
-	plain, err := experiment.Run(base)
+	plain, err := experiment.Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prio := ringConfig(t, 1500*unit.Kbps)
 	prio.LargeWeight = 8
-	weighted, err := experiment.Run(prio)
+	weighted, err := experiment.Run(context.Background(), prio)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,13 +143,13 @@ func TestShapePrioritization(t *testing.T) {
 // distribution right and does not lower utility.
 func TestShapeDelayRelaxation(t *testing.T) {
 	base := ringConfig(t, 1500*unit.Kbps)
-	orig, err := experiment.Run(base)
+	orig, err := experiment.Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	relCfg := ringConfig(t, 1500*unit.Kbps)
 	relCfg.DelayScale = 2
-	rel, err := experiment.Run(relCfg)
+	rel, err := experiment.Run(context.Background(), relCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestShapeRepeatability(t *testing.T) {
 	}
 	cfg := ringConfig(t, 5000*unit.Kbps)
 	// Repeatability regenerates traffic from consecutive seeds.
-	rep, err := experiment.Repeatability(cfg, 8)
+	rep, err := experiment.Repeatability(context.Background(), cfg, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +205,11 @@ func TestShapeRepeatability(t *testing.T) {
 // §3 "Running time" shape: the underprovisioned case takes more steps
 // than the provisioned one (more links to spread over, longer search).
 func TestShapeRunningTime(t *testing.T) {
-	prov, err := experiment.Run(ringConfig(t, 5000*unit.Kbps))
+	prov, err := experiment.Run(context.Background(), ringConfig(t, 5000*unit.Kbps))
 	if err != nil {
 		t.Fatal(err)
 	}
-	under, err := experiment.Run(ringConfig(t, 1500*unit.Kbps))
+	under, err := experiment.Run(context.Background(), ringConfig(t, 1500*unit.Kbps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestShapeAblations(t *testing.T) {
 	run := func(opts core.Options) *core.Solution {
 		cfg := ringConfig(t, 1500*unit.Kbps)
 		cfg.Options = opts
-		r, err := experiment.Run(cfg)
+		r, err := experiment.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func TestShapeBaselineConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := experiment.RunOn(topo, mat, core.Options{})
+	r, err := experiment.RunOn(context.Background(), topo, mat, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestShapeSelfPairNeutrality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.Run(m, core.Options{})
+	sol, err := core.Run(context.Background(), m, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestShapeSelfPairNeutrality(t *testing.T) {
 // average ... weighted by number of flows").
 func TestShapeUtilityDefinition(t *testing.T) {
 	cfg := ringConfig(t, 1500*unit.Kbps)
-	r, err := experiment.Run(cfg)
+	r, err := experiment.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package fubar
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestEveryExportedFacadeSymbolDocumented parses the facade package
+// source and fails for any exported type, function, method, constant or
+// variable declared without a doc comment — the re-export layer is the
+// library's reference documentation, so an undocumented symbol is a
+// regression. Grouped const/var blocks count as documented when the
+// block has a doc comment.
+func TestEveryExportedFacadeSymbolDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["fubar"]
+	if !ok {
+		t.Fatalf("package fubar not found (have %v)", pkgs)
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		missing = append(missing, kind+" "+name+" ("+fset.Position(pos).String()+")")
+	}
+	for file, f := range pkg.Files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				name := d.Name.Name
+				if d.Recv != nil {
+					name = recvName(d.Recv) + "." + name
+					if !ast.IsExported(strings.TrimPrefix(recvName(d.Recv), "*")) {
+						continue
+					}
+				}
+				report(d.Pos(), "func", name)
+			case *ast.GenDecl:
+				blockDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && sp.Doc == nil && !blockDoc && sp.Comment == nil {
+							report(sp.Pos(), "type", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.Name == "_" || !n.IsExported() {
+								continue
+							}
+							if sp.Doc == nil && !blockDoc && sp.Comment == nil {
+								report(sp.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported facade symbols lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+func recvName(r *ast.FieldList) string {
+	if len(r.List) == 0 {
+		return ""
+	}
+	switch t := r.List[0].Type.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return ""
+}

@@ -1,6 +1,7 @@
 package fubar
 
 import (
+	"context"
 	"io"
 
 	"fubar/internal/anneal"
@@ -210,6 +211,12 @@ type (
 	DeltaStats = flowmodel.DeltaStats
 	// ModelBase is a captured base evaluation for ModelEval.EvaluateDelta.
 	ModelBase = flowmodel.Base
+	// BaseStats counts how the optimizer obtained each step's delta base
+	// (Solution.Base) — the persistent-base bookkeeping.
+	BaseStats = core.BaseStats
+	// SolutionSummary is the JSON shape a Solution marshals to — the
+	// headline numbers without the bundle list (Solution.Summary).
+	SolutionSummary = core.SolutionSummary
 )
 
 // Stop reasons.
@@ -218,6 +225,9 @@ const (
 	StopLocalOptimum = core.StopLocalOptimum
 	StopMaxSteps     = core.StopMaxSteps
 	StopDeadline     = core.StopDeadline
+	// StopCancelled reports a cancelled context: the partial solution is
+	// returned, deterministic up to the cancellation point.
+	StopCancelled = core.StopCancelled
 )
 
 // Alternative-path modes.
@@ -262,17 +272,24 @@ func ForbidLinks(topo *Topology, links ...LinkID) []bool {
 }
 
 // Optimize runs FUBAR end to end on a topology and matrix.
+//
+// Deprecated: build a Session and call its Optimize — the session keeps
+// the model, arenas and warm state alive across calls and takes a
+// context. This shim runs a throwaway Session under context.Background.
 func Optimize(topo *Topology, mat *Matrix, opts Options) (*Solution, error) {
-	model, err := flowmodel.New(topo, mat)
+	s, err := NewSession(topo, mat, WithOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(model, opts)
+	return s.Optimize(context.Background())
 }
 
 // OptimizeModel runs FUBAR on a prepared model (reuses model storage).
+//
+// Deprecated: use Session.Optimize; a Session prepares and keeps the
+// model itself.
 func OptimizeModel(model *Model, opts Options) (*Solution, error) {
-	return core.Run(model, opts)
+	return core.Run(context.Background(), model, opts)
 }
 
 // Baselines.
@@ -327,7 +344,16 @@ func Prioritized(seed int64) ExperimentConfig { return experiment.Prioritized(se
 func RelaxedDelay(seed int64) ExperimentConfig { return experiment.RelaxedDelay(seed) }
 
 // RunExperiment executes a configured evaluation run.
-func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiment.Run(context.Background(), cfg)
+}
+
+// RunExperimentContext executes a configured evaluation run under ctx
+// (cancellation and deadlines reach the optimizer at candidate-batch
+// granularity).
+func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiment.Run(ctx, cfg)
+}
 
 // ExperimentInstance materializes a configuration's topology and traffic
 // matrix without optimizing — e.g. as epoch 0 of a scenario replay.
@@ -339,7 +365,7 @@ func ExperimentInstance(cfg ExperimentConfig) (*Topology, *Matrix, error) {
 // parallelized across Options.Workers with per-run arenas; the
 // distributions are identical at any worker count.
 func Repeatability(base ExperimentConfig, runs int) (*RepeatabilityResult, error) {
-	return experiment.Repeatability(base, runs)
+	return experiment.Repeatability(context.Background(), base, runs)
 }
 
 // Scenario replay (time-varying traffic and topology through repeated
@@ -407,25 +433,32 @@ func SRLGOutageScenario(seed int64, epochs int) Scenario {
 	return scenario.SRLGOutage(seed, epochs)
 }
 
-// ScenarioByName resolves a canned scenario ("diurnal", "storm",
-// "flashcrowd", "maintenance", "srlg") with its default shape for the
-// epoch count.
+// ScenarioByName resolves a canned scenario (see ScenarioNames) with
+// its default shape for the epoch count; an unknown name's error
+// enumerates the valid ones.
 func ScenarioByName(name string, seed int64, epochs int) (Scenario, error) {
 	return scenario.ByName(name, seed, epochs)
 }
+
+// ScenarioNames lists the canned scenario names ScenarioByName
+// resolves, in a stable order suitable for help text.
+func ScenarioNames() []string { return scenario.Names() }
 
 // ReplayScenario replays a scenario over the start instance: each epoch
 // applies its events, repairs the installed allocation into a valid warm
 // start, re-optimizes, and records utility, effort and churn. Replays
 // are deterministic per seed at any worker count.
+//
+// Deprecated: use Session.Replay (streaming, context-aware) or
+// Session.ReplayAll for the collected table.
 func ReplayScenario(topo *Topology, mat *Matrix, sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
-	return scenario.Run(topo, mat, sc, opts)
+	return scenario.Run(context.Background(), topo, mat, sc, opts)
 }
 
 // ReplayScenarioSeeds replays a scenario once per seed across
 // ScenarioOptions.Workers goroutines, results ordered by seed index.
 func ReplayScenarioSeeds(topo *Topology, mat *Matrix, sc Scenario, seeds []int64, opts ScenarioOptions) ([]*ScenarioResult, error) {
-	return scenario.RunSeeds(topo, mat, sc, seeds, opts)
+	return scenario.RunSeeds(context.Background(), topo, mat, sc, seeds, opts)
 }
 
 // Closed-loop replay (scenario timelines driving the control plane end
@@ -448,8 +481,12 @@ type (
 // differentially over the wire — so per-epoch FlowMods are counted
 // messages acked by the switches, not bundle-diff estimates. With no
 // EpochBudget the replay is deterministic per seed at any worker count.
+//
+// Deprecated: use Session.ReplayClosedLoop (streaming, context-aware,
+// control plane kept across calls) or Session.ReplayClosedLoopAll for
+// the collected table.
 func ReplayScenarioClosedLoop(topo *Topology, mat *Matrix, sc Scenario, opts ClosedLoopOptions) (*ScenarioResult, error) {
-	return scenario.RunClosedLoop(topo, mat, sc, opts)
+	return scenario.RunClosedLoop(context.Background(), topo, mat, sc, opts)
 }
 
 // SDN measurement substrate.
@@ -524,16 +561,20 @@ type (
 )
 
 // Anneal runs the naive simulated-annealing allocator on a model.
+//
+// Deprecated: use Session.Anneal, which shares the session's model and
+// takes a context.
 func Anneal(model *Model, opts AnnealOptions) (*AnnealSolution, error) {
-	return anneal.Run(model, opts)
+	return anneal.Run(context.Background(), model, opts)
 }
 
 // AnnealRestarts runs n independent annealing restarts (seeds
 // opts.Seed..opts.Seed+n-1) across up to workers goroutines, each on a
 // private evaluation arena, and returns the per-seed solutions plus the
 // best. Results are identical at any worker count.
+// Deprecated: use Session.AnnealRestarts.
 func AnnealRestarts(model *Model, opts AnnealOptions, n, workers int) (*AnnealRestartsResult, error) {
-	return anneal.RunRestarts(model, opts, n, workers)
+	return anneal.RunRestarts(context.Background(), model, opts, n, workers)
 }
 
 // Traffic classification (§1 "crude heuristics supplemented by operator
@@ -618,8 +659,18 @@ func DialSwitch(addr string, datapathID uint32, nodeName string, dp Datapath, cf
 func NewFabric(sim *Sim) *Fabric { return ctrlplane.NewFabric(sim) }
 
 // RunControlLoop drives the closed measurement/optimization cycle.
+//
+// Deprecated: use RunControlLoopContext, which threads a context into
+// every optimization.
 func RunControlLoop(ctrl *Controller, topo *Topology, keys []AggregateKey, cfg ControlLoopConfig, advance func() error) (*ControlLoopResult, error) {
-	return ctrlplane.RunLoop(ctrl, topo, keys, cfg, advance)
+	return ctrlplane.RunLoop(context.Background(), ctrl, topo, keys, cfg, advance)
+}
+
+// RunControlLoopContext drives the closed measurement/optimization
+// cycle under ctx: cancellation returns the partial result with the
+// context's error.
+func RunControlLoopContext(ctx context.Context, ctrl *Controller, topo *Topology, keys []AggregateKey, cfg ControlLoopConfig, advance func() error) (*ControlLoopResult, error) {
+	return ctrlplane.RunLoop(ctx, ctrl, topo, keys, cfg, advance)
 }
 
 // MPLS-TE substrate (§5 "SDN or MPLS networks").
@@ -671,5 +722,5 @@ type (
 // Failover optimizes, fails the hottest link, and re-optimizes around
 // it warm-started from the installed allocation.
 func Failover(topo *Topology, mat *Matrix, opts Options) (*FailoverOutcome, error) {
-	return experiment.Failover(topo, mat, opts)
+	return experiment.Failover(context.Background(), topo, mat, opts)
 }

@@ -13,6 +13,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -158,17 +159,22 @@ func New(model *flowmodel.Model, opts Options) (*Annealer, error) {
 	return a, nil
 }
 
-// Run executes the annealing schedule and returns the best state seen.
-func Run(model *flowmodel.Model, opts Options) (*Solution, error) {
+// Run executes the annealing schedule under ctx and returns the best
+// state seen. Cancellation stops the schedule early (checked every 256
+// iterations, like the deadline); the best-so-far solution is returned.
+func Run(ctx context.Context, model *flowmodel.Model, opts Options) (*Solution, error) {
 	a, err := New(model, opts)
 	if err != nil {
 		return nil, err
 	}
-	return a.Run(), nil
+	return a.Run(ctx), nil
 }
 
-// Run executes the annealing schedule.
-func (a *Annealer) Run() *Solution {
+// Run executes the annealing schedule under ctx (nil means Background).
+func (a *Annealer) Run(ctx context.Context) *Solution {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	rng := rand.New(rand.NewSource(a.opts.Seed))
 	sol := &Solution{}
@@ -188,8 +194,13 @@ func (a *Annealer) Run() *Solution {
 	}
 
 	for it := 0; it < a.opts.MaxIterations && temp > a.opts.MinTemp && len(a.movable) > 0; it++ {
-		if !deadline.IsZero() && it%256 == 0 && time.Now().After(deadline) {
-			break
+		if it%256 == 0 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		sol.Iterations++
 		ai, from, to, n := a.propose(rng)

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func testInstance(t *testing.T, seed int64) (*topology.Topology, *traffic.Matrix
 
 func TestRunImprovesOverShortestPath(t *testing.T) {
 	_, _, model := testInstance(t, 7)
-	sol, err := Run(model, Options{Seed: 7, MaxIterations: 4000})
+	sol, err := Run(context.Background(), model, Options{Seed: 7, MaxIterations: 4000})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -56,19 +57,19 @@ func TestRunImprovesOverShortestPath(t *testing.T) {
 
 func TestRunDeterministicPerSeed(t *testing.T) {
 	_, _, model := testInstance(t, 3)
-	a, err := Run(model, Options{Seed: 42, MaxIterations: 1500})
+	a, err := Run(context.Background(), model, Options{Seed: 42, MaxIterations: 1500})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	_, _, model2 := testInstance(t, 3)
-	b, err := Run(model2, Options{Seed: 42, MaxIterations: 1500})
+	b, err := Run(context.Background(), model2, Options{Seed: 42, MaxIterations: 1500})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if a.Utility != b.Utility || a.Accepted != b.Accepted || a.Iterations != b.Iterations {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
 	}
-	c, err := Run(model, Options{Seed: 43, MaxIterations: 1500})
+	c, err := Run(context.Background(), model, Options{Seed: 43, MaxIterations: 1500})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -79,7 +80,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 
 func TestFlowConservation(t *testing.T) {
 	_, mat, model := testInstance(t, 11)
-	sol, err := Run(model, Options{Seed: 11, MaxIterations: 2000})
+	sol, err := Run(context.Background(), model, Options{Seed: 11, MaxIterations: 2000})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -137,7 +138,7 @@ func TestProposePreservesInvariants(t *testing.T) {
 func TestDeadlineStopsRun(t *testing.T) {
 	_, _, model := testInstance(t, 2)
 	start := time.Now()
-	sol, err := Run(model, Options{Seed: 2, MaxIterations: 1 << 30, Deadline: 50 * time.Millisecond})
+	sol, err := Run(context.Background(), model, Options{Seed: 2, MaxIterations: 1 << 30, Deadline: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -174,12 +175,12 @@ func TestNewRejectsNilModel(t *testing.T) {
 // far more traffic-model evaluations doing it.
 func TestComparableToFUBAR(t *testing.T) {
 	_, _, model := testInstance(t, 17)
-	fub, err := core.Run(model, core.Options{})
+	fub, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}
 	_, _, model2 := testInstance(t, 17)
-	sa, err := Run(model2, Options{Seed: 17, MaxIterations: 20000})
+	sa, err := Run(context.Background(), model2, Options{Seed: 17, MaxIterations: 20000})
 	if err != nil {
 		t.Fatalf("anneal.Run: %v", err)
 	}
@@ -208,7 +209,7 @@ func TestRunRestartsWorkerInvariance(t *testing.T) {
 	_, _, model := testInstance(t, 9)
 	const restarts = 6
 	opts := Options{Seed: 100, MaxIterations: 1200}
-	serial, err := RunRestarts(model, opts, restarts, 1)
+	serial, err := RunRestarts(context.Background(), model, opts, restarts, 1)
 	if err != nil {
 		t.Fatalf("RunRestarts(workers=1): %v", err)
 	}
@@ -216,7 +217,7 @@ func TestRunRestartsWorkerInvariance(t *testing.T) {
 		t.Fatalf("got %d solutions, want %d", len(serial.Solutions), restarts)
 	}
 	for _, workers := range []int{4, 9} {
-		par, err := RunRestarts(model, opts, restarts, workers)
+		par, err := RunRestarts(context.Background(), model, opts, restarts, workers)
 		if err != nil {
 			t.Fatalf("RunRestarts(workers=%d): %v", workers, err)
 		}
@@ -255,21 +256,21 @@ func TestRunRestartsWorkerInvariance(t *testing.T) {
 func TestRunRestartsMatchesSingle(t *testing.T) {
 	_, _, model := testInstance(t, 13)
 	opts := Options{Seed: 21, MaxIterations: 800}
-	r, err := RunRestarts(model, opts, 3, 2)
+	r, err := RunRestarts(context.Background(), model, opts, 3, 2)
 	if err != nil {
 		t.Fatalf("RunRestarts: %v", err)
 	}
-	lone, err := Run(model, Options{Seed: 22, MaxIterations: 800})
+	lone, err := Run(context.Background(), model, Options{Seed: 22, MaxIterations: 800})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if r.Solutions[1].Utility != lone.Utility || r.Solutions[1].Accepted != lone.Accepted {
 		t.Fatalf("restart 1 (seed 22) %+v != lone run %+v", r.Solutions[1], lone)
 	}
-	if _, err := RunRestarts(nil, opts, 3, 2); err == nil {
+	if _, err := RunRestarts(context.Background(), nil, opts, 3, 2); err == nil {
 		t.Error("RunRestarts(nil model) succeeded")
 	}
-	if _, err := RunRestarts(model, opts, 0, 2); err == nil {
+	if _, err := RunRestarts(context.Background(), model, opts, 0, 2); err == nil {
 		t.Error("RunRestarts(0 restarts) succeeded")
 	}
 }
@@ -291,7 +292,7 @@ func TestSelfPairsStayHome(t *testing.T) {
 	if err != nil {
 		t.Fatalf("flowmodel.New: %v", err)
 	}
-	sol, err := Run(model, Options{Seed: 1, MaxIterations: 500})
+	sol, err := Run(context.Background(), model, Options{Seed: 1, MaxIterations: 500})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

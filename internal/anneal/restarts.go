@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 
 	"fubar/internal/flowmodel"
@@ -30,7 +31,7 @@ type RestartsResult struct {
 // the §2.5 comparator: the naive annealer is randomized and restart
 // variance is large, so the best-of-n envelope is the fair baseline
 // against FUBAR's deterministic escalation.
-func RunRestarts(model *flowmodel.Model, opts Options, n, workers int) (*RestartsResult, error) {
+func RunRestarts(ctx context.Context, model *flowmodel.Model, opts Options, n, workers int) (*RestartsResult, error) {
 	if model == nil {
 		return nil, fmt.Errorf("anneal: nil model")
 	}
@@ -39,6 +40,9 @@ func RunRestarts(model *flowmodel.Model, opts Options, n, workers int) (*Restart
 	}
 	if workers <= 0 {
 		workers = n
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	sols := make([]*Solution, n)
 	errs := make([]error, n)
@@ -50,7 +54,7 @@ func RunRestarts(model *flowmodel.Model, opts Options, n, workers int) (*Restart
 			errs[i] = err
 			return
 		}
-		sols[i] = a.Run()
+		sols[i] = a.Run(ctx)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -39,9 +39,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -158,6 +161,11 @@ type Options struct {
 	// DisableEscalation turns off §2.5 escalation (ablation only): the
 	// optimizer then terminates at the first local optimum.
 	DisableEscalation bool
+	// DisableBaseReuse restores the pre-session behavior of capturing a
+	// fresh delta base every step (benchmarking knob: it isolates the
+	// cost of per-step base captures against the persistent patched
+	// base). Committed solutions are bit-identical either way.
+	DisableBaseReuse bool
 	// InitialBundles warm-starts the optimizer from an existing
 	// allocation instead of Listing 1 line 1's all-on-lowest-delay
 	// placement — the incremental re-optimization an offline controller
@@ -223,8 +231,12 @@ const (
 	StopLocalOptimum
 	// StopMaxSteps: Options.MaxSteps reached.
 	StopMaxSteps
-	// StopDeadline: Options.Deadline reached.
+	// StopDeadline: Options.Deadline or the context's deadline reached.
 	StopDeadline
+	// StopCancelled: the run's context was cancelled. The partial
+	// solution is still returned — deterministic up to the cancellation
+	// point, which is itself wall-clock-dependent.
+	StopCancelled
 )
 
 // String names the reason.
@@ -238,6 +250,8 @@ func (r StopReason) String() string {
 		return "max-steps"
 	case StopDeadline:
 		return "deadline"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return "unknown"
 	}
@@ -269,6 +283,28 @@ type Solution struct {
 	// worker arena: calls, fallbacks and affected-set sizes. All zero
 	// when Options.DeltaEval is DeltaOff.
 	Delta flowmodel.DeltaStats
+	// Base counts how each step's delta base was obtained — the
+	// persistent-base bookkeeping. All zero under DeltaOff.
+	Base BaseStats
+}
+
+// BaseStats counts how the per-step delta base snapshots were produced.
+// Captures are full evaluations; every other row is base reuse that
+// eliminated one.
+type BaseStats struct {
+	// Captures counts fresh EvaluateBase runs (full evaluations).
+	Captures int `json:"captures"`
+	// Remaps counts bases carried to a new step's list layout by index
+	// translation alone.
+	Remaps int `json:"remaps"`
+	// Skips counts steps whose layout matched the live base exactly
+	// (escalation retries), needing no work at all.
+	Skips int `json:"skips"`
+	// Rebases counts committed moves folded into the base in place;
+	// Recaptures counts commits whose delta fell back to a full
+	// evaluation (oversized affected set).
+	Rebases    int `json:"rebases"`
+	Recaptures int `json:"recaptures"`
 }
 
 // aggState tracks one aggregate's path set and flow split.
@@ -299,13 +335,32 @@ type Optimizer struct {
 	// placeholders, so every candidate is a two-entry flow patch at a
 	// stable index and all candidates of a step share one list layout.
 	// denseSeg[i] is the offset of aggregate i's segment
-	// (denseSeg[len(aggs)] == len(denseBuf)).
-	denseBuf []flowmodel.Bundle
-	denseSeg []int
-	// baseEval owns the per-step base evaluation the delta path splices
-	// from; base is the captured snapshot, read-only while workers run.
+	// (denseSeg[len(aggs)] == len(denseBuf)); densePath[k] is entry k's
+	// path-set index within its aggregate (-1 for self-pairs), which is
+	// what lets a live base be remapped between step layouts.
+	denseBuf  []flowmodel.Bundle
+	denseSeg  []int
+	densePath []int
+	// baseEval owns the delta-base machinery; base is the captured
+	// snapshot the candidate deltas splice from, read-only while workers
+	// run, and altBase is the remap double-buffer. The base persists
+	// across steps: committed moves are folded in with CommitDelta and
+	// layout changes handled by RemapBase, so a step only pays a full
+	// base evaluation when reuse is impossible (first step, fallback, or
+	// a full-path commit staled it).
 	baseEval *flowmodel.Eval
-	base     flowmodel.Base
+	base     *flowmodel.Base
+	altBase  *flowmodel.Base
+	// baseLive marks base as capturing the current committed allocation
+	// over the layout described by basePath/baseSeg.
+	baseLive bool
+	basePath []int
+	baseSeg  []int
+	// oldIdxBuf is the remap-translation scratch; commitBuf holds the
+	// post-commit patched list handed to CommitDelta.
+	oldIdxBuf []int
+	commitBuf []flowmodel.Bundle
+	baseStats BaseStats
 	// candAgg marks the aggregates of the current step's candidates while
 	// buildStepBundles runs (cleared after).
 	candAgg []bool
@@ -372,11 +427,29 @@ func New(model *flowmodel.Model, opts Options) (*Optimizer, error) {
 	}, nil
 }
 
-// Run executes Listing 1 and returns the solution.
-func (o *Optimizer) Run() (*Solution, error) {
+// Run executes Listing 1 and returns the solution. The context is
+// honored at candidate-batch granularity: it is checked before every
+// step's candidate evaluation, never inside one, so the committed move
+// sequence is deterministic up to the cancellation point. A context
+// whose deadline expired stops the run with StopDeadline (best-so-far
+// solution published, like Options.Deadline); a cancelled context stops
+// it with StopCancelled. Neither is an error — the partial solution is
+// returned either way.
+func (o *Optimizer) Run(ctx context.Context) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	if err := o.initAllocation(); err != nil {
 		return nil, err
+	}
+	// Run restarts from scratch, including when a Session reuses this
+	// optimizer: the persistent base is stale and the per-run counters
+	// must not accumulate across calls.
+	o.baseLive = false
+	o.baseStats = BaseStats{}
+	for _, w := range o.workers {
+		w.eval.ResetDeltaStats()
 	}
 	res := o.evaluate()
 	initial := res.NetworkUtility
@@ -386,14 +459,26 @@ func (o *Optimizer) Run() (*Solution, error) {
 	o.trace(Snapshot{Step: 0, Elapsed: time.Since(start), Result: res})
 
 	// Snapshot what the pass loop needs by value: trial evaluations run
-	// on private worker arenas and leave res alone, but every evaluate()
-	// call here reuses the model's default arena, so res's contents are
-	// only meaningful immediately after an evaluate. links is freshly
-	// allocated by CongestedByOversubscription, so it cannot alias
-	// arena storage, and its sorted order is what alternativesFor's
-	// most-congested pick relies on.
+	// on private worker arenas and leave res alone, but the evaluate()
+	// and rebase results here live on arenas the next step reuses, so
+	// res's contents are only meaningful immediately after they are
+	// produced. links is freshly allocated by
+	// CongestedByOversubscription, so it cannot alias arena storage, and
+	// its sorted order is what alternativesFor's most-congested pick
+	// relies on.
 	uCur := res.NetworkUtility
 	links := o.model.CongestedByOversubscription(res)
+
+	// ctxStop classifies a Done context; zero means keep running.
+	ctxStop := func() StopReason {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+				return StopDeadline
+			}
+			return StopCancelled
+		}
+		return 0
+	}
 
 	var stop StopReason
 loop:
@@ -410,12 +495,19 @@ loop:
 			stop = StopDeadline
 			break
 		}
+		if stop = ctxStop(); stop != 0 {
+			break
+		}
 		// Listing 1 lines 4-9: walk congested links by oversubscription;
 		// the first link whose step() makes progress ends the pass.
 		progress := false
+		var committed *flowmodel.Result
 		for _, link := range links {
-			if o.step(link, uCur, links, fraction) {
-				progress = true
+			if stop = ctxStop(); stop != 0 {
+				break loop
+			}
+			if ok, cres := o.step(link, uCur, links, fraction); ok {
+				progress, committed = true, cres
 				break
 			}
 		}
@@ -423,7 +515,13 @@ loop:
 			steps++
 			fraction = o.opts.MoveFraction // de-escalate on progress
 			escLevel = 0
-			res = o.evaluate()
+			if committed != nil {
+				// The commit was folded into the persistent base; its
+				// delta result is the committed allocation's evaluation.
+				res = committed
+			} else {
+				res = o.evaluate()
+			}
 			uCur = res.NetworkUtility
 			links = o.model.CongestedByOversubscription(res)
 			o.trace(Snapshot{Step: steps, Elapsed: time.Since(start), Escalation: escLevel, Result: res})
@@ -458,6 +556,7 @@ loop:
 	for _, w := range o.workers {
 		sol.Delta.Add(w.eval.DeltaStats())
 	}
+	sol.Base = o.baseStats
 	var totalPaths int
 	nonSelf := 0
 	for _, a := range o.aggs {
@@ -618,6 +717,7 @@ func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
 		o.candAgg[cands[i].agg] = true
 	}
 	o.denseBuf = o.denseBuf[:0]
+	o.densePath = o.densePath[:0]
 	if cap(o.denseSeg) < len(o.aggs)+1 {
 		o.denseSeg = make([]int, len(o.aggs)+1)
 	}
@@ -629,6 +729,7 @@ func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
 			o.denseBuf = append(o.denseBuf, flowmodel.Bundle{
 				Agg: traffic.AggregateID(i), Flows: st.total,
 			})
+			o.densePath = append(o.densePath, -1)
 			continue
 		}
 		for pi := range st.flows {
@@ -641,6 +742,7 @@ func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
 				Edges: st.set.Path(pi).Edges,
 				Delay: st.delays[pi],
 			})
+			o.densePath = append(o.densePath, pi)
 		}
 	}
 	o.denseSeg[len(o.aggs)] = len(o.denseBuf)
@@ -698,30 +800,31 @@ type candidate struct {
 // Selection replays the candidates in collection order with the same
 // improve-by-MinGain rule the serial mutate-evaluate-revert loop used, so
 // any worker count commits the identical move.
-func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.EdgeID, fraction float64) bool {
+func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.EdgeID, fraction float64) (bool, *flowmodel.Result) {
 	cands := o.collectCandidates(link, congested, fraction)
 	if len(cands) == 0 {
-		return false
+		return false, nil
 	}
-	// The base snapshot costs one full evaluation plus its capture; a
-	// step with fewer candidates than that buys cannot amortize it, so
-	// tiny steps take the full-evaluation path. The guard depends only on
-	// the candidate count, keeping the choice deterministic, and both
-	// strategies are bit-identical, so the committed sequence is
-	// unaffected. (probe runs always take the delta path: they measure
-	// both strategies per candidate.)
+	// A fresh base snapshot costs one full evaluation plus its capture;
+	// a step with fewer candidates than that buys cannot amortize it, so
+	// tiny steps take the full-evaluation path — unless a live base can
+	// be carried over for the cost of an index remap. The guard depends
+	// only on the candidate count and the (deterministic) base history,
+	// keeping the choice deterministic, and both strategies are
+	// bit-identical, so the committed sequence is unaffected. (probe
+	// runs always take the delta path: they measure both strategies per
+	// candidate.)
 	const deltaMinCandidates = 3
-	if (o.opts.DeltaEval == DeltaAuto && !o.deltaOff && len(cands) >= deltaMinCandidates) ||
-		o.probe != nil {
+	reuse := o.baseReuseEnabled()
+	useDelta := o.opts.DeltaEval == DeltaAuto && !o.deltaOff &&
+		(len(cands) >= deltaMinCandidates || (reuse && o.baseLive))
+	if useDelta || o.probe != nil {
 		// Incremental: evaluate the committed state once (over the step's
 		// semi-dense list, so every candidate is a two-index patch of it)
 		// and delta-evaluate each candidate against that shared snapshot.
 		dense := o.buildStepBundles(cands)
-		if o.baseEval == nil {
-			o.baseEval = o.model.NewEval()
-		}
-		o.baseEval.EvaluateBase(dense, &o.base)
-		o.evaluateCandidates(cands, dense, &o.base)
+		o.prepareBase(dense, reuse)
+		o.evaluateCandidates(cands, dense, o.base)
 		o.maybeLatchDeltaOff()
 	} else {
 		// Full evaluations: per-candidate positive lists, patched one
@@ -740,10 +843,122 @@ func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.Edg
 		}
 	}
 	if bestIdx < 0 {
-		return false
+		return false, nil
 	}
 	o.commit(cands[bestIdx])
+	if useDelta && reuse {
+		// Fold the committed move into the live base and hand the
+		// committed allocation's evaluation to the pass loop — no
+		// post-commit full evaluation, no next-step recapture.
+		return true, o.rebase(cands[bestIdx])
+	}
+	// The allocation moved without the base: whatever it captured is
+	// stale now.
+	o.baseLive = false
+	return true, nil
+}
+
+// baseReuseEnabled reports whether the persistent-base machinery is on:
+// it is the default for DeltaAuto, disabled by the benchmarking knob and
+// for instrumented (probe) runs, which measure per-candidate strategies
+// against a per-step capture.
+func (o *Optimizer) baseReuseEnabled() bool {
+	return !o.opts.DisableBaseReuse && o.probe == nil
+}
+
+// prepareBase makes o.base capture the committed allocation over the
+// dense list just built by buildStepBundles. With reuse enabled and a
+// live base the capture is carried over — untouched when the layout is
+// identical (escalation retries), index-remapped when only the
+// placeholder population changed — and only failing that (or with reuse
+// off) does a full EvaluateBase run.
+func (o *Optimizer) prepareBase(dense []flowmodel.Bundle, reuse bool) {
+	if o.baseEval == nil {
+		o.baseEval = o.model.NewEval()
+	}
+	if o.base == nil {
+		o.base, o.altBase = &flowmodel.Base{}, &flowmodel.Base{}
+	}
+	if reuse && o.baseLive {
+		if slices.Equal(o.basePath, o.densePath) && slices.Equal(o.baseSeg, o.denseSeg) {
+			o.baseStats.Skips++
+			return
+		}
+		if ok := o.remapBase(dense); ok {
+			o.baseStats.Remaps++
+			o.saveBaseLayout()
+			return
+		}
+	}
+	o.baseEval.EvaluateBase(dense, o.base)
+	o.baseStats.Captures++
+	o.baseLive = reuse
+	if reuse {
+		o.saveBaseLayout()
+	}
+}
+
+// remapBase translates the live base onto the current dense layout. The
+// mapping is derived per aggregate by merging the old and new segments
+// on path-set index (both are ascending subsets of the same path set);
+// entries present on one side only must be inert placeholders, which
+// RemapBase verifies.
+func (o *Optimizer) remapBase(dense []flowmodel.Bundle) bool {
+	if cap(o.oldIdxBuf) < len(dense) {
+		o.oldIdxBuf = make([]int, len(dense))
+	}
+	oldIdx := o.oldIdxBuf[:len(dense)]
+	for i := range o.aggs {
+		oi, oEnd := o.baseSeg[i], o.baseSeg[i+1]
+		for ni := o.denseSeg[i]; ni < o.denseSeg[i+1]; ni++ {
+			for oi < oEnd && o.basePath[oi] < o.densePath[ni] {
+				oi++ // dropped old entry; RemapBase verifies it was inert
+			}
+			if oi < oEnd && o.basePath[oi] == o.densePath[ni] {
+				oldIdx[ni] = oi
+				oi++
+			} else {
+				oldIdx[ni] = -1
+			}
+		}
+	}
+	if !o.baseEval.RemapBase(o.base, o.altBase, dense, oldIdx) {
+		return false
+	}
+	o.base, o.altBase = o.altBase, o.base
 	return true
+}
+
+// saveBaseLayout records the dense layout the live base captures.
+func (o *Optimizer) saveBaseLayout() {
+	o.basePath = append(o.basePath[:0], o.densePath...)
+	o.baseSeg = append(o.baseSeg[:0], o.denseSeg...)
+}
+
+// rebase folds the just-committed candidate into the live base: the
+// committed allocation is the step's dense list with the move's two-entry
+// flow patch, so one incremental evaluation both produces the committed
+// result (returned, on the base arena — valid until the arena's next
+// use) and patches the base to capture it.
+func (o *Optimizer) rebase(c candidate) *flowmodel.Result {
+	buf := append(o.commitBuf[:0], o.denseBuf...)
+	iFrom := o.denseSeg[c.agg] + c.from
+	iTo := o.denseSeg[c.agg] + c.to
+	buf[iFrom].Flows -= c.n
+	buf[iTo].Flows += c.n
+	o.commitBuf = buf
+	if iFrom > iTo {
+		iFrom, iTo = iTo, iFrom
+	}
+	changed := [2]int{iFrom, iTo}
+	res, patched := o.baseEval.CommitDelta(o.base, buf, changed[:])
+	if patched {
+		o.baseStats.Rebases++
+	} else {
+		o.baseStats.Recaptures++
+	}
+	o.baseLive = true
+	return res
 }
 
 // collectCandidates enumerates the step's trial moves without evaluating
@@ -1079,11 +1294,25 @@ func (o *Optimizer) trace(s Snapshot) {
 }
 
 // Run is the package-level convenience: build an optimizer over model with
-// opts and run it.
-func Run(model *flowmodel.Model, opts Options) (*Solution, error) {
+// opts and run it under ctx (see Optimizer.Run for the cancellation and
+// deadline semantics).
+func Run(ctx context.Context, model *flowmodel.Model, opts Options) (*Solution, error) {
 	o, err := New(model, opts)
 	if err != nil {
 		return nil, err
 	}
-	return o.Run()
+	return o.Run(ctx)
+}
+
+// RunWarm reuses a prepared optimizer for a fresh run warm-started from
+// initial (nil restarts from the shortest-path placement): the worker
+// arenas, path generator and scratch persist across calls — the shape a
+// long-lived Session keeps. The warm-start contract is
+// Options.InitialBundles'.
+func (o *Optimizer) RunWarm(ctx context.Context, initial []flowmodel.Bundle) (*Solution, error) {
+	saved := o.opts.InitialBundles
+	o.opts.InitialBundles = initial
+	sol, err := o.Run(ctx)
+	o.opts.InitialBundles = saved
+	return sol, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestUncongestedTerminatesImmediately(t *testing.T) {
 	m := mustModel(t, topo, []traffic.Aggregate{
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
 	})
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestOffloadImprovesUtility(t *testing.T) {
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()}, // 2 Mbps demand
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()}, // 2 Mbps demand
 	})
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestDelaySensitiveStaysOnFastPath(t *testing.T) {
 		{Src: 0, Dst: 1, Class: utility.ClassRealTime, Flows: 20, Fn: utility.RealTime()}, // 1 Mbps
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},         // 2 Mbps
 	})
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFlowConservation(t *testing.T) {
 		{Src: 2, Dst: 1, Class: utility.ClassBulk, Flows: 9, Fn: utility.Bulk()},
 	}
 	m := mustModel(t, topo, aggs)
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSelfPairsSurviveOptimization(t *testing.T) {
 		{Src: 0, Dst: 0, Class: utility.ClassBulk, Flows: 5, Fn: utility.Bulk()},
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 10, Fn: utility.Bulk()},
 	})
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestTraceCallback(t *testing.T) {
 	})
 	var snaps []Snapshot
 	var utils []float64
-	sol, err := Run(m, Options{Trace: func(s Snapshot) {
+	sol, err := Run(context.Background(), m, Options{Trace: func(s Snapshot) {
 		snaps = append(snaps, s)
 		utils = append(utils, s.Result.NetworkUtility)
 	}})
@@ -213,7 +214,7 @@ func TestMaxStepsStops(t *testing.T) {
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 50, Fn: utility.Bulk()},
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 50, Fn: utility.Bulk()},
 	})
-	sol, err := Run(m, Options{MaxSteps: 1})
+	sol, err := Run(context.Background(), m, Options{MaxSteps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDeadlineStops(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	sol, err := Run(m, Options{Deadline: 50 * time.Millisecond})
+	sol, err := Run(context.Background(), m, Options{Deadline: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestOptimizerInvariantsOnRing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := Run(m, Options{})
+		sol, err := Run(context.Background(), m, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,12 +339,12 @@ func TestEscalationEscapesLocalOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	m1, _ := flowmodel.New(topo, mat)
-	with, err := Run(m1, Options{})
+	with, err := Run(context.Background(), m1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m2, _ := flowmodel.New(topo, mat)
-	without, err := Run(m2, Options{DisableEscalation: true})
+	without, err := Run(context.Background(), m2, Options{DisableEscalation: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestAltModes(t *testing.T) {
 	utilities := map[AltMode]float64{}
 	for _, mode := range []AltMode{AltAll, AltGlobalOnly, AltLocalOnly, AltLinkLocalOnly} {
 		m, _ := flowmodel.New(topo, mat)
-		sol, err := Run(m, Options{AltMode: mode})
+		sol, err := Run(context.Background(), m, Options{AltMode: mode})
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -413,7 +414,7 @@ func TestMoveSize(t *testing.T) {
 }
 
 func TestRunNilModel(t *testing.T) {
-	if _, err := Run(nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
 		t.Error("nil model accepted")
 	}
 }
@@ -441,7 +442,7 @@ func TestPolicyRespected(t *testing.T) {
 	m := mustModel(t, topo, []traffic.Aggregate{
 		{Src: 0, Dst: 1, Class: utility.ClassBulk, Flows: 20, Fn: utility.Bulk()},
 	})
-	sol, err := Run(m, Options{Policy: pathgen.Policy{ForbiddenLinks: forbidden}})
+	sol, err := Run(context.Background(), m, Options{Policy: pathgen.Policy{ForbiddenLinks: forbidden}})
 	if err != nil {
 		t.Fatal(err)
 	}

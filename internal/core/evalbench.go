@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -107,7 +108,7 @@ func RunCandidateBench(model *flowmodel.Model, opts Options) (*CandidateBenchRes
 		}
 		return uDelta
 	}
-	sol, err := o.Run()
+	sol, err := o.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}

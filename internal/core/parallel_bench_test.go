@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -70,11 +71,8 @@ func BenchmarkStepCandidates(b *testing.B) {
 					// per-candidate positive lists.
 					if delta == DeltaAuto {
 						dense := o.buildStepBundles(cands)
-						if o.baseEval == nil {
-							o.baseEval = o.model.NewEval()
-						}
-						o.baseEval.EvaluateBase(dense, &o.base)
-						o.evaluateCandidates(cands, dense, &o.base)
+						o.prepareBase(dense, false)
+						o.evaluateCandidates(cands, dense, o.base)
 					} else {
 						o.evaluateCandidates(cands, o.buildBundles(), nil)
 					}
@@ -112,7 +110,7 @@ func BenchmarkRunWorkers(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := Run(model, Options{Workers: workers}); err != nil {
+				if _, err := Run(context.Background(), model, Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -48,7 +49,7 @@ func runWithOptions(t *testing.T, topo *topology.Topology, mat *traffic.Matrix, 
 	opts.Trace = func(s Snapshot) {
 		steps = append(steps, s.Result.NetworkUtility)
 	}
-	sol, err := Run(model, opts)
+	sol, err := Run(context.Background(), model, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fubar/internal/flowmodel"
@@ -30,7 +31,7 @@ func TestMaxPathsPerAggregateRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Run(m, Options{MaxPathsPerAggregate: cap})
+	sol, err := Run(context.Background(), m, Options{MaxPathsPerAggregate: cap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestPathCapMonotonicity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := Run(m, Options{MaxPathsPerAggregate: cap})
+		sol, err := Run(context.Background(), m, Options{MaxPathsPerAggregate: cap})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestSingleUsablePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

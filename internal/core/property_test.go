@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fubar/internal/baseline"
@@ -41,7 +42,7 @@ func TestPropertyUtilityMonotoneAcrossSteps(t *testing.T) {
 		_, _, model := propInstance(t, seed)
 		last := -1.0
 		steps := 0
-		sol, err := Run(model, Options{Trace: func(s Snapshot) {
+		sol, err := Run(context.Background(), model, Options{Trace: func(s Snapshot) {
 			u := s.Result.NetworkUtility
 			if u < last {
 				t.Fatalf("seed %d: step %d lowered utility %.9f -> %.9f", seed, s.Step, last, u)
@@ -66,7 +67,7 @@ func TestPropertyUtilityMonotoneAcrossSteps(t *testing.T) {
 func TestPropertyFlowConservation(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		_, mat, model := propInstance(t, seed)
-		sol, err := Run(model, Options{})
+		sol, err := Run(context.Background(), model, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: Run: %v", seed, err)
 		}
@@ -97,7 +98,7 @@ func TestPropertyNeverBelowShortestPath(t *testing.T) {
 			t.Fatalf("seed %d: ShortestPath: %v", seed, err)
 		}
 		spU := sp.Result.NetworkUtility
-		sol, err := Run(model, Options{})
+		sol, err := Run(context.Background(), model, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: Run: %v", seed, err)
 		}
@@ -114,7 +115,7 @@ func TestPropertyNeverBelowShortestPath(t *testing.T) {
 func TestPropertyPathSetBounded(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		_, _, model := propInstance(t, seed)
-		sol, err := Run(model, Options{MaxPathsPerAggregate: 4})
+		sol, err := Run(context.Background(), model, Options{MaxPathsPerAggregate: 4})
 		if err != nil {
 			t.Fatalf("seed %d: Run: %v", seed, err)
 		}
@@ -147,11 +148,11 @@ func TestPropertyDeterministicRuns(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		_, _, m1 := propInstance(t, seed)
 		_, _, m2 := propInstance(t, seed)
-		s1, err := Run(m1, Options{})
+		s1, err := Run(context.Background(), m1, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: Run 1: %v", seed, err)
 		}
-		s2, err := Run(m2, Options{})
+		s2, err := Run(context.Background(), m2, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: Run 2: %v", seed, err)
 		}
@@ -170,11 +171,11 @@ func TestPropertyDeterministicRuns(t *testing.T) {
 func TestWarmStartMatchesInstalledState(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		_, _, model := propInstance(t, seed)
-		first, err := Run(model, Options{})
+		first, err := Run(context.Background(), model, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: first Run: %v", seed, err)
 		}
-		second, err := Run(model, Options{InitialBundles: first.Bundles})
+		second, err := Run(context.Background(), model, Options{InitialBundles: first.Bundles})
 		if err != nil {
 			t.Fatalf("seed %d: warm Run: %v", seed, err)
 		}
@@ -193,7 +194,7 @@ func TestWarmStartMatchesInstalledState(t *testing.T) {
 // allocations.
 func TestWarmStartRejectsBadCoverage(t *testing.T) {
 	_, mat, model := propInstance(t, 3)
-	sol, err := Run(model, Options{})
+	sol, err := Run(context.Background(), model, Options{})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -207,13 +208,13 @@ func TestWarmStartRejectsBadCoverage(t *testing.T) {
 		}
 		trimmed = append(trimmed, b)
 	}
-	if _, err := Run(model, Options{InitialBundles: trimmed}); err == nil {
+	if _, err := Run(context.Background(), model, Options{InitialBundles: trimmed}); err == nil {
 		t.Fatal("under-covering warm start accepted")
 	}
 	// Unknown aggregate.
 	bad := append([]flowmodel.Bundle(nil), sol.Bundles...)
 	bad[0].Agg = traffic.AggregateID(mat.NumAggregates())
-	if _, err := Run(model, Options{InitialBundles: bad}); err == nil {
+	if _, err := Run(context.Background(), model, Options{InitialBundles: bad}); err == nil {
 		t.Fatal("unknown aggregate in warm start accepted")
 	}
 	// Invalid path for its endpoints.
@@ -221,7 +222,7 @@ func TestWarmStartRejectsBadCoverage(t *testing.T) {
 	for i := range bad2 {
 		if len(bad2[i].Edges) > 1 {
 			bad2[i].Edges = bad2[i].Edges[:1] // truncated path: wrong endpoint
-			if _, err := Run(model, Options{InitialBundles: bad2}); err == nil {
+			if _, err := Run(context.Background(), model, Options{InitialBundles: bad2}); err == nil {
 				t.Fatal("broken warm-start path accepted")
 			}
 			break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestRepairWarmStartSRLGCorrelatedFailure(t *testing.T) {
 		}
 	}
 	// And it is a valid warm start for a run under the same policy.
-	sol, err := Run(m, Options{Policy: policy, InitialBundles: repaired, Workers: 1})
+	sol, err := Run(context.Background(), m, Options{Policy: policy, InitialBundles: repaired, Workers: 1})
 	if err != nil {
 		t.Fatalf("warm-started Run after SRLG repair: %v", err)
 	}
@@ -158,7 +159,7 @@ func TestRepairWarmStartMaintenanceRoundTrip(t *testing.T) {
 	// use the returned link again and must not lose utility.
 	m := mustModel(t, topo, fanAggs(9))
 	stale := m.Evaluate(restored).NetworkUtility
-	sol, err := Run(m, Options{InitialBundles: restored, Workers: 1})
+	sol, err := Run(context.Background(), m, Options{InitialBundles: restored, Workers: 1})
 	if err != nil {
 		t.Fatalf("warm-started Run after maintenance: %v", err)
 	}

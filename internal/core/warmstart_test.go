@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -100,7 +101,7 @@ func TestWarmStartValidationErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		tc.opts.InitialBundles = tc.bundles
-		_, err := Run(m, tc.opts)
+		_, err := Run(context.Background(), m, tc.opts)
 		if err == nil {
 			t.Errorf("%s: accepted", tc.name)
 			continue
@@ -115,7 +116,7 @@ func TestWarmStartValidationErrors(t *testing.T) {
 func TestRepairWarmStartNoOp(t *testing.T) {
 	topo := fanTopo(t)
 	m := mustModel(t, topo, fanAggs(9))
-	sol, err := Run(m, Options{})
+	sol, err := Run(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestRepairWarmStartNoOp(t *testing.T) {
 	if !stats.Zero() {
 		t.Fatalf("no-op repair reported changes: %+v", stats)
 	}
-	if _, err := Run(m, Options{InitialBundles: repaired}); err != nil {
+	if _, err := Run(context.Background(), m, Options{InitialBundles: repaired}); err != nil {
 		t.Fatalf("repaired warm start rejected: %v", err)
 	}
 }
@@ -161,7 +162,7 @@ func TestRepairWarmStartForbiddenLink(t *testing.T) {
 	if total != 9 {
 		t.Fatalf("repaired total = %d, want 9", total)
 	}
-	sol, err := Run(m, Options{Policy: pol, InitialBundles: repaired})
+	sol, err := Run(context.Background(), m, Options{Policy: pol, InitialBundles: repaired})
 	if err != nil {
 		t.Fatalf("warm start after repair rejected: %v", err)
 	}
@@ -209,7 +210,7 @@ func TestRepairWarmStartRemovedLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(model, Options{InitialBundles: repaired}); err != nil {
+	if _, err := Run(context.Background(), model, Options{InitialBundles: repaired}); err != nil {
 		t.Fatalf("warm start after link removal rejected: %v", err)
 	}
 }
@@ -249,7 +250,7 @@ func TestRepairWarmStartRescalesDemand(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(model, Options{InitialBundles: repaired}); err != nil {
+		if _, err := Run(context.Background(), model, Options{InitialBundles: repaired}); err != nil {
 			t.Fatalf("flows=%d: warm start rejected: %v", newFlows, err)
 		}
 	}
@@ -277,7 +278,7 @@ func TestRepairWarmStartPathCap(t *testing.T) {
 	if repaired[0].Flows != 12 || stats.MovedFlows != 6 {
 		t.Fatalf("fold wrong: %+v, stats %+v", repaired, stats)
 	}
-	if _, err := Run(m, Options{MaxPathsPerAggregate: 2, InitialBundles: repaired}); err != nil {
+	if _, err := Run(context.Background(), m, Options{MaxPathsPerAggregate: 2, InitialBundles: repaired}); err != nil {
 		t.Fatalf("capped warm start rejected: %v", err)
 	}
 
@@ -293,7 +294,7 @@ func TestRepairWarmStartPathCap(t *testing.T) {
 	if stats.ReroutedAggregates != 1 || stats.MovedFlows != 12 {
 		t.Fatalf("maxPaths=1 stats = %+v", stats)
 	}
-	if _, err := Run(m, Options{MaxPathsPerAggregate: 1, InitialBundles: repaired}); err != nil {
+	if _, err := Run(context.Background(), m, Options{MaxPathsPerAggregate: 1, InitialBundles: repaired}); err != nil {
 		t.Fatalf("maxPaths=1 warm start rejected: %v", err)
 	}
 }
@@ -317,7 +318,7 @@ func TestRepairWarmStartDropsUnknownAggregates(t *testing.T) {
 	if len(repaired) != 1 || repaired[0].Agg != 0 || repaired[0].Flows != 9 {
 		t.Fatalf("repaired = %+v, want aggregate 0 fully on lowest-delay path", repaired)
 	}
-	if _, err := Run(m, Options{InitialBundles: repaired}); err != nil {
+	if _, err := Run(context.Background(), m, Options{InitialBundles: repaired}); err != nil {
 		t.Fatalf("warm start rejected: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -146,7 +147,7 @@ func TestInstallAllocationReachesFabric(t *testing.T) {
 	if err != nil {
 		t.Fatalf("flowmodel.New: %v", err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}
@@ -179,7 +180,7 @@ func TestClosedLoopImprovesUtility(t *testing.T) {
 	spUtility, _ := n.fabric.TrueUtility()
 
 	keys := measure.KeysFromMatrix(n.truth)
-	res, err := RunLoop(n.ctrl, n.topo, keys, LoopConfig{Epochs: 6, OptimizeEvery: 3}, n.fabric.RunEpoch)
+	res, err := RunLoop(context.Background(), n.ctrl, n.topo, keys, LoopConfig{Epochs: 6, OptimizeEvery: 3}, n.fabric.RunEpoch)
 	if err != nil {
 		t.Fatalf("RunLoop: %v", err)
 	}

@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,8 +61,13 @@ type LoopResult struct {
 // OptimizeEvery epochs re-run the optimizer and install the new
 // allocation. advance is the environment's clock: in tests and examples
 // it runs one Fabric epoch; against real hardware it would simply sleep
-// one measurement interval.
-func RunLoop(ctrl *Controller, topo *topology.Topology, keys []measure.AggregateKey, cfg LoopConfig, advance func() error) (*LoopResult, error) {
+// one measurement interval. The context is checked once per measurement
+// epoch and threaded into each optimization: cancellation returns the
+// partial LoopResult with the context's error.
+func RunLoop(ctx context.Context, ctrl *Controller, topo *topology.Topology, keys []measure.AggregateKey, cfg LoopConfig, advance func() error) (*LoopResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ctrl == nil || topo == nil {
 		return nil, fmt.Errorf("ctrlplane: nil controller or topology")
 	}
@@ -77,6 +83,9 @@ func RunLoop(ctrl *Controller, topo *topology.Topology, keys []measure.Aggregate
 	generation := uint64(1)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if err := advance(); err != nil {
 			return res, fmt.Errorf("ctrlplane: advance epoch %d: %w", epoch, err)
 		}
@@ -101,7 +110,7 @@ func RunLoop(ctrl *Controller, topo *topology.Topology, keys []measure.Aggregate
 		if err != nil {
 			return res, err
 		}
-		sol, err := core.Run(model, cfg.Optimizer)
+		sol, err := core.Run(ctx, model, cfg.Optimizer)
 		if err != nil {
 			return res, fmt.Errorf("ctrlplane: optimize after epoch %d: %w", epoch, err)
 		}

@@ -1,6 +1,7 @@
 package dsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -176,7 +177,7 @@ func TestValidateAgainstModelOnRing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("flowmodel.New: %v", err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}
@@ -225,7 +226,7 @@ func TestFUBARQueuesLessThanShortestPath(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Simulate(sp): %v", err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}

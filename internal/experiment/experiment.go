@@ -4,6 +4,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -144,18 +145,18 @@ func Instance(cfg Config) (*topology.Topology, *traffic.Matrix, error) {
 }
 
 // Run executes one configured optimization.
-func Run(cfg Config) (*RunResult, error) {
+func Run(ctx context.Context, cfg Config) (*RunResult, error) {
 	topo, mat, err := Instance(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return RunOn(topo, mat, cfg.Options)
+	return RunOn(ctx, topo, mat, cfg.Options)
 }
 
 // RunOn executes the evaluation pipeline on a prepared topology + matrix:
 // upper bound, shortest-path baseline, then the FUBAR optimization with
 // full progress tracing.
-func RunOn(topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*RunResult, error) {
+func RunOn(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*RunResult, error) {
 	ub, err := baseline.UpperBound(topo, mat, opts.Policy)
 	if err != nil {
 		return nil, err
@@ -199,7 +200,7 @@ func RunOn(topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*Ru
 			userTrace(s)
 		}
 	}
-	sol, err := core.Run(model, opts)
+	sol, err := core.Run(ctx, model, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +244,7 @@ type RepeatabilityResult struct {
 // collected by seed index, so the distributions are identical at any
 // worker count; a Trace callback on base.Options must be safe for
 // concurrent invocation.
-func Repeatability(base Config, runs int) (*RepeatabilityResult, error) {
+func Repeatability(ctx context.Context, base Config, runs int) (*RepeatabilityResult, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
 	}
@@ -264,7 +265,7 @@ func Repeatability(base Config, runs int) (*RepeatabilityResult, error) {
 		cfg := base
 		cfg.Seed = base.Seed + int64(i)
 		cfg.Options.Workers = perRun
-		r, err := Run(cfg)
+		r, err := Run(ctx, cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiment: seed %d: %v", cfg.Seed, err)
 			return
@@ -298,7 +299,7 @@ type RuntimeRow struct {
 
 // RuntimeTable measures wall-clock convergence of the provisioned and
 // underprovisioned cases ("Running time", §3).
-func RuntimeTable(seed int64, opts core.Options) ([]RuntimeRow, error) {
+func RuntimeTable(ctx context.Context, seed int64, opts core.Options) ([]RuntimeRow, error) {
 	rows := make([]RuntimeRow, 0, 2)
 	for _, c := range []struct {
 		name string
@@ -308,7 +309,7 @@ func RuntimeTable(seed int64, opts core.Options) ([]RuntimeRow, error) {
 		{"underprovisioned (75 Mbps)", Underprovisioned(seed)},
 	} {
 		c.cfg.Options = opts
-		r, err := Run(c.cfg)
+		r, err := Run(ctx, c.cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -41,7 +42,7 @@ func TestPresetConfigs(t *testing.T) {
 }
 
 func TestRunProducesAllSeries(t *testing.T) {
-	r, err := Run(ringCfg(t, 2000*unit.Kbps))
+	r, err := Run(context.Background(), ringCfg(t, 2000*unit.Kbps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunProducesAllSeries(t *testing.T) {
 func TestLargeWeightApplied(t *testing.T) {
 	cfg := ringCfg(t, 1500*unit.Kbps)
 	cfg.LargeWeight = 8
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestLargeWeightApplied(t *testing.T) {
 func TestDelayScaleApplied(t *testing.T) {
 	cfg := ringCfg(t, 1500*unit.Kbps)
 	cfg.DelayScale = 2
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestUserTraceStillFires(t *testing.T) {
 	cfg := ringCfg(t, 2000*unit.Kbps)
 	calls := 0
 	cfg.Options.Trace = func(core.Snapshot) { calls++ }
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if calls == 0 {
@@ -136,14 +137,14 @@ func TestUserTraceStillFires(t *testing.T) {
 
 func TestRepeatability(t *testing.T) {
 	cfg := ringCfg(t, 2000*unit.Kbps)
-	rep, err := Repeatability(cfg, 4)
+	rep, err := Repeatability(context.Background(), cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Runs != 4 || rep.Fubar.Len() != 4 || rep.ShortestPath.Len() != 4 || rep.UpperBound.Len() != 4 {
 		t.Errorf("repeatability shape wrong: %+v", rep)
 	}
-	if _, err := Repeatability(cfg, 0); err == nil {
+	if _, err := Repeatability(context.Background(), cfg, 0); err == nil {
 		t.Error("zero runs accepted")
 	}
 	// Distinct seeds produce at least two distinct outcomes (overwhelmingly
@@ -169,7 +170,7 @@ func TestRepeatabilityWorkerCountInvariant(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		c := cfg
 		c.Options.Workers = workers
-		rep, err := Repeatability(c, 5)
+		rep, err := Repeatability(context.Background(), c, 5)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -203,7 +204,7 @@ func TestRuntimeTableSmall(t *testing.T) {
 		t.Skip("paper-scale runtime table")
 	}
 	// Use tiny deadlines: this only checks plumbing, not convergence.
-	rows, err := RuntimeTable(1, core.Options{Deadline: 2 * time.Second})
+	rows, err := RuntimeTable(context.Background(), 1, core.Options{Deadline: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestRuntimeTableSmall(t *testing.T) {
 func TestRunWithCapacityOverrideOnCustomTopology(t *testing.T) {
 	cfg := ringCfg(t, 2000*unit.Kbps)
 	cfg.Capacity = 1000 * unit.Kbps // override the ring's 2 Mbps
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

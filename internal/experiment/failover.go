@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,12 +52,12 @@ type FailoverResult struct {
 // the dead link forbidden. FUBAR is an offline system — this is exactly
 // the "periodically adjust" cycle of the abstract reacting to a
 // topology change.
-func Failover(topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*FailoverResult, error) {
+func Failover(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (*FailoverResult, error) {
 	model, err := flowmodel.New(topo, mat)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := core.Run(model, opts)
+	sol, err := core.Run(ctx, model, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: healthy optimization: %w", err)
 	}
@@ -113,7 +114,7 @@ func Failover(topo *topology.Topology, mat *traffic.Matrix, opts core.Options) (
 	res.Stale = deadModel.Evaluate(repaired).NetworkUtility
 	recOpts.InitialBundles = repaired
 	start := time.Now()
-	rec, err := core.Run(deadModel, recOpts)
+	rec, err := core.Run(ctx, deadModel, recOpts)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: recovery optimization: %w", err)
 	}

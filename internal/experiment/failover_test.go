@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"fubar/internal/core"
@@ -28,7 +29,7 @@ func failoverInstance(t *testing.T, seed int64) (*topology.Topology, *traffic.Ma
 func TestFailoverShape(t *testing.T) {
 	for _, seed := range []int64{3, 7, 11} {
 		topo, mat := failoverInstance(t, seed)
-		res, err := Failover(topo, mat, core.Options{})
+		res, err := Failover(context.Background(), topo, mat, core.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: Failover: %v", seed, err)
 		}

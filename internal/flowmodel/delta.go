@@ -132,6 +132,11 @@ func (s *DeltaStats) Add(other DeltaStats) {
 // counters.
 func (e *Eval) DeltaStats() DeltaStats { return e.stats }
 
+// ResetDeltaStats zeroes the arena's counters — a long-lived arena
+// reused across optimization runs resets them per run so each run's
+// statistics stand alone.
+func (e *Eval) ResetDeltaStats() { e.stats = DeltaStats{} }
+
 // deltaMaxAffectedFrac is the fallback threshold: when more than this
 // fraction of the bundle list is affected, a delta solve re-does most of
 // the work with extra bookkeeping on top, so run the full evaluation.
@@ -170,6 +175,7 @@ type deltaScratch struct {
 	seedLinks []int32   // seed links, discovery order
 	tchSeed   []int32   // touched-seed links
 	chCross   []int32   // scratch: changed bundles crossing one link
+	lbScratch []int32   // scratch: crosser-list merge buffer (patchBase)
 	wDelta    []float64 // per seed link: crossing-weight change of the move
 	dDelta    []float64 // per seed link: crossing-demand change of the move
 }
@@ -227,6 +233,14 @@ func (d *deltaScratch) bump() {
 // valid until the arena's next evaluation.
 func (e *Eval) EvaluateBase(bundles []Bundle, base *Base) *Result {
 	res := e.Evaluate(bundles)
+	e.captureState(bundles, res, base)
+	return res
+}
+
+// captureState copies the arena's post-Evaluate state into base. The
+// arena must hold a complete full evaluation of bundles (every per-bundle
+// and per-link array valid), which is true immediately after Evaluate.
+func (e *Eval) captureState(bundles []Bundle, res *Result, base *Base) {
 	base.bundles = append(base.bundles[:0], bundles...)
 	base.rate = append(base.rate[:0], res.BundleRate...)
 	base.sat = append(base.sat[:0], res.BundleSatisfied...)
@@ -264,7 +278,6 @@ func (e *Eval) EvaluateBase(bundles []Bundle, base *Base) *Result {
 	for i, b := range bundles {
 		base.aggBun[b.Agg] = append(base.aggBun[b.Agg], int32(i))
 	}
-	return res
 }
 
 // EvaluateDelta evaluates a candidate bundle list incrementally against a
@@ -278,16 +291,24 @@ func (e *Eval) EvaluateBase(bundles []Bundle, base *Base) *Result {
 // back to a full Evaluate when the affected set exceeds half the list,
 // the contract cannot be validated cheaply, or base was never captured.
 func (e *Eval) EvaluateDelta(base *Base, bundles []Bundle, changed []int) *Result {
+	res, _ := e.evaluateDelta(base, bundles, changed)
+	return res
+}
+
+// evaluateDelta is EvaluateDelta plus a flag reporting whether the call
+// fell back to a full Evaluate (in which case the arena holds a complete
+// full-evaluation state for the list, capturable by captureState).
+func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Result, bool) {
 	e.stats.Calls++
 	nB := len(bundles)
 	if base == nil || len(base.bundles) != nB || nB == 0 {
 		e.stats.Fallbacks++
-		return e.Evaluate(bundles)
+		return e.Evaluate(bundles), true
 	}
 	for _, i := range changed {
 		if i < 0 || i >= nB || bundles[i].Agg != base.bundles[i].Agg {
 			e.stats.Fallbacks++
-			return e.Evaluate(bundles)
+			return e.Evaluate(bundles), true
 		}
 	}
 	m := e.m
@@ -408,7 +429,7 @@ func (e *Eval) EvaluateDelta(base *Base, bundles []Bundle, changed []int) *Resul
 		}
 		if float64(len(d.affected)) > deltaMaxAffectedFrac*float64(nB) {
 			e.stats.Fallbacks++
-			return e.Evaluate(bundles)
+			return e.Evaluate(bundles), true
 		}
 
 		// Canonical (bundle index) order for all per-link accumulations.
@@ -551,7 +572,7 @@ func (e *Eval) EvaluateDelta(base *Base, bundles []Bundle, changed []int) *Resul
 	e.rebuildCongested(res)
 	e.deltaUtility(base, bundles, changed, res)
 	e.computeUtilization(res)
-	return res
+	return res, false
 }
 
 // activeWeight returns the filling weight (flows/RTT) a bundle

@@ -185,7 +185,9 @@ type Eval struct {
 
 	delta deltaScratch
 	stats DeltaStats
-	res   Result
+	// remapInv is RemapBase's old-index → new-index scratch.
+	remapInv []int32
+	res      Result
 }
 
 // New builds a model for the topology and matrix.

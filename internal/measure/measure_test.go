@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -222,7 +223,7 @@ func TestClosedLoopImprovesTrueUtility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

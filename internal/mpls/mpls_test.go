@@ -1,6 +1,7 @@
 package mpls
 
 import (
+	"context"
 	"testing"
 
 	"fubar/internal/core"
@@ -312,7 +313,7 @@ func TestSyncSolutionInstallsAndReconciles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("flowmodel.New: %v", err)
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -136,7 +137,7 @@ func TestFubarReducesQueues(t *testing.T) {
 		p, _ := graph.ShortestPath(topo.Graph(), a.Src, a.Dst, graph.Constraints{})
 		spBundles = append(spBundles, flowmodel.NewBundle(topo, a.ID, a.Flows, p))
 	}
-	sol, err := core.Run(model, core.Options{})
+	sol, err := core.Run(context.Background(), model, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math/rand"
 	"time"
 
@@ -32,14 +34,15 @@ type ClosedLoopOptions struct {
 	// Options.Arrivals).
 	Arrivals traffic.GenConfig
 	// EpochBudget bounds each epoch's re-optimization wall time — the
-	// paper's "re-optimize within the measurement interval". When the
-	// budget truncates a run, the best-so-far solution is published
-	// anyway and the epoch records DeadlineMiss; the stale-utility cost
-	// of the early publish is visible as Utility vs StaleUtility (and
-	// TrueUtility vs StaleTrueUtility on the simulated network). 0
-	// leaves Core.Deadline (if any) in effect. A real budget makes
-	// replays machine-dependent (see core.Options.Deadline); leave it 0
-	// when checking determinism.
+	// paper's "re-optimize within the measurement interval" —
+	// implemented as a per-epoch context.WithTimeout layered under the
+	// replay's context. When the budget truncates a run, the best-so-far
+	// solution is published anyway and the epoch records DeadlineMiss;
+	// the stale-utility cost of the early publish is visible as Utility
+	// vs StaleUtility (and TrueUtility vs StaleTrueUtility on the
+	// simulated network). 0 leaves Core.Deadline (if any) in effect. A
+	// real budget makes replays machine-dependent (see
+	// core.Options.Deadline); leave it 0 when checking determinism.
 	EpochBudget time.Duration
 	// MeasureEpochs is how many simulator measurement epochs are polled
 	// and folded into the traffic-matrix estimate before each
@@ -73,22 +76,124 @@ func (o ClosedLoopOptions) withDefaults() ClosedLoopOptions {
 // RNG stream derived from the same (seed, epoch).
 const simSeedSalt = 0x73696d5f657063 // "sim_epc"
 
-// closedLoop is one closed-loop replay's live state: the persistent
-// control plane (controller + one agent per POP over loopback TCP) and
-// the per-epoch environment handle.
-type closedLoop struct {
-	en     *engine
-	opts   ClosedLoopOptions
+// ControlPlane is the persistent half of a closed-loop replay: the
+// controller, one switch agent per POP over loopback TCP, and the
+// fabric adapting the simulated network into per-switch datapaths.
+// Switches are hardware, epochs (and whole replays) are weather: a
+// long-lived Session keeps one ControlPlane across any number of
+// ReplayClosedLoop calls, with switch tables, install generations and
+// ack ledgers carrying over exactly as a production controller's would.
+// Not safe for concurrent replays. Close releases the sockets.
+type ControlPlane struct {
+	topo   *topology.Topology
 	ctrl   *ctrlplane.Controller
 	fabric *ctrlplane.Fabric
-	res    *Result
+	agents []*ctrlplane.Agent
+	serve  chan error
 
 	generation uint64
 	ackedBase  int // fabric AckedFlowMods watermark
 }
 
-// RunClosedLoop replays the scenario with the control plane in the
-// loop. Per epoch it:
+// NewControlPlane starts a controller and dials one switch agent per
+// topology node over loopback TCP. The matrix seeds the placeholder
+// simulator the fabric starts against (each replay epoch retargets it);
+// epoch is the measurement interval advertised to the agents in the
+// handshake (0 means the 10s default, matching
+// ClosedLoopOptions.SimEpoch). logf may be nil.
+func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Duration, logf func(string, ...any)) (*ControlPlane, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if epoch <= 0 {
+		epoch = 10 * time.Second
+	}
+	simBase, err := sdnsim.New(topo, mat, sdnsim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	fabric := ctrlplane.NewFabric(simBase)
+	ctrl, err := ctrlplane.Listen("127.0.0.1:0", ctrlplane.ControllerConfig{
+		Name:           "fubar-closedloop",
+		EpochMs:        uint32(epoch / time.Millisecond),
+		RequestTimeout: 30 * time.Second,
+		Logf:           logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp := &ControlPlane{
+		topo:       topo,
+		ctrl:       ctrl,
+		fabric:     fabric,
+		serve:      make(chan error, topo.NumNodes()),
+		generation: 1,
+	}
+	for node := 0; node < topo.NumNodes(); node++ {
+		agent, err := ctrlplane.Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
+			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logf: logf})
+		if err != nil {
+			cp.Close()
+			return nil, fmt.Errorf("scenario: agent %d: %w", node, err)
+		}
+		cp.agents = append(cp.agents, agent)
+		go func() { cp.serve <- agent.Serve() }()
+	}
+	if err := ctrl.WaitForSwitches(topo.NumNodes(), 10*time.Second); err != nil {
+		cp.Close()
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return cp, nil
+}
+
+// Close shuts the controller and every agent down and waits for the
+// agent serve loops to drain. Safe to call more than once.
+func (cp *ControlPlane) Close() error {
+	if cp.ctrl != nil {
+		cp.ctrl.Close()
+		cp.ctrl = nil
+		for _, a := range cp.agents {
+			a.Close()
+		}
+		for range cp.agents {
+			<-cp.serve
+		}
+		cp.agents = nil
+	}
+	return nil
+}
+
+// closedLoop is one closed-loop replay's live state over a (possibly
+// borrowed) control plane.
+type closedLoop struct {
+	en   *engine
+	opts ClosedLoopOptions
+	cp   *ControlPlane
+	seed int64
+}
+
+// StreamClosedLoop replays the scenario with the control plane in the
+// loop, building a private ControlPlane that lives for the duration of
+// the stream. See StreamClosedLoopOn for the per-epoch cycle and
+// RunClosedLoop for the collected form.
+func StreamClosedLoop(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) iter.Seq2[EpochResult, error] {
+	return func(yield func(EpochResult, error) bool) {
+		cp, err := NewControlPlane(topo, mat, opts.SimEpoch, opts.Logf)
+		if err != nil {
+			yield(EpochResult{}, err)
+			return
+		}
+		defer cp.Close()
+		for er, err := range StreamClosedLoopOn(ctx, cp, topo, mat, sc, opts) {
+			if !yield(er, err) {
+				return
+			}
+		}
+	}
+}
+
+// StreamClosedLoopOn replays the scenario with an existing control
+// plane in the loop, yielding one EpochResult per epoch. Per epoch it:
 //
 //  1. applies the epoch's events and materializes the epoch's
 //     ground-truth instance;
@@ -100,8 +205,9 @@ type closedLoop struct {
 //     counters over the control protocol, and folds them into a
 //     traffic-matrix estimate (internal/measure);
 //  4. re-optimizes the *estimated* matrix warm-started from the
-//     repaired allocation under the per-epoch wall-clock budget,
-//     recording a deadline miss when the budget truncates;
+//     repaired allocation under the per-epoch budget (a
+//     context.WithTimeout under ctx), recording a deadline miss when
+//     the budget truncates;
 //  5. prices the transition make-before-break (mpls.PlanTransition:
 //     transient double-reservation headroom, teardown counts) and
 //     pushes the new allocation differentially — only switches whose
@@ -111,90 +217,70 @@ type closedLoop struct {
 //     installed allocation actually achieves.
 //
 // The wire FlowMod counts are real message counts, not bundle-diff
-// estimates; Result.Installs records the full install sequence. With
-// EpochBudget 0 a replay is deterministic for a given seed at any
-// Core.Workers count and either DeltaEval mode (only Elapsed varies).
-func RunClosedLoop(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) (*Result, error) {
+// estimates; each epoch's install records ride on
+// EpochResult.Installs. With no EpochBudget a replay over a fresh
+// control plane is deterministic per seed at any Core.Workers count and
+// either DeltaEval mode (only Elapsed varies); a reused control plane
+// carries its switch tables, so the first repair push differs exactly
+// as real re-used hardware would. Cancelling ctx stops the stream at
+// the next epoch or candidate-batch boundary with a final yielded
+// error.
+func StreamClosedLoopOn(ctx context.Context, cp *ControlPlane, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) iter.Seq2[EpochResult, error] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
-	en, err := newEngine(topo, mat, sc, Options{Core: opts.Core, ColdStart: opts.ColdStart, Arrivals: opts.Arrivals})
-	if err != nil {
-		return nil, err
-	}
-
-	// The control plane persists across epochs: switches are hardware,
-	// epochs are weather. The fabric starts against a placeholder
-	// simulator and is retargeted to each epoch's environment.
-	simBase, err := sdnsim.New(topo, mat, sdnsim.Config{Seed: sc.Seed})
-	if err != nil {
-		return nil, err
-	}
-	fabric := ctrlplane.NewFabric(simBase)
-	ctrl, err := ctrlplane.Listen("127.0.0.1:0", ctrlplane.ControllerConfig{
-		Name:           "fubar-closedloop",
-		EpochMs:        uint32(opts.SimEpoch / time.Millisecond),
-		RequestTimeout: 30 * time.Second,
-		Logf:           opts.Logf,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	nNodes := topo.NumNodes()
-	agents := make([]*ctrlplane.Agent, 0, nNodes)
-	serveErr := make(chan error, nNodes)
-	defer func() {
-		ctrl.Close()
-		for _, a := range agents {
-			a.Close()
-		}
-		for range agents {
-			<-serveErr
-		}
-	}()
-	for node := 0; node < nNodes; node++ {
-		agent, err := ctrlplane.Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
-			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logf: opts.Logf})
+	return func(yield func(EpochResult, error) bool) {
+		en, err := newEngine(topo, mat, sc, Options{Core: opts.Core, ColdStart: opts.ColdStart, Arrivals: opts.Arrivals})
 		if err != nil {
-			return nil, fmt.Errorf("scenario: agent %d: %w", node, err)
+			yield(EpochResult{}, err)
+			return
 		}
-		agents = append(agents, agent)
-		go func() { serveErr <- agent.Serve() }()
+		if cp == nil || cp.ctrl == nil {
+			yield(EpochResult{}, fmt.Errorf("scenario: nil or closed control plane"))
+			return
+		}
+		l := &closedLoop{en: en, opts: opts, cp: cp, seed: sc.Seed}
+		byEpoch := en.timeline()
+		for epoch := 0; epoch < sc.Epochs; epoch++ {
+			if err := ctx.Err(); err != nil {
+				yield(EpochResult{}, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
+			events, err := en.applyEpochEvents(byEpoch, epoch, rng)
+			if err != nil {
+				yield(EpochResult{}, err)
+				return
+			}
+			er, err := l.runEpoch(ctx, epoch, events)
+			if err != nil {
+				yield(EpochResult{}, fmt.Errorf("scenario: epoch %d: %w", epoch, err))
+				return
+			}
+			opts.Logf("closed loop: epoch %d: stale %.4f -> %.4f (true %.4f), %d wire flowmods, miss=%v",
+				epoch, er.StaleUtility, er.Utility, er.TrueUtility, er.WireFlowMods, er.DeadlineMiss)
+			if !yield(*er, nil) {
+				return
+			}
+		}
 	}
-	if err := ctrl.WaitForSwitches(nNodes, 10*time.Second); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
+}
 
-	l := &closedLoop{
-		en:     en,
-		opts:   opts,
-		ctrl:   ctrl,
-		fabric: fabric,
-		res: &Result{
-			Name: sc.Name, Seed: sc.Seed, Topology: topo.Summary(),
-			ColdStart: opts.ColdStart, ClosedLoop: true,
-		},
-		generation: 1,
+// RunClosedLoop replays the scenario with the control plane in the loop
+// and returns the collected epoch table — StreamClosedLoop buffered
+// into a Result, with the install sequence folded into Result.Installs.
+// A cancelled ctx surfaces as an error (stream to keep partial epochs).
+func RunClosedLoop(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) (*Result, error) {
+	res := &Result{Name: sc.Name, Seed: sc.Seed, ColdStart: opts.ColdStart, ClosedLoop: true}
+	if topo != nil {
+		res.Topology = topo.Summary()
 	}
-	byEpoch := en.timeline()
-	for epoch := 0; epoch < sc.Epochs; epoch++ {
-		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
-		events, err := en.applyEpochEvents(byEpoch, epoch, rng)
-		if err != nil {
-			return nil, err
-		}
-		er, err := l.runEpoch(epoch, events)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
-		}
-		l.res.Epochs = append(l.res.Epochs, *er)
-		opts.Logf("closed loop: epoch %d: stale %.4f -> %.4f (true %.4f), %d wire flowmods, miss=%v",
-			epoch, er.StaleUtility, er.Utility, er.TrueUtility, er.WireFlowMods, er.DeadlineMiss)
-	}
-	return l.res, nil
+	return collectEpochs(res, StreamClosedLoop(ctx, topo, mat, sc, opts))
 }
 
 // runEpoch drives one epoch of the closed loop.
-func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) {
+func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (*EpochResult, error) {
 	inst, err := l.en.materialize()
 	if err != nil {
 		return nil, err
@@ -225,14 +311,14 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 
 	// Fresh environment for the epoch; switch tables carry over.
 	sim, err := sdnsim.New(inst.topo, inst.mat, sdnsim.Config{
-		Seed:         epochSeed(l.res.Seed, epoch) ^ simSeedSalt,
+		Seed:         epochSeed(l.seed, epoch) ^ simSeedSalt,
 		Epoch:        l.opts.SimEpoch,
 		DemandJitter: l.opts.DemandJitter,
 	})
 	if err != nil {
 		return nil, err
 	}
-	l.fabric.Retarget(sim)
+	l.cp.fabric.Retarget(sim)
 
 	// Failover push: restore a valid routing before anything else.
 	if err := l.install(epoch, "repair", inst.mat, repaired, er); err != nil {
@@ -243,10 +329,10 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 	// wire, fold them into the matrix estimate.
 	est := measure.NewEstimator(measure.KeysFromMatrix(inst.mat))
 	for m := 0; m < l.opts.MeasureEpochs; m++ {
-		if err := l.fabric.RunEpoch(); err != nil {
+		if err := l.cp.fabric.RunEpoch(); err != nil {
 			return nil, err
 		}
-		replies, err := l.ctrl.CollectStats()
+		replies, err := l.cp.ctrl.CollectStats()
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +340,7 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 			return nil, err
 		}
 	}
-	er.StaleTrueUtility, _ = l.fabric.TrueUtility()
+	er.StaleTrueUtility, _ = l.cp.fabric.TrueUtility()
 	matEst, err := est.Matrix(inst.topo)
 	if err != nil {
 		return nil, err
@@ -264,19 +350,27 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 		return nil, err
 	}
 
-	// Deadline-budgeted re-optimization of the estimated matrix,
-	// warm-started from the repaired install.
+	// Budgeted re-optimization of the estimated matrix, warm-started
+	// from the repaired install. The budget is a context deadline under
+	// the replay's context, so an outer cancellation or deadline still
+	// wins.
 	coreOpts := inst.opts
+	runCtx := ctx
 	if l.opts.EpochBudget > 0 {
-		coreOpts.Deadline = l.opts.EpochBudget
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, l.opts.EpochBudget)
+		defer cancel()
 	}
 	if !l.opts.ColdStart && epoch > 0 {
 		coreOpts.InitialBundles = repaired
 		er.WarmStart = true
 	}
-	sol, err := core.Run(estModel, coreOpts)
+	sol, err := core.Run(runCtx, estModel, coreOpts)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // the replay itself was cancelled or timed out
 	}
 	er.DeadlineMiss = sol.Stop == core.StopDeadline
 	er.Utility = sol.Utility
@@ -298,10 +392,10 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 	}
 
 	// Settle: what the published allocation actually delivers.
-	if err := l.fabric.RunEpoch(); err != nil {
+	if err := l.cp.fabric.RunEpoch(); err != nil {
 		return nil, err
 	}
-	er.TrueUtility, _ = l.fabric.TrueUtility()
+	er.TrueUtility, _ = l.cp.fabric.TrueUtility()
 
 	// Estimated churn (bundle-list diff), for comparison with the
 	// counted wire mods, and carry the installed state forward.
@@ -309,28 +403,28 @@ func (l *closedLoop) runEpoch(epoch int, events []string) (*EpochResult, error) 
 	return er, nil
 }
 
-// install pushes an allocation differentially, records the install in
-// the sequence log and on the epoch row, and cross-checks the counted
-// acks against the fabric's own ledger (the "±0 of what the switches
-// actually acked" contract).
+// install pushes an allocation differentially, records the install on
+// the epoch row, and cross-checks the counted acks against the fabric's
+// own ledger (the "±0 of what the switches actually acked" contract).
 func (l *closedLoop) install(epoch int, phase string, mat *traffic.Matrix, bundles []flowmodel.Bundle, er *EpochResult) error {
-	out, err := l.ctrl.InstallAllocationDiff(mat, bundles, l.generation)
+	cp := l.cp
+	out, err := cp.ctrl.InstallAllocationDiff(mat, bundles, cp.generation)
 	if err != nil {
-		return fmt.Errorf("%s install generation %d: %w", phase, l.generation, err)
+		return fmt.Errorf("%s install generation %d: %w", phase, cp.generation, err)
 	}
-	l.generation++
+	cp.generation++
 	if out.Acks != out.FlowMods {
 		return fmt.Errorf("%s install: %d FlowMods but %d acks", phase, out.FlowMods, out.Acks)
 	}
-	acked := l.fabric.AckedFlowMods()
-	if got := acked - l.ackedBase; got != out.FlowMods {
+	acked := cp.fabric.AckedFlowMods()
+	if got := acked - cp.ackedBase; got != out.FlowMods {
 		return fmt.Errorf("%s install: controller counted %d FlowMods, switches acked %d", phase, out.FlowMods, got)
 	}
-	l.ackedBase = acked
+	cp.ackedBase = acked
 	er.WireFlowMods += out.FlowMods
 	er.WireRules += out.Rules
 	er.InstallAcks += out.Acks
-	l.res.Installs = append(l.res.Installs, InstallRecord{
+	er.Installs = append(er.Installs, InstallRecord{
 		Epoch:      epoch,
 		Generation: out.Generation,
 		Phase:      phase,

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -40,7 +41,7 @@ func TestClosedLoopDeterminism(t *testing.T) {
 		{1, core.DeltaOff},
 		{4, core.DeltaOff},
 	} {
-		res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+		res, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{
 			Core: core.Options{Workers: cfg.workers, DeltaEval: cfg.delta},
 		})
 		if err != nil {
@@ -73,7 +74,7 @@ func TestClosedLoopCountsWireFlowMods(t *testing.T) {
 		Name: "quiet-then-fail", Seed: 3, Epochs: 4,
 		Events: []Event{{Epoch: 2, Kind: LinkFail, Link: 0}},
 	}
-	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+	res, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{
 		Core:         core.Options{Workers: 1},
 		DemandJitter: -1, // freeze true demand: epochs 1 and 3 are quiescent
 	})
@@ -124,7 +125,7 @@ func TestClosedLoopCountsWireFlowMods(t *testing.T) {
 func TestClosedLoopDeadlineBudget(t *testing.T) {
 	topo, mat := ringInstance(t, 7)
 	sc := Diurnal(9, 3, 0.3, 0)
-	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+	res, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{
 		Core:        core.Options{Workers: 1},
 		EpochBudget: time.Nanosecond,
 	})
@@ -151,7 +152,7 @@ func TestClosedLoopDeadlineBudget(t *testing.T) {
 		}
 	}
 	// A generous budget misses nothing.
-	res2, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{
+	res2, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{
 		Core:        core.Options{Workers: 1},
 		EpochBudget: time.Hour,
 	})
@@ -201,7 +202,7 @@ func TestClosedLoopSRLGAndMaintenance(t *testing.T) {
 			{Epoch: 4, Kind: MaintenanceEnd, Link: -1},
 		},
 	}
-	res, err := RunClosedLoop(topo, mat, sc, ClosedLoopOptions{Core: core.Options{Workers: 1}})
+	res, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +245,11 @@ func TestScenarioSRLGEventsPlainReplay(t *testing.T) {
 			{Epoch: 4, Kind: MaintenanceEnd, Link: -1},
 		},
 	}
-	a, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+	a, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 2}})
+	b, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,12 +269,12 @@ func TestScenarioSRLGEventsPlainReplay(t *testing.T) {
 	// Undeclared groups are a validation error; a topology without SRLGs
 	// turns random SRLG events into no-ops.
 	bad := Scenario{Epochs: 1, Events: []Event{{Kind: SRLGFail, Group: "nope"}}}
-	if _, err := Run(topo, mat, bad, Options{}); err == nil {
+	if _, err := Run(context.Background(), topo, mat, bad, Options{}); err == nil {
 		t.Error("undeclared SRLG accepted")
 	}
 	plainTopo, plainMat := ringInstance(t, 15)
 	noop := Scenario{Name: "noop", Seed: 1, Epochs: 2, Events: []Event{{Epoch: 1, Kind: SRLGFail}}}
-	rn, err := Run(plainTopo, plainMat, noop, Options{Core: core.Options{Workers: 1}})
+	rn, err := Run(context.Background(), plainTopo, plainMat, noop, Options{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

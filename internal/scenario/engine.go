@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math"
 	"math/rand"
 	"reflect"
@@ -142,28 +144,69 @@ func (en *engine) applyEpochEvents(byEpoch [][]Event, epoch int, rng *rand.Rand)
 	return events, nil
 }
 
-// Run replays the scenario over the start instance and returns the epoch
-// table. The base matrix must be bound to the base topology. Replays are
+// Stream replays the scenario over the start instance, yielding one
+// EpochResult per epoch as it completes — million-epoch timelines run in
+// O(1) memory, with the caller free to stop consuming at any point. The
+// base matrix must be bound to the base topology. Replays are
 // deterministic for a given (scenario, seed) at any worker count; only
-// EpochResult.Elapsed varies.
-func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*Result, error) {
-	en, err := newEngine(topo, mat, sc, opts)
-	if err != nil {
-		return nil, err
+// EpochResult.Elapsed varies. Cancelling ctx stops the stream at the
+// next epoch (or candidate-batch) boundary with a final yielded error;
+// the epochs already yielded stand.
+func Stream(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) iter.Seq2[EpochResult, error] {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	byEpoch := en.timeline()
-	res := &Result{Name: sc.Name, Seed: sc.Seed, Topology: topo.Summary(), ColdStart: opts.ColdStart}
-	for epoch := 0; epoch < sc.Epochs; epoch++ {
-		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
-		events, err := en.applyEpochEvents(byEpoch, epoch, rng)
+	return func(yield func(EpochResult, error) bool) {
+		en, err := newEngine(topo, mat, sc, opts)
+		if err != nil {
+			yield(EpochResult{}, err)
+			return
+		}
+		byEpoch := en.timeline()
+		for epoch := 0; epoch < sc.Epochs; epoch++ {
+			if err := ctx.Err(); err != nil {
+				yield(EpochResult{}, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
+			events, err := en.applyEpochEvents(byEpoch, epoch, rng)
+			if err != nil {
+				yield(EpochResult{}, err)
+				return
+			}
+			er, err := en.optimizeEpoch(ctx, epoch, events)
+			if err != nil {
+				yield(EpochResult{}, fmt.Errorf("scenario: epoch %d: %w", epoch, err))
+				return
+			}
+			if !yield(*er, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Run replays the scenario over the start instance and returns the
+// collected epoch table — Stream buffered into a Result for callers that
+// want the whole replay at once. A cancelled ctx surfaces as an error
+// (the partial table is discarded; stream with Stream to keep it).
+func Run(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options) (*Result, error) {
+	res := &Result{Name: sc.Name, Seed: sc.Seed, ColdStart: opts.ColdStart}
+	if topo != nil {
+		res.Topology = topo.Summary()
+	}
+	return collectEpochs(res, Stream(ctx, topo, mat, sc, opts))
+}
+
+// collectEpochs drains a replay stream into res, folding per-epoch
+// install records into the result-level sequence log.
+func collectEpochs(res *Result, seq iter.Seq2[EpochResult, error]) (*Result, error) {
+	for er, err := range seq {
 		if err != nil {
 			return nil, err
 		}
-		er, err := en.optimizeEpoch(epoch, events)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
-		}
-		res.Epochs = append(res.Epochs, *er)
+		res.Epochs = append(res.Epochs, er)
+		res.Installs = append(res.Installs, er.Installs...)
 	}
 	return res, nil
 }
@@ -176,9 +219,15 @@ func Run(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts Options
 // many cores still parallelize inside each replay); an explicit
 // Core.Workers is honored as-is. Results are ordered by seed index
 // regardless of completion order.
-func RunSeeds(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, seeds []int64, opts Options) ([]*Result, error) {
+func RunSeeds(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, seeds []int64, opts Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("scenario: no seeds")
+	}
+	if topo == nil || mat == nil {
+		return nil, fmt.Errorf("scenario: nil topology or matrix")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -197,7 +246,7 @@ func RunSeeds(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, seeds [
 	par.ForEach(len(seeds), width, func(i int) {
 		s := sc
 		s.Seed = seeds[i]
-		out[i], errs[i] = Run(topo, mat, s, runOpts)
+		out[i], errs[i] = Run(ctx, topo, mat, s, runOpts)
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -654,8 +703,10 @@ func (en *engine) recordChurn(er *EpochResult, inst *epochInstance, bundles []fl
 }
 
 // optimizeEpoch materializes the epoch instance, repairs and applies the
-// warm start, re-optimizes, and records the epoch row.
-func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error) {
+// warm start, re-optimizes under ctx, and records the epoch row. A
+// cancelled context aborts the epoch (its partial optimization is
+// discarded) and surfaces the context's error.
+func (en *engine) optimizeEpoch(ctx context.Context, epoch int, events []string) (*EpochResult, error) {
 	inst, err := en.materialize()
 	if err != nil {
 		return nil, err
@@ -678,10 +729,20 @@ func (en *engine) optimizeEpoch(epoch int, events []string) (*EpochResult, error
 		}
 	}
 
-	sol, err := core.Run(model, coreOpts)
+	runCtx := ctx
+	if en.opts.Budget > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, en.opts.Budget)
+		defer cancel()
+	}
+	sol, err := core.Run(runCtx, model, coreOpts)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // the replay itself was cancelled or timed out
+	}
+	er.DeadlineMiss = sol.Stop == core.StopDeadline
 	if repaired == nil {
 		er.StaleUtility = sol.InitialUtility
 	}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
@@ -169,27 +170,45 @@ func SRLGOutage(seed int64, epochs int) Scenario {
 	return sc
 }
 
-// ByName resolves a canned scenario by its short name ("diurnal",
-// "storm", "flashcrowd", "maintenance", "srlg") with that scenario's
-// default shape for the given epoch count — the lookup the CLI front
-// ends share.
-func ByName(name string, seed int64, epochs int) (Scenario, error) {
-	switch name {
-	case "diurnal":
-		return Diurnal(seed, epochs, 0.4, 0.15), nil
-	case "storm":
+// canned maps each canned-scenario name to its default shape for an
+// epoch count — the single registry ByName and Names derive from, so
+// the lookup and its error can never drift apart.
+var canned = []struct {
+	name  string
+	build func(seed int64, epochs int) Scenario
+}{
+	{"diurnal", func(seed int64, epochs int) Scenario { return Diurnal(seed, epochs, 0.4, 0.15) }},
+	{"storm", func(seed int64, epochs int) Scenario {
 		failures := epochs / 4
 		if failures < 1 {
 			failures = 1
 		}
-		return FailureStorm(seed, epochs, failures), nil
-	case "flashcrowd":
-		return FlashCrowd(seed, epochs, 2.0, 8), nil
-	case "maintenance":
-		return Maintenance(seed, epochs), nil
-	case "srlg":
-		return SRLGOutage(seed, epochs), nil
-	default:
-		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have diurnal, storm, flashcrowd, maintenance, srlg)", name)
+		return FailureStorm(seed, epochs, failures)
+	}},
+	{"flashcrowd", func(seed int64, epochs int) Scenario { return FlashCrowd(seed, epochs, 2.0, 8) }},
+	{"maintenance", func(seed int64, epochs int) Scenario { return Maintenance(seed, epochs) }},
+	{"srlg", func(seed int64, epochs int) Scenario { return SRLGOutage(seed, epochs) }},
+}
+
+// Names lists the canned scenario names ByName resolves, in a stable
+// order suitable for help text.
+func Names() []string {
+	out := make([]string, len(canned))
+	for i, c := range canned {
+		out[i] = c.name
 	}
+	return out
+}
+
+// ByName resolves a canned scenario by its short name (see Names) with
+// that scenario's default shape for the given epoch count — the lookup
+// the CLI front ends share. An unknown name's error enumerates every
+// valid one.
+func ByName(name string, seed int64, epochs int) (Scenario, error) {
+	for _, c := range canned {
+		if c.name == name {
+			return c.build(seed, epochs), nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (valid names: %s)", name, strings.Join(Names(), ", "))
 }

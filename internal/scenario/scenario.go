@@ -193,6 +193,12 @@ type Options struct {
 	// shortest-path placement. The stale-allocation utility is still
 	// recorded, so cold and warm replays stay comparable.
 	ColdStart bool
+	// Budget bounds each epoch's re-optimization wall time as a
+	// per-epoch context.WithTimeout under the replay's context; a
+	// truncated epoch publishes its best-so-far solution and records
+	// DeadlineMiss. 0 means unbounded. A real budget makes replays
+	// machine-dependent (see core.Options.Deadline).
+	Budget time.Duration
 	// Arrivals is the class mix AggregateArrive events draw from; the
 	// zero value means traffic.DefaultGenConfig, and anything else is
 	// validated up front (its Seed field is ignored — the per-epoch RNG
@@ -302,6 +308,12 @@ type EpochResult struct {
 	MBBHeadroom      float64 `json:"mbb_headroom,omitempty"`
 	MBBTeardowns     int     `json:"mbb_teardowns,omitempty"`
 	MBBSetups        int     `json:"mbb_setups,omitempty"`
+
+	// Installs is the epoch's wire install sequence (closed-loop replays
+	// only) — what streaming consumers see per epoch. Collected results
+	// fold these into Result.Installs, which keeps the JSON record's
+	// shape, so the per-epoch copy is excluded from marshaling.
+	Installs []InstallRecord `json:"-"`
 }
 
 // Result is a completed replay.

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 
 	"fubar/internal/core"
@@ -47,18 +48,18 @@ func TestDiurnalHEReplay(t *testing.T) {
 	topo, mat := heInstance(t)
 	sc := Diurnal(7, 20, 0.4, 0.1)
 
-	warm1, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+	warm1, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatalf("warm Workers=1: %v", err)
 	}
-	warm4, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 4}})
+	warm4, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 4}})
 	if err != nil {
 		t.Fatalf("warm Workers=4: %v", err)
 	}
 	if !warm1.Equivalent(warm4) {
 		t.Fatalf("epoch tables differ across worker counts:\n w1=%+v\n w4=%+v", warm1.Epochs, warm4.Epochs)
 	}
-	cold, err := Run(topo, mat, sc, Options{ColdStart: true, Core: core.Options{Workers: 1}})
+	cold, err := Run(context.Background(), topo, mat, sc, Options{ColdStart: true, Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatalf("cold: %v", err)
 	}
@@ -90,11 +91,11 @@ func TestReplayDeterminismSmall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+		a, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 1}})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		b, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 2}})
+		b, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 2}})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -109,7 +110,7 @@ func TestReplayDeterminismSmall(t *testing.T) {
 // the previous epoch's utility (self-pairs included in the stale eval).
 func TestQuiescentEpochIsFree(t *testing.T) {
 	topo, mat := ringInstance(t, 5)
-	res, err := Run(topo, mat, Scenario{Name: "quiet", Seed: 1, Epochs: 3}, Options{Core: core.Options{Workers: 1}})
+	res, err := Run(context.Background(), topo, mat, Scenario{Name: "quiet", Seed: 1, Epochs: 3}, Options{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestExplicitFailureEpisode(t *testing.T) {
 			{Epoch: 3, Kind: LinkRecover, Link: 0},
 		},
 	}
-	res, err := Run(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+	res, err := Run(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestRunSeeds(t *testing.T) {
 	topo, mat := ringInstance(t, 9)
 	sc := Diurnal(0, 4, 0.3, 0.2)
 	seeds := []int64{10, 20, 30}
-	serial, err := RunSeeds(topo, mat, sc, seeds, Options{Workers: 1})
+	serial, err := RunSeeds(context.Background(), topo, mat, sc, seeds, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunSeeds(topo, mat, sc, seeds, Options{Workers: 3})
+	parallel, err := RunSeeds(context.Background(), topo, mat, sc, seeds, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestRunSeeds(t *testing.T) {
 	if !differ {
 		t.Error("all seeds produced identical replays (suspicious: churn should differ)")
 	}
-	if _, err := RunSeeds(topo, mat, sc, nil, Options{}); err == nil {
+	if _, err := RunSeeds(context.Background(), topo, mat, sc, nil, Options{}); err == nil {
 		t.Error("empty seed list accepted")
 	}
 }
@@ -217,7 +218,7 @@ func TestScenarioValidate(t *testing.T) {
 	}
 	topo, mat := ringInstance(t, 1)
 	bad := Scenario{Epochs: 1, Events: []Event{{Kind: LinkFail, Link: topology.LinkID(topo.NumLinks())}}}
-	if _, err := Run(topo, mat, bad, Options{}); err == nil {
+	if _, err := Run(context.Background(), topo, mat, bad, Options{}); err == nil {
 		t.Error("out-of-range link accepted")
 	}
 }

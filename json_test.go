@@ -1,0 +1,56 @@
+package fubar_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fubar"
+)
+
+// TestSolutionJSON proves a Solution marshals to its stable summary
+// record — the `fubar -json` contract — and that ScenarioResult records
+// stay machine-readable end to end.
+func TestSolutionJSON(t *testing.T) {
+	topo, mat := sessionInstance(t)
+	s, err := fubar.NewSession(topo, mat, fubar.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got fubar.SolutionSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("summary round-trip: %v\n%s", err, data)
+	}
+	if got.Utility != sol.Utility || got.Steps != sol.Steps || got.Stop != sol.Stop.String() {
+		t.Fatalf("summary diverged from solution: %+v vs utility %v steps %d stop %v",
+			got, sol.Utility, sol.Steps, sol.Stop)
+	}
+	if got.Bundles == 0 || got.Base.Captures+got.Base.Remaps+got.Base.Rebases == 0 {
+		t.Fatalf("summary missing bundle or base counters: %s", data)
+	}
+
+	day := fubar.DiurnalScenario(7, 3, 0.4, 0)
+	res, err := s.ReplayAll(context.Background(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdata, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back fubar.ScenarioResult
+	if err := json.Unmarshal(rdata, &back); err != nil {
+		t.Fatalf("scenario result round-trip: %v", err)
+	}
+	if len(back.Epochs) != 3 || back.Epochs[2].Utility != res.Epochs[2].Utility {
+		t.Fatalf("scenario JSON lost epochs: %s", rdata)
+	}
+}

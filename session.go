@@ -1,0 +1,320 @@
+package fubar
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"time"
+
+	"fubar/internal/anneal"
+	"fubar/internal/core"
+	"fubar/internal/flowmodel"
+	"fubar/internal/scenario"
+	"fubar/internal/traffic"
+)
+
+// Session is the library's long-lived, context-first handle for one
+// (topology, matrix) instance. Optimize and Anneal share the session's
+// traffic model, optimizer (per-worker evaluation arenas, persistent
+// incremental-evaluation base) and last committed solution across
+// calls — the state a real online controller holds between
+// re-optimizations — and closed-loop replays keep the control-plane
+// wiring (switches, install generations, ack ledgers) alive across
+// calls. Replays necessarily materialize fresh per-epoch models (each
+// epoch's topology and matrix differ); what they gain from the session
+// is its configuration, the shared control plane, and the streaming
+// context-first interface.
+//
+// Construct with NewSession and functional options; every method takes
+// a context.Context honored at candidate-batch granularity, so
+// cancellation and deadlines interrupt optimization between candidate
+// evaluations with results deterministic up to the cancellation point.
+// Replays stream epochs through iter.Seq2, so a million-epoch scenario
+// runs in O(1) memory.
+//
+// A Session is not safe for concurrent method calls (within one call it
+// parallelizes across WithWorkers arenas). Close releases the
+// control-plane sockets if any were opened; a Session that never called
+// ReplayClosedLoop holds no resources needing Close.
+type Session struct {
+	topo  *Topology
+	mat   *Matrix
+	model *Model
+	cfg   sessionConfig
+	opt   *core.Optimizer
+	cp    *scenario.ControlPlane
+	last  *Solution
+}
+
+// sessionConfig is the assembled option state.
+type sessionConfig struct {
+	core          core.Options
+	cold          bool
+	arrivals      traffic.GenConfig
+	budget        time.Duration
+	measureEpochs int
+	simEpoch      time.Duration
+	demandJitter  float64
+	logf          func(string, ...any)
+}
+
+// SessionOption configures a Session at construction
+// (functional-options pattern; see With*).
+type SessionOption func(*sessionConfig)
+
+// WithWorkers sets the number of parallel candidate evaluators per
+// optimization step, each with a private evaluation arena (default
+// GOMAXPROCS). Any value commits the identical move sequence.
+func WithWorkers(n int) SessionOption {
+	return func(c *sessionConfig) { c.core.Workers = n }
+}
+
+// WithPolicy constrains generated paths (§2.4 "policy compliant").
+func WithPolicy(p Policy) SessionOption {
+	return func(c *sessionConfig) { c.core.Policy = p }
+}
+
+// WithDeltaEval selects the candidate-evaluation strategy (default
+// DeltaAuto: exact incremental evaluation with a session-persistent
+// base).
+func WithDeltaEval(m DeltaMode) SessionOption {
+	return func(c *sessionConfig) { c.core.DeltaEval = m }
+}
+
+// WithBudget bounds each optimization's wall-clock time: every Optimize
+// call and every replay epoch's re-optimization runs under a
+// context.WithTimeout of d layered beneath the caller's context. A
+// truncated run publishes its best-so-far solution with StopDeadline
+// (DeadlineMiss on closed-loop epochs). Wall-clock budgets make runs
+// machine-dependent; leave unset when checking determinism.
+func WithBudget(d time.Duration) SessionOption {
+	return func(c *sessionConfig) { c.budget = d }
+}
+
+// WithObserver registers a progress callback invoked after the initial
+// evaluation and after every committed move of every optimization the
+// session runs. Snapshots share the optimizer's result storage: copy
+// anything retained beyond the callback.
+func WithObserver(fn func(Snapshot)) SessionOption {
+	return func(c *sessionConfig) { c.core.Trace = fn }
+}
+
+// WithOptions overlays a full optimizer Options value — the escape
+// hatch for tuning knobs without a dedicated option. Later options
+// still apply on top.
+func WithOptions(opts Options) SessionOption {
+	return func(c *sessionConfig) { c.core = opts }
+}
+
+// WithColdStart makes replays re-optimize every epoch from the
+// shortest-path placement instead of warm-starting from the installed
+// allocation, and makes Optimize ignore the previous solution.
+func WithColdStart() SessionOption {
+	return func(c *sessionConfig) { c.cold = true }
+}
+
+// WithArrivals sets the class mix AggregateArrive scenario events draw
+// from (default: the paper's §3 mix).
+func WithArrivals(cfg GenConfig) SessionOption {
+	return func(c *sessionConfig) { c.arrivals = cfg }
+}
+
+// WithMeasurement tunes the closed-loop measurement plane: how many
+// simulator epochs are polled into the traffic-matrix estimate before
+// each re-optimization (default 2), the simulated measurement interval
+// (default 10s), and the per-epoch true-demand jitter invisible to the
+// controller except through counters (default 0.1; negative disables).
+func WithMeasurement(measureEpochs int, simEpoch time.Duration, demandJitter float64) SessionOption {
+	return func(c *sessionConfig) {
+		c.measureEpochs = measureEpochs
+		c.simEpoch = simEpoch
+		c.demandJitter = demandJitter
+	}
+}
+
+// WithLogf directs the session's progress lines (closed-loop replays)
+// to fn; by default they are discarded.
+func WithLogf(fn func(string, ...any)) SessionOption {
+	return func(c *sessionConfig) { c.logf = fn }
+}
+
+// NewSession builds the session state — traffic model, path generator,
+// optimizer and arenas — once, for any number of subsequent calls.
+func NewSession(topo *Topology, mat *Matrix, opts ...SessionOption) (*Session, error) {
+	if topo == nil || mat == nil {
+		return nil, fmt.Errorf("fubar: nil topology or matrix")
+	}
+	s := &Session{topo: topo, mat: mat}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		return nil, err
+	}
+	s.model = model
+	opt, err := core.New(model, s.cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	s.opt = opt
+	return s, nil
+}
+
+// Topology returns the session's topology.
+func (s *Session) Topology() *Topology { return s.topo }
+
+// Matrix returns the session's traffic matrix.
+func (s *Session) Matrix() *Matrix { return s.mat }
+
+// Model returns the session's prepared traffic model (shared storage:
+// see Model's concurrency contract).
+func (s *Session) Model() *Model { return s.model }
+
+// Last returns the most recent Optimize solution, or nil before the
+// first call. It is the warm start the next Optimize resumes from.
+func (s *Session) Last() *Solution { return s.last }
+
+// Reset drops the session's warm state: the next Optimize starts from
+// the shortest-path placement again.
+func (s *Session) Reset() { s.last = nil }
+
+// Close releases the session's control-plane sockets, if
+// ReplayClosedLoop ever opened them. Safe to call more than once.
+func (s *Session) Close() error {
+	if s.cp != nil {
+		err := s.cp.Close()
+		s.cp = nil
+		return err
+	}
+	return nil
+}
+
+// withBudget layers the session's per-run budget under ctx.
+func (s *Session) withBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.budget > 0 {
+		return context.WithTimeout(ctx, s.cfg.budget)
+	}
+	return ctx, func() {}
+}
+
+// Optimize runs FUBAR on the session instance under ctx, reusing the
+// session's arenas and — after the first call — warm-starting from the
+// last committed solution (an already-optimal allocation re-optimizes
+// in O(1) steps, the idempotence a periodic controller relies on;
+// WithColdStart or Reset restore cold starts). Cancellation returns the
+// partial solution with Stop == StopCancelled; an expired deadline or
+// WithBudget timeout returns the best-so-far solution with
+// StopDeadline. The move sequence is deterministic up to any
+// truncation point.
+func (s *Session) Optimize(ctx context.Context) (*Solution, error) {
+	ctx, cancel := s.withBudget(ctx)
+	defer cancel()
+	initial := s.cfg.core.InitialBundles
+	if s.last != nil && !s.cfg.cold {
+		initial = s.last.Bundles
+	}
+	sol, err := s.opt.RunWarm(ctx, initial)
+	if err != nil {
+		return nil, err
+	}
+	s.last = sol
+	return sol, nil
+}
+
+// Anneal runs the naive simulated-annealing comparator (§2.5) on the
+// session's model under ctx; cancellation returns the best-so-far
+// state.
+func (s *Session) Anneal(ctx context.Context, opts AnnealOptions) (*AnnealSolution, error) {
+	return anneal.Run(ctx, s.model, opts)
+}
+
+// AnnealRestarts runs n independent annealing restarts (seeds
+// opts.Seed..opts.Seed+n-1) across the session's worker budget, each on
+// a private arena; results are identical at any worker count.
+func (s *Session) AnnealRestarts(ctx context.Context, opts AnnealOptions, n int) (*AnnealRestartsResult, error) {
+	return anneal.RunRestarts(ctx, s.model, opts, n, s.cfg.core.Workers)
+}
+
+// scenOpts assembles the replay options from the session config.
+func (s *Session) scenOpts() scenario.Options {
+	return scenario.Options{
+		Core:      s.cfg.core,
+		ColdStart: s.cfg.cold,
+		Arrivals:  s.cfg.arrivals,
+		Budget:    s.cfg.budget,
+	}
+}
+
+// Replay replays a scenario timeline over the session instance through
+// repeated warm-started re-optimization, yielding one EpochRecord per
+// epoch as it completes — constant memory however long the timeline.
+// Replays are deterministic per scenario seed at any worker count.
+// Cancelling ctx ends the stream at the next epoch or candidate-batch
+// boundary with a final yielded error; epochs already yielded stand.
+func (s *Session) Replay(ctx context.Context, sc Scenario) iter.Seq2[EpochRecord, error] {
+	return scenario.Stream(ctx, s.topo, s.mat, sc, s.scenOpts())
+}
+
+// ReplayAll is Replay collected into a ScenarioResult for callers that
+// want the whole epoch table at once (tables, JSON records).
+func (s *Session) ReplayAll(ctx context.Context, sc Scenario) (*ScenarioResult, error) {
+	res := &ScenarioResult{Name: sc.Name, Seed: sc.Seed, Topology: s.topo.Summary(), ColdStart: s.cfg.cold}
+	return collectEpochs(res, s.Replay(ctx, sc))
+}
+
+// ReplayClosedLoop replays a scenario with the SDN control plane in the
+// loop — simulated switches over loopback TCP, counter-based matrix
+// estimation, budgeted re-optimization (WithBudget), make-before-break
+// pricing, differential wire installs with counted FlowMods — yielding
+// one EpochRecord (Installs attached) per epoch. The control plane is
+// built on first use and persists across calls: switch tables, install
+// generations and ack ledgers carry over exactly as reused hardware
+// would. Close releases it.
+func (s *Session) ReplayClosedLoop(ctx context.Context, sc Scenario) iter.Seq2[EpochRecord, error] {
+	if s.cp == nil {
+		cp, err := scenario.NewControlPlane(s.topo, s.mat, s.cfg.simEpoch, s.cfg.logf)
+		if err != nil {
+			return func(yield func(EpochRecord, error) bool) { yield(EpochRecord{}, err) }
+		}
+		s.cp = cp
+	}
+	opts := scenario.ClosedLoopOptions{
+		Core:          s.cfg.core,
+		ColdStart:     s.cfg.cold,
+		Arrivals:      s.cfg.arrivals,
+		EpochBudget:   s.cfg.budget,
+		MeasureEpochs: s.cfg.measureEpochs,
+		SimEpoch:      s.cfg.simEpoch,
+		DemandJitter:  s.cfg.demandJitter,
+		Logf:          s.cfg.logf,
+	}
+	return scenario.StreamClosedLoopOn(ctx, s.cp, s.topo, s.mat, sc, opts)
+}
+
+// ReplayClosedLoopAll is ReplayClosedLoop collected into a
+// ScenarioResult, with the install sequence folded into
+// ScenarioResult.Installs.
+func (s *Session) ReplayClosedLoopAll(ctx context.Context, sc Scenario) (*ScenarioResult, error) {
+	res := &ScenarioResult{
+		Name: sc.Name, Seed: sc.Seed, Topology: s.topo.Summary(),
+		ColdStart: s.cfg.cold, ClosedLoop: true,
+	}
+	return collectEpochs(res, s.ReplayClosedLoop(ctx, sc))
+}
+
+// collectEpochs drains a replay stream into res, folding per-epoch
+// install records into the result-level sequence log.
+func collectEpochs(res *ScenarioResult, seq iter.Seq2[EpochRecord, error]) (*ScenarioResult, error) {
+	for er, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		res.Epochs = append(res.Epochs, er)
+		res.Installs = append(res.Installs, er.Installs...)
+	}
+	return res, nil
+}
