@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -50,7 +51,7 @@ var benchCtx = context.Background()
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop/scale (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out/-scale-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
@@ -64,8 +65,41 @@ func main() {
 		evalInst = flag.String("eval-instance", "he", "evalbench instance: he (thinned HE-31) or ring (small CI smoke)")
 		ctrlOut  = flag.String("ctrlloop-out", "BENCH_ctrlloop.json", "output file for the ctrlloop record")
 		budget   = flag.Duration("budget", 250*time.Millisecond, "ctrlloop per-epoch optimization deadline for the budgeted run")
+		scaleSet = flag.String("scale-presets", "scale-xs,scale-s,scale-m", "comma-separated scale presets for -exp scale ("+strings.Join(scenario.ScalePresetNames(), "|")+")")
+		scaleWk  = flag.String("scale-workers", "1,2,4", "comma-separated worker counts for -exp scale")
+		scaleN   = flag.Int("scale-steps", 30, "per-run committed-move cap for -exp scale")
+		scaleOut = flag.String("scale-out", "BENCH_scale.json", "output file for the scale record")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -161,6 +195,11 @@ func main() {
 	if *exp == "ctrlloop" {
 		run("ctrlloop: closed-loop scenario replay over the control plane", func() error {
 			return ctrlloopBench(*scenName, *seed, *epochs, *budget, *ctrlOut)
+		})
+	}
+	if *exp == "scale" {
+		run("scale: step-pipeline scaling on large Waxman instances", func() error {
+			return scaleBench(*scaleSet, *scaleWk, *seed, *scaleN, *scaleOut)
 		})
 	}
 }
@@ -315,32 +354,46 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 }
 
 // evalBenchRecord is the JSON record `-exp evalbench` writes: paired
-// per-candidate timing medians for the full and incremental (delta)
-// evaluation strategies over one real optimization run, the differential
-// verdict, and the end-to-end on/off comparison.
+// per-candidate timing medians for the full, incremental (full-Result
+// delta) and utility-only delta evaluation strategies over one real
+// optimization run, the differential verdict, and the end-to-end on/off
+// comparison. The delta counters are split per mode (full-Result vs
+// utility-only) so each mode's fallback and expansion behavior — and
+// therefore the utility-only savings — is attributable.
 type evalBenchRecord struct {
-	Benchmark       string  `json:"benchmark"`
-	Instance        string  `json:"instance"`
-	Topology        string  `json:"topology"`
-	Aggregates      int     `json:"aggregates"`
-	DenseBundles    int     `json:"dense_bundles"`
-	Seed            int64   `json:"seed"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	NumCPU          int     `json:"num_cpu"`
-	Workers         int     `json:"workers"`
-	Candidates      int     `json:"candidates"`
-	Identical       bool    `json:"identical"`
-	MedianFullNs    int64   `json:"median_full_ns"`
-	MedianDeltaNs   int64   `json:"median_delta_ns"`
-	MedianSpeedup   float64 `json:"median_speedup"`
-	MeanSpeedup     float64 `json:"mean_speedup"`
-	DeltaCalls      int64   `json:"delta_calls"`
-	DeltaFallbacks  int64   `json:"delta_fallbacks"`
-	DeltaExpansions int64   `json:"delta_expansions"`
-	AffectedFrac    float64 `json:"affected_frac"`
-	RunFullNs       int64   `json:"run_full_best_ns"`
-	RunDeltaNs      int64   `json:"run_delta_best_ns"`
-	RunSpeedup      float64 `json:"run_speedup"`
+	Benchmark         string  `json:"benchmark"`
+	Instance          string  `json:"instance"`
+	Topology          string  `json:"topology"`
+	Aggregates        int     `json:"aggregates"`
+	DenseBundles      int     `json:"dense_bundles"`
+	Seed              int64   `json:"seed"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	NumCPU            int     `json:"num_cpu"`
+	Workers           int     `json:"workers"`
+	Candidates        int     `json:"candidates"`
+	Identical         bool    `json:"identical"`
+	MedianFullNs      int64   `json:"median_full_ns"`
+	MedianDeltaNs     int64   `json:"median_delta_ns"`
+	MedianUtilNs      int64   `json:"median_util_ns"`
+	MedianSpeedup     float64 `json:"median_speedup"`
+	MeanSpeedup       float64 `json:"mean_speedup"`
+	MedianUtilSpeedup float64 `json:"median_util_speedup"`
+	DeltaCalls        int64   `json:"delta_calls"`
+	DeltaFallbacks    int64   `json:"delta_fallbacks"`
+	DeltaExpansions   int64   `json:"delta_expansions"`
+	// Per-mode split: delta_* above are totals over both incremental
+	// modes; the full_* / util_* pairs below separate the full-Result
+	// calls from the utility-only scoring calls.
+	FullModeCalls      int64   `json:"full_mode_calls"`
+	FullModeFallbacks  int64   `json:"full_mode_fallbacks"`
+	FullModeExpansions int64   `json:"full_mode_expansions"`
+	UtilModeCalls      int64   `json:"util_mode_calls"`
+	UtilModeFallbacks  int64   `json:"util_mode_fallbacks"`
+	UtilModeExpansions int64   `json:"util_mode_expansions"`
+	AffectedFrac       float64 `json:"affected_frac"`
+	RunFullNs          int64   `json:"run_full_best_ns"`
+	RunDeltaNs         int64   `json:"run_delta_best_ns"`
+	RunSpeedup         float64 `json:"run_speedup"`
 	// Persistent-base comparison: the same instance end to end with
 	// per-step base captures (the pre-session behavior) vs the
 	// session-persistent base that is patched on commit and remapped
@@ -442,35 +495,43 @@ func evalBench(instance string, seed int64, outPath string) error {
 		dense = int(st.ListBundles / n)
 	}
 	rec := evalBenchRecord{
-		Benchmark:        "flowmodel: incremental (delta) vs full candidate evaluation",
-		Instance:         instance,
-		Topology:         topo.Summary(),
-		Aggregates:       mat.NumAggregates(),
-		DenseBundles:     dense,
-		Seed:             seed,
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		NumCPU:           runtime.NumCPU(),
-		Workers:          1,
-		Candidates:       cb.Candidates(),
-		Identical:        cb.Identical,
-		MedianFullNs:     cb.MedianFullNs(),
-		MedianDeltaNs:    cb.MedianDeltaNs(),
-		MedianSpeedup:    cb.MedianSpeedup(),
-		MeanSpeedup:      cb.MeanSpeedup(),
-		DeltaCalls:       st.Calls,
-		DeltaFallbacks:   st.Fallbacks,
-		DeltaExpansions:  st.Expansions,
-		AffectedFrac:     affected,
-		RunFullNs:        fullT.Nanoseconds(),
-		RunDeltaNs:       deltaT.Nanoseconds(),
-		RunSpeedup:       float64(fullT) / float64(deltaT),
-		RunCaptureNs:     captureT.Nanoseconds(),
-		BaseReuseSpeedup: float64(captureT) / float64(deltaT),
-		BaseStats:        deltaSol.Base,
-		CaptureBaseStats: captureSol.Base,
-		Steps:            deltaSol.Steps,
-		Utility:          deltaSol.Utility,
-		Deterministic:    det,
+		Benchmark:          "flowmodel: incremental (delta) vs full candidate evaluation",
+		Instance:           instance,
+		Topology:           topo.Summary(),
+		Aggregates:         mat.NumAggregates(),
+		DenseBundles:       dense,
+		Seed:               seed,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		Workers:            cb.Workers,
+		Candidates:         cb.Candidates(),
+		Identical:          cb.Identical,
+		MedianFullNs:       cb.MedianFullNs(),
+		MedianDeltaNs:      cb.MedianDeltaNs(),
+		MedianUtilNs:       cb.MedianUtilNs(),
+		MedianSpeedup:      cb.MedianSpeedup(),
+		MeanSpeedup:        cb.MeanSpeedup(),
+		MedianUtilSpeedup:  cb.MedianUtilSpeedup(),
+		DeltaCalls:         st.Calls,
+		DeltaFallbacks:     st.Fallbacks,
+		DeltaExpansions:    st.Expansions,
+		FullModeCalls:      st.Calls - st.UtilityOnlyCalls,
+		FullModeFallbacks:  st.Fallbacks - st.UtilityOnlyFallbacks,
+		FullModeExpansions: st.Expansions - st.UtilityOnlyExpansions,
+		UtilModeCalls:      st.UtilityOnlyCalls,
+		UtilModeFallbacks:  st.UtilityOnlyFallbacks,
+		UtilModeExpansions: st.UtilityOnlyExpansions,
+		AffectedFrac:       affected,
+		RunFullNs:          fullT.Nanoseconds(),
+		RunDeltaNs:         deltaT.Nanoseconds(),
+		RunSpeedup:         float64(fullT) / float64(deltaT),
+		RunCaptureNs:       captureT.Nanoseconds(),
+		BaseReuseSpeedup:   float64(captureT) / float64(deltaT),
+		BaseStats:          deltaSol.Base,
+		CaptureBaseStats:   captureSol.Base,
+		Steps:              deltaSol.Steps,
+		Utility:            deltaSol.Utility,
+		Deterministic:      det,
 	}
 	t := report.NewTable("incremental candidate evaluation", "metric", "value")
 	t.AddRow("instance", fmt.Sprintf("%s (%d aggregates, %d dense bundles)", instance, rec.Aggregates, rec.DenseBundles))
@@ -478,10 +539,15 @@ func evalBench(instance string, seed int64, outPath string) error {
 	// Table duration cells truncate to milliseconds; these are µs-scale.
 	t.AddRow("median full eval", time.Duration(rec.MedianFullNs).String())
 	t.AddRow("median delta eval", time.Duration(rec.MedianDeltaNs).String())
+	t.AddRow("median utility-only eval", time.Duration(rec.MedianUtilNs).String())
 	t.AddRow("median speedup", fmt.Sprintf("%.2fx", rec.MedianSpeedup))
 	t.AddRow("mean speedup", fmt.Sprintf("%.2fx", rec.MeanSpeedup))
+	t.AddRow("median speedup (utility-only)", fmt.Sprintf("%.2fx", rec.MedianUtilSpeedup))
 	t.AddRow("affected fraction", fmt.Sprintf("%.3f", rec.AffectedFrac))
-	t.AddRow("fallbacks / expansions", fmt.Sprintf("%d / %d of %d", rec.DeltaFallbacks, rec.DeltaExpansions, rec.DeltaCalls))
+	t.AddRow("fallbacks / expansions (full-result mode)",
+		fmt.Sprintf("%d / %d of %d", rec.FullModeFallbacks, rec.FullModeExpansions, rec.FullModeCalls))
+	t.AddRow("fallbacks / expansions (utility-only mode)",
+		fmt.Sprintf("%d / %d of %d", rec.UtilModeFallbacks, rec.UtilModeExpansions, rec.UtilModeCalls))
 	t.AddRow("run (persistent base, Workers=1)", deltaT.Truncate(time.Microsecond))
 	t.AddRow("run (per-step capture, Workers=1)", captureT.Truncate(time.Microsecond))
 	t.AddRow("run (delta off, Workers=1)", fullT.Truncate(time.Microsecond))

@@ -8,12 +8,21 @@
 //	topogen -kind grid -width 4 -height 4 > grid.topo
 //	topogen -kind waxman -nodes 24 -seed 9 > waxman.topo
 //	topogen -kind dumbbell -nodes 6 > dumbbell.topo
+//	topogen -preset scale-s -seed 9 > scale-s.topo
+//
+// -preset emits one of the seeded large-instance benchmark presets
+// (scale-xs .. scale-l): a Waxman topology whose node count, edge
+// parameters and capacity come from the preset registry, with a header
+// comment pinning the preset name, seed and sparse-matrix aggregate
+// count so the full benchmark instance is reproducible from the file.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"fubar"
 )
@@ -21,6 +30,7 @@ import (
 func main() {
 	var (
 		kind     = flag.String("kind", "he", "topology kind: he|ring|grid|waxman|dumbbell")
+		preset   = flag.String("preset", "", "large-instance preset ("+strings.Join(fubar.ScalePresetNames(), "|")+"); overrides -kind and the shape flags")
 		capStr   = flag.String("capacity", "100Mbps", "link capacity")
 		nodes    = flag.Int("nodes", 16, "node count (ring, waxman) or leaves per side (dumbbell)")
 		chords   = flag.Int("chords", 8, "extra chords (ring)")
@@ -33,13 +43,19 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := generate(*kind, *capStr, *nodes, *chords, *width, *height, *alpha, *beta, *maxDelay, *seed); err != nil {
+	var err error
+	if *preset != "" {
+		err = generatePreset(os.Stdout, *preset, *seed)
+	} else {
+		err = generate(os.Stdout, *kind, *capStr, *nodes, *chords, *width, *height, *alpha, *beta, *maxDelay, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(kind, capStr string, nodes, chords, width, height int, alpha, beta float64, maxDelayStr string, seed int64) error {
+func generate(w io.Writer, kind, capStr string, nodes, chords, width, height int, alpha, beta float64, maxDelayStr string, seed int64) error {
 	cap, err := fubar.ParseBandwidth(capStr)
 	if err != nil {
 		return err
@@ -67,5 +83,25 @@ func generate(kind, capStr string, nodes, chords, width, height int, alpha, beta
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "# %s\n", topo.Summary())
-	return fubar.WriteTopology(os.Stdout, topo)
+	return fubar.WriteTopology(w, topo)
+}
+
+// generatePreset emits a large-instance preset's Waxman topology with a
+// header comment recording the preset parameters, so the matching sparse
+// traffic matrix (and hence the whole benchmark instance) is
+// reproducible from the file alone.
+func generatePreset(w io.Writer, name string, seed int64) error {
+	p, err := fubar.ScalePresetByName(name)
+	if err != nil {
+		return err
+	}
+	topo, err := p.Topology(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# preset %s seed %d: %d nodes, %d sparse aggregates\n", p.Name, seed, p.Nodes, p.Aggregates)
+	fmt.Fprintf(w, "# waxman alpha %g beta %g, capacity %s; matrix: fubar.ScaleInstance(%q, %d)\n",
+		p.Alpha, p.Beta, p.Capacity, p.Name, seed)
+	fmt.Fprintf(os.Stderr, "# %s\n", topo.Summary())
+	return fubar.WriteTopology(w, topo)
 }

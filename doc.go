@@ -97,12 +97,16 @@
 // its arena (Model.Evaluate remains a serial convenience over a built-in
 // default arena). The optimizer exploits this: WithWorkers (default
 // GOMAXPROCS) sets how many goroutines evaluate each step's candidate
-// moves in parallel, each on a private arena. Move selection replays
-// candidates in a fixed order, so every worker count commits the exact
-// same move sequence — parallelism changes wall-clock time, never the
-// solution (the one exception is a wall-clock deadline, which cuts
-// faster runs off after more committed steps). A Session itself is for
-// one goroutine; the parallelism lives inside its calls.
+// moves in parallel, each on a private arena. Candidate collection is
+// sharded across the same worker count (per-shard path generators,
+// index-ordered merge), and each worker scores candidates by
+// patch-and-revert on a persistent trial buffer — two entries written
+// and reverted per candidate, no per-candidate list copy. Move
+// selection replays candidates in a fixed order, so every worker count
+// commits the exact same move sequence — parallelism changes wall-clock
+// time, never the solution (the one exception is a wall-clock deadline,
+// which cuts faster runs off after more committed steps). A Session
+// itself is for one goroutine; the parallelism lives inside its calls.
 //
 // # Incremental evaluation
 //

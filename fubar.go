@@ -444,6 +444,37 @@ func ScenarioByName(name string, seed int64, epochs int) (Scenario, error) {
 // resolves, in a stable order suitable for help text.
 func ScenarioNames() []string { return scenario.Names() }
 
+// ScalePreset is one reproducible large-instance preset (seeded Waxman
+// topology plus a sparse random traffic matrix sized by aggregate
+// count), used to benchmark the optimizer 10-100x beyond the HE-31
+// evaluation instance.
+type ScalePreset = scenario.ScalePreset
+
+// ScalePresets lists the large-instance presets smallest first.
+func ScalePresets() []ScalePreset { return scenario.ScalePresets() }
+
+// ScalePresetNames lists the preset names (scale-xs .. scale-l) in
+// registry order, for help text.
+func ScalePresetNames() []string { return scenario.ScalePresetNames() }
+
+// ScalePresetByName resolves a large-instance preset by its CLI name;
+// an unknown name's error enumerates the valid ones.
+func ScalePresetByName(name string) (ScalePreset, error) { return scenario.ScalePresetByName(name) }
+
+// ScaleInstance generates a preset's topology and traffic matrix for a
+// seed — deterministic, so benchmark instances are reproducible from the
+// preset name and seed alone.
+func ScaleInstance(name string, seed int64) (*Topology, *Matrix, error) {
+	return scenario.ScaleInstance(name, seed)
+}
+
+// SparseTraffic draws a sparse random traffic matrix: aggregates over
+// random non-self node pairs instead of the full all-pairs cross
+// product, sizing the instance by aggregate count.
+func SparseTraffic(topo *Topology, cfg GenConfig, aggregates int) (*Matrix, error) {
+	return traffic.Sparse(topo, cfg, aggregates)
+}
+
 // ReplayScenario replays a scenario over the start instance: each epoch
 // applies its events, repairs the installed allocation into a valid warm
 // start, re-optimizes, and records utility, effort and churn. Replays

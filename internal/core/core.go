@@ -11,16 +11,20 @@
 // aggregates — to escape local optima (§2.5, "Escaping local optima");
 // when even whole-aggregate moves cannot improve utility, it terminates.
 //
-// # Parallel candidate evaluation
+// # Parallel candidate collection and evaluation
 //
 // Trial evaluations dominate the runtime: every step tests each
 // (aggregate × crossing-bundle × alternative) candidate with a
-// water-filling over all bundles. The optimizer therefore first collects
-// the step's candidate moves and then evaluates them across
-// Options.Workers goroutines (default GOMAXPROCS), each owning a private
-// flowmodel.Eval arena and assembling its trial bundle list from the
-// step's dense committed list with the moving aggregate's two path
-// entries patched. Move selection replays the candidates in collection
+// water-filling over all bundles. Both halves of the step pipeline fan
+// out over Options.Workers goroutines (default GOMAXPROCS). Collection
+// shards the per-aggregate §2.4 alternative enumeration in fixed
+// aggregate chunks with an index-ordered merge, so the candidate list is
+// the serial scan's at any worker count. Evaluation then fans the
+// candidates out over workers, each owning a private flowmodel.Eval
+// arena and a persistent trial buffer synced once per step to the dense
+// committed list: a candidate writes its two patched entries, evaluates,
+// and reverts them (patch-and-revert), instead of copying the whole list
+// per candidate. Move selection replays the candidates in collection
 // order, so the committed move sequence — and thus the whole Solution —
 // is identical for any worker count (unless a wall-clock Options.Deadline
 // truncates the run; see Options.Workers).
@@ -32,10 +36,12 @@
 // the optimizer's base arena) and every candidate runs
 // flowmodel.Eval.EvaluateDelta against that shared read-only base: only
 // the sub-problem the move actually perturbs is re-filled, with automatic
-// fallback to a full evaluation when the affected set is large. Delta
-// results are bit-identical to full evaluations of the same list, so
-// DeltaAuto and DeltaOff commit the exact same move sequence at any
-// worker count.
+// fallback to a full evaluation when the affected set is large. Scoring
+// uses the utility-only delta mode by default (EvaluateDeltaUtility —
+// no Result finalization; see Options.DisableUtilityScoring), while the
+// committed move always gets a full result. Delta results are
+// bit-identical to full evaluations of the same list, so DeltaAuto and
+// DeltaOff commit the exact same move sequence at any worker count.
 package core
 
 import (
@@ -166,6 +172,21 @@ type Options struct {
 	// cost of per-step base captures against the persistent patched
 	// base). Committed solutions are bit-identical either way.
 	DisableBaseReuse bool
+	// DisableUtilityScoring makes candidate scoring use full-Result
+	// incremental evaluations (flowmodel.Eval.EvaluateDelta) instead of
+	// the default utility-only scoring (EvaluateDeltaUtility), which
+	// skips Result finalization — link-load summation, congested-list
+	// rebuild, per-bundle rate materialization — for the thousands of
+	// candidates per step that only need a single float compared.
+	// Scoring utilities are bit-identical either way; this knob only
+	// re-creates the older, slower path for benchmarking.
+	DisableUtilityScoring bool
+	// DisableTrialReuse makes each candidate evaluation copy the step's
+	// committed dense list into the worker's buffer before patching it —
+	// the O(bundles)-per-candidate behavior patch-and-revert replaced.
+	// Benchmarking knob; committed solutions are bit-identical either
+	// way.
+	DisableTrialReuse bool
 	// InitialBundles warm-starts the optimizer from an existing
 	// allocation instead of Listing 1 line 1's all-on-lowest-delay
 	// placement — the incremental re-optimization an offline controller
@@ -373,19 +394,28 @@ type Optimizer struct {
 	// committed sequence.
 	deltaOff bool
 
+	// denseGen counts buildStepBundles calls; workers compare it against
+	// their syncGen to decide whether their persistent trial buffer still
+	// mirrors the committed dense list (patch-and-revert) or must resync
+	// with one full copy for the step.
+	denseGen uint64
+	// scoreUtil selects utility-only candidate scoring for the current
+	// step's delta evaluations (set by step from the options).
+	scoreUtil bool
+
 	// scratch
-	// congAll and congUsed are set from the congested-link list before a
-	// pathgen call and unset from the same list afterwards, so their cost
-	// scales with the congestion set, not the topology.
-	congAll  []bool
-	congUsed []bool
-	// usedStamp[e] == usedEpoch marks links the current aggregate uses;
-	// bumping the epoch invalidates all marks without an O(numLinks)
-	// clear.
-	usedStamp []uint32
-	usedEpoch uint32
-	crossBuf  []int
-	cands     []candidate
+	// congAll is set from the congested-link list before collection and
+	// unset from the same list afterwards, so its cost scales with the
+	// congestion set, not the topology. Collection workers only read it.
+	congAll []bool
+	cands   []candidate
+
+	// collectors are the persistent candidate-collection shards, one per
+	// collection goroutine: a private path generator plus the per-link
+	// scratch alternativesFor needs, grown on demand up to
+	// Options.Workers. collectors[0] shares the optimizer's generator
+	// (its lowest-delay cache serves initAllocation).
+	collectors []*collector
 
 	// workers are the persistent trial evaluators, one arena + bundle
 	// buffer each, grown on demand up to Options.Workers.
@@ -398,11 +428,37 @@ type Optimizer struct {
 }
 
 // worker is one candidate evaluator: a private flowmodel arena plus the
-// scratch it assembles trial bundle lists into.
+// scratch it assembles trial bundle lists into. buf persists across
+// candidates: once synced to the step's dense list (syncGen ==
+// Optimizer.denseGen) every candidate writes its two patched entries,
+// evaluates, and reverts them, instead of re-copying the whole list.
 type worker struct {
 	eval    *flowmodel.Eval
 	buf     []flowmodel.Bundle
+	syncGen uint64
 	changed [2]int // delta changed-index scratch (from, to dense indices)
+}
+
+// collector is one candidate-collection shard: a private path generator
+// (pathgen.Generator is not concurrency-safe) plus the scratch
+// crossingPaths and alternativesFor mutate per aggregate.
+type collector struct {
+	gen *pathgen.Generator
+	// congUsed is set from the congested ∩ used links before a pathgen
+	// call and unset afterwards.
+	congUsed []bool
+	// usedStamp[e] == usedEpoch marks links the current aggregate uses;
+	// bumping the epoch invalidates all marks without an O(numLinks)
+	// clear.
+	usedStamp []uint32
+	usedEpoch uint32
+	crossBuf  []int
+	// cands accumulates this shard's candidates; chunkEnd[k] is the end
+	// offset of the shard's k-th owned chunk, in claim order, so the
+	// index-ordered merge can interleave shards back into global
+	// aggregate order.
+	cands    []candidate
+	chunkEnd []int
 }
 
 // New builds an optimizer.
@@ -417,13 +473,11 @@ func New(model *flowmodel.Model, opts Options) (*Optimizer, error) {
 	}
 	nL := model.Topology().NumLinks()
 	return &Optimizer{
-		model:     model,
-		gen:       gen,
-		mat:       model.Matrix(),
-		opts:      opts,
-		congAll:   make([]bool, nL),
-		congUsed:  make([]bool, nL),
-		usedStamp: make([]uint32, nL),
+		model:   model,
+		gen:     gen,
+		mat:     model.Matrix(),
+		opts:    opts,
+		congAll: make([]bool, nL),
 	}, nil
 }
 
@@ -749,6 +803,8 @@ func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
 	for i := range cands {
 		o.candAgg[cands[i].agg] = false
 	}
+	// A new dense list invalidates every worker's synced trial buffer.
+	o.denseGen++
 	return o.denseBuf
 }
 
@@ -822,6 +878,10 @@ func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.Edg
 		// Incremental: evaluate the committed state once (over the step's
 		// semi-dense list, so every candidate is a two-index patch of it)
 		// and delta-evaluate each candidate against that shared snapshot.
+		// Scoring only needs the utility, so by default each delta runs in
+		// utility-only mode; the committed move's full result comes from
+		// rebase (or the pass loop's evaluate), never from scoring.
+		o.scoreUtil = !o.opts.DisableUtilityScoring
 		dense := o.buildStepBundles(cands)
 		o.prepareBase(dense, reuse)
 		o.evaluateCandidates(cands, dense, o.base)
@@ -961,27 +1021,95 @@ func (o *Optimizer) rebase(c candidate) *flowmodel.Result {
 	return res
 }
 
+// collectChunk is the sharded collection's work granule: contiguous runs
+// of this many aggregates are assigned to collection goroutines round-
+// robin. Small enough to balance skewed instances (most aggregates don't
+// cross the link; the expensive ones cluster), large enough that the
+// merge bookkeeping stays negligible.
+const collectChunk = 16
+
 // collectCandidates enumerates the step's trial moves without evaluating
-// any of them. Genuinely new alternative paths are added to their
+// any of them, sharding the per-aggregate enumeration across up to
+// Options.Workers goroutines. Chunks of collectChunk aggregates are
+// assigned to shards statically (chunk c → shard c mod workers) and the
+// shard outputs are merged back in global chunk order, so the candidate
+// list — and every path-set mutation, which only ever touches the
+// aggregate being enumerated — is identical to the serial scan's at any
+// worker count. Genuinely new alternative paths are added to their
 // aggregate's path set here (with zero flows — path sets only grow,
 // §2.4), exactly as the serial trial loop did, so enumeration order and
-// the path-set cap behave identically at any worker count.
+// the path-set cap behave identically too.
 func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeID, fraction float64) []candidate {
 	o.cands = o.cands[:0]
 	for _, l := range congested {
 		o.congAll[l] = true
 	}
-	for ai := range o.aggs {
+	nChunks := (len(o.aggs) + collectChunk - 1) / collectChunk
+	nw := o.opts.Workers
+	if nw > nChunks {
+		nw = nChunks
+	}
+	if nw <= 1 {
+		o.growCollectors(1)
+		col := o.collectors[0]
+		col.cands = o.cands
+		o.collectRange(col, 0, len(o.aggs), link, congested, fraction)
+		o.cands = col.cands
+		col.cands = nil
+	} else {
+		o.growCollectors(nw)
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			col := o.collectors[wi]
+			col.cands = col.cands[:0]
+			col.chunkEnd = col.chunkEnd[:0]
+			wg.Add(1)
+			go func(wi int, col *collector) {
+				defer wg.Done()
+				for c := wi; c < nChunks; c += nw {
+					lo := c * collectChunk
+					hi := min(lo+collectChunk, len(o.aggs))
+					o.collectRange(col, lo, hi, link, congested, fraction)
+					col.chunkEnd = append(col.chunkEnd, len(col.cands))
+				}
+			}(wi, col)
+		}
+		wg.Wait()
+		// Index-ordered merge: global chunk order, whichever shard ran
+		// each chunk.
+		for c := 0; c < nChunks; c++ {
+			col := o.collectors[c%nw]
+			k := c / nw
+			lo := 0
+			if k > 0 {
+				lo = col.chunkEnd[k-1]
+			}
+			o.cands = append(o.cands, col.cands[lo:col.chunkEnd[k]]...)
+		}
+	}
+	for _, l := range congested {
+		o.congAll[l] = false
+	}
+	return o.cands
+}
+
+// collectRange enumerates candidates for aggregates [lo, hi) into the
+// collector's list. Mutations are confined to the aggregates being
+// enumerated (path-set growth) and the collector's own scratch; shared
+// optimizer state — congAll, the matrix, the options — is read-only, so
+// disjoint ranges may run concurrently.
+func (o *Optimizer) collectRange(col *collector, lo, hi int, link graph.EdgeID, congested []graph.EdgeID, fraction float64) {
+	for ai := lo; ai < hi; ai++ {
 		st := &o.aggs[ai]
 		if st.self {
 			continue
 		}
 		// Find this aggregate's bundles crossing the link.
-		crossing := o.crossingPaths(st, link)
+		crossing := col.crossingPaths(st, link)
 		if len(crossing) == 0 {
 			continue
 		}
-		alts := o.alternativesFor(ai, st, congested)
+		alts := o.alternativesFor(col, ai, st, congested)
 		if len(alts) == 0 {
 			continue
 		}
@@ -1009,14 +1137,36 @@ func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeI
 					st.flows = append(st.flows, 0)
 					st.delays = append(st.delays, o.model.Topology().PathDelay(alt))
 				}
-				o.cands = append(o.cands, candidate{agg: ai, from: from, to: ti, n: n})
+				col.cands = append(col.cands, candidate{agg: ai, from: from, to: ti, n: n})
 			}
 		}
 	}
-	for _, l := range congested {
-		o.congAll[l] = false
+}
+
+// growCollectors ensures at least n collection shards exist. Shard 0
+// reuses the optimizer's generator; the rest get private ones
+// (pathgen.Generator is not concurrency-safe).
+func (o *Optimizer) growCollectors(n int) {
+	if n < 1 {
+		n = 1
 	}
-	return o.cands
+	nL := o.model.Topology().NumLinks()
+	for len(o.collectors) < n {
+		gen := o.gen
+		if len(o.collectors) > 0 {
+			g, err := pathgen.New(o.model.Topology(), o.opts.Policy)
+			if err != nil {
+				// New already validated this exact topology and policy.
+				panic("core: pathgen.New failed for collection shard: " + err.Error())
+			}
+			gen = g
+		}
+		o.collectors = append(o.collectors, &collector{
+			gen:       gen,
+			congUsed:  make([]bool, nL),
+			usedStamp: make([]uint32, nL),
+		})
+	}
 }
 
 // evaluateCandidates fills each candidate's utility, fanning the work out
@@ -1059,39 +1209,66 @@ func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.
 }
 
 // evalCandidate evaluates one trial move on the worker's private arena.
-// With a base snapshot the trial list is the semi-dense committed list
-// with the (from, to, n) flow patch at two fixed indices — the delta's
-// changed set — and the evaluation is incremental. Without one the trial
-// list is the positive committed list with the moving aggregate's
-// segment rebuilt under the patch, run through a full water-filling.
-// Either way the utility is bit-identical: placeholders are float-inert
-// and only reindex the active bundles monotonically.
+// With a base snapshot the trial list is the worker's persistent copy of
+// the semi-dense committed list with the (from, to, n) flow patch at two
+// fixed indices — the delta's changed set — and the evaluation is
+// incremental (utility-only by default: scoring needs one float, not a
+// finalized Result). The patch is reverted after the evaluation, so the
+// buffer mirrors the committed list again for the worker's next
+// candidate. Without a base the trial list is the positive committed
+// list with the moving aggregate's segment rebuilt under the patch, run
+// through a full water-filling. Either way the utility is bit-identical:
+// placeholders are float-inert and only reindex the active bundles
+// monotonically.
 func (o *Optimizer) evalCandidate(w *worker, c *candidate, committed []flowmodel.Bundle, base *flowmodel.Base) float64 {
 	if base == nil {
 		return w.eval.Evaluate(o.patchCandidateSparse(w, c, committed)).NetworkUtility
 	}
 	buf := o.patchCandidate(w, c, committed)
-	if o.probe != nil {
-		return o.probe(w, buf, w.changed[:], base)
+	var u float64
+	switch {
+	case o.probe != nil:
+		u = o.probe(w, buf, w.changed[:], base)
+	case o.scoreUtil:
+		u, _ = w.eval.EvaluateDeltaUtility(base, buf, w.changed[:])
+	default:
+		u = w.eval.EvaluateDelta(base, buf, w.changed[:]).NetworkUtility
 	}
-	return w.eval.EvaluateDelta(base, buf, w.changed[:]).NetworkUtility
+	o.revertCandidate(w, c)
+	return u
 }
 
-// patchCandidate assembles the candidate's trial list into the worker's
+// patchCandidate assembles the candidate's trial list in the worker's
 // buffer — the semi-dense committed list with the (from, to, n) flow
 // patch — and records the two patched indices in w.changed (ascending).
+// The buffer persists across candidates: it is copied from the dense
+// list only when stale for this step (first candidate after a
+// buildStepBundles, or with DisableTrialReuse every time); otherwise the
+// patch writes exactly two entries of a list revertCandidate restored to
+// the committed layout after the previous candidate.
 func (o *Optimizer) patchCandidate(w *worker, c *candidate, dense []flowmodel.Bundle) []flowmodel.Bundle {
-	buf := append(w.buf[:0], dense...)
+	if o.opts.DisableTrialReuse || w.syncGen != o.denseGen {
+		w.buf = append(w.buf[:0], dense...)
+		w.syncGen = o.denseGen
+	}
+	buf := w.buf
 	iFrom := o.denseSeg[c.agg] + c.from
 	iTo := o.denseSeg[c.agg] + c.to
 	buf[iFrom].Flows -= c.n
 	buf[iTo].Flows += c.n
-	w.buf = buf
 	if iFrom > iTo {
 		iFrom, iTo = iTo, iFrom
 	}
 	w.changed[0], w.changed[1] = iFrom, iTo
 	return buf
+}
+
+// revertCandidate undoes patchCandidate's two-entry flow patch, restoring
+// the worker's buffer to the committed dense layout. Flow counts are
+// integers, so the round-trip is exact.
+func (o *Optimizer) revertCandidate(w *worker, c *candidate) {
+	w.buf[o.denseSeg[c.agg]+c.from].Flows += c.n
+	w.buf[o.denseSeg[c.agg]+c.to].Flows -= c.n
 }
 
 // patchCandidateSparse assembles the candidate's trial list for a full
@@ -1174,38 +1351,39 @@ func (o *Optimizer) growWorkers(n int) {
 }
 
 // crossingPaths returns the path indices of st whose path uses the link
-// and currently carries flows. The returned slice is the optimizer's
+// and currently carries flows. The returned slice is the collector's
 // scratch, valid until the next call.
-func (o *Optimizer) crossingPaths(st *aggState, link graph.EdgeID) []int {
-	o.crossBuf = o.crossBuf[:0]
+func (col *collector) crossingPaths(st *aggState, link graph.EdgeID) []int {
+	col.crossBuf = col.crossBuf[:0]
 	for pi, f := range st.flows {
 		if f <= 0 {
 			continue
 		}
 		if st.set.Path(pi).Contains(link) {
-			o.crossBuf = append(o.crossBuf, pi)
+			col.crossBuf = append(col.crossBuf, pi)
 		}
 	}
-	return o.crossBuf
+	return col.crossBuf
 }
 
 // alternativesFor computes the §2.4 trio for an aggregate given the
-// current congestion set.
-func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.EdgeID) []graph.Path {
+// current congestion set, on the given collection shard's generator and
+// scratch.
+func (o *Optimizer) alternativesFor(col *collector, ai int, st *aggState, congested []graph.EdgeID) []graph.Path {
 	// Mark the links the aggregate currently uses: a fresh epoch
 	// invalidates the previous aggregate's marks, so the cost scales with
 	// the aggregate's path lengths, not the topology size.
-	o.usedEpoch++
-	if o.usedEpoch == 0 { // epoch wrapped: old stamps would alias it
-		clear(o.usedStamp)
-		o.usedEpoch = 1
+	col.usedEpoch++
+	if col.usedEpoch == 0 { // epoch wrapped: old stamps would alias it
+		clear(col.usedStamp)
+		col.usedEpoch = 1
 	}
 	for pi, f := range st.flows {
 		if f <= 0 {
 			continue
 		}
 		for _, e := range st.set.Path(pi).Edges {
-			o.usedStamp[e] = o.usedEpoch
+			col.usedStamp[e] = col.usedEpoch
 		}
 	}
 	// congUsed = congested ∩ used; find the most oversubscribed used link
@@ -1213,8 +1391,8 @@ func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.Edge
 	// unset from the same list after the pathgen call.
 	most := graph.EdgeID(-1)
 	for _, l := range congested {
-		if o.usedStamp[l] == o.usedEpoch {
-			o.congUsed[l] = true
+		if col.usedStamp[l] == col.usedEpoch {
+			col.congUsed[l] = true
 			if most < 0 {
 				most = l
 			}
@@ -1224,12 +1402,12 @@ func (o *Optimizer) alternativesFor(ai int, st *aggState, congested []graph.Edge
 	req := pathgen.Request{
 		Src: agg.Src, Dst: agg.Dst,
 		CongestedAll:  o.congAll,
-		CongestedUsed: o.congUsed,
+		CongestedUsed: col.congUsed,
 		MostCongested: most,
 	}
-	alts := o.gen.Alternatives(req)
+	alts := col.gen.Alternatives(req)
 	for _, l := range congested {
-		o.congUsed[l] = false
+		col.congUsed[l] = false
 	}
 
 	var paths []graph.Path

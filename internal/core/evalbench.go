@@ -9,21 +9,36 @@ import (
 	"fubar/internal/flowmodel"
 )
 
+// benchWorkers is the worker count RunCandidateBench forces so the paired
+// timings don't contend for the CPU. It is recorded explicitly in the
+// result (CandidateBenchResult.Workers) so downstream JSON records report
+// what actually ran, not the caller's option.
+const benchWorkers = 1
+
 // CandidateBenchResult is RunCandidateBench's record: the paired
-// per-candidate wall times of the full and incremental evaluation
-// strategies over one real optimization run, plus the differential
-// verdict (every pair must produce bit-identical utility).
+// per-candidate wall times of the full, incremental (full-Result) and
+// utility-only evaluation strategies over one real optimization run, plus
+// the differential verdict (every triple must produce bit-identical
+// utility).
 type CandidateBenchResult struct {
 	// Solution is the completed run (committed with the delta utilities,
 	// which equal the full ones bit for bit).
 	Solution *Solution
-	// FullNs and DeltaNs are the paired per-candidate evaluation times.
+	// FullNs, DeltaNs and UtilNs are the paired per-candidate evaluation
+	// times of full Evaluate, EvaluateDelta and EvaluateDeltaUtility.
 	FullNs  []int64
 	DeltaNs []int64
-	// Identical reports whether every candidate's delta utility matched
-	// its full-evaluation utility exactly.
+	UtilNs  []int64
+	// Identical reports whether every candidate's three utilities matched
+	// exactly.
 	Identical bool
-	// Delta is the run's incremental-evaluation counters.
+	// Workers is the worker count the bench actually ran with (forced to
+	// benchWorkers regardless of the caller's Options.Workers).
+	Workers int
+	// Delta is the run's incremental-evaluation counters, including the
+	// utility-only subsets (UtilityOnlyCalls/Fallbacks/Expansions) so the
+	// two incremental modes' fallback and expansion behavior can be told
+	// apart.
 	Delta flowmodel.DeltaStats
 }
 
@@ -53,9 +68,20 @@ func (r *CandidateBenchResult) MeanSpeedup() float64 {
 	return float64(f) / float64(d)
 }
 
-// MedianFullNs and MedianDeltaNs expose the two medians.
+// MedianUtilSpeedup is median full time over median utility-only time —
+// the scoring path the optimizer actually runs per candidate.
+func (r *CandidateBenchResult) MedianUtilSpeedup() float64 {
+	mf, mu := medianNs(r.FullNs), medianNs(r.UtilNs)
+	if mu <= 0 {
+		return 0
+	}
+	return float64(mf) / float64(mu)
+}
+
+// MedianFullNs, MedianDeltaNs and MedianUtilNs expose the three medians.
 func (r *CandidateBenchResult) MedianFullNs() int64  { return medianNs(r.FullNs) }
 func (r *CandidateBenchResult) MedianDeltaNs() int64 { return medianNs(r.DeltaNs) }
+func (r *CandidateBenchResult) MedianUtilNs() int64  { return medianNs(r.UtilNs) }
 
 func medianNs(ns []int64) int64 {
 	if len(ns) == 0 {
@@ -67,46 +93,62 @@ func medianNs(ns []int64) int64 {
 }
 
 // RunCandidateBench runs a full optimization with every candidate
-// evaluated twice — once through the incremental delta path (whose
-// utility drives the run) and once through a full water-filling on a
-// separate arena — timing both and asserting they agree bit for bit.
-// Workers is forced to 1 so the timings don't contend for the CPU.
+// evaluated three ways — a full water-filling on a separate arena, a
+// full-Result incremental delta, and a utility-only delta (the latter
+// driving the run) — timing each and asserting all three agree bit for
+// bit. Workers is forced to benchWorkers (recorded in the result) so the
+// timings don't contend for the CPU.
 func RunCandidateBench(model *flowmodel.Model, opts Options) (*CandidateBenchResult, error) {
-	opts.Workers = 1
+	opts.Workers = benchWorkers
 	opts.DeltaEval = DeltaAuto
 	o, err := New(model, opts)
 	if err != nil {
 		return nil, err
 	}
-	r := &CandidateBenchResult{Identical: true}
+	r := &CandidateBenchResult{Identical: true, Workers: benchWorkers}
 	full := model.NewEval()
 	o.probe = func(w *worker, buf []flowmodel.Bundle, changed []int, base *flowmodel.Base) float64 {
-		// Alternate the measurement order per candidate: whichever path
-		// runs second sees caches its predecessor warmed, so a fixed
-		// order would systematically bias the comparison.
-		var uFull, uDelta float64
-		var tFull, tDelta time.Duration
-		if len(r.FullNs)%2 == 0 {
-			t0 := time.Now()
+		// Rotate the measurement order per candidate: whichever path runs
+		// later sees caches its predecessors warmed, so a fixed order
+		// would systematically bias the comparison.
+		var uFull, uDelta, uUtil float64
+		var tFull, tDelta, tUtil time.Duration
+		runFull := func() {
+			t := time.Now()
 			uFull = full.Evaluate(buf).NetworkUtility
-			tFull = time.Since(t0)
-			t1 := time.Now()
+			tFull = time.Since(t)
+		}
+		runDelta := func() {
+			t := time.Now()
 			uDelta = w.eval.EvaluateDelta(base, buf, changed).NetworkUtility
-			tDelta = time.Since(t1)
-		} else {
-			t0 := time.Now()
-			uDelta = w.eval.EvaluateDelta(base, buf, changed).NetworkUtility
-			tDelta = time.Since(t0)
-			t1 := time.Now()
-			uFull = full.Evaluate(buf).NetworkUtility
-			tFull = time.Since(t1)
+			tDelta = time.Since(t)
+		}
+		runUtil := func() {
+			t := time.Now()
+			uUtil, _ = w.eval.EvaluateDeltaUtility(base, buf, changed)
+			tUtil = time.Since(t)
+		}
+		switch len(r.FullNs) % 3 {
+		case 0:
+			runFull()
+			runDelta()
+			runUtil()
+		case 1:
+			runDelta()
+			runUtil()
+			runFull()
+		default:
+			runUtil()
+			runFull()
+			runDelta()
 		}
 		r.FullNs = append(r.FullNs, tFull.Nanoseconds())
 		r.DeltaNs = append(r.DeltaNs, tDelta.Nanoseconds())
-		if uFull != uDelta {
+		r.UtilNs = append(r.UtilNs, tUtil.Nanoseconds())
+		if uFull != uDelta || uFull != uUtil {
 			r.Identical = false
 		}
-		return uDelta
+		return uUtil
 	}
 	sol, err := o.Run(context.Background())
 	if err != nil {

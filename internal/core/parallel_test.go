@@ -132,7 +132,7 @@ func TestDeltaEvalDeterminism(t *testing.T) {
 }
 
 // TestCandidateBenchDifferential replays a real optimization with every
-// candidate evaluated through both strategies (core.RunCandidateBench),
+// candidate evaluated through all three strategies (core.RunCandidateBench),
 // asserting bit-identical utilities across well over 1000 recorded
 // optimizer candidates.
 func TestCandidateBenchDifferential(t *testing.T) {
@@ -151,8 +151,20 @@ func TestCandidateBenchDifferential(t *testing.T) {
 	if r.Candidates() < 1000 {
 		t.Fatalf("bench exercised only %d candidates, want >= 1000", r.Candidates())
 	}
-	if r.Delta.Calls != int64(r.Candidates()) {
-		t.Fatalf("delta calls %d != candidates %d", r.Delta.Calls, r.Candidates())
+	// Each candidate makes one full-result delta call and one utility-only
+	// delta call (both count toward Calls; only the latter toward
+	// UtilityOnlyCalls).
+	if r.Delta.Calls != 2*int64(r.Candidates()) {
+		t.Fatalf("delta calls %d != 2x candidates %d", r.Delta.Calls, r.Candidates())
+	}
+	if r.Delta.UtilityOnlyCalls != int64(r.Candidates()) {
+		t.Fatalf("utility-only delta calls %d != candidates %d", r.Delta.UtilityOnlyCalls, r.Candidates())
+	}
+	if r.Workers != 1 {
+		t.Fatalf("recorded Workers = %d, want the forced 1", r.Workers)
+	}
+	if len(r.UtilNs) != r.Candidates() {
+		t.Fatalf("utility timings %d != candidates %d", len(r.UtilNs), r.Candidates())
 	}
 }
 

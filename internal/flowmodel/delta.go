@@ -117,6 +117,13 @@ type DeltaStats struct {
 	// ListBundles accumulates the candidate list lengths of non-fallback
 	// calls, for computing the mean affected fraction.
 	ListBundles int64
+	// UtilityOnlyCalls counts the EvaluateDeltaUtility subset of Calls;
+	// UtilityOnlyFallbacks and UtilityOnlyExpansions are the corresponding
+	// subsets of Fallbacks and Expansions, so full-result and scoring-only
+	// activity can be told apart when attributing savings.
+	UtilityOnlyCalls      int64
+	UtilityOnlyFallbacks  int64
+	UtilityOnlyExpansions int64
 }
 
 // Add accumulates other into s.
@@ -126,6 +133,9 @@ func (s *DeltaStats) Add(other DeltaStats) {
 	s.Expansions += other.Expansions
 	s.AffectedBundles += other.AffectedBundles
 	s.ListBundles += other.ListBundles
+	s.UtilityOnlyCalls += other.UtilityOnlyCalls
+	s.UtilityOnlyFallbacks += other.UtilityOnlyFallbacks
+	s.UtilityOnlyExpansions += other.UtilityOnlyExpansions
 }
 
 // DeltaStats returns the arena's cumulative incremental-evaluation
@@ -291,24 +301,53 @@ func (e *Eval) captureState(bundles []Bundle, res *Result, base *Base) {
 // back to a full Evaluate when the affected set exceeds half the list,
 // the contract cannot be validated cheaply, or base was never captured.
 func (e *Eval) EvaluateDelta(base *Base, bundles []Bundle, changed []int) *Result {
-	res, _ := e.evaluateDelta(base, bundles, changed)
+	res, _ := e.evaluateDelta(base, bundles, changed, false)
 	return res
+}
+
+// EvaluateDeltaUtility scores a candidate list incrementally against a
+// captured base and returns only its NetworkUtility, skipping Result
+// finalization entirely: no base-rate splice into the Result arrays, no
+// per-link load summation, no Congested rebuild, no utilization metrics.
+// The utility is bit-identical to EvaluateDelta(base, bundles,
+// changed).NetworkUtility — both fold the same per-aggregate terms in the
+// same order — at a cost proportional to the affected sub-problem alone.
+// The bool reports whether the call fell back to a full Evaluate (same
+// contract as EvaluateDelta; the utility is exact either way). The
+// arena's Result is left partially written and must not be read.
+func (e *Eval) EvaluateDeltaUtility(base *Base, bundles []Bundle, changed []int) (float64, bool) {
+	res, fellBack := e.evaluateDelta(base, bundles, changed, true)
+	return res.NetworkUtility, fellBack
 }
 
 // evaluateDelta is EvaluateDelta plus a flag reporting whether the call
 // fell back to a full Evaluate (in which case the arena holds a complete
 // full-evaluation state for the list, capturable by captureState).
-func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Result, bool) {
+// utilityOnly elides every Result field except NetworkUtility: the
+// base-rate/satisfaction splice, per-link load/demand/congestion copies
+// and finalization are skipped, and reads of unaffected bundles' rates go
+// to the base directly (deltaRate). The affected sub-problem's solve —
+// fill, lazy guard, load checks — is identical in both modes, so the
+// utility is bit-identical.
+func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int, utilityOnly bool) (*Result, bool) {
 	e.stats.Calls++
+	if utilityOnly {
+		e.stats.UtilityOnlyCalls++
+	}
+	fallback := func() (*Result, bool) {
+		e.stats.Fallbacks++
+		if utilityOnly {
+			e.stats.UtilityOnlyFallbacks++
+		}
+		return e.Evaluate(bundles), true
+	}
 	nB := len(bundles)
 	if base == nil || len(base.bundles) != nB || nB == 0 {
-		e.stats.Fallbacks++
-		return e.Evaluate(bundles), true
+		return fallback()
 	}
 	for _, i := range changed {
 		if i < 0 || i >= nB || bundles[i].Agg != base.bundles[i].Agg {
-			e.stats.Fallbacks++
-			return e.Evaluate(bundles), true
+			return fallback()
 		}
 	}
 	m := e.m
@@ -397,12 +436,22 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 
 	e.grow(nB)
 	res := &e.res
-	res.BundleRate = append(res.BundleRate[:0], base.rate...)
-	res.BundleSatisfied = append(res.BundleSatisfied[:0], base.sat...)
-	copy(res.LinkLoad, base.linkLoad)
-	copy(res.LinkDemand, base.linkDem)
-	copy(res.IsCongested, base.isCong)
-	copy(res.AggUtility, base.aggUtil)
+	if utilityOnly {
+		// Scoring only: leave the Result arrays stale. Affected bundles'
+		// entries are (re)written by setup and the fill; every read of a
+		// possibly-unaffected entry goes through deltaRate, which falls
+		// back to the base. The O(nB)+O(nL)+O(nA) splice below is the
+		// bulk of a small delta's cost — skipping it is the point.
+		res.BundleRate = res.BundleRate[:nB]
+		res.BundleSatisfied = res.BundleSatisfied[:nB]
+	} else {
+		res.BundleRate = append(res.BundleRate[:0], base.rate...)
+		res.BundleSatisfied = append(res.BundleSatisfied[:0], base.sat...)
+		copy(res.LinkLoad, base.linkLoad)
+		copy(res.LinkDemand, base.linkDem)
+		copy(res.IsCongested, base.isCong)
+		copy(res.AggUtility, base.aggUtil)
+	}
 
 	// Optimistic closure + sub-problem fill, re-run after promoting any
 	// lazily-treated bundle the candidate truncated.
@@ -428,8 +477,7 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 			}
 		}
 		if float64(len(d.affected)) > deltaMaxAffectedFrac*float64(nB) {
-			e.stats.Fallbacks++
-			return e.Evaluate(bundles), true
+			return fallback()
 		}
 
 		// Canonical (bundle index) order for all per-link accumulations.
@@ -462,9 +510,15 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 			e.tDemand[i] = base.tDemand[i]
 			if w == 0 {
 				// Inert in the base, hence inert now: its spliced base
-				// rate/satisfaction already stand.
+				// rate/satisfaction already stand. In utility-only mode
+				// nothing was spliced, so write them — deltaUtility reads
+				// every affected entry from res.
 				e.frozen[i] = true
 				e.byDemand[i] = true
+				if utilityOnly {
+					res.BundleRate[i] = base.rate[i]
+					res.BundleSatisfied[i] = base.sat[i]
+				}
 				continue
 			}
 			res.BundleRate[i] = 0
@@ -523,7 +577,7 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 					d.propagate(base, bundles[bi].Edges)
 				}
 			}
-			e.stats.Expansions++
+			e.noteExpansion(utilityOnly)
 			continue
 		}
 		// Load-check the optimistically excluded links: link load is
@@ -538,7 +592,7 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 			if d.linkMark[l] == d.epoch {
 				continue // already promoted into the sub-problem
 			}
-			load := e.linkLoadOf(res, base.linkBun[l], m.capacity[l])
+			load := e.deltaLinkLoad(res, base, base.linkBun[l], m.capacity[l])
 			res.LinkLoad[l] = load
 			if load >= m.capacity[l]*(1-bindingSlack) {
 				d.addSubLink(l)
@@ -557,7 +611,7 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 		if !promoted {
 			break
 		}
-		e.stats.Expansions++
+		e.noteExpansion(utilityOnly)
 	}
 	e.stats.AffectedBundles += int64(len(d.affected))
 	e.stats.ListBundles += int64(nB)
@@ -565,14 +619,55 @@ func (e *Eval) evaluateDelta(base *Base, bundles []Bundle, changed []int) (*Resu
 	// Finalize sub-problem link loads from their rebuilt crosser lists
 	// (touched links were already written by the load check; their base
 	// crosser lists match the candidate's — no changed bundle crosses a
-	// touched link).
-	for _, l := range d.subLinks {
-		res.LinkLoad[l] = e.linkLoadOf(res, e.linkBun[l], m.capacity[l])
+	// touched link). Utility-only scoring skips all of it: nothing
+	// downstream reads link loads or the congested list.
+	if !utilityOnly {
+		for _, l := range d.subLinks {
+			res.LinkLoad[l] = e.linkLoadOf(res, e.linkBun[l], m.capacity[l])
+		}
+		e.rebuildCongested(res)
 	}
-	e.rebuildCongested(res)
 	e.deltaUtility(base, bundles, changed, res)
-	e.computeUtilization(res)
+	if !utilityOnly {
+		e.computeUtilization(res)
+	}
 	return res, false
+}
+
+// noteExpansion counts one optimistic-closure retry, attributed to the
+// calling mode.
+func (e *Eval) noteExpansion(utilityOnly bool) {
+	e.stats.Expansions++
+	if utilityOnly {
+		e.stats.UtilityOnlyExpansions++
+	}
+}
+
+// deltaRate reads a bundle's candidate rate: affected bundles' rates are
+// (re)written in res by the current delta solve; everything else keeps
+// its base rate. In full-result mode res spliced the base rates up front
+// so both branches agree; in utility-only mode the unaffected entries of
+// res are stale and the base is authoritative. Either way the value is
+// the one a full evaluation would produce, so accumulations built from
+// deltaRate stay bit-identical across modes.
+func (e *Eval) deltaRate(res *Result, base *Base, bi int32) float64 {
+	if e.delta.bunMark[bi] == e.delta.epoch {
+		return res.BundleRate[bi]
+	}
+	return base.rate[bi]
+}
+
+// deltaLinkLoad is linkLoadOf over a crosser list that may contain
+// unaffected bundles: same order, same clamp, rates via deltaRate.
+func (e *Eval) deltaLinkLoad(res *Result, base *Base, crossers []int32, capacity float64) float64 {
+	var load float64
+	for _, bi := range crossers {
+		load += e.deltaRate(res, base, bi)
+	}
+	if load > capacity {
+		load = capacity
+	}
+	return load
 }
 
 // activeWeight returns the filling weight (flows/RTT) a bundle
@@ -648,7 +743,7 @@ func (e *Eval) touchedSeedFix(base *Base, bundles []Bundle, l int32, changed []i
 	k := 0
 	take := func(bi int32) {
 		dem += e.demand[bi]
-		load += res.BundleRate[bi]
+		load += res.BundleRate[bi] // changed bundles are affected: res is valid
 	}
 	for _, bi := range base.linkBun[l] {
 		if d.chMark[bi] == d.epoch {
@@ -659,7 +754,7 @@ func (e *Eval) touchedSeedFix(base *Base, bundles []Bundle, l int32, changed []i
 			k++
 		}
 		dem += base.demand[bi]
-		load += res.BundleRate[bi]
+		load += e.deltaRate(res, base, bi)
 	}
 	for ; k < len(ch); k++ {
 		take(ch[k])
@@ -676,7 +771,11 @@ func (e *Eval) touchedSeedFix(base *Base, bundles []Bundle, l int32, changed []i
 // actually changed outcome (or were patched), reusing the base's
 // utilities for every other aggregate, then re-folds the network total
 // over every aggregate in index order — the same accumulation the full
-// path performs, so the result is bit-identical.
+// path performs, so the result is bit-identical. It reads rates via
+// deltaRate and folds non-dirty aggregates from the base's utilities, so
+// it is valid in utility-only mode too (where res was never spliced);
+// in full-result mode the base values equal the spliced res values, so
+// both modes fold the identical numbers.
 func (e *Eval) deltaUtility(base *Base, bundles []Bundle, changed []int, res *Result) {
 	m := e.m
 	d := &e.delta
@@ -692,6 +791,7 @@ func (e *Eval) deltaUtility(base *Base, bundles []Bundle, changed []int, res *Re
 	for _, i := range d.affected {
 		// A verified-unchanged outcome contributes the identical utility
 		// term; only rate or satisfaction changes dirty the aggregate.
+		// (Affected entries of res are always valid, in both modes.)
 		if res.BundleRate[i] != base.rate[i] || res.BundleSatisfied[i] != base.sat[i] {
 			markAgg(int32(bundles[i].Agg))
 		}
@@ -703,7 +803,7 @@ func (e *Eval) deltaUtility(base *Base, bundles []Bundle, changed []int, res *Re
 			if b.Flows <= 0 {
 				continue
 			}
-			sum += m.utilityTerm(b, res.BundleRate[bi])
+			sum += m.utilityTerm(b, e.deltaRate(res, base, bi))
 		}
 		if f := float64(m.aggFlows[a]); f > 0 {
 			sum /= f
@@ -713,7 +813,11 @@ func (e *Eval) deltaUtility(base *Base, bundles []Bundle, changed []int, res *Re
 	nA := m.mat.NumAggregates()
 	var total float64
 	for i := 0; i < nA; i++ {
-		total += res.AggUtility[i] * m.aggWeight[i] * float64(m.aggFlows[i])
+		u := base.aggUtil[i]
+		if d.aggMark[i] == d.epoch {
+			u = res.AggUtility[i]
+		}
+		total += u * m.aggWeight[i] * float64(m.aggFlows[i])
 	}
 	if m.totalWeight > 0 {
 		res.NetworkUtility = total / m.totalWeight

@@ -334,3 +334,89 @@ func FuzzEvaluateDelta(f *testing.F) {
 		}
 	})
 }
+
+// TestDeltaUtilityDifferential is the scoring-mode differential: across
+// seeded random instances and many random candidate moves,
+// EvaluateDeltaUtility must return the bit-identical NetworkUtility a
+// full Evaluate produces, while the same arena keeps serving full-result
+// EvaluateDelta and CommitDelta calls in between — the interleaving the
+// optimizer's step pipeline performs (score utility-only, commit the
+// winner with a full result).
+func TestDeltaUtilityDifferential(t *testing.T) {
+	evals := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		m, bundles, _ := deltaInstance(t, seed)
+		rng := rand.New(rand.NewSource(seed * 1319))
+		baseArena := m.NewEval()
+		arena := m.NewEval()
+		fullArena := m.NewEval()
+		var base Base
+		baseArena.EvaluateBase(bundles, &base)
+		for move := 0; move < 50; move++ {
+			cand := append([]Bundle(nil), bundles...)
+			changed := perturb(rng, cand)
+			if changed == nil {
+				break
+			}
+			want := fullArena.Evaluate(cand).NetworkUtility
+			got, _ := arena.EvaluateDeltaUtility(&base, cand, changed)
+			if got != want {
+				t.Fatalf("seed %d move %d: utility-only %v != full %v", seed, move, got, want)
+			}
+			evals++
+			// Interleave a full-result delta of the same candidate on the
+			// same arena: scoring must leave no state behind that skews a
+			// subsequent full evaluation.
+			full := arena.EvaluateDelta(&base, cand, changed)
+			requireIdentical(t, "full after utility-only", fullArena.Evaluate(cand), full)
+			if move%2 == 0 {
+				bundles = cand
+				baseArena.EvaluateBase(bundles, &base)
+			}
+		}
+	}
+	if evals < 1000 {
+		t.Fatalf("differential exercised only %d utility-only evaluations, want >= 1000", evals)
+	}
+}
+
+// TestDeltaUtilityStats pins the per-mode stats split: utility-only
+// calls and fallbacks count both in the totals and in their own
+// counters, so savings are attributable per mode.
+func TestDeltaUtilityStats(t *testing.T) {
+	m, bundles, _ := deltaInstance(t, 7)
+	arena := m.NewEval()
+	var base Base
+	arena.EvaluateBase(bundles, &base)
+	arena.ResetDeltaStats()
+
+	rng := rand.New(rand.NewSource(99))
+	cand := append([]Bundle(nil), bundles...)
+	changed := perturb(rng, cand)
+	if changed == nil {
+		t.Fatal("no movable pair")
+	}
+	if _, fellBack := arena.EvaluateDeltaUtility(&base, cand, changed); fellBack {
+		t.Fatal("unexpected fallback on an in-contract candidate")
+	}
+	if u, fellBack := arena.EvaluateDeltaUtility(nil, cand, changed); !fellBack {
+		t.Fatal("nil base must fall back")
+	} else if want := m.NewEval().Evaluate(cand).NetworkUtility; u != want {
+		t.Fatalf("fallback utility %v != full %v", u, want)
+	}
+	arena.EvaluateDelta(&base, cand, changed)
+
+	s := arena.DeltaStats()
+	if s.Calls != 3 || s.UtilityOnlyCalls != 2 {
+		t.Fatalf("calls %d / utility-only %d, want 3 / 2", s.Calls, s.UtilityOnlyCalls)
+	}
+	if s.Fallbacks != 1 || s.UtilityOnlyFallbacks != 1 {
+		t.Fatalf("fallbacks %d / utility-only %d, want 1 / 1", s.Fallbacks, s.UtilityOnlyFallbacks)
+	}
+	var sum DeltaStats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.UtilityOnlyCalls != 2*s.UtilityOnlyCalls || sum.UtilityOnlyExpansions != 2*s.UtilityOnlyExpansions {
+		t.Fatalf("Add dropped utility-only counters: %+v", sum)
+	}
+}

@@ -176,6 +176,45 @@ func drawAggregate(rng *rand.Rand, cfg GenConfig) Aggregate {
 	}
 }
 
+// Sparse draws a sparse random traffic matrix: `aggregates` aggregates
+// over uniformly random ordered non-self node pairs instead of the full
+// all-pairs cross product, so instance size is controlled by the
+// aggregate count rather than n². Pairs may repeat (parallel aggregates
+// between the same POPs are legal and occur in real matrices); classes,
+// flow counts and the gravity skew follow the config exactly as in
+// Generate. Deterministic for a given seed.
+func Sparse(topo *topology.Topology, cfg GenConfig, aggregates int) (*Matrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := topo.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: sparse matrix needs >= 2 nodes, topology has %d", n)
+	}
+	if aggregates <= 0 {
+		return nil, fmt.Errorf("traffic: aggregate count must be positive, got %d", aggregates)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	masses := nodeMasses(rng, n, cfg.GravitySkew)
+	aggs := make([]Aggregate, 0, aggregates)
+	for len(aggs) < aggregates {
+		src := rng.Intn(n)
+		dst := (src + 1 + rng.Intn(n-1)) % n // uniform over non-self destinations
+		a := drawAggregate(rng, cfg)
+		a.Src = topology.NodeID(src)
+		a.Dst = topology.NodeID(dst)
+		if cfg.GravitySkew > 0 {
+			g := math.Sqrt(masses[src] * masses[dst])
+			a.Flows = int(math.Round(float64(a.Flows) * g))
+			if a.Flows < 1 {
+				a.Flows = 1
+			}
+		}
+		aggs = append(aggs, a)
+	}
+	return NewMatrix(topo, aggs)
+}
+
 // RandomAggregate draws one aggregate's class, flow count, utility
 // function and weight from the config's class mix using the caller's RNG
 // stream — the single-aggregate form of Generate, used by the scenario
