@@ -17,6 +17,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"reflect"
@@ -38,6 +40,7 @@ import (
 	"fubar/internal/pathgen"
 	"fubar/internal/report"
 	"fubar/internal/scenario"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -49,9 +52,13 @@ import (
 // binary exits cleanly instead of dying mid-epoch.
 var benchCtx = context.Background()
 
+// benchTel is the live telemetry registry behind -listen, nil without
+// the flag.
+var benchTel *telemetry.Telemetry
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop/scale (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out/-scale-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop/scale/obs (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out/-scale-out/-obs-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
@@ -69,6 +76,8 @@ func main() {
 		scaleWk  = flag.String("scale-workers", "1,2,4", "comma-separated worker counts for -exp scale")
 		scaleN   = flag.Int("scale-steps", 30, "per-run committed-move cap for -exp scale")
 		scaleOut = flag.String("scale-out", "BENCH_scale.json", "output file for the scale record")
+		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output file for the obs (telemetry overhead) record")
+		listen   = flag.String("listen", "", "serve live telemetry on this address: Prometheus /metrics, /debug/pprof/, JSONL /trace")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -106,6 +115,23 @@ func main() {
 	benchCtx = ctx
 
 	opts := core.Options{Deadline: *deadline, Workers: *workers}
+	if *listen != "" {
+		benchTel = telemetry.New()
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: telemetry.Handler(benchTel)}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (metrics, trace, debug/pprof)\n", ln.Addr())
+		go srv.Serve(ln)
+		defer srv.Close()
+		// Experiments driven by the shared option set report live; the
+		// explicit-only benches build their own options, except the obs
+		// bench's scrape phase, which adopts this registry so the
+		// -listen endpoint shows the run it verifies.
+		opts.Telemetry = benchTel
+	}
 	run := func(name string, f func() error) {
 		fmt.Printf("\n================ %s ================\n", name)
 		start := time.Now()
@@ -200,6 +226,11 @@ func main() {
 	if *exp == "scale" {
 		run("scale: step-pipeline scaling on large Waxman instances", func() error {
 			return scaleBench(*scaleSet, *scaleWk, *seed, *scaleN, *scaleOut)
+		})
+	}
+	if *exp == "obs" {
+		run("obs: telemetry overhead and live-scrape verification", func() error {
+			return obsBench(*seed, max(1, *workers), *scaleN, *obsOut)
 		})
 	}
 }

@@ -9,6 +9,7 @@
 //	fubar -scenario diurnal -epochs 12          # replay a demand/topology timeline
 //	fubar -scenario storm -ctrlplane -budget 1s # drive the control plane end to end
 //	fubar -json                                 # machine-readable output
+//	fubar -listen :9090                         # live /metrics, /trace, /debug/pprof
 //
 // Without -topology the HE-31 substitute is used. The traffic matrix is
 // always generated from -seed with the paper's class mix.
@@ -35,6 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +67,7 @@ func main() {
 		cold        = flag.Bool("cold", false, "disable warm starts in the scenario replay")
 		ctrlplane   = flag.Bool("ctrlplane", false, "drive the scenario replay through the SDN control plane (simulated switches over TCP, counted wire FlowMods)")
 		budget      = flag.Duration("budget", 0, "per-epoch optimization deadline for -ctrlplane replays (0 = none)")
+		listen      = flag.String("listen", "", "serve live telemetry on this address: Prometheus /metrics, /debug/pprof/, JSONL /trace")
 	)
 	flag.Parse()
 
@@ -75,7 +80,7 @@ func main() {
 		deadline: *deadline, maxPaths: *maxPaths, workers: *workers,
 		verbose: *verbose, showPaths: *showPaths, jsonOut: *jsonOut,
 		scenName: *scenName, epochs: *epochs, cold: *cold,
-		ctrlplane: *ctrlplane, budget: *budget,
+		ctrlplane: *ctrlplane, budget: *budget, listen: *listen,
 	}
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
@@ -95,6 +100,7 @@ type runConfig struct {
 	epochs                  int
 	cold, ctrlplane         bool
 	budget                  time.Duration
+	listen                  string
 }
 
 func run(ctx context.Context, rc runConfig) error {
@@ -128,20 +134,35 @@ func run(ctx context.Context, rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	// Telemetry is always attached (disabled collection would save
+	// nothing worth the divergent code path); -listen additionally
+	// serves it live.
+	tel := fubar.NewTelemetry()
 	opts := []fubar.SessionOption{
 		fubar.WithOptions(fubar.Options{
 			Deadline:             rc.deadline,
 			MaxPathsPerAggregate: rc.maxPaths,
 			Workers:              rc.workers,
 		}),
+		fubar.WithTelemetry(tel), // after WithOptions: it overlays the full option struct
+	}
+	if rc.listen != "" {
+		ln, err := net.Listen("tcp", rc.listen)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: fubar.TelemetryHandler(tel)}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (metrics, trace, debug/pprof)\n", ln.Addr())
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 	if rc.verbose {
-		opts = append(opts, fubar.WithObserver(func(s fubar.Snapshot) {
-			if s.Step%100 == 0 {
-				fmt.Printf("  step %5d  t=%8s  utility=%.4f  congested=%d\n",
-					s.Step, s.Elapsed.Truncate(time.Millisecond), s.Result.NetworkUtility, len(s.Result.Congested))
-			}
-		}))
+		// All diagnostics go to stderr as structured records, so -json
+		// output on stdout can never interleave with them.
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		opts = append(opts,
+			fubar.WithLogger(logger),
+			fubar.WithObserver(fubar.ProgressObserver(logger, 100)))
 	}
 	if rc.cold {
 		opts = append(opts, fubar.WithColdStart())

@@ -54,6 +54,25 @@
 //	Options.Deadline / EpochBudget ctx deadline, or WithBudget(d) per run/epoch
 //	Options.Trace                  WithObserver(fn)
 //	ScenarioOptions.ColdStart      WithColdStart()
+//	WithLogf(fn)                   WithLogger(l) — see the next table
+//
+// Logging moved from printf-style sinks to structured log/slog.
+// WithLogger(l *slog.Logger) receives every progress and diagnostic
+// record the session emits — Optimize completions, closed-loop epoch
+// lines, controller and agent diagnostics — with the data as slog
+// fields (epoch, steps, utility, wire_flowmods, …) rather than
+// pre-formatted text. WithLogf remains as a deprecated shim: it wraps
+// the printf sink in a handler that renders each record as one
+// "msg key=value ..." line, so existing callers keep compiling and
+// keep getting one line per record, but a real handler
+// (slog.NewTextHandler, slog.NewJSONHandler) is strictly more capable:
+//
+//	old printf plumbing            structured replacement
+//	-------------------            ----------------------
+//	WithLogf(log.Printf)           WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+//	ControllerConfig.Logf          ControllerConfig.Logger
+//	SwitchAgentConfig.Logf         SwitchAgentConfig.Logger
+//	ControlLoopConfig.Logf         ControlLoopConfig.Logger
 //
 // The facade also re-exports the substrate the shims and examples use:
 //
@@ -75,6 +94,23 @@
 //     DialSwitch, RunControlLoopContext
 //   - the MPLS-TE deployment substrate (§5): NewLSPDB, SyncToMPLS,
 //     PlanMBBTransition
+//   - the telemetry substrate: NewTelemetry, WithTelemetry,
+//     Session.Metrics, TelemetryHandler (live Prometheus /metrics,
+//     /debug/pprof/, JSONL /trace), ProgressObserver
+//
+// # Observability
+//
+// WithTelemetry(NewTelemetry()) attaches an allocation-free metrics
+// registry and a span tracer to a session: optimizer steps, delta
+// evaluations, replay epochs and control-plane installs are counted
+// and timed (metric names follow fubar_<subsystem>_<metric>[_total]).
+// Session.Metrics returns a JSON-marshalable snapshot; TelemetryHandler
+// serves it live (Prometheus text /metrics, /debug/pprof/, JSONL
+// /trace — the CLIs expose it via -listen). Telemetry never changes
+// optimizer behavior: instrumented runs are bit-identical, and the
+// measured overhead is recorded by `fubar-bench -exp obs`
+// (BENCH_obs.json). Observer callbacks run on the goroutine that
+// called the session method, never on a worker.
 //
 // # Cancellation and deadlines
 //

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -36,15 +37,16 @@ func main() {
 	fmt.Println("traffic: ", mat.Summary())
 
 	// One session holds the model, arenas and warm state; run FUBAR with
-	// a small budget — enough to see it work.
+	// a small budget — enough to see it work. Telemetry counts every
+	// step and delta evaluation; ProgressObserver is the same structured
+	// progress reporter the fubar CLI's -v flag uses.
+	tel := fubar.NewTelemetry()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	s, err := fubar.NewSession(topo, mat,
 		fubar.WithBudget(30*time.Second),
-		fubar.WithObserver(func(s fubar.Snapshot) {
-			if s.Step%200 == 0 {
-				fmt.Printf("  step %4d: utility %.4f, %d congested links\n",
-					s.Step, s.Result.NetworkUtility, len(s.Result.Congested))
-			}
-		}),
+		fubar.WithTelemetry(tel),
+		fubar.WithLogger(logger),
+		fubar.WithObserver(fubar.ProgressObserver(logger, 200)),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -53,10 +55,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	snap := s.Metrics()
 
 	fmt.Printf("\nshortest-path utility: %.4f\n", sol.InitialUtility)
 	fmt.Printf("FUBAR utility:         %.4f (%+.1f%%)\n",
 		sol.Utility, 100*(sol.Utility-sol.InitialUtility)/sol.InitialUtility)
 	fmt.Printf("stopped: %s after %d moves in %v\n",
 		sol.Stop, sol.Steps, sol.Elapsed.Truncate(time.Millisecond))
+	fmt.Printf("telemetry: %d candidates evaluated, %d delta evals (%d utility-only)\n",
+		snap.Counters["fubar_core_candidates_evaluated_total"],
+		snap.Counters["fubar_eval_delta_calls_total"]+snap.Counters["fubar_eval_utility_only_calls_total"],
+		snap.Counters["fubar_eval_utility_only_calls_total"])
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync"
@@ -106,7 +107,7 @@ func main() {
 	res, err := fubar.RunControlLoopContext(ctx, ctrl, topo, keys, fubar.ControlLoopConfig{
 		Epochs:        9,
 		OptimizeEvery: 3,
-		Logf:          log.Printf,
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}, fabric.RunEpoch)
 	if err != nil {
 		log.Fatal(err)

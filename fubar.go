@@ -3,6 +3,7 @@ package fubar
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"fubar/internal/anneal"
 	"fubar/internal/baseline"
@@ -20,6 +21,7 @@ import (
 	"fubar/internal/pathgen"
 	"fubar/internal/scenario"
 	"fubar/internal/sdnsim"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -742,6 +744,28 @@ func PlanMBBTransition(topo *Topology, old, next []MBBReservedPath) MBBTransitio
 func SyncToMPLS(db *LSPDB, mat *Matrix, bundles []Bundle, rates []float64, prefix string, setup, hold LSPPriority) (*LSPSyncStats, error) {
 	return mpls.SyncSolution(db, mat, bundles, rates, prefix, setup, hold)
 }
+
+// Telemetry: metrics registry, tracing, and live endpoints.
+type (
+	// Telemetry bundles a metrics registry with a span tracer. Attach
+	// one to a Session with WithTelemetry; every layer — optimizer
+	// steps, delta evaluation, replay epochs, control-plane installs —
+	// accumulates into it.
+	Telemetry = telemetry.Telemetry
+	// MetricsSnapshot is a point-in-time, JSON-marshalable copy of
+	// every counter, gauge and histogram in a telemetry registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// TraceEvent is one completed telemetry span (step, epoch, …).
+	TraceEvent = telemetry.Event
+)
+
+// NewTelemetry builds an empty telemetry bundle (registry + tracer).
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetryHandler serves t live over HTTP: Prometheus text /metrics,
+// Go profiling under /debug/pprof/, and a JSONL span stream at /trace.
+// Mount it on any mux or pass it straight to http.Serve.
+func TelemetryHandler(t *Telemetry) http.Handler { return telemetry.Handler(t) }
 
 // Failure recovery.
 type (

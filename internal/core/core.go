@@ -58,6 +58,7 @@ import (
 	"fubar/internal/flowmodel"
 	"fubar/internal/graph"
 	"fubar/internal/pathgen"
+	"fubar/internal/telemetry"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
 )
@@ -199,8 +200,15 @@ type Options struct {
 	InitialBundles []flowmodel.Bundle
 	// Trace, if set, receives a snapshot after the initial evaluation and
 	// after every committed move. Snapshots share the optimizer's result
-	// storage: copy anything retained beyond the callback.
+	// storage: copy anything retained beyond the callback. Trace is
+	// invoked from the goroutine that called Run — never from a worker —
+	// so a callback may read plain (non-atomic) state it owns.
 	Trace func(Snapshot)
+	// Telemetry, if set, receives live metrics (step/candidate counters,
+	// delta-evaluation activity, shard-merge and step wall time) and
+	// step span events. Instrumentation is atomic-counter cheap, never
+	// influences control flow, and is skipped entirely when nil.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -425,6 +433,14 @@ type Optimizer struct {
 	// evaluation call so instrumentation can time/verify both evaluation
 	// strategies on the exact trial lists the optimizer produces.
 	probe func(w *worker, buf []flowmodel.Bundle, changed []int, base *flowmodel.Base) float64
+
+	// tm/tracer are the live-metrics handles built from
+	// Options.Telemetry (nil when telemetry is off); pubDelta is the
+	// portion of the workers' cumulative DeltaStats already folded into
+	// the registry, so each step publishes only the diff.
+	tm       *telemetry.CoreMetrics
+	tracer   *telemetry.Tracer
+	pubDelta flowmodel.DeltaStats
 }
 
 // worker is one candidate evaluator: a private flowmodel arena plus the
@@ -472,13 +488,18 @@ func New(model *flowmodel.Model, opts Options) (*Optimizer, error) {
 		return nil, err
 	}
 	nL := model.Topology().NumLinks()
-	return &Optimizer{
+	o := &Optimizer{
 		model:   model,
 		gen:     gen,
 		mat:     model.Matrix(),
 		opts:    opts,
 		congAll: make([]bool, nL),
-	}, nil
+	}
+	if opts.Telemetry != nil {
+		o.tm = opts.Telemetry.Core()
+		o.tracer = opts.Telemetry.Tracer
+	}
+	return o, nil
 }
 
 // Run executes Listing 1 and returns the solution. The context is
@@ -504,6 +525,10 @@ func (o *Optimizer) Run(ctx context.Context) (*Solution, error) {
 	o.baseStats = BaseStats{}
 	for _, w := range o.workers {
 		w.eval.ResetDeltaStats()
+	}
+	o.pubDelta = flowmodel.DeltaStats{}
+	if o.tm != nil {
+		o.tm.Runs.Inc()
 	}
 	res := o.evaluate()
 	initial := res.NetworkUtility
@@ -556,6 +581,10 @@ loop:
 		// the first link whose step() makes progress ends the pass.
 		progress := false
 		var committed *flowmodel.Result
+		var stepStart time.Time
+		if o.tm != nil {
+			stepStart = time.Now()
+		}
 		for _, link := range links {
 			if stop = ctxStop(); stop != 0 {
 				break loop
@@ -579,6 +608,14 @@ loop:
 			uCur = res.NetworkUtility
 			links = o.model.CongestedByOversubscription(res)
 			o.trace(Snapshot{Step: steps, Elapsed: time.Since(start), Escalation: escLevel, Result: res})
+			if o.tm != nil {
+				o.tm.Steps.Inc()
+				o.tm.StepSeconds.Observe(time.Since(stepStart).Seconds())
+				o.publishDeltaStats()
+				o.tracer.Emit("core.step", stepStart, map[string]any{
+					"step": steps, "utility": uCur, "congested": len(links),
+				})
+			}
 			continue
 		}
 		// Local optimum (§2.5): escalate the move size; give up once even
@@ -594,6 +631,12 @@ loop:
 		}
 		escLevel++
 		escal++
+		if o.tm != nil {
+			o.tm.Escalations.Inc()
+		}
+	}
+	if o.tm != nil {
+		o.publishDeltaStats() // fold in the final (uncommitted) step's activity
 	}
 
 	final := o.evaluate()
@@ -858,6 +901,9 @@ type candidate struct {
 // any worker count commits the identical move.
 func (o *Optimizer) step(link graph.EdgeID, uInit float64, congested []graph.EdgeID, fraction float64) (bool, *flowmodel.Result) {
 	cands := o.collectCandidates(link, congested, fraction)
+	if o.tm != nil {
+		o.tm.CandidatesCollected.Add(int64(len(cands)))
+	}
 	if len(cands) == 0 {
 		return false, nil
 	}
@@ -1077,6 +1123,10 @@ func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeI
 		wg.Wait()
 		// Index-ordered merge: global chunk order, whichever shard ran
 		// each chunk.
+		var mergeStart time.Time
+		if o.tm != nil {
+			mergeStart = time.Now()
+		}
 		for c := 0; c < nChunks; c++ {
 			col := o.collectors[c%nw]
 			k := c / nw
@@ -1085,6 +1135,9 @@ func (o *Optimizer) collectCandidates(link graph.EdgeID, congested []graph.EdgeI
 				lo = col.chunkEnd[k-1]
 			}
 			o.cands = append(o.cands, col.cands[lo:col.chunkEnd[k]]...)
+		}
+		if o.tm != nil {
+			o.tm.CollectMergeSeconds.Observe(time.Since(mergeStart).Seconds())
 		}
 	}
 	for _, l := range congested {
@@ -1177,6 +1230,9 @@ func (o *Optimizer) growCollectors(n int) {
 // full evaluation. Workers only read committed, base and the aggregate
 // states.
 func (o *Optimizer) evaluateCandidates(cands []candidate, committed []flowmodel.Bundle, base *flowmodel.Base) {
+	if o.tm != nil {
+		o.tm.CandidatesEvaluated.Add(int64(len(cands)))
+	}
 	nw := o.opts.Workers
 	if nw > len(cands) {
 		nw = len(cands)
@@ -1250,6 +1306,9 @@ func (o *Optimizer) patchCandidate(w *worker, c *candidate, dense []flowmodel.Bu
 	if o.opts.DisableTrialReuse || w.syncGen != o.denseGen {
 		w.buf = append(w.buf[:0], dense...)
 		w.syncGen = o.denseGen
+		if o.tm != nil {
+			o.tm.TrialResyncs.Inc()
+		}
 	}
 	buf := w.buf
 	iFrom := o.denseSeg[c.agg] + c.from
@@ -1469,6 +1528,22 @@ func (o *Optimizer) trace(s Snapshot) {
 	if o.opts.Trace != nil {
 		o.opts.Trace(s)
 	}
+}
+
+// publishDeltaStats folds the workers' cumulative incremental-evaluation
+// counters into the live registry, adding only the growth since the
+// previous publish. Called once per committed step and once at run end;
+// only reads worker state, so it never perturbs the move sequence.
+func (o *Optimizer) publishDeltaStats() {
+	var s flowmodel.DeltaStats
+	for _, w := range o.workers {
+		s.Add(w.eval.DeltaStats())
+	}
+	o.tm.DeltaCalls.Add((s.Calls - s.UtilityOnlyCalls) - (o.pubDelta.Calls - o.pubDelta.UtilityOnlyCalls))
+	o.tm.UtilityOnlyCalls.Add(s.UtilityOnlyCalls - o.pubDelta.UtilityOnlyCalls)
+	o.tm.DeltaFallbacks.Add(s.Fallbacks - o.pubDelta.Fallbacks)
+	o.tm.DeltaExpansions.Add(s.Expansions - o.pubDelta.Expansions)
+	o.pubDelta = s
 }
 
 // Run is the package-level convenience: build an optimizer over model with

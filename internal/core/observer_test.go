@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"fubar/internal/flowmodel"
+	"fubar/internal/telemetry"
+)
+
+// TestTraceObserverSingleGoroutine pins the observer threading
+// contract the public API documents: the Trace callback runs on the
+// goroutine that called Run — never on a worker — so callers may read
+// and write plain, unsynchronized state from it. The callback below
+// mutates ordinary variables while four workers evaluate candidates
+// concurrently; under -race (the CI telemetry leg) any callback
+// invocation from a worker goroutine would be reported as a data race
+// against the optimizer loop's own reads.
+func TestTraceObserverSingleGoroutine(t *testing.T) {
+	topo, mat := congestedInstance(t, 5)
+	model, err := flowmodel.New(topo, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain state, deliberately unsynchronized: safe iff the contract
+	// holds.
+	calls := 0
+	lastStep := -1
+	var lastUtility float64
+
+	o, err := New(model, Options{
+		Workers:   4,
+		MaxSteps:  15,
+		Telemetry: telemetry.New(),
+		Trace: func(s Snapshot) {
+			calls++
+			if s.Step < lastStep {
+				t.Errorf("observer saw step %d after step %d", s.Step, lastStep)
+			}
+			lastStep = s.Step
+			lastUtility = s.Result.NetworkUtility
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := o.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Steps == 0 {
+		t.Fatal("run committed no moves; instance not congested")
+	}
+	// Trace fires once for the initial evaluation plus once per
+	// committed move.
+	if calls != sol.Steps+1 {
+		t.Errorf("observer called %d times, want %d (initial + per committed move)", calls, sol.Steps+1)
+	}
+	if lastUtility != sol.Utility {
+		t.Errorf("final observed utility %v != solution utility %v", lastUtility, sol.Utility)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fubar/internal/flowmodel"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -64,6 +65,10 @@ func TestScaleWorkerDeterminism(t *testing.T) {
 		{"workers=4 full-result scoring", func(o *Options) { o.Workers = 4; o.DisableUtilityScoring = true }},
 		{"workers=4 no trial reuse", func(o *Options) { o.Workers = 4; o.DisableTrialReuse = true }},
 		{"workers=4 delta off", func(o *Options) { o.Workers = 4; o.DeltaEval = DeltaOff }},
+		// Telemetry must observe without perturbing: instrumented runs
+		// commit the identical move sequence (ISSUE 7 acceptance).
+		{"workers=1 telemetry", func(o *Options) { o.Telemetry = telemetry.New() }},
+		{"workers=4 telemetry", func(o *Options) { o.Workers = 4; o.Telemetry = telemetry.New() }},
 	}
 	for _, v := range variants {
 		opts := base

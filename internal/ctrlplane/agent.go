@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -16,8 +17,8 @@ type AgentConfig struct {
 	HandshakeTimeout time.Duration
 	// WriteTimeout bounds each outgoing message. Default 10s.
 	WriteTimeout time.Duration
-	// Logf receives diagnostic lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured diagnostic records; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c AgentConfig) withDefaults() AgentConfig {
@@ -27,8 +28,8 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -90,7 +91,8 @@ func Dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg Agen
 	}
 	a.EpochMs = ack.EpochMs
 	_ = conn.SetDeadline(time.Time{})
-	cfg.Logf("agent %s(%d): connected to %s (epoch %dms)", nodeName, datapathID, ack.ControllerName, ack.EpochMs)
+	cfg.Logger.Info("agent: connected", "agent", nodeName, "datapath", datapathID,
+		"controller", ack.ControllerName, "epoch_ms", ack.EpochMs)
 	return a, nil
 }
 
@@ -116,10 +118,10 @@ func (a *Agent) Serve() error {
 		case StatsReq:
 			a.handleStatsReq(m)
 		case Bye:
-			a.cfg.Logf("agent %s: controller said Bye", a.name)
+			a.cfg.Logger.Info("agent: controller said Bye", "agent", a.name)
 			return nil
 		case ErrorMsg:
-			a.cfg.Logf("agent %s: controller error: %v", a.name, m)
+			a.cfg.Logger.Warn("agent: controller error", "agent", a.name, "err", error(m))
 		default:
 			_ = a.write(ErrorMsg{Code: ErrCodeUnsupported, Text: fmt.Sprintf("unexpected %v", msg.Type())})
 		}
@@ -129,7 +131,7 @@ func (a *Agent) Serve() error {
 // handleFlowMod applies an install and acks or reports failure.
 func (a *Agent) handleFlowMod(m FlowMod) {
 	if err := a.dp.InstallRules(m.Generation, m.Rules); err != nil {
-		a.cfg.Logf("agent %s: install gen %d: %v", a.name, m.Generation, err)
+		a.cfg.Logger.Warn("agent: install failed", "agent", a.name, "generation", m.Generation, "err", err)
 		_ = a.write(ErrorMsg{Token: m.Generation, Code: ErrCodeInstall, Text: err.Error()})
 		return
 	}

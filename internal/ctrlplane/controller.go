@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"slices"
 	"sort"
@@ -29,8 +30,8 @@ type ControllerConfig struct {
 	// RequestTimeout bounds each install or stats round trip.
 	// Default 10s.
 	RequestTimeout time.Duration
-	// Logf receives diagnostic lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured diagnostic records; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -46,8 +47,8 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -137,13 +138,13 @@ func (c *Controller) handleConn(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
 	msg, err := ReadMessage(br)
 	if err != nil {
-		c.cfg.Logf("controller: handshake read from %s: %v", conn.RemoteAddr(), err)
+		c.cfg.Logger.Warn("controller: handshake read failed", "remote", conn.RemoteAddr().String(), "err", err)
 		conn.Close()
 		return
 	}
 	hello, ok := msg.(Hello)
 	if !ok {
-		c.cfg.Logf("controller: %s sent %v before Hello", conn.RemoteAddr(), msg.Type())
+		c.cfg.Logger.Warn("controller: message before Hello", "remote", conn.RemoteAddr().String(), "type", msg.Type().String())
 		conn.Close()
 		return
 	}
@@ -170,7 +171,7 @@ func (c *Controller) handleConn(conn net.Conn) {
 	}
 	c.switches[sw.id] = sw
 	c.mu.Unlock()
-	c.cfg.Logf("controller: switch %s(%d) registered from %s", sw.name, sw.id, conn.RemoteAddr())
+	c.cfg.Logger.Info("controller: switch registered", "switch", sw.name, "datapath", sw.id, "remote", conn.RemoteAddr().String())
 
 	err = c.readLoop(sw, br)
 	sw.fail(err)
@@ -181,7 +182,7 @@ func (c *Controller) handleConn(conn net.Conn) {
 	c.mu.Unlock()
 	conn.Close()
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-		c.cfg.Logf("controller: switch %s(%d) read loop: %v", sw.name, sw.id, err)
+		c.cfg.Logger.Warn("controller: switch read loop failed", "switch", sw.name, "datapath", sw.id, "err", err)
 	}
 }
 
@@ -203,7 +204,7 @@ func (c *Controller) readLoop(sw *swConn, br *bufio.Reader) error {
 			if m.Token != 0 {
 				sw.deliver(m.Token, m)
 			} else {
-				c.cfg.Logf("controller: switch %s: %v", sw.name, m)
+				c.cfg.Logger.Warn("controller: switch error", "switch", sw.name, "err", error(m))
 			}
 		case Echo:
 			sw.writeMu.Lock()
@@ -215,7 +216,7 @@ func (c *Controller) readLoop(sw *swConn, br *bufio.Reader) error {
 		case Bye:
 			return io.EOF
 		default:
-			c.cfg.Logf("controller: switch %s sent unexpected %v", sw.name, msg.Type())
+			c.cfg.Logger.Warn("controller: unexpected message", "switch", sw.name, "type", msg.Type().String())
 		}
 	}
 }

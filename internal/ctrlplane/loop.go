@@ -3,6 +3,7 @@ package ctrlplane
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"fubar/internal/core"
@@ -23,8 +24,8 @@ type LoopConfig struct {
 	OptimizeEvery int
 	// Optimizer configures the FUBAR core.
 	Optimizer core.Options
-	// Logf receives progress lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured progress records; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c LoopConfig) withDefaults() LoopConfig {
@@ -34,8 +35,8 @@ func (c LoopConfig) withDefaults() LoopConfig {
 	if c.OptimizeEvery <= 0 {
 		c.OptimizeEvery = 3
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -122,8 +123,8 @@ func RunLoop(ctx context.Context, ctrl *Controller, topo *topology.Topology, key
 		res.EstimatedUtility = append(res.EstimatedUtility, sol.Utility)
 		res.FinalMatrix = mat
 		res.FinalBundles = sol.Bundles
-		cfg.Logf("loop: epoch %d: installed generation %d, predicted utility %.4f (%d bundles, %d steps)",
-			epoch, generation-1, sol.Utility, len(sol.Bundles), sol.Steps)
+		cfg.Logger.Info("loop: installed allocation", "epoch", epoch, "generation", generation-1,
+			"utility", sol.Utility, "bundles", len(sol.Bundles), "steps", sol.Steps)
 	}
 	return res, nil
 }

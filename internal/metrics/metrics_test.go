@@ -209,3 +209,68 @@ func TestWeightedMean(t *testing.T) {
 	}()
 	WeightedMean([]float64{1}, []float64{1, 2})
 }
+
+// TestEdgeCases pins the degenerate inputs every caller of the metrics
+// package eventually hits: empty distributions, single samples, and
+// zero-weight means.
+func TestEdgeCases(t *testing.T) {
+	// Empty CDF: every accessor is total — zero values, never a panic.
+	empty := NewCDF(nil)
+	if empty.Len() != 0 || len(empty.Values()) != 0 {
+		t.Errorf("empty CDF Len/Values = %d/%d", empty.Len(), len(empty.Values()))
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	for _, x := range []float64{math.Inf(-1), -1, 0, 1, math.Inf(1)} {
+		if got := empty.P(x); got != 0 {
+			t.Errorf("empty P(%v) = %v, want 0", x, got)
+		}
+	}
+	if got := empty.Median(); got != 0 {
+		t.Errorf("empty Median = %v, want 0", got)
+	}
+
+	// Single-sample CDF: every quantile is the sample; P is a step.
+	one := NewCDF([]float64{7})
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("single Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if one.P(6.9) != 0 || one.P(7) != 1 {
+		t.Errorf("single P step wrong: P(6.9)=%v P(7)=%v", one.P(6.9), one.P(7))
+	}
+
+	// Single-sample Summarize: min=max=mean=quantiles, stddev exactly 0
+	// (the n-1 divisor path must not divide by zero).
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 {
+		t.Errorf("single summary = %+v", s)
+	}
+	if s.Stddev != 0 {
+		t.Errorf("single-sample stddev = %v, want 0", s.Stddev)
+	}
+	if s.P10 != 42 || s.P50 != 42 || s.P90 != 42 {
+		t.Errorf("single-sample quantiles = %v/%v/%v, want 42", s.P10, s.P50, s.P90)
+	}
+
+	// Zero-sum weights: defined as 0, not NaN.
+	if got := WeightedMean([]float64{1, 2}, []float64{0, 0}); got != 0 {
+		t.Errorf("zero-weight mean = %v, want 0", got)
+	}
+
+	// Mismatched lengths panic in both orientations.
+	for _, lens := range [][2]int{{2, 1}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("lengths %v did not panic", lens)
+				}
+			}()
+			WeightedMean(make([]float64, lens[0]), make([]float64, lens[1]))
+		}()
+	}
+}

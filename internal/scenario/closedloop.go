@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"fubar/internal/measure"
 	"fubar/internal/mpls"
 	"fubar/internal/sdnsim"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 )
@@ -55,8 +57,9 @@ type ClosedLoopOptions struct {
 	// invisible to the controller except through counters (default 0.1;
 	// negative disables). Deterministic per seed.
 	DemandJitter float64
-	// Logf receives progress lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured progress records (one per epoch, with
+	// epoch/utility/wiremods fields); nil discards them.
+	Logger *slog.Logger
 }
 
 func (o ClosedLoopOptions) withDefaults() ClosedLoopOptions {
@@ -66,8 +69,8 @@ func (o ClosedLoopOptions) withDefaults() ClosedLoopOptions {
 	if o.SimEpoch <= 0 {
 		o.SimEpoch = 10 * time.Second
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -95,15 +98,22 @@ type ControlPlane struct {
 	ackedBase  int // fabric AckedFlowMods watermark
 }
 
+// AckedFlowMods returns the fabric's cumulative acked-FlowMod ledger —
+// the switches' own count of installs they applied and acknowledged,
+// which the install path cross-checks every wire push against. The obs
+// bench verifies the fubar_ctrlplane_wire_flowmods_total metric equals
+// this ledger's growth.
+func (cp *ControlPlane) AckedFlowMods() int { return cp.fabric.AckedFlowMods() }
+
 // NewControlPlane starts a controller and dials one switch agent per
 // topology node over loopback TCP. The matrix seeds the placeholder
 // simulator the fabric starts against (each replay epoch retargets it);
 // epoch is the measurement interval advertised to the agents in the
 // handshake (0 means the 10s default, matching
-// ClosedLoopOptions.SimEpoch). logf may be nil.
-func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Duration, logf func(string, ...any)) (*ControlPlane, error) {
-	if logf == nil {
-		logf = func(string, ...any) {}
+// ClosedLoopOptions.SimEpoch). logger may be nil to discard diagnostics.
+func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Duration, logger *slog.Logger) (*ControlPlane, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	if epoch <= 0 {
 		epoch = 10 * time.Second
@@ -117,7 +127,7 @@ func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Du
 		Name:           "fubar-closedloop",
 		EpochMs:        uint32(epoch / time.Millisecond),
 		RequestTimeout: 30 * time.Second,
-		Logf:           logf,
+		Logger:         logger,
 	})
 	if err != nil {
 		return nil, err
@@ -131,7 +141,7 @@ func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Du
 	}
 	for node := 0; node < topo.NumNodes(); node++ {
 		agent, err := ctrlplane.Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
-			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logf: logf})
+			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logger: logger})
 		if err != nil {
 			cp.Close()
 			return nil, fmt.Errorf("scenario: agent %d: %w", node, err)
@@ -170,6 +180,9 @@ type closedLoop struct {
 	opts ClosedLoopOptions
 	cp   *ControlPlane
 	seed int64
+	// cm holds the control-plane metric handles (nil when telemetry is
+	// off); the engine's tm/tracer cover the scenario-level ones.
+	cm *telemetry.CtrlplaneMetrics
 }
 
 // StreamClosedLoop replays the scenario with the control plane in the
@@ -178,7 +191,7 @@ type closedLoop struct {
 // RunClosedLoop for the collected form.
 func StreamClosedLoop(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) iter.Seq2[EpochResult, error] {
 	return func(yield func(EpochResult, error) bool) {
-		cp, err := NewControlPlane(topo, mat, opts.SimEpoch, opts.Logf)
+		cp, err := NewControlPlane(topo, mat, opts.SimEpoch, opts.Logger)
 		if err != nil {
 			yield(EpochResult{}, err)
 			return
@@ -241,6 +254,9 @@ func StreamClosedLoopOn(ctx context.Context, cp *ControlPlane, topo *topology.To
 			return
 		}
 		l := &closedLoop{en: en, opts: opts, cp: cp, seed: sc.Seed}
+		if t := opts.Core.Telemetry; t != nil {
+			l.cm = t.Ctrlplane()
+		}
 		byEpoch := en.timeline()
 		for epoch := 0; epoch < sc.Epochs; epoch++ {
 			if err := ctx.Err(); err != nil {
@@ -258,8 +274,14 @@ func StreamClosedLoopOn(ctx context.Context, cp *ControlPlane, topo *topology.To
 				yield(EpochResult{}, fmt.Errorf("scenario: epoch %d: %w", epoch, err))
 				return
 			}
-			opts.Logf("closed loop: epoch %d: stale %.4f -> %.4f (true %.4f), %d wire flowmods, miss=%v",
-				epoch, er.StaleUtility, er.Utility, er.TrueUtility, er.WireFlowMods, er.DeadlineMiss)
+			opts.Logger.LogAttrs(ctx, slog.LevelInfo, "closed loop: epoch done",
+				slog.Int("epoch", epoch),
+				slog.Float64("stale_utility", er.StaleUtility),
+				slog.Float64("utility", er.Utility),
+				slog.Float64("true_utility", er.TrueUtility),
+				slog.Int("steps", er.Steps),
+				slog.Int("wire_flowmods", er.WireFlowMods),
+				slog.Bool("deadline_miss", er.DeadlineMiss))
 			if !yield(*er, nil) {
 				return
 			}
@@ -281,6 +303,10 @@ func RunClosedLoop(ctx context.Context, topo *topology.Topology, mat *traffic.Ma
 
 // runEpoch drives one epoch of the closed loop.
 func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (*EpochResult, error) {
+	var epochStart time.Time
+	if l.en.tm != nil {
+		epochStart = time.Now()
+	}
 	inst, err := l.en.materialize()
 	if err != nil {
 		return nil, err
@@ -400,6 +426,16 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 	// Estimated churn (bundle-list diff), for comparison with the
 	// counted wire mods, and carry the installed state forward.
 	l.en.recordChurn(er, inst, sol.Bundles)
+	l.en.recordEpochMetrics(er, epochStart)
+	if l.cm != nil {
+		if er.DeadlineMiss {
+			l.cm.DeadlineMisses.Inc()
+		}
+		l.cm.MBBHeadroom.Set(er.MBBHeadroom)
+		l.cm.MBBSetups.Add(int64(er.MBBSetups))
+		l.cm.MBBTeardowns.Add(int64(er.MBBTeardowns))
+		l.cm.TrueUtility.Set(er.TrueUtility)
+	}
 	return er, nil
 }
 
@@ -424,6 +460,12 @@ func (l *closedLoop) install(epoch int, phase string, mat *traffic.Matrix, bundl
 	er.WireFlowMods += out.FlowMods
 	er.WireRules += out.Rules
 	er.InstallAcks += out.Acks
+	if l.cm != nil {
+		l.cm.Installs.Inc()
+		l.cm.WireFlowMods.Add(int64(out.FlowMods))
+		l.cm.WireRules.Add(int64(out.Rules))
+		l.cm.InstallAcks.Add(int64(out.Acks))
+	}
 	er.Installs = append(er.Installs, InstallRecord{
 		Epoch:      epoch,
 		Generation: out.Generation,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fubar/internal/core"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 )
@@ -33,19 +34,26 @@ func TestClosedLoopDeterminism(t *testing.T) {
 	sc := mixedScenario(21)
 	var results []*Result
 	for _, cfg := range []struct {
-		workers int
-		delta   core.DeltaMode
+		workers   int
+		delta     core.DeltaMode
+		telemetry bool
 	}{
-		{1, core.DeltaAuto},
-		{4, core.DeltaAuto},
-		{1, core.DeltaOff},
-		{4, core.DeltaOff},
+		{1, core.DeltaAuto, false},
+		{4, core.DeltaAuto, false},
+		{1, core.DeltaOff, false},
+		{4, core.DeltaOff, false},
+		// Telemetry-instrumented loops must yield the bit-identical
+		// epoch table and install sequence (ISSUE 7 acceptance).
+		{1, core.DeltaAuto, true},
+		{4, core.DeltaAuto, true},
 	} {
-		res, err := RunClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{
-			Core: core.Options{Workers: cfg.workers, DeltaEval: cfg.delta},
-		})
+		opts := ClosedLoopOptions{Core: core.Options{Workers: cfg.workers, DeltaEval: cfg.delta}}
+		if cfg.telemetry {
+			opts.Core.Telemetry = telemetry.New()
+		}
+		res, err := RunClosedLoop(context.Background(), topo, mat, sc, opts)
 		if err != nil {
-			t.Fatalf("Workers=%d DeltaEval=%v: %v", cfg.workers, cfg.delta, err)
+			t.Fatalf("Workers=%d DeltaEval=%v telemetry=%v: %v", cfg.workers, cfg.delta, cfg.telemetry, err)
 		}
 		results = append(results, res)
 	}

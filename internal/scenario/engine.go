@@ -9,11 +9,13 @@ import (
 	"reflect"
 	"runtime"
 	"strconv"
+	"time"
 
 	"fubar/internal/core"
 	"fubar/internal/flowmodel"
 	"fubar/internal/par"
 	"fubar/internal/pathgen"
+	"fubar/internal/telemetry"
 	"fubar/internal/topology"
 	"fubar/internal/traffic"
 	"fubar/internal/unit"
@@ -57,6 +59,12 @@ type engine struct {
 	arrivals traffic.GenConfig
 
 	installed []keyedBundle
+
+	// tm/tracer are the scenario-level live-metrics handles derived from
+	// Options.Core.Telemetry (nil when telemetry is off). The core-level
+	// handles ride into each epoch with the copied core options.
+	tm     *telemetry.ScenarioMetrics
+	tracer *telemetry.Tracer
 }
 
 // newEngine validates the instance and scenario and builds the replay
@@ -102,6 +110,10 @@ func newEngine(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts O
 		en.arrivals = traffic.DefaultGenConfig(sc.Seed)
 	} else if err := en.arrivals.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: Arrivals config: %w", err)
+	}
+	if t := opts.Core.Telemetry; t != nil {
+		en.tm = t.Scenario()
+		en.tracer = t.Tracer
 	}
 	for i := 0; i < nL; i++ {
 		l := topo.Link(topology.LinkID(i))
@@ -707,6 +719,10 @@ func (en *engine) recordChurn(er *EpochResult, inst *epochInstance, bundles []fl
 // cancelled context aborts the epoch (its partial optimization is
 // discarded) and surfaces the context's error.
 func (en *engine) optimizeEpoch(ctx context.Context, epoch int, events []string) (*EpochResult, error) {
+	var epochStart time.Time
+	if en.tm != nil {
+		epochStart = time.Now()
+	}
 	inst, err := en.materialize()
 	if err != nil {
 		return nil, err
@@ -753,7 +769,30 @@ func (en *engine) optimizeEpoch(ctx context.Context, epoch int, events []string)
 	er.StopReason = sol.Stop.String()
 	er.Elapsed = sol.Elapsed
 	en.recordChurn(er, inst, sol.Bundles)
+	en.recordEpochMetrics(er, epochStart)
 	return er, nil
+}
+
+// recordEpochMetrics folds one finished epoch row into the live
+// registry and emits its span event. No-op when telemetry is off; never
+// reads back from the registry, so it cannot perturb the replay.
+func (en *engine) recordEpochMetrics(er *EpochResult, start time.Time) {
+	if en.tm == nil {
+		return
+	}
+	en.tm.Epochs.Inc()
+	en.tm.EpochSeconds.Observe(time.Since(start).Seconds())
+	if er.WarmStart {
+		en.tm.WarmStarts.Inc()
+	}
+	en.tm.RepairDropped.Add(int64(er.RepairDropped))
+	en.tm.RepairMovedFlows.Add(int64(er.RepairMovedFlows))
+	en.tm.PathsChanged.Add(int64(er.PathsChanged))
+	en.tm.FlowsMoved.Add(int64(er.FlowsMoved))
+	en.tracer.Emit("scenario.epoch", start, map[string]any{
+		"epoch": er.Epoch, "utility": er.Utility, "steps": er.Steps,
+		"flow_mods": er.FlowMods, "warm_start": er.WarmStart,
+	})
 }
 
 // churn diffs two installed allocations over (aggregate key, path)

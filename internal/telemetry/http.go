@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the observability surface:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/trace         JSONL stream: the buffered ring, then live events
+//	               until the client disconnects
+//	/debug/pprof/  the standard runtime profiles
+//
+// Pass it to http.Serve on whatever listener the -listen flag opened.
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if t != nil && t.Registry != nil {
+			_ = t.Registry.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if t == nil || t.Tracer == nil {
+			return
+		}
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		ch, cancel := t.Tracer.Subscribe()
+		defer cancel()
+		for _, ev := range t.Tracer.Recent() {
+			if enc.Encode(ev) != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, ok := <-ch:
+				if !ok || enc.Encode(ev) != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("fubar telemetry\n\n/metrics\n/trace\n/debug/pprof/\n"))
+	})
+	return mux
+}

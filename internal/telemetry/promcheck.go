@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-format exposition: every
+// non-comment line must be `name[{labels}] value`, every TYPE comment
+// must declare a known kind, and each sample's value must parse as a
+// float. Used by the obs bench smoke and by tests to assert a scrape is
+// well-formed without importing a Prometheus client.
+func CheckExposition(body string) error {
+	samples := 0
+	for i, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", i+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", i+1, fields[3])
+				}
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if j := strings.IndexAny(line, " \t{"); j >= 0 {
+			name, rest = line[:j], line[j:]
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", i+1, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set", i+1)
+			}
+			rest = rest[end+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+			return fmt.Errorf("line %d: want `name value [ts]`, got %q", i+1, line)
+		}
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			switch fields[0] {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				return fmt.Errorf("line %d: bad sample value %q", i+1, fields[0])
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"log/slog"
 	"time"
 
 	"fubar/internal/anneal"
 	"fubar/internal/core"
 	"fubar/internal/flowmodel"
 	"fubar/internal/scenario"
+	"fubar/internal/telemetry"
 	"fubar/internal/traffic"
 )
 
@@ -55,7 +57,7 @@ type sessionConfig struct {
 	measureEpochs int
 	simEpoch      time.Duration
 	demandJitter  float64
-	logf          func(string, ...any)
+	logger        *slog.Logger
 }
 
 // SessionOption configures a Session at construction
@@ -95,8 +97,36 @@ func WithBudget(d time.Duration) SessionOption {
 // evaluation and after every committed move of every optimization the
 // session runs. Snapshots share the optimizer's result storage: copy
 // anything retained beyond the callback.
+//
+// The callback runs on the goroutine that called Optimize (or drove
+// the replay epoch) — never on a worker goroutine — so it may read and
+// write caller state without synchronization. A race test pins this
+// contract.
 func WithObserver(fn func(Snapshot)) SessionOption {
 	return func(c *sessionConfig) { c.core.Trace = fn }
+}
+
+// ProgressObserver adapts a structured logger into a WithObserver
+// callback: step 0 and every every-th committed step thereafter is
+// logged as one record with step, elapsed, utility and congested-link
+// fields (every <= 0 defaults to 100). It is the shared progress
+// observer the fubar CLI's -v flag and the quickstart example use.
+// Like any observer it runs on the optimizer goroutine, never a
+// worker.
+func ProgressObserver(l *slog.Logger, every int) func(Snapshot) {
+	if every <= 0 {
+		every = 100
+	}
+	return func(s Snapshot) {
+		if s.Step%every != 0 {
+			return
+		}
+		l.Info("optimize: progress",
+			"step", s.Step,
+			"elapsed", s.Elapsed.Truncate(time.Millisecond).String(),
+			"utility", s.Result.NetworkUtility,
+			"congested", len(s.Result.Congested))
+	}
 }
 
 // WithOptions overlays a full optimizer Options value — the escape
@@ -132,10 +162,36 @@ func WithMeasurement(measureEpochs int, simEpoch time.Duration, demandJitter flo
 	}
 }
 
-// WithLogf directs the session's progress lines (closed-loop replays)
-// to fn; by default they are discarded.
+// WithLogger directs the session's structured progress records —
+// Optimize completions, closed-loop epoch lines, control-plane
+// diagnostics — to l; by default they are discarded. Records carry
+// their data as slog fields (epoch, steps, utility, wire_flowmods, …)
+// rather than pre-formatted text, so handlers can route them to stderr
+// or JSON sinks without interleaving with -json output on stdout.
+func WithLogger(l *slog.Logger) SessionOption {
+	return func(c *sessionConfig) { c.logger = l }
+}
+
+// WithLogf directs the session's progress lines to a printf-style
+// sink.
+//
+// Deprecated: use WithLogger. WithLogf wraps fn in a slog handler that
+// renders each record as "msg key=value ..." and forwards it in a
+// single fn call; structured handlers (slog.NewJSONHandler, …) are
+// strictly more capable.
 func WithLogf(fn func(string, ...any)) SessionOption {
-	return func(c *sessionConfig) { c.logf = fn }
+	return func(c *sessionConfig) { c.logger = telemetry.LogfLogger(fn) }
+}
+
+// WithTelemetry attaches a metrics registry and tracer to the session:
+// every optimization step, replay epoch and control-plane install the
+// session runs is counted and timed into t. Read the counters with
+// Session.Metrics (or t.Snapshot), serve them live with
+// TelemetryHandler. Telemetry never alters optimizer behavior — runs
+// are bit-identical with and without it — and disabled (nil) telemetry
+// costs nothing on the hot path.
+func WithTelemetry(t *Telemetry) SessionOption {
+	return func(c *sessionConfig) { c.core.Telemetry = t }
 }
 
 // NewSession builds the session state — traffic model, path generator,
@@ -147,6 +203,9 @@ func NewSession(topo *Topology, mat *Matrix, opts ...SessionOption) (*Session, e
 	s := &Session{topo: topo, mat: mat}
 	for _, o := range opts {
 		o(&s.cfg)
+	}
+	if s.cfg.logger == nil {
+		s.cfg.logger = slog.New(slog.DiscardHandler)
 	}
 	model, err := flowmodel.New(topo, mat)
 	if err != nil {
@@ -174,6 +233,15 @@ func (s *Session) Model() *Model { return s.model }
 // Last returns the most recent Optimize solution, or nil before the
 // first call. It is the warm start the next Optimize resumes from.
 func (s *Session) Last() *Solution { return s.last }
+
+// Metrics returns a point-in-time snapshot of the session's telemetry
+// registry — every counter, gauge and histogram accumulated by
+// optimizations, replays and installs so far. The snapshot is a plain
+// JSON-marshalable value, safe to retain. Without WithTelemetry it is
+// empty.
+func (s *Session) Metrics() MetricsSnapshot {
+	return s.cfg.core.Telemetry.Snapshot()
+}
 
 // Reset drops the session's warm state: the next Optimize starts from
 // the shortest-path placement again.
@@ -222,6 +290,8 @@ func (s *Session) Optimize(ctx context.Context) (*Solution, error) {
 		return nil, err
 	}
 	s.last = sol
+	s.cfg.logger.Info("optimize: done",
+		"utility", sol.Utility, "steps", sol.Steps, "stop", sol.Stop.String())
 	return sol, nil
 }
 
@@ -276,7 +346,7 @@ func (s *Session) ReplayAll(ctx context.Context, sc Scenario) (*ScenarioResult, 
 // would. Close releases it.
 func (s *Session) ReplayClosedLoop(ctx context.Context, sc Scenario) iter.Seq2[EpochRecord, error] {
 	if s.cp == nil {
-		cp, err := scenario.NewControlPlane(s.topo, s.mat, s.cfg.simEpoch, s.cfg.logf)
+		cp, err := scenario.NewControlPlane(s.topo, s.mat, s.cfg.simEpoch, s.cfg.logger)
 		if err != nil {
 			return func(yield func(EpochRecord, error) bool) { yield(EpochRecord{}, err) }
 		}
@@ -290,7 +360,7 @@ func (s *Session) ReplayClosedLoop(ctx context.Context, sc Scenario) iter.Seq2[E
 		MeasureEpochs: s.cfg.measureEpochs,
 		SimEpoch:      s.cfg.simEpoch,
 		DemandJitter:  s.cfg.demandJitter,
-		Logf:          s.cfg.logf,
+		Logger:        s.cfg.logger,
 	}
 	return scenario.StreamClosedLoopOn(ctx, s.cp, s.topo, s.mat, sc, opts)
 }
