@@ -577,10 +577,10 @@ func BenchmarkControlPlaneCycle(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := ctrl.InstallAllocation(mat, sol.Bundles, uint64(i+1)); err != nil {
+		if err := ctrl.InstallAllocation(context.Background(), mat, sol.Bundles, uint64(i+1)); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ctrl.CollectStats(); err != nil {
+		if _, err := ctrl.CollectStats(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

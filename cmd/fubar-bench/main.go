@@ -259,7 +259,35 @@ type ctrlloopBenchRecord struct {
 	BudgetNs         int64            `json:"budget_ns"`
 	DeadlineMissRate float64          `json:"deadline_miss_rate"`
 	BudgetedTrueU    float64          `json:"budgeted_mean_true_utility"`
+	HA               *haBenchRecord   `json:"ha"`
 	Warm             *scenario.Result `json:"warm"`
+}
+
+// haBenchRecord is the HA family of the ctrlloop record: the canned
+// controller-kill storm replayed over a 3-replica control plane
+// (failovers bite: orphaned switches re-home and get their rule tables
+// resynced) versus the classic single controller (every kill is a
+// deterministic no-op) — same scenario, same seed.
+type haBenchRecord struct {
+	Scenario         string  `json:"scenario"`
+	Epochs           int     `json:"epochs"`
+	Replicas         int     `json:"replicas"`
+	Deterministic    bool    `json:"deterministic"`
+	Failovers        int     `json:"failovers"`
+	ResyncFlowMods   int     `json:"resync_flow_mods"`
+	WireFlowMods     int     `json:"wire_flow_mods"`
+	MeanTrueUtility  float64 `json:"mean_true_utility"`
+	SoloWireFlowMods int     `json:"solo_wire_flow_mods"`
+	SoloTrueUtility  float64 `json:"solo_mean_true_utility"`
+	DeadlineMissRate float64 `json:"deadline_miss_rate"`
+}
+
+func totalFailovers(r *scenario.Result) (failovers, resyncs int) {
+	for _, e := range r.Epochs {
+		failovers += e.Failovers
+		resyncs += e.ResyncFlowMods
+	}
+	return
 }
 
 func meanTrueUtility(r *scenario.Result) float64 {
@@ -324,6 +352,29 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	if err != nil {
 		return err
 	}
+
+	// HA family: the controller-kill storm over a 3-replica control
+	// plane (kills bite, survivors resync the orphans' rule tables)
+	// versus the classic single controller (kills are deterministic
+	// no-ops) — same scenario, same seed.
+	haEpochs := 8
+	if epochs < haEpochs {
+		haEpochs = epochs
+	}
+	haSc := scenario.ControllerKillStorm(seed, haEpochs, 3)
+	ha1, err := scenario.RunClosedLoop(benchCtx, topo, mat, haSc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}, Replicas: 3})
+	if err != nil {
+		return err
+	}
+	ha4, err := scenario.RunClosedLoop(benchCtx, topo, mat, haSc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 4}, Replicas: 3})
+	if err != nil {
+		return err
+	}
+	haDet := ha1.Equivalent(ha4)
+	haSolo, err := scenario.RunClosedLoop(benchCtx, topo, mat, haSc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}})
+	if err != nil {
+		return err
+	}
 	if err := warm1.Table().Render(os.Stdout); err != nil {
 		return err
 	}
@@ -349,6 +400,20 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 		BudgetedTrueU:    meanTrueUtility(budgeted),
 		Warm:             warm1,
 	}
+	haFailovers, haResyncs := totalFailovers(ha1)
+	rec.HA = &haBenchRecord{
+		Scenario:         haSc.Name,
+		Epochs:           haEpochs,
+		Replicas:         3,
+		Deterministic:    haDet,
+		Failovers:        haFailovers,
+		ResyncFlowMods:   haResyncs,
+		WireFlowMods:     ha1.TotalWireFlowMods(),
+		MeanTrueUtility:  meanTrueUtility(ha1),
+		SoloWireFlowMods: haSolo.TotalWireFlowMods(),
+		SoloTrueUtility:  meanTrueUtility(haSolo),
+		DeadlineMissRate: ha1.DeadlineMissRate(),
+	}
 	t := report.NewTable("closed loop over "+sc.Name, "metric", "warm", "cold")
 	t.AddRow("wire FlowMods (counted)", rec.WarmWireFlowMods, rec.ColdWireFlowMods)
 	t.AddRow("estimated flow mods (diff)", rec.WarmEstFlowMods, rec.ColdEstFlowMods)
@@ -362,6 +427,14 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	b.AddRow("mean true utility (budgeted)", fmt.Sprintf("%.4f", rec.BudgetedTrueU))
 	b.AddRow("min MBB headroom (unbudgeted warm)", fmt.Sprintf("%+.3f", rec.MinMBBHeadroom))
 	if err := b.Render(os.Stdout); err != nil {
+		return err
+	}
+	h := report.NewTable("HA: "+haSc.Name, "metric", "3 replicas", "1 replica")
+	h.AddRow("failovers", rec.HA.Failovers, 0)
+	h.AddRow("resync FlowMods (verified handoffs)", rec.HA.ResyncFlowMods, 0)
+	h.AddRow("wire FlowMods (counted)", rec.HA.WireFlowMods, rec.HA.SoloWireFlowMods)
+	h.AddRow("mean true utility", fmt.Sprintf("%.4f", rec.HA.MeanTrueUtility), fmt.Sprintf("%.4f", rec.HA.SoloTrueUtility))
+	if err := h.Render(os.Stdout); err != nil {
 		return err
 	}
 	detNote := "identical tables + install sequences at 1 and 4 workers"
@@ -380,6 +453,12 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	fmt.Printf("ctrlloop record written to %s\n", outPath)
 	if !det {
 		return fmt.Errorf("ctrlloop: closed-loop replays diverged between Workers=1 and Workers=4")
+	}
+	if !haDet {
+		return fmt.Errorf("ctrlloop: HA kill-storm replays diverged between Workers=1 and Workers=4")
+	}
+	if haFailovers == 0 {
+		return fmt.Errorf("ctrlloop: HA kill storm caused no failovers on a 3-replica plane")
 	}
 	return nil
 }

@@ -54,6 +54,11 @@ type obsBenchRecord struct {
 	// equals both the fabric's acked-FlowMod ledger and the replay
 	// result's counted wire FlowMods.
 	LedgerMatch bool `json:"ledger_match"`
+	// HACountersPresent: the HA control-plane counters (failovers, RPC
+	// retries, expired rules) are present in the scraped exposition —
+	// the dashboards watching a production failover can rely on them
+	// existing from process start, not only after the first incident.
+	HACountersPresent bool `json:"ha_counters_present"`
 }
 
 // obsBench measures what the telemetry substrate costs and proves what
@@ -148,6 +153,7 @@ func obsBench(seed int64, workers, maxSteps int, outPath string) error {
 	s.AddRow("fabric acked FlowMods", rec.AckedFlowMods)
 	s.AddRow("replay counted wire FlowMods", rec.ResultWireFlowMods)
 	s.AddRow("ledger match", rec.LedgerMatch)
+	s.AddRow("HA counters present", rec.HACountersPresent)
 	if err := s.Render(os.Stdout); err != nil {
 		return err
 	}
@@ -240,6 +246,17 @@ func obsScrape(seed int64, rec *obsBenchRecord) (string, error) {
 	}
 	rec.WireFlowModsMetric = v
 	rec.LedgerMatch = v == int64(rec.AckedFlowMods) && v == int64(rec.ResultWireFlowMods)
+	rec.HACountersPresent = true
+	for _, name := range []string{
+		"fubar_ctrlplane_failovers_total",
+		"fubar_ctrlplane_rpc_retries_total",
+		"fubar_ctrlplane_expired_rules_total",
+	} {
+		if _, err := promCounterValue(exposition, name); err != nil {
+			rec.HACountersPresent = false
+			return exposition, err
+		}
+	}
 	return exposition, nil
 }
 

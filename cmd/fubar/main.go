@@ -67,6 +67,9 @@ func main() {
 		cold        = flag.Bool("cold", false, "disable warm starts in the scenario replay")
 		ctrlplane   = flag.Bool("ctrlplane", false, "drive the scenario replay through the SDN control plane (simulated switches over TCP, counted wire FlowMods)")
 		budget      = flag.Duration("budget", 0, "per-epoch optimization deadline for -ctrlplane replays (0 = none)")
+		replicas    = flag.Int("replicas", 1, "controller replica count for -ctrlplane replays (>=2 lets controller-fail events bite; see -scenario ctrlstorm)")
+		lease       = flag.Duration("lease", 0, "switch rule hard-timeout for -ctrlplane replays: an orphaned agent applies -lease-policy after this long without a controller (0 = no lease)")
+		leasePolicy = flag.String("lease-policy", "static", "orphaned-agent lease policy: static (keep forwarding on the stale table) or closed (wipe it)")
 		listen      = flag.String("listen", "", "serve live telemetry on this address: Prometheus /metrics, /debug/pprof/, JSONL /trace")
 	)
 	flag.Parse()
@@ -81,6 +84,7 @@ func main() {
 		verbose: *verbose, showPaths: *showPaths, jsonOut: *jsonOut,
 		scenName: *scenName, epochs: *epochs, cold: *cold,
 		ctrlplane: *ctrlplane, budget: *budget, listen: *listen,
+		replicas: *replicas, lease: *lease, leasePolicy: *leasePolicy,
 	}
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fubar:", err)
@@ -100,6 +104,9 @@ type runConfig struct {
 	epochs                  int
 	cold, ctrlplane         bool
 	budget                  time.Duration
+	replicas                int
+	lease                   time.Duration
+	leasePolicy             string
 	listen                  string
 }
 
@@ -169,6 +176,21 @@ func run(ctx context.Context, rc runConfig) error {
 	}
 	if rc.budget > 0 {
 		opts = append(opts, fubar.WithBudget(rc.budget))
+	}
+	if rc.replicas > 1 {
+		opts = append(opts, fubar.WithReplicas(rc.replicas))
+	}
+	if rc.lease > 0 {
+		var policy fubar.FailPolicy
+		switch rc.leasePolicy {
+		case "static":
+			policy = fubar.FailStatic
+		case "closed":
+			policy = fubar.FailClosed
+		default:
+			return fmt.Errorf("unknown -lease-policy %q (valid: static, closed)", rc.leasePolicy)
+		}
+		opts = append(opts, fubar.WithRuleLease(rc.lease, policy))
 	}
 	s, err := fubar.NewSession(topo, mat, opts...)
 	if err != nil {

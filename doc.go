@@ -85,13 +85,15 @@
 //   - the full evaluation (§3, Figs 3–7): RunExperiment, Repeatability
 //   - scenario construction: DiurnalScenario, FailureStormScenario,
 //     FlashCrowdScenario, MaintenanceScenario, SRLGOutageScenario,
-//     ScenarioByName (ScenarioNames lists the canned names)
+//     ControllerKillStormScenario, ScenarioByName (ScenarioNames lists
+//     the canned names)
 //   - the SDN measurement substrate (§2.1–2.2): NewSim, NewEstimator
 //   - traffic classification (§1): NewClassifier
 //   - dynamic model validation and queue measurement: SimulateDynamics,
 //     ValidateModel
 //   - the online SDN control plane over TCP (§5): ListenController,
-//     DialSwitch, RunControlLoopContext
+//     DialSwitch, RunControlLoopContext; HA deployment: NewReplicaSet,
+//     NewManagedSwitchAgent, WithReplicas, WithRuleLease
 //   - the MPLS-TE deployment substrate (§5): NewLSPDB, SyncToMPLS,
 //     PlanMBBTransition
 //   - the telemetry substrate: NewTelemetry, WithTelemetry,
@@ -207,6 +209,23 @@
 // deterministic per seed at any worker count, install sequence
 // included. See `fubar -scenario <name> -ctrlplane` and
 // `fubar-bench -exp ctrlloop` (BENCH_ctrlloop.json).
+//
+// # HA control plane
+//
+// WithReplicas(n) runs the closed-loop controller as a replica set:
+// switch ownership shards across seats by rendezvous hashing, installs
+// fan out and merge, and ControllerFail/ControllerRecover scenario
+// events (ControllerKillStormScenario, canned name "ctrlstorm") kill
+// and re-seat replicas at epoch boundaries. Orphaned switches re-home
+// onto survivors, which push their cached rule tables back as verified
+// resyncs; election-epoch fencing stops deposed seats from rolling a
+// switch back, and every resync is reconciled against the switches'
+// ack ledger before the epoch proceeds. WithRuleLease arms the agents'
+// fail-safe: an agent orphaned past the lease keeps its table
+// (FailStatic) or wipes it (FailClosed), and reconnects with jittered
+// exponential backoff either way. Failovers and resyncs land on each
+// EpochRecord and stay deterministic; `fubar -scenario ctrlstorm
+// -ctrlplane -replicas 3` drives the whole machinery from the CLI.
 //
 // See DESIGN.md for the system inventory (including the Session
 // lifecycle) and EXPERIMENTS.md for the paper-versus-measured record.

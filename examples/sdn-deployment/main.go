@@ -90,7 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("switches:   %d registered\n", len(ctrl.Switches()))
-	if rtt, err := ctrl.Ping(0); err == nil {
+	if rtt, err := ctrl.Ping(ctx, 0); err == nil {
 		fmt.Printf("control RTT to switch 0: %v\n\n", rtt.Truncate(time.Microsecond))
 	}
 

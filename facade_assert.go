@@ -116,6 +116,12 @@ var (
 	_ ctrlplane.AgentConfig      = SwitchAgentConfig{}
 	_ ctrlplane.LoopConfig       = ControlLoopConfig{}
 	_ ctrlplane.LoopResult       = ControlLoopResult{}
+	_ ctrlplane.RetryPolicy      = RetryPolicy{}
+	_ ctrlplane.ReplicaSet       = ReplicaSet{}
+	_ ctrlplane.HAStats          = HAStats{}
+	_ ctrlplane.ManagedAgent     = ManagedSwitchAgent{}
+	_ ctrlplane.StaticDirectory  = StaticDirectory{}
+	_ ctrlplane.FailPolicy       = FailPolicy(0)
 
 	_ mpls.LSPDB           = LSPDB{}
 	_ mpls.LSP             = LSP{}
@@ -159,4 +165,9 @@ var (
 	_ = [1]struct{}{}[EventSRLGRecover-scenario.SRLGRecover]
 	_ = [1]struct{}{}[EventMaintenanceStart-scenario.MaintenanceStart]
 	_ = [1]struct{}{}[EventMaintenanceEnd-scenario.MaintenanceEnd]
+	_ = [1]struct{}{}[EventControllerFail-scenario.ControllerFail]
+	_ = [1]struct{}{}[EventControllerRecover-scenario.ControllerRecover]
+
+	_ = [1]struct{}{}[FailStatic-ctrlplane.FailStatic]
+	_ = [1]struct{}{}[FailClosed-ctrlplane.FailClosed]
 )

@@ -402,6 +402,15 @@ const (
 	EventSRLGRecover      = scenario.SRLGRecover
 	EventMaintenanceStart = scenario.MaintenanceStart
 	EventMaintenanceEnd   = scenario.MaintenanceEnd
+	// EventControllerFail kills one controller replica seat
+	// (ScenarioEvent.Replica) at the epoch boundary; survivors take over
+	// its switches and resync their rule tables. A deterministic no-op
+	// when the seat doesn't exist or is the last one live, so one
+	// scenario replays against control planes of any replica count.
+	EventControllerFail = scenario.ControllerFail
+	// EventControllerRecover re-seats a previously failed replica; a
+	// no-op when the seat is live or absent.
+	EventControllerRecover = scenario.ControllerRecover
 )
 
 // DiurnalScenario traces a day of demand: a sinusoid between
@@ -433,6 +442,15 @@ func MaintenanceScenario(seed int64, epochs int) Scenario {
 // topology (Topology.WithSRLGs) and later recovers it.
 func SRLGOutageScenario(seed int64, epochs int) Scenario {
 	return scenario.SRLGOutage(seed, epochs)
+}
+
+// ControllerKillStormScenario kills and re-seats controller replicas
+// round-robin across the timeline (seat indices within [0, seats))
+// while mild demand churn keeps every epoch moving — the HA episode
+// comparing 1-replica and N-replica control planes under the same
+// events.
+func ControllerKillStormScenario(seed int64, epochs, seats int) Scenario {
+	return scenario.ControllerKillStorm(seed, epochs, seats)
 }
 
 // ScenarioByName resolves a canned scenario (see ScenarioNames) with
@@ -676,6 +694,56 @@ type (
 	ControlLoopConfig = ctrlplane.LoopConfig
 	// ControlLoopResult summarizes a closed-loop run.
 	ControlLoopResult = ctrlplane.LoopResult
+	// RetryPolicy bounds controller→switch RPC retries: attempts,
+	// exponential backoff base and cap.
+	RetryPolicy = ctrlplane.RetryPolicy
+	// ReplicaSet is a set of controller replicas sharing install state:
+	// switch ownership shards across live seats by rendezvous hashing,
+	// installs fan out and merge, and a failed seat's switches re-home
+	// onto survivors, which resync their rule tables from the shared
+	// cache.
+	ReplicaSet = ctrlplane.ReplicaSet
+	// HAStats snapshots a replica set's cumulative high-availability
+	// counters (failovers, RPC retries, verified resyncs).
+	HAStats = ctrlplane.HAStats
+	// ManagedSwitchAgent is a fail-safe switch agent: it homes onto the
+	// first reachable controller in its dial order, reconnects with
+	// jittered exponential backoff, and applies its FailPolicy when the
+	// rule lease expires with no controller reachable.
+	ManagedSwitchAgent = ctrlplane.ManagedAgent
+	// DialDirectory tells a managed agent which controller addresses to
+	// try, in order, for its datapath ID.
+	DialDirectory = ctrlplane.DialDirectory
+	// StaticDirectory is a fixed-address DialDirectory.
+	StaticDirectory = ctrlplane.StaticDirectory
+	// FailPolicy is what an orphaned agent does with its installed rule
+	// table when the lease expires.
+	FailPolicy = ctrlplane.FailPolicy
+)
+
+// Orphaned-agent lease policies.
+const (
+	// FailStatic keeps forwarding on the stale table (the default).
+	FailStatic = ctrlplane.FailStatic
+	// FailClosed wipes the table: no forwarding without a controller.
+	FailClosed = ctrlplane.FailClosed
+)
+
+// Control-plane error sentinels, matched with errors.Is.
+var (
+	// ErrClosed: the controller or replica set was shut down.
+	ErrClosed = ctrlplane.ErrClosed
+	// ErrSwitchDead: the switch connection was lost mid-request
+	// (retryable — the agent will re-home and re-register).
+	ErrSwitchDead = ctrlplane.ErrSwitchDead
+	// ErrNoSuchSwitch: no registered switch has the datapath ID.
+	ErrNoSuchSwitch = ctrlplane.ErrNoSuchSwitch
+	// ErrTimeout: a request exhausted its per-attempt deadline
+	// (retryable).
+	ErrTimeout = ctrlplane.ErrTimeout
+	// ErrStaleEpoch: a deposed replica's FlowMod was fenced off by an
+	// agent that has seen a newer election epoch.
+	ErrStaleEpoch = ctrlplane.ErrStaleEpoch
 )
 
 // ListenController starts a controller on addr.
@@ -690,6 +758,20 @@ func DialSwitch(addr string, datapathID uint32, nodeName string, dp Datapath, cf
 
 // NewFabric wraps an SDN simulator as per-switch datapaths.
 func NewFabric(sim *Sim) *Fabric { return ctrlplane.NewFabric(sim) }
+
+// NewReplicaSet starts n controller replicas on loopback listeners
+// sharing install state. cfg applies to every replica (Retry defaults
+// to 3 attempts).
+func NewReplicaSet(n int, cfg ControllerConfig) (*ReplicaSet, error) {
+	return ctrlplane.NewReplicaSet(n, cfg)
+}
+
+// NewManagedSwitchAgent starts a fail-safe switch agent that keeps
+// itself homed on the first reachable controller in dir's dial order
+// for its datapath ID (a *ReplicaSet is a DialDirectory).
+func NewManagedSwitchAgent(datapathID uint32, nodeName string, dp Datapath, dir DialDirectory, cfg SwitchAgentConfig) (*ManagedSwitchAgent, error) {
+	return ctrlplane.NewManagedAgent(datapathID, nodeName, dp, dir, cfg)
+}
 
 // RunControlLoop drives the closed measurement/optimization cycle.
 //

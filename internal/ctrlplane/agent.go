@@ -8,8 +8,37 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// FailPolicy selects what an orphaned agent does with its installed
+// rule table once its lease expires without controller contact.
+type FailPolicy uint8
+
+const (
+	// FailStatic keeps forwarding on the last installed table — the
+	// allocation goes stale but traffic keeps flowing (the paper's
+	// allocations degrade gracefully: an old split is suboptimal, not
+	// wrong). This is the default.
+	FailStatic FailPolicy = iota
+	// FailClosed wipes the rule table, dropping the switch back to its
+	// unallocated state. Use when forwarding on stale paths is worse
+	// than not forwarding (e.g. paths through links under maintenance).
+	FailClosed
+)
+
+// String names the policy.
+func (p FailPolicy) String() string {
+	switch p {
+	case FailStatic:
+		return "fail-static"
+	case FailClosed:
+		return "fail-closed"
+	default:
+		return fmt.Sprintf("FailPolicy(%d)", uint8(p))
+	}
+}
 
 // AgentConfig tunes a switch agent.
 type AgentConfig struct {
@@ -17,6 +46,20 @@ type AgentConfig struct {
 	HandshakeTimeout time.Duration
 	// WriteTimeout bounds each outgoing message. Default 10s.
 	WriteTimeout time.Duration
+	// RuleLease is the rule hard-timeout: how long a managed agent that
+	// has lost all controller contact keeps trusting its installed
+	// table before FailAction applies. A nonzero lease advertised by
+	// the controller (HelloAck.LeaseMs) overrides it. 0 means no lease:
+	// the table never expires.
+	RuleLease time.Duration
+	// FailAction is what happens to the rule table when the lease
+	// expires. Default FailStatic.
+	FailAction FailPolicy
+	// ReconnectBase is a managed agent's first redial backoff; it
+	// doubles (with jitter) per consecutive failure. Default 10ms.
+	ReconnectBase time.Duration
+	// ReconnectMax caps the redial backoff. Default 1s.
+	ReconnectMax time.Duration
 	// Logger receives structured diagnostic records; nil discards them.
 	Logger *slog.Logger
 }
@@ -27,6 +70,12 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ReconnectBase <= 0 {
+		c.ReconnectBase = 10 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
@@ -49,16 +98,34 @@ type Agent struct {
 	mu     sync.Mutex // serializes writes and Close
 	closed bool
 
+	// epochFloor is the highest election epoch seen on a FlowMod; older
+	// epochs are fenced off with ErrCodeStale. A managed agent shares
+	// one floor across reconnects so a deposed replica cannot roll the
+	// table back after a failover.
+	epochFloor *atomic.Uint64
+
 	// EpochMs is the measurement epoch the controller advertised in its
 	// HelloAck, for the datapath driver's information.
 	EpochMs uint32
+	// LeaseMs is the rule hard-timeout the controller advertised
+	// (HelloAck.LeaseMs); 0 means none.
+	LeaseMs uint32
 }
 
 // Dial connects to the controller, performs the handshake and returns a
 // ready agent. Call Serve to process controller messages.
 func Dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg AgentConfig) (*Agent, error) {
+	return dial(addr, datapathID, nodeName, dp, cfg, nil)
+}
+
+// dial is Dial plus an optional shared epoch floor, which a managed
+// agent threads through every reconnect.
+func dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg AgentConfig, epochFloor *atomic.Uint64) (*Agent, error) {
 	if dp == nil {
 		return nil, fmt.Errorf("ctrlplane: nil datapath")
+	}
+	if epochFloor == nil {
+		epochFloor = new(atomic.Uint64)
 	}
 	cfg = cfg.withDefaults()
 	conn, err := net.DialTimeout("tcp", addr, cfg.HandshakeTimeout)
@@ -66,12 +133,13 @@ func Dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg Agen
 		return nil, fmt.Errorf("ctrlplane: dial %s: %w", addr, err)
 	}
 	a := &Agent{
-		cfg:  cfg,
-		id:   datapathID,
-		name: nodeName,
-		dp:   dp,
-		conn: conn,
-		br:   bufio.NewReader(conn),
+		cfg:        cfg,
+		id:         datapathID,
+		name:       nodeName,
+		dp:         dp,
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		epochFloor: epochFloor,
 	}
 	deadline := time.Now().Add(cfg.HandshakeTimeout)
 	_ = conn.SetDeadline(deadline)
@@ -90,9 +158,10 @@ func Dial(addr string, datapathID uint32, nodeName string, dp Datapath, cfg Agen
 		return nil, fmt.Errorf("ctrlplane: handshake: got %v, want HelloAck", msg.Type())
 	}
 	a.EpochMs = ack.EpochMs
+	a.LeaseMs = ack.LeaseMs
 	_ = conn.SetDeadline(time.Time{})
 	cfg.Logger.Info("agent: connected", "agent", nodeName, "datapath", datapathID,
-		"controller", ack.ControllerName, "epoch_ms", ack.EpochMs)
+		"controller", ack.ControllerName, "epoch_ms", ack.EpochMs, "lease_ms", ack.LeaseMs)
 	return a, nil
 }
 
@@ -128,8 +197,24 @@ func (a *Agent) Serve() error {
 	}
 }
 
-// handleFlowMod applies an install and acks or reports failure.
+// handleFlowMod applies an install and acks or reports failure. Epoch
+// fencing happens first: a FlowMod stamped with an election epoch older
+// than one already seen comes from a deposed replica and is rejected
+// with ErrCodeStale before it can touch the datapath.
 func (a *Agent) handleFlowMod(m FlowMod) {
+	for {
+		cur := a.epochFloor.Load()
+		if m.Epoch < cur {
+			a.cfg.Logger.Warn("agent: rejected stale-epoch FlowMod",
+				"agent", a.name, "epoch", m.Epoch, "floor", cur)
+			_ = a.write(ErrorMsg{Token: m.Generation, Code: ErrCodeStale,
+				Text: fmt.Sprintf("stale controller epoch %d < %d", m.Epoch, cur)})
+			return
+		}
+		if a.epochFloor.CompareAndSwap(cur, m.Epoch) {
+			break
+		}
+	}
 	if err := a.dp.InstallRules(m.Generation, m.Rules); err != nil {
 		a.cfg.Logger.Warn("agent: install failed", "agent", a.name, "generation", m.Generation, "err", err)
 		_ = a.write(ErrorMsg{Token: m.Generation, Code: ErrCodeInstall, Text: err.Error()})

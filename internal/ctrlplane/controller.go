@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,38 @@ import (
 	"fubar/internal/traffic"
 )
 
+// RetryPolicy tunes the controller's per-RPC retry loop. Every
+// controller→agent round trip (install, stats, ping) runs under it:
+// transient failures (lost connections, per-attempt timeouts — see
+// retryable) are retried with exponential backoff, re-resolving the
+// switch each attempt so a reconnected agent is picked up; peer errors
+// and unknown switches fail immediately. The zero value retries
+// nothing, which keeps a bare controller fail-fast; the replica set
+// turns retries on for the HA closed loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per RPC (1 = no
+	// retries). Default 1.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; it doubles per
+	// attempt. Default 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Default 500ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
+
 // ControllerConfig tunes the controller.
 type ControllerConfig struct {
 	// Name is advertised in HelloAck. Default "fubar-controller".
@@ -24,12 +57,21 @@ type ControllerConfig struct {
 	// EpochMs is the measurement epoch advertised to agents.
 	// Default 10000.
 	EpochMs uint32
+	// RuleLease is the rule hard-timeout advertised to agents in
+	// HelloAck (LeaseMs): how long an agent may forward on its
+	// installed table after losing all controller contact before its
+	// fail-safe policy applies. 0 (the default) disables the lease.
+	RuleLease time.Duration
 	// HandshakeTimeout bounds the Hello exchange per connection.
 	// Default 5s.
 	HandshakeTimeout time.Duration
-	// RequestTimeout bounds each install or stats round trip.
-	// Default 10s.
+	// RequestTimeout bounds each install or stats attempt (the
+	// per-attempt deadline, derived from the caller's context when that
+	// is tighter). Default 10s.
 	RequestTimeout time.Duration
+	// Retry is the per-RPC retry policy. The zero value disables
+	// retries.
+	Retry RetryPolicy
 	// Logger receives structured diagnostic records; nil discards them.
 	Logger *slog.Logger
 }
@@ -47,6 +89,7 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	c.Retry = c.Retry.withDefaults()
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -73,21 +116,94 @@ type swConn struct {
 	dead    error
 }
 
+// signal is a broadcast condition: waiters grab the current channel and
+// block on it; broadcast closes it and installs a fresh one, waking
+// every waiter exactly once per state change.
+type signal struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newSignal() *signal { return &signal{ch: make(chan struct{})} }
+
+func (s *signal) wait() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ch
+}
+
+func (s *signal) broadcast() {
+	s.mu.Lock()
+	close(s.ch)
+	s.ch = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// tableCache is the last-acked rule table per switch — the
+// differential-install state. In a replica set one cache is shared by
+// every replica, which is what lets a survivor diff correctly against
+// tables a dead peer pushed, and resync an orphaned switch from the
+// handoff state on re-registration. A missing entry means "unknown or
+// empty table": the next differential install pushes the full table.
+type tableCache struct {
+	mu     sync.Mutex
+	tables map[uint32][]Rule
+}
+
+func newTableCache() *tableCache {
+	return &tableCache{tables: make(map[uint32][]Rule)}
+}
+
+func (tc *tableCache) get(id uint32) ([]Rule, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	rules, ok := tc.tables[id]
+	return rules, ok
+}
+
+func (tc *tableCache) set(id uint32, rules []Rule) {
+	tc.mu.Lock()
+	tc.tables[id] = rules
+	tc.mu.Unlock()
+}
+
+func (tc *tableCache) drop(id uint32) {
+	tc.mu.Lock()
+	delete(tc.tables, id)
+	tc.mu.Unlock()
+}
+
+// haStats are the shared HA counters of a controller (or of a whole
+// replica set, which hands every replica the same instance).
+type haStats struct {
+	// retries counts RPC attempts retried after a transient error.
+	retries atomic.Int64
+	// resyncsAcked counts verified rule-table handoffs: re-registered
+	// switches whose cached table was re-pushed and acked.
+	resyncsAcked atomic.Int64
+	// resyncInflight tracks handoffs still awaiting their ack.
+	resyncInflight atomic.Int64
+}
+
 // Controller is the online controller: it accepts switch registrations,
 // installs FUBAR's computed allocations as per-ingress rule tables, and
 // polls the counters the optimizer's measurement plane (internal/measure)
-// consumes.
+// consumes. A standalone controller owns its differential-install cache;
+// controllers inside a ReplicaSet share one (plus the election epoch and
+// HA counters), so any replica can install to — and hand off — any
+// switch.
 type Controller struct {
 	cfg ControllerConfig
 	ln  net.Listener
 
+	tables *tableCache
+	epoch  *atomic.Uint64 // election epoch stamped on FlowMods
+	stats  *haStats
+	notify *signal // registration and resync state changes
+
 	mu       sync.Mutex
 	switches map[uint32]*swConn
 	closed   bool
-	// lastTables is the rule table last successfully pushed (and acked)
-	// per switch — the differential-install cache InstallAllocationDiff
-	// diffs against. A missing entry means "empty table".
-	lastTables map[uint32][]Rule
 
 	wg    sync.WaitGroup
 	token atomic.Uint64
@@ -96,16 +212,25 @@ type Controller struct {
 // Listen starts a controller on addr ("127.0.0.1:0" for an ephemeral
 // test port).
 func Listen(addr string, cfg ControllerConfig) (*Controller, error) {
+	return listen(addr, cfg, newTableCache(), new(atomic.Uint64), &haStats{}, newSignal())
+}
+
+// listen is the shared constructor: a replica set passes the same
+// cache, epoch, counters and signal to every replica.
+func listen(addr string, cfg ControllerConfig, tables *tableCache, epoch *atomic.Uint64, stats *haStats, notify *signal) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ctrlplane: listen %s: %w", addr, err)
 	}
 	c := &Controller{
-		cfg:        cfg,
-		ln:         ln,
-		switches:   make(map[uint32]*swConn),
-		lastTables: make(map[uint32][]Rule),
+		cfg:      cfg,
+		ln:       ln,
+		tables:   tables,
+		epoch:    epoch,
+		stats:    stats,
+		notify:   notify,
+		switches: make(map[uint32]*swConn),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -148,7 +273,12 @@ func (c *Controller) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if err := WriteMessage(conn, HelloAck{ControllerName: c.cfg.Name, EpochMs: c.cfg.EpochMs}); err != nil {
+	ack := HelloAck{
+		ControllerName: c.cfg.Name,
+		EpochMs:        c.cfg.EpochMs,
+		LeaseMs:        uint32(c.cfg.RuleLease / time.Millisecond),
+	}
+	if err := WriteMessage(conn, ack); err != nil {
 		conn.Close()
 		return
 	}
@@ -171,7 +301,23 @@ func (c *Controller) handleConn(conn net.Conn) {
 	}
 	c.switches[sw.id] = sw
 	c.mu.Unlock()
+	c.notify.broadcast()
 	c.cfg.Logger.Info("controller: switch registered", "switch", sw.name, "datapath", sw.id, "remote", conn.RemoteAddr().String())
+
+	// Verified rule-table handoff: a (re)registering switch whose last
+	// acked table is in the shared cache gets it re-pushed, so a switch
+	// orphaned by a controller failure is made consistent by whichever
+	// replica it re-homes to — and the push is verified by its ack.
+	if cached, ok := c.tables.get(sw.id); ok && len(cached) > 0 {
+		c.stats.resyncInflight.Add(1)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.resync(sw, cached)
+			c.stats.resyncInflight.Add(-1)
+			c.notify.broadcast()
+		}()
+	}
 
 	err = c.readLoop(sw, br)
 	sw.fail(err)
@@ -180,10 +326,37 @@ func (c *Controller) handleConn(conn net.Conn) {
 		delete(c.switches, sw.id)
 	}
 	c.mu.Unlock()
+	c.notify.broadcast()
 	conn.Close()
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		c.cfg.Logger.Warn("controller: switch read loop failed", "switch", sw.name, "datapath", sw.id, "err", err)
 	}
+}
+
+// resyncGenerationBase keeps handoff generations out of the caller
+// generation space, so a resync in flight can never collide with an
+// install's pending token on the same connection.
+const resyncGenerationBase = uint64(1) << 62
+
+// resync re-pushes a re-registered switch's cached rule table and
+// verifies the ack. An unverified handoff drops the cache entry: the
+// switch's state is unknown, so the next differential install must
+// push its full table rather than skip it.
+func (c *Controller) resync(sw *swConn, rules []Rule) {
+	gen := resyncGenerationBase | c.nextToken()
+	reply, err := c.request(context.Background(), sw, gen, FlowMod{Generation: gen, Epoch: c.epoch.Load(), Rules: rules})
+	if err == nil {
+		if _, ok := reply.(FlowModAck); ok {
+			c.stats.resyncsAcked.Add(1)
+			c.cfg.Logger.Info("controller: switch rule table resynced",
+				"switch", sw.name, "datapath", sw.id, "rules", len(rules))
+			return
+		}
+		err = fmt.Errorf("got %v, want FlowModAck", reply.Type())
+	}
+	c.tables.drop(sw.id)
+	c.cfg.Logger.Warn("controller: rule-table resync failed",
+		"switch", sw.name, "datapath", sw.id, "err", err)
 }
 
 // readLoop dispatches replies to their pending requests.
@@ -244,48 +417,91 @@ func (s *swConn) expect(token uint64) (chan Message, error) {
 	return ch, nil
 }
 
-// fail wakes all pending requests with a connection error.
+// fail wakes all pending requests with a connection-lost error.
 func (s *swConn) fail(err error) {
 	if err == nil {
 		err = io.EOF
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.dead = err
+	if s.dead == nil {
+		s.dead = fmt.Errorf("%w: %v", ErrSwitchDead, err)
+	}
 	for tok, ch := range s.pending {
 		delete(s.pending, tok)
-		ch <- ErrorMsg{Token: tok, Code: ErrCodeBadRequest, Text: "connection lost: " + err.Error()}
+		ch <- nil
 	}
 }
 
-// request writes a message and awaits the reply matching token.
-func (c *Controller) request(sw *swConn, token uint64, m Message) (Message, error) {
+// deadErr snapshots the connection's terminal error, if any.
+func (s *swConn) deadErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// request writes a message and awaits the reply matching token, under a
+// per-attempt deadline: RequestTimeout layered beneath the caller's
+// context (whichever is tighter wins).
+func (c *Controller) request(ctx context.Context, sw *swConn, token uint64, m Message) (Message, error) {
 	ch, err := sw.expect(token)
 	if err != nil {
 		return nil, err
 	}
+	attemptCtx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	deadline, _ := attemptCtx.Deadline()
 	sw.writeMu.Lock()
-	_ = sw.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	_ = sw.conn.SetWriteDeadline(deadline)
 	err = WriteMessage(sw.conn, m)
 	sw.writeMu.Unlock()
 	if err != nil {
 		sw.deliver(token, nil) // unregister
-		return nil, err
+		return nil, fmt.Errorf("ctrlplane: write %v to switch %s(%d): %w (%v)", m.Type(), sw.name, sw.id, ErrSwitchDead, err)
 	}
-	timer := time.NewTimer(c.cfg.RequestTimeout)
-	defer timer.Stop()
 	select {
 	case reply := <-ch:
 		if reply == nil {
+			if dead := sw.deadErr(); dead != nil {
+				return nil, dead
+			}
 			return nil, fmt.Errorf("ctrlplane: request cancelled")
 		}
 		if em, isErr := reply.(ErrorMsg); isErr {
 			return nil, em
 		}
 		return reply, nil
-	case <-timer.C:
+	case <-attemptCtx.Done():
 		sw.deliver(token, nil)
-		return nil, fmt.Errorf("ctrlplane: %v to switch %s(%d) timed out", m.Type(), sw.name, sw.id)
+		if err := ctx.Err(); err != nil {
+			return nil, err // the caller's context won, not the attempt deadline
+		}
+		return nil, fmt.Errorf("ctrlplane: %v to switch %s(%d): %w", m.Type(), sw.name, sw.id, ErrTimeout)
+	}
+}
+
+// withRetry runs one RPC operation under the retry policy: transient
+// errors (retryable) are retried with exponential backoff until the
+// attempts run out or the caller's context dies; anything else returns
+// immediately. Operations re-resolve their switch per attempt, so a
+// retry can land on a reconnected agent.
+func (c *Controller) withRetry(ctx context.Context, op func(context.Context) error) error {
+	p := c.cfg.Retry
+	backoff := p.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		err := op(ctx)
+		if err == nil || attempt >= p.MaxAttempts || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		c.stats.retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return err
+		}
+		if backoff *= 2; backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
 	}
 }
 
@@ -305,38 +521,64 @@ func (c *Controller) Switches() []SwitchInfo {
 	return infos
 }
 
-// WaitForSwitches blocks until n switches are registered or the timeout
-// expires.
-func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+// SwitchCount reports the number of registered switches.
+func (c *Controller) SwitchCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.switches)
+}
+
+// WaitForSwitchesCtx blocks until n switches are registered, the
+// controller closes, or ctx is done. Registration changes are signaled
+// by condition broadcast — no polling.
+func (c *Controller) WaitForSwitchesCtx(ctx context.Context, n int) error {
 	for {
+		ch := c.notify.wait()
 		c.mu.Lock()
-		got := len(c.switches)
+		got, closed := len(c.switches), c.closed
 		c.mu.Unlock()
 		if got >= n {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("ctrlplane: %d/%d switches after %v", got, n, timeout)
+		if closed {
+			return fmt.Errorf("%w: %d/%d switches", ErrClosed, got, n)
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("ctrlplane: %d/%d switches: %w", got, n, ctx.Err())
+		case <-ch:
+		}
 	}
 }
 
+// WaitForSwitches blocks until n switches are registered or the timeout
+// expires.
+func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitForSwitchesCtx(ctx, n)
+}
+
 // Ping measures one switch's control-channel round-trip time.
-func (c *Controller) Ping(datapathID uint32) (time.Duration, error) {
-	sw, err := c.lookup(datapathID)
-	if err != nil {
-		return 0, err
-	}
-	token := c.nextToken()
+func (c *Controller) Ping(ctx context.Context, datapathID uint32) (time.Duration, error) {
 	start := time.Now()
-	reply, err := c.request(sw, token, Echo{Token: token})
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		sw, err := c.lookup(datapathID)
+		if err != nil {
+			return err
+		}
+		token := c.nextToken()
+		reply, err := c.request(ctx, sw, token, Echo{Token: token})
+		if err != nil {
+			return err
+		}
+		if _, ok := reply.(EchoReply); !ok {
+			return fmt.Errorf("ctrlplane: ping got %v", reply.Type())
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
-	}
-	if _, ok := reply.(EchoReply); !ok {
-		return 0, fmt.Errorf("ctrlplane: ping got %v", reply.Type())
 	}
 	return time.Since(start), nil
 }
@@ -399,8 +641,8 @@ func rulesEqual(a, b []Rule) bool {
 // holding stale rules for aggregates absent from the allocation receive
 // an empty table. The call blocks until every involved switch acks, and
 // returns the generation number used.
-func (c *Controller) InstallAllocation(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) error {
-	_, err := c.install(mat, bundles, generation, false)
+func (c *Controller) InstallAllocation(ctx context.Context, mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) error {
+	_, err := c.install(ctx, mat, bundles, generation, false, false)
 	return err
 }
 
@@ -421,6 +663,14 @@ type InstallOutcome struct {
 	Acks int
 }
 
+// merge folds another outcome in (replica-set fan-out).
+func (o *InstallOutcome) merge(other InstallOutcome) {
+	o.Targeted += other.Targeted
+	o.FlowMods += other.FlowMods
+	o.Rules += other.Rules
+	o.Acks += other.Acks
+}
+
 // InstallAllocationDiff pushes an allocation differentially: only
 // switches whose desired rule table differs from the controller's last
 // acked push receive a FlowMod (switch tables are physical state — an
@@ -428,26 +678,40 @@ type InstallOutcome struct {
 // messages actually written and acked, which is how a closed-loop
 // replay measures real install churn rather than estimating it from
 // bundle diffs.
-func (c *Controller) InstallAllocationDiff(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) (InstallOutcome, error) {
-	return c.install(mat, bundles, generation, true)
+func (c *Controller) InstallAllocationDiff(ctx context.Context, mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64) (InstallOutcome, error) {
+	return c.install(ctx, mat, bundles, generation, true, false)
 }
 
-// install implements both install flavors.
-func (c *Controller) install(mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64, diff bool) (InstallOutcome, error) {
+// install implements both install flavors. allowEmpty tolerates a
+// replica with no registered switches (the replica-set fan-out calls
+// every live replica; shards with nothing to do contribute an empty
+// outcome instead of an error).
+func (c *Controller) install(ctx context.Context, mat *traffic.Matrix, bundles []flowmodel.Bundle, generation uint64, diff, allowEmpty bool) (InstallOutcome, error) {
 	perSwitch := allocationTables(mat, bundles)
 
 	c.mu.Lock()
+	closed := c.closed
 	targets := make([]*swConn, 0, len(c.switches))
+	ids := make([]uint32, 0, len(c.switches))
 	for _, sw := range c.switches {
-		if diff && rulesEqual(perSwitch[sw.id], c.lastTables[sw.id]) {
-			continue
+		if diff {
+			if last, ok := c.tables.get(sw.id); ok && rulesEqual(perSwitch[sw.id], last) {
+				continue
+			}
 		}
 		targets = append(targets, sw)
+		ids = append(ids, sw.id)
 	}
 	total := len(c.switches)
 	c.mu.Unlock()
 	out := InstallOutcome{Generation: generation, Targeted: total}
+	if closed {
+		return out, ErrClosed
+	}
 	if total == 0 {
+		if allowEmpty {
+			return out, nil
+		}
 		return out, fmt.Errorf("ctrlplane: no switches connected")
 	}
 	if len(targets) == 0 {
@@ -457,76 +721,110 @@ func (c *Controller) install(mat *traffic.Matrix, bundles []flowmodel.Bundle, ge
 	var wg sync.WaitGroup
 	errs := make([]error, len(targets))
 	acked := make([]bool, len(targets))
+	epoch := c.epoch.Load()
 	for i, sw := range targets {
 		rules := perSwitch[sw.id]
+		id := sw.id
+		name := sw.name
 		out.FlowMods++
 		out.Rules += len(rules)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reply, err := c.request(sw, generation, FlowMod{Generation: generation, Rules: rules})
+			err := c.withRetry(ctx, func(ctx context.Context) error {
+				sw, err := c.lookup(id) // re-resolve: the agent may have reconnected
+				if err != nil {
+					return err
+				}
+				reply, err := c.request(ctx, sw, generation, FlowMod{Generation: generation, Epoch: epoch, Rules: rules})
+				if err != nil {
+					return err
+				}
+				if _, ok := reply.(FlowModAck); !ok {
+					return fmt.Errorf("got %v, want FlowModAck", reply.Type())
+				}
+				return nil
+			})
 			if err != nil {
-				errs[i] = fmt.Errorf("switch %s(%d): %w", sw.name, sw.id, err)
-				return
-			}
-			if _, ok := reply.(FlowModAck); !ok {
-				errs[i] = fmt.Errorf("switch %s(%d): got %v, want FlowModAck", sw.name, sw.id, reply.Type())
+				errs[i] = fmt.Errorf("switch %s(%d): %w", name, id, err)
 				return
 			}
 			acked[i] = true
 		}()
 	}
 	wg.Wait()
-	c.mu.Lock()
-	for i, sw := range targets {
+	for i, id := range ids {
 		if acked[i] {
 			out.Acks++
-			c.lastTables[sw.id] = perSwitch[sw.id]
+			c.tables.set(id, perSwitch[id])
 		} else {
 			// Unknown switch state: never skip it on the next diff.
-			delete(c.lastTables, sw.id)
+			c.tables.drop(id)
 		}
 	}
-	c.mu.Unlock()
 	return out, errors.Join(errs...)
 }
 
 // CollectStats polls every connected switch and returns their replies
 // keyed by datapath ID. A switch that fails contributes an error instead
 // of silence.
-func (c *Controller) CollectStats() (map[uint32]StatsReply, error) {
+func (c *Controller) CollectStats(ctx context.Context) (map[uint32]StatsReply, error) {
+	out, err := c.collectStats(ctx, false)
+	return out, err
+}
+
+// collectStats implements CollectStats; allowEmpty is for the
+// replica-set fan-out (a shard with no switches is not an error).
+func (c *Controller) collectStats(ctx context.Context, allowEmpty bool) (map[uint32]StatsReply, error) {
 	c.mu.Lock()
-	targets := make([]*swConn, 0, len(c.switches))
+	closed := c.closed
+	ids := make([]uint32, 0, len(c.switches))
+	names := make(map[uint32]string, len(c.switches))
 	for _, sw := range c.switches {
-		targets = append(targets, sw)
+		ids = append(ids, sw.id)
+		names[sw.id] = sw.name
 	}
 	c.mu.Unlock()
-	if len(targets) == 0 {
+	if closed {
+		return nil, ErrClosed
+	}
+	if len(ids) == 0 {
+		if allowEmpty {
+			return map[uint32]StatsReply{}, nil
+		}
 		return nil, fmt.Errorf("ctrlplane: no switches connected")
 	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	out := make(map[uint32]StatsReply, len(targets))
-	errs := make([]error, len(targets))
-	for i, sw := range targets {
-		token := c.nextToken()
+	out := make(map[uint32]StatsReply, len(ids))
+	errs := make([]error, len(ids))
+	for i, id := range ids {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reply, err := c.request(sw, token, StatsReq{Token: token})
+			err := c.withRetry(ctx, func(ctx context.Context) error {
+				sw, err := c.lookup(id)
+				if err != nil {
+					return err
+				}
+				token := c.nextToken()
+				reply, err := c.request(ctx, sw, token, StatsReq{Token: token})
+				if err != nil {
+					return err
+				}
+				sr, ok := reply.(StatsReply)
+				if !ok {
+					return fmt.Errorf("got %v, want StatsReply", reply.Type())
+				}
+				mu.Lock()
+				out[id] = sr
+				mu.Unlock()
+				return nil
+			})
 			if err != nil {
-				errs[i] = fmt.Errorf("switch %s(%d): %w", sw.name, sw.id, err)
-				return
+				errs[i] = fmt.Errorf("switch %s(%d): %w", names[id], id, err)
 			}
-			sr, ok := reply.(StatsReply)
-			if !ok {
-				errs[i] = fmt.Errorf("switch %s(%d): got %v, want StatsReply", sw.name, sw.id, reply.Type())
-				return
-			}
-			mu.Lock()
-			out[sw.id] = sr
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
@@ -540,9 +838,12 @@ func (c *Controller) CollectStats() (map[uint32]StatsReply, error) {
 func (c *Controller) lookup(datapathID uint32) (*swConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
 	sw, ok := c.switches[datapathID]
 	if !ok {
-		return nil, fmt.Errorf("ctrlplane: switch %d not connected", datapathID)
+		return nil, fmt.Errorf("%w: datapath %d", ErrNoSuchSwitch, datapathID)
 	}
 	return sw, nil
 }
@@ -557,7 +858,7 @@ func (c *Controller) nextToken() uint64 {
 }
 
 // Close stops accepting, disconnects all switches and waits for
-// connection goroutines to finish.
+// connection goroutines (including in-flight resyncs) to finish.
 func (c *Controller) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -570,6 +871,7 @@ func (c *Controller) Close() error {
 		switches = append(switches, sw)
 	}
 	c.mu.Unlock()
+	c.notify.broadcast()
 
 	err := c.ln.Close()
 	for _, sw := range switches {

@@ -101,7 +101,7 @@ func TestHandshakeAndPing(t *testing.T) {
 			t.Fatalf("switch %d named %q, want %q", i, info.NodeName, want)
 		}
 	}
-	rtt, err := n.ctrl.Ping(0)
+	rtt, err := n.ctrl.Ping(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
@@ -115,7 +115,7 @@ func TestStatsCollection(t *testing.T) {
 	if err := n.fabric.RunEpoch(); err != nil {
 		t.Fatalf("RunEpoch: %v", err)
 	}
-	replies, err := n.ctrl.CollectStats()
+	replies, err := n.ctrl.CollectStats(context.Background())
 	if err != nil {
 		t.Fatalf("CollectStats: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestInstallAllocationReachesFabric(t *testing.T) {
 	if err != nil {
 		t.Fatalf("core.Run: %v", err)
 	}
-	if err := n.ctrl.InstallAllocation(n.truth, sol.Bundles, 1); err != nil {
+	if err := n.ctrl.InstallAllocation(context.Background(), n.truth, sol.Bundles, 1); err != nil {
 		t.Fatalf("InstallAllocation: %v", err)
 	}
 	if got := n.fabric.Installs(); got != 1 {
@@ -216,7 +216,7 @@ func TestInstallRejectsWrongIngress(t *testing.T) {
 	if err != nil {
 		t.Fatalf("lookup: %v", err)
 	}
-	_, err = n.ctrl.request(sw, 42, FlowMod{Generation: 42, Rules: []Rule{
+	_, err = n.ctrl.request(context.Background(), sw, 42, FlowMod{Generation: 42, Rules: []Rule{
 		{Agg: int32(bad.ID), Flows: uint32(bad.Flows)},
 	}})
 	if err == nil {
@@ -296,7 +296,7 @@ func TestDuplicateRegistrationReplacesOld(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := n.ctrl.Ping(0); err != nil {
+	if _, err := n.ctrl.Ping(context.Background(), 0); err != nil {
 		t.Fatalf("Ping after replacement: %v", err)
 	}
 }
@@ -307,10 +307,10 @@ func TestCollectStatsNoSwitches(t *testing.T) {
 		t.Fatalf("Listen: %v", err)
 	}
 	defer ctrl.Close()
-	if _, err := ctrl.CollectStats(); err == nil {
+	if _, err := ctrl.CollectStats(context.Background()); err == nil {
 		t.Fatal("CollectStats with no switches succeeded")
 	}
-	if err := ctrl.InstallAllocation(nil, nil, 1); err == nil {
+	if err := ctrl.InstallAllocation(context.Background(), nil, nil, 1); err == nil {
 		t.Fatal("InstallAllocation with no switches succeeded")
 	}
 }
@@ -321,7 +321,7 @@ func TestPingUnknownSwitch(t *testing.T) {
 		t.Fatalf("Listen: %v", err)
 	}
 	defer ctrl.Close()
-	if _, err := ctrl.Ping(99); err == nil {
+	if _, err := ctrl.Ping(context.Background(), 99); err == nil {
 		t.Fatal("Ping to unknown switch succeeded")
 	}
 }
@@ -364,7 +364,7 @@ func TestStatsErrorPropagates(t *testing.T) {
 	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
 		t.Fatalf("WaitForSwitches: %v", err)
 	}
-	if _, err := ctrl.CollectStats(); err == nil {
+	if _, err := ctrl.CollectStats(context.Background()); err == nil {
 		t.Fatal("counter failure did not propagate")
 	}
 }

@@ -2,6 +2,8 @@ package ctrlplane
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -47,7 +49,7 @@ func TestAgentDeathFailsInFlightRequests(t *testing.T) {
 	// connection error, not dangle until the timeout.
 	done := make(chan error, 1)
 	go func() {
-		_, err := ctrl.CollectStats()
+		_, err := ctrl.CollectStats(context.Background())
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond) // let the request hit the wire
@@ -59,6 +61,9 @@ func TestAgentDeathFailsInFlightRequests(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "connection lost") {
 			t.Fatalf("want connection-lost error, got: %v", err)
+		}
+		if !errors.Is(err, ErrSwitchDead) {
+			t.Fatalf("error not errors.Is(ErrSwitchDead): %v", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("pending request not failed after agent death")
@@ -91,7 +96,7 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatalf("WaitForSwitches: %v", err)
 	}
 	start := time.Now()
-	_, err = ctrl.CollectStats()
+	_, err = ctrl.CollectStats(context.Background())
 	if err == nil {
 		t.Fatal("hung datapath did not time out")
 	}
@@ -100,6 +105,132 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got: %v", err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error not errors.Is(ErrTimeout): %v", err)
+	}
+}
+
+// torchDatapath acks the first install normally; the test tears the
+// connection mid-reply at the wire level instead, so no special
+// datapath is needed beyond nopDatapath.
+
+func TestTornFrameMidInstallMarksSwitchDead(t *testing.T) {
+	// A raw client registers as a switch, then answers an install with a
+	// truncated frame and slams the connection. The controller must mark
+	// the switch dead, fail the pending install fast with ErrSwitchDead,
+	// deregister the switch, and leave no goroutine behind (Close's
+	// WaitGroup drain hangs this test if one leaks).
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+
+	conn, err := net.Dial("tcp", ctrl.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if err := WriteMessage(conn, Hello{DatapathID: 7, NodeName: "torn"}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if _, err := ReadMessage(br); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatalf("WaitForSwitches: %v", err)
+	}
+
+	sw, err := ctrl.lookup(7)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ctrl.request(context.Background(), sw, 99, FlowMod{Generation: 99})
+		done <- err
+	}()
+
+	// Read the FlowMod off the wire, then reply with the first half of a
+	// valid FlowModAck frame and cut the connection.
+	if _, err := ReadMessage(br); err != nil {
+		t.Fatalf("read FlowMod: %v", err)
+	}
+	var fullBuf strings.Builder
+	if err := WriteMessage(&fullBuf, FlowModAck{Generation: 99, Installed: 1}); err != nil {
+		t.Fatalf("frame ack: %v", err)
+	}
+	full := []byte(fullBuf.String())
+	if _, err := conn.Write(full[:len(full)/2]); err != nil {
+		t.Fatalf("write torn frame: %v", err)
+	}
+	conn.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("install survived a torn reply")
+		}
+		if !errors.Is(err, ErrSwitchDead) {
+			t.Fatalf("want ErrSwitchDead, got: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending install not failed after torn frame")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ctrl.SwitchCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead switch still registered: %v", ctrl.Switches())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close drains the connection WaitGroup: a leaked read/handle
+	// goroutine turns this into the test's own timeout failure.
+	if err := ctrl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWaitForSwitchesCtxCancel(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ctrl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = ctrl.WaitForSwitchesCtx(ctx, 1)
+	if err == nil {
+		t.Fatal("WaitForSwitchesCtx returned without switches")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got: %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+}
+
+func TestSentinelClassification(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0", ControllerConfig{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := ctrl.Ping(context.Background(), 42); !errors.Is(err, ErrNoSuchSwitch) {
+		t.Fatalf("unknown switch: want ErrNoSuchSwitch, got %v", err)
+	}
+	ctrl.Close()
+	if _, err := ctrl.Ping(context.Background(), 42); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed controller: want ErrClosed, got %v", err)
+	}
+	if !retryable(ErrSwitchDead) || !retryable(ErrTimeout) {
+		t.Fatal("transient sentinels not classified retryable")
+	}
+	if retryable(ErrClosed) || retryable(ErrNoSuchSwitch) || retryable(ErrStaleEpoch) {
+		t.Fatal("fatal sentinels classified retryable")
 	}
 }
 
@@ -143,7 +274,7 @@ func TestRogueClientHalfFrame(t *testing.T) {
 	defer conn.Close()
 	// Valid header claiming a payload that never arrives: the handshake
 	// deadline must reap the connection.
-	hdr := []byte{0xFB, 0xAE, 1, byte(MsgHello), 0, 0, 1, 0}
+	hdr := []byte{0xFB, 0xAE, wireVersion, byte(MsgHello), 0, 0, 1, 0}
 	if _, err := conn.Write(hdr); err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -191,7 +322,7 @@ func TestAgentReconnectAfterDrop(t *testing.T) {
 	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
 		t.Fatalf("WaitForSwitches after reconnect: %v", err)
 	}
-	if _, err := ctrl.Ping(5); err != nil {
+	if _, err := ctrl.Ping(context.Background(), 5); err != nil {
 		t.Fatalf("Ping after reconnect: %v", err)
 	}
 }

@@ -19,10 +19,10 @@ func FuzzReadMessage(f *testing.F) {
 	// variants the unit tests already caught.
 	msgs := []Message{
 		Hello{DatapathID: 7, NodeName: "lon"},
-		HelloAck{ControllerName: "ctl", EpochMs: 10000},
+		HelloAck{ControllerName: "ctl", EpochMs: 10000, LeaseMs: 30000},
 		Echo{Token: 99},
 		EchoReply{Token: 99},
-		FlowMod{Generation: 3, Rules: []Rule{{Agg: 1, Flows: 2, Links: []uint32{0, 1}}}},
+		FlowMod{Generation: 3, Epoch: 2, Rules: []Rule{{Agg: 1, Flows: 2, Links: []uint32{0, 1}}}},
 		FlowModAck{Generation: 3, Installed: 1},
 		StatsReq{Token: 4},
 		StatsReply{Token: 4, Epoch: 1, DurationMs: 1000,
@@ -42,7 +42,7 @@ func FuzzReadMessage(f *testing.F) {
 		}
 	}
 	f.Add([]byte{})
-	f.Add([]byte{0xFB, 0xAE, 1, 200, 0, 0, 0, 0})
+	f.Add([]byte{0xFB, 0xAE, wireVersion, 200, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		msg, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw)))
@@ -103,13 +103,13 @@ func FuzzWireRoundTrip(f *testing.F) {
 		case MsgHello:
 			m = Hello{DatapathID: a, NodeName: s}
 		case MsgHelloAck:
-			m = HelloAck{ControllerName: s, EpochMs: a}
+			m = HelloAck{ControllerName: s, EpochMs: a, LeaseMs: a ^ 0x5a5a}
 		case MsgEchoReq:
 			m = Echo{Token: tok}
 		case MsgEchoReply:
 			m = EchoReply{Token: tok}
 		case MsgFlowMod:
-			m = FlowMod{Generation: tok, Rules: rules}
+			m = FlowMod{Generation: tok, Epoch: tok >> 1, Rules: rules}
 		case MsgFlowModAck:
 			m = FlowModAck{Generation: tok, Installed: a}
 		case MsgStatsReq:

@@ -90,7 +90,7 @@ func RunLoop(ctx context.Context, ctrl *Controller, topo *topology.Topology, key
 		if err := advance(); err != nil {
 			return res, fmt.Errorf("ctrlplane: advance epoch %d: %w", epoch, err)
 		}
-		replies, err := ctrl.CollectStats()
+		replies, err := ctrl.CollectStats(ctx)
 		if err != nil {
 			return res, fmt.Errorf("ctrlplane: collect epoch %d: %w", epoch, err)
 		}
@@ -115,7 +115,7 @@ func RunLoop(ctx context.Context, ctrl *Controller, topo *topology.Topology, key
 		if err != nil {
 			return res, fmt.Errorf("ctrlplane: optimize after epoch %d: %w", epoch, err)
 		}
-		if err := ctrl.InstallAllocation(mat, sol.Bundles, generation); err != nil {
+		if err := ctrl.InstallAllocation(ctx, mat, sol.Bundles, generation); err != nil {
 			return res, fmt.Errorf("ctrlplane: install generation %d: %w", generation, err)
 		}
 		generation++

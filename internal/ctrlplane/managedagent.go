@@ -1,0 +1,275 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DialDirectory resolves, at each (re)dial, the ordered list of
+// controller addresses an agent should try. Returning the order fresh
+// per dial is what lets a replica set express failover: a recovered
+// replica shows up at the front of its owned switches' orders, and a
+// dead one disappears, without any agent-side reconfiguration.
+type DialDirectory interface {
+	// DialOrder returns controller addresses in preference order for
+	// the given switch. Empty means "no controller known right now".
+	DialOrder(datapathID uint32) []string
+}
+
+// StaticDirectory is the trivial DialDirectory: the same fixed address
+// list for every switch.
+type StaticDirectory []string
+
+// DialOrder returns the static list.
+func (d StaticDirectory) DialOrder(uint32) []string { return d }
+
+// failsafeGenerationBase keeps fail-safe wipes out of both the caller
+// generation space and the resync range.
+const failsafeGenerationBase = uint64(3) << 62
+
+// guardedDatapath wraps the agent's Datapath to track the size of the
+// installed table, so lease expiry can report how many rules it
+// affected.
+type guardedDatapath struct {
+	inner Datapath
+
+	mu    sync.Mutex
+	rules int
+}
+
+// InstallRules forwards to the wrapped datapath and records the new
+// table size.
+func (g *guardedDatapath) InstallRules(generation uint64, rules []Rule) error {
+	if err := g.inner.InstallRules(generation, rules); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.rules = len(rules)
+	g.mu.Unlock()
+	return nil
+}
+
+// ReadCounters forwards to the wrapped datapath.
+func (g *guardedDatapath) ReadCounters() (CounterBatch, error) { return g.inner.ReadCounters() }
+
+func (g *guardedDatapath) ruleCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rules
+}
+
+// ManagedAgent is the fail-safe agent: it owns the connect→serve→redial
+// lifecycle that a bare Agent leaves to the caller. It dials the
+// directory's addresses in order, serves until the connection dies,
+// and redials with jittered exponential backoff. While orphaned — no
+// controller reachable — it enforces the rule lease: once the lease
+// (controller-advertised, or AgentConfig.RuleLease) elapses without
+// contact, the installed table expires under AgentConfig.FailAction
+// (fail-static keeps it, fail-closed wipes it). The election-epoch
+// floor persists across reconnects, so a deposed replica can never
+// roll the table back after failover.
+type ManagedAgent struct {
+	cfg  AgentConfig
+	id   uint32
+	name string
+	dir  DialDirectory
+	dp   *guardedDatapath
+
+	epochFloor  atomic.Uint64
+	leaseMs     atomic.Uint32 // last controller-advertised lease
+	failsafeGen atomic.Uint64
+
+	connects     atomic.Int64
+	redials      atomic.Int64
+	expiries     atomic.Int64
+	expiredRules atomic.Int64
+
+	mu     sync.Mutex
+	cur    *Agent
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewManagedAgent starts a managed agent; its connect loop runs until
+// Close. The datapath keeps whatever table it held before the first
+// successful install.
+func NewManagedAgent(datapathID uint32, nodeName string, dp Datapath, dir DialDirectory, cfg AgentConfig) (*ManagedAgent, error) {
+	if dp == nil {
+		return nil, fmt.Errorf("ctrlplane: nil datapath")
+	}
+	if dir == nil {
+		return nil, fmt.Errorf("ctrlplane: nil dial directory")
+	}
+	ma := &ManagedAgent{
+		cfg:  cfg.withDefaults(),
+		id:   datapathID,
+		name: nodeName,
+		dir:  dir,
+		dp:   &guardedDatapath{inner: dp},
+		done: make(chan struct{}),
+	}
+	ma.wg.Add(1)
+	go ma.run()
+	return ma, nil
+}
+
+// run is the connect→serve→redial loop.
+func (ma *ManagedAgent) run() {
+	defer ma.wg.Done()
+	// Jitter only desynchronizes redial stampedes; it never touches
+	// rule content, so a per-switch seed keeps runs reproducible.
+	rng := rand.New(rand.NewPCG(uint64(ma.id), 0x9e3779b97f4a7c15))
+	backoff := ma.cfg.ReconnectBase
+	lastContact := time.Now()
+	expired := false
+	for {
+		if ma.isClosed() {
+			return
+		}
+		agent, err := ma.dialAny()
+		if err == nil {
+			backoff = ma.cfg.ReconnectBase
+			expired = false
+			ma.setCurrent(agent)
+			ma.connects.Add(1)
+			_ = agent.Serve()
+			ma.setCurrent(nil)
+			agent.Close()
+			lastContact = time.Now()
+			continue // lost the controller: first redial is immediate
+		}
+		ma.redials.Add(1)
+		if lease := ma.lease(); !expired && lease > 0 && time.Since(lastContact) > lease {
+			expired = true
+			ma.expireTable()
+		}
+		// Jittered exponential backoff: [backoff/2, backoff).
+		delay := backoff/2 + time.Duration(rng.Int64N(int64(backoff/2)+1))
+		select {
+		case <-ma.done:
+			return
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > ma.cfg.ReconnectMax {
+			backoff = ma.cfg.ReconnectMax
+		}
+	}
+}
+
+// dialAny tries the directory's addresses in order and returns the
+// first agent that completes a handshake.
+func (ma *ManagedAgent) dialAny() (*Agent, error) {
+	addrs := ma.dir.DialOrder(ma.id)
+	var firstErr error
+	for _, addr := range addrs {
+		a, err := dial(addr, ma.id, ma.name, ma.dp, ma.cfg, &ma.epochFloor)
+		if err == nil {
+			ma.leaseMs.Store(a.LeaseMs)
+			return a, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("ctrlplane: no controller addresses for switch %d", ma.id)
+	}
+	return nil, firstErr
+}
+
+// lease returns the effective rule lease: the controller-advertised
+// value if any, else the local config.
+func (ma *ManagedAgent) lease() time.Duration {
+	if ms := ma.leaseMs.Load(); ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return ma.cfg.RuleLease
+}
+
+// expireTable applies the fail-safe policy to the installed table.
+func (ma *ManagedAgent) expireTable() {
+	n := ma.dp.ruleCount()
+	ma.expiries.Add(1)
+	ma.expiredRules.Add(int64(n))
+	switch ma.cfg.FailAction {
+	case FailClosed:
+		gen := failsafeGenerationBase | ma.failsafeGen.Add(1)
+		if err := ma.dp.InstallRules(gen, nil); err != nil {
+			ma.cfg.Logger.Warn("agent: fail-closed wipe failed", "agent", ma.name, "err", err)
+		}
+	default: // FailStatic: keep forwarding on the stale table.
+	}
+	ma.cfg.Logger.Warn("agent: rule lease expired", "agent", ma.name,
+		"datapath", ma.id, "policy", ma.cfg.FailAction.String(), "rules", n)
+}
+
+func (ma *ManagedAgent) setCurrent(a *Agent) {
+	ma.mu.Lock()
+	closed := ma.closed
+	ma.cur = a
+	ma.mu.Unlock()
+	// A connection established while Close was in flight must not leave
+	// Serve blocked forever.
+	if closed && a != nil {
+		a.Close()
+	}
+}
+
+func (ma *ManagedAgent) isClosed() bool {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return ma.closed
+}
+
+// Connected reports whether the agent currently holds a live controller
+// connection.
+func (ma *ManagedAgent) Connected() bool {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return ma.cur != nil
+}
+
+// Connects counts successful controller handshakes over the agent's
+// lifetime (reconnects included).
+func (ma *ManagedAgent) Connects() int64 { return ma.connects.Load() }
+
+// Redials counts dial rounds in which no controller was reachable.
+func (ma *ManagedAgent) Redials() int64 { return ma.redials.Load() }
+
+// Expiries counts rule-lease expirations.
+func (ma *ManagedAgent) Expiries() int64 { return ma.expiries.Load() }
+
+// ExpiredRules counts rules that were in the table at lease expiry,
+// summed over expiries.
+func (ma *ManagedAgent) ExpiredRules() int64 { return ma.expiredRules.Load() }
+
+// Close stops the connect loop and closes any live connection.
+func (ma *ManagedAgent) Close() error {
+	ma.mu.Lock()
+	if ma.closed {
+		ma.mu.Unlock()
+		return nil
+	}
+	ma.closed = true
+	cur := ma.cur
+	ma.mu.Unlock()
+	close(ma.done)
+	if cur != nil {
+		cur.Close()
+	}
+	ma.wg.Wait()
+	// The loop may have swapped connections between our snapshot and
+	// its exit; close whatever it left behind.
+	ma.mu.Lock()
+	cur = ma.cur
+	ma.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+	return nil
+}

@@ -32,8 +32,12 @@ import (
 
 // Framing constants.
 const (
-	wireMagic   uint16 = 0xFBAE
-	wireVersion uint8  = 1
+	wireMagic uint16 = 0xFBAE
+	// wireVersion 2 added HelloAck.LeaseMs (the controller-advertised
+	// rule lease) and FlowMod.Epoch (the election-epoch fence). The
+	// framing is not backward compatible across versions by design:
+	// both ends of a deployment ship together.
+	wireVersion uint8 = 2
 
 	// maxPayload bounds one frame; a full HE-31 rule set is ~100 KiB,
 	// so 16 MiB leaves two orders of magnitude of headroom.
@@ -114,6 +118,11 @@ type HelloAck struct {
 	ControllerName string
 	// EpochMs advertises the measurement epoch the controller expects.
 	EpochMs uint32
+	// LeaseMs advertises the rule hard-timeout: how long an agent may
+	// keep forwarding on its installed table after losing all
+	// controller contact before it must apply its fail-safe policy
+	// (AgentConfig.FailPolicy). 0 means no lease — rules never expire.
+	LeaseMs uint32
 }
 
 // Echo is a liveness probe; the reply echoes the token.
@@ -141,7 +150,13 @@ type FlowMod struct {
 	// Generation is the install token; the ack echoes it. Generations
 	// increase monotonically per controller.
 	Generation uint64
-	Rules      []Rule
+	// Epoch is the sender's election epoch. Agents remember the
+	// highest epoch they have seen and reject FlowMods carrying an
+	// older one (ErrCodeStale) — the fence that keeps a deposed
+	// replica from clobbering tables its successor owns. Single
+	// controllers leave it 0.
+	Epoch uint64
+	Rules []Rule
 }
 
 // FlowModAck confirms an install.
@@ -187,6 +202,9 @@ const (
 	ErrCodeInstall     uint16 = 2
 	ErrCodeCounters    uint16 = 3
 	ErrCodeUnsupported uint16 = 4
+	// ErrCodeStale rejects a FlowMod whose election epoch is older
+	// than one the agent has already accepted.
+	ErrCodeStale uint16 = 5
 )
 
 // Bye announces an orderly shutdown.
@@ -358,12 +376,13 @@ func parseHello(p []byte) (Hello, error) {
 
 func (m HelloAck) appendPayload(dst []byte) []byte {
 	dst = appendString(dst, m.ControllerName)
-	return appendU32(dst, m.EpochMs)
+	dst = appendU32(dst, m.EpochMs)
+	return appendU32(dst, m.LeaseMs)
 }
 
 func parseHelloAck(p []byte) (HelloAck, error) {
 	r := reader{buf: p}
-	m := HelloAck{ControllerName: r.str("controller name"), EpochMs: r.u32("epoch")}
+	m := HelloAck{ControllerName: r.str("controller name"), EpochMs: r.u32("epoch"), LeaseMs: r.u32("lease")}
 	return m, r.done(MsgHelloAck)
 }
 
@@ -384,6 +403,7 @@ func parseEchoReply(p []byte) (EchoReply, error) {
 
 func (m FlowMod) appendPayload(dst []byte) []byte {
 	dst = appendU64(dst, m.Generation)
+	dst = appendU64(dst, m.Epoch)
 	dst = appendU32(dst, uint32(len(m.Rules)))
 	for _, ru := range m.Rules {
 		dst = appendU32(dst, uint32(ru.Agg))
@@ -395,7 +415,7 @@ func (m FlowMod) appendPayload(dst []byte) []byte {
 
 func parseFlowMod(p []byte) (FlowMod, error) {
 	r := reader{buf: p}
-	m := FlowMod{Generation: r.u64("generation")}
+	m := FlowMod{Generation: r.u64("generation"), Epoch: r.u64("epoch")}
 	n := int(r.u32("rule count"))
 	if r.err == nil && n > maxRules {
 		return m, fmt.Errorf("ctrlplane: rule count %d exceeds %d", n, maxRules)

@@ -57,6 +57,19 @@ type ClosedLoopOptions struct {
 	// invisible to the controller except through counters (default 0.1;
 	// negative disables). Deterministic per seed.
 	DemandJitter float64
+	// Replicas is the controller replica count of the private control
+	// plane StreamClosedLoop builds (default 1). ControllerFail events
+	// need at least 2 to have any effect. Ignored by
+	// StreamClosedLoopOn, which borrows an existing control plane.
+	Replicas int
+	// RuleLease is the rule hard-timeout advertised to the switch
+	// agents; an agent orphaned past it applies LeasePolicy. 0 disables
+	// the lease. Ignored by StreamClosedLoopOn.
+	RuleLease time.Duration
+	// LeasePolicy is what an orphaned agent does with its table at
+	// lease expiry (default ctrlplane.FailStatic). Ignored by
+	// StreamClosedLoopOn.
+	LeasePolicy ctrlplane.FailPolicy
 	// Logger receives structured progress records (one per epoch, with
 	// epoch/utility/wiremods fields); nil discards them.
 	Logger *slog.Logger
@@ -79,23 +92,50 @@ func (o ClosedLoopOptions) withDefaults() ClosedLoopOptions {
 // RNG stream derived from the same (seed, epoch).
 const simSeedSalt = 0x73696d5f657063 // "sim_epc"
 
-// ControlPlane is the persistent half of a closed-loop replay: the
-// controller, one switch agent per POP over loopback TCP, and the
-// fabric adapting the simulated network into per-switch datapaths.
-// Switches are hardware, epochs (and whole replays) are weather: a
-// long-lived Session keeps one ControlPlane across any number of
-// ReplayClosedLoop calls, with switch tables, install generations and
-// ack ledgers carrying over exactly as a production controller's would.
-// Not safe for concurrent replays. Close releases the sockets.
+// ControlPlane is the persistent half of a closed-loop replay: a
+// controller replica set, one fail-safe switch agent per POP over
+// loopback TCP, and the fabric adapting the simulated network into
+// per-switch datapaths. Switches are hardware, epochs (and whole
+// replays) are weather: a long-lived Session keeps one ControlPlane
+// across any number of ReplayClosedLoop calls, with switch tables,
+// install generations and ack ledgers carrying over exactly as a
+// production controller's would. It implements FaultInjector, so
+// ControllerFail / ControllerRecover scenario events act on it during a
+// replay. Not safe for concurrent replays. Close releases the sockets.
 type ControlPlane struct {
 	topo   *topology.Topology
-	ctrl   *ctrlplane.Controller
+	rs     *ctrlplane.ReplicaSet
 	fabric *ctrlplane.Fabric
-	agents []*ctrlplane.Agent
-	serve  chan error
+	agents []*ctrlplane.ManagedAgent
+
+	leasePolicy ctrlplane.FailPolicy
 
 	generation uint64
 	ackedBase  int // fabric AckedFlowMods watermark
+
+	// Watermarks over the replica set's cumulative HA counters, so
+	// settle() can attribute each epoch's unsolicited fabric acks
+	// (resyncs, fail-closed wipes) and report per-epoch deltas.
+	resyncBase   int64
+	failoverBase int64
+	retryBase    int64
+	expiryBase   int64
+	expRuleBase  int64
+}
+
+// ControlPlaneConfig tunes NewControlPlaneCfg beyond the classic
+// single-controller shape.
+type ControlPlaneConfig struct {
+	// Replicas is the controller replica count (default 1). Switch
+	// ownership shards across replicas by rendezvous hashing; installs
+	// fan out and merge.
+	Replicas int
+	// RuleLease is the rule hard-timeout advertised to agents; an agent
+	// orphaned past it applies LeasePolicy to its table. 0 disables.
+	RuleLease time.Duration
+	// LeasePolicy selects fail-static (keep the stale table; default)
+	// or fail-closed (wipe it) at lease expiry.
+	LeasePolicy ctrlplane.FailPolicy
 }
 
 // AckedFlowMods returns the fabric's cumulative acked-FlowMod ledger —
@@ -105,27 +145,64 @@ type ControlPlane struct {
 // this ledger's growth.
 func (cp *ControlPlane) AckedFlowMods() int { return cp.fabric.AckedFlowMods() }
 
-// NewControlPlane starts a controller and dials one switch agent per
-// topology node over loopback TCP. The matrix seeds the placeholder
-// simulator the fabric starts against (each replay epoch retargets it);
-// epoch is the measurement interval advertised to the agents in the
-// handshake (0 means the 10s default, matching
-// ClosedLoopOptions.SimEpoch). logger may be nil to discard diagnostics.
+// HAStats snapshots the control plane's cumulative high-availability
+// counters: failovers, RPC retries, verified rule-table handoffs.
+func (cp *ControlPlane) HAStats() ctrlplane.HAStats { return cp.rs.Stats() }
+
+// ExpiredRules sums the rules caught in agent lease expiries across all
+// switches since the control plane started.
+func (cp *ControlPlane) ExpiredRules() int64 {
+	var n int64
+	for _, a := range cp.agents {
+		n += a.ExpiredRules()
+	}
+	return n
+}
+
+// expiries sums agent lease-expiry events.
+func (cp *ControlPlane) expiries() int64 {
+	var n int64
+	for _, a := range cp.agents {
+		n += a.Expiries()
+	}
+	return n
+}
+
+// NewControlPlane starts a single-replica control plane — the classic
+// shape: one controller and one switch agent per topology node over
+// loopback TCP. The matrix seeds the placeholder simulator the fabric
+// starts against (each replay epoch retargets it); epoch is the
+// measurement interval advertised to the agents in the handshake (0
+// means the 10s default, matching ClosedLoopOptions.SimEpoch). logger
+// may be nil to discard diagnostics.
 func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Duration, logger *slog.Logger) (*ControlPlane, error) {
+	return NewControlPlaneCfg(topo, mat, epoch, logger, ControlPlaneConfig{})
+}
+
+// NewControlPlaneCfg starts a control plane with cfg.Replicas
+// controller replicas and one fail-safe (auto-reconnecting) switch
+// agent per topology node. Agents home onto replicas by the set's
+// rendezvous dial order, which shards install load and defines failover
+// succession. See NewControlPlane for the other parameters.
+func NewControlPlaneCfg(topo *topology.Topology, mat *traffic.Matrix, epoch time.Duration, logger *slog.Logger, cfg ControlPlaneConfig) (*ControlPlane, error) {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	if epoch <= 0 {
 		epoch = 10 * time.Second
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
 	simBase, err := sdnsim.New(topo, mat, sdnsim.Config{})
 	if err != nil {
 		return nil, err
 	}
 	fabric := ctrlplane.NewFabric(simBase)
-	ctrl, err := ctrlplane.Listen("127.0.0.1:0", ctrlplane.ControllerConfig{
+	rs, err := ctrlplane.NewReplicaSet(cfg.Replicas, ctrlplane.ControllerConfig{
 		Name:           "fubar-closedloop",
 		EpochMs:        uint32(epoch / time.Millisecond),
+		RuleLease:      cfg.RuleLease,
 		RequestTimeout: 30 * time.Second,
 		Logger:         logger,
 	})
@@ -133,42 +210,73 @@ func NewControlPlane(topo *topology.Topology, mat *traffic.Matrix, epoch time.Du
 		return nil, err
 	}
 	cp := &ControlPlane{
-		topo:       topo,
-		ctrl:       ctrl,
-		fabric:     fabric,
-		serve:      make(chan error, topo.NumNodes()),
-		generation: 1,
+		topo:        topo,
+		rs:          rs,
+		fabric:      fabric,
+		leasePolicy: cfg.LeasePolicy,
+		generation:  1,
 	}
 	for node := 0; node < topo.NumNodes(); node++ {
-		agent, err := ctrlplane.Dial(ctrl.Addr().String(), uint32(node), topo.NodeName(topology.NodeID(node)),
-			fabric.Datapath(topology.NodeID(node)), ctrlplane.AgentConfig{Logger: logger})
+		agent, err := ctrlplane.NewManagedAgent(uint32(node), topo.NodeName(topology.NodeID(node)),
+			fabric.Datapath(topology.NodeID(node)), rs, ctrlplane.AgentConfig{
+				RuleLease:     cfg.RuleLease,
+				FailAction:    cfg.LeasePolicy,
+				ReconnectBase: 2 * time.Millisecond,
+				ReconnectMax:  250 * time.Millisecond,
+				Logger:        logger,
+			})
 		if err != nil {
 			cp.Close()
 			return nil, fmt.Errorf("scenario: agent %d: %w", node, err)
 		}
 		cp.agents = append(cp.agents, agent)
-		go func() { cp.serve <- agent.Serve() }()
 	}
-	if err := ctrl.WaitForSwitches(topo.NumNodes(), 10*time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rs.WaitForSwitchesCtx(ctx, topo.NumNodes()); err != nil {
 		cp.Close()
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return cp, nil
 }
 
-// Close shuts the controller and every agent down and waits for the
-// agent serve loops to drain. Safe to call more than once.
+// FailController implements FaultInjector: it kills the replica in the
+// given seat. Seats that don't exist, are already down, or are the last
+// one live make the event a deterministic no-op (with the reason in the
+// description), so one scenario replays against control planes of any
+// replica count.
+func (cp *ControlPlane) FailController(replica int) (string, error) {
+	if replica >= cp.rs.Size() {
+		return fmt.Sprintf("controller-fail %d (no such seat)", replica), nil
+	}
+	if err := cp.rs.Fail(replica); err != nil {
+		return fmt.Sprintf("controller-fail %d refused (%v)", replica, err), nil
+	}
+	return fmt.Sprintf("controller-fail %d (epoch %d, %d live)", replica, cp.rs.Epoch(), cp.rs.LiveReplicas()), nil
+}
+
+// RecoverController implements FaultInjector: it re-seats a previously
+// failed replica. A no-op when the seat is live or absent.
+func (cp *ControlPlane) RecoverController(replica int) (string, error) {
+	if replica >= cp.rs.Size() {
+		return fmt.Sprintf("controller-recover %d (no such seat)", replica), nil
+	}
+	if err := cp.rs.Recover(replica); err != nil {
+		return fmt.Sprintf("controller-recover %d refused (%v)", replica, err), nil
+	}
+	return fmt.Sprintf("controller-recover %d (%d live)", replica, cp.rs.LiveReplicas()), nil
+}
+
+// Close shuts every replica and agent down and waits for the agent
+// connect loops to drain. Safe to call more than once.
 func (cp *ControlPlane) Close() error {
-	if cp.ctrl != nil {
-		cp.ctrl.Close()
-		cp.ctrl = nil
+	if cp.rs != nil {
+		cp.rs.Close()
 		for _, a := range cp.agents {
 			a.Close()
 		}
-		for range cp.agents {
-			<-cp.serve
-		}
 		cp.agents = nil
+		cp.rs = nil
 	}
 	return nil
 }
@@ -191,7 +299,11 @@ type closedLoop struct {
 // RunClosedLoop for the collected form.
 func StreamClosedLoop(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts ClosedLoopOptions) iter.Seq2[EpochResult, error] {
 	return func(yield func(EpochResult, error) bool) {
-		cp, err := NewControlPlane(topo, mat, opts.SimEpoch, opts.Logger)
+		cp, err := NewControlPlaneCfg(topo, mat, opts.SimEpoch, opts.Logger, ControlPlaneConfig{
+			Replicas:    opts.Replicas,
+			RuleLease:   opts.RuleLease,
+			LeasePolicy: opts.LeasePolicy,
+		})
 		if err != nil {
 			yield(EpochResult{}, err)
 			return
@@ -249,10 +361,11 @@ func StreamClosedLoopOn(ctx context.Context, cp *ControlPlane, topo *topology.To
 			yield(EpochResult{}, err)
 			return
 		}
-		if cp == nil || cp.ctrl == nil {
+		if cp == nil || cp.rs == nil {
 			yield(EpochResult{}, fmt.Errorf("scenario: nil or closed control plane"))
 			return
 		}
+		en.faults = cp
 		l := &closedLoop{en: en, opts: opts, cp: cp, seed: sc.Seed}
 		if t := opts.Core.Telemetry; t != nil {
 			l.cm = t.Ctrlplane()
@@ -307,6 +420,15 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 	if l.en.tm != nil {
 		epochStart = time.Now()
 	}
+	// The epoch's events (just applied) may have killed or recovered
+	// controller replicas: settle the failover before touching the
+	// environment, while the fabric still holds the ground truth the
+	// cached tables were installed under — the resync pushes must
+	// validate against it.
+	preSettle := &EpochResult{}
+	if err := l.settle(ctx, preSettle); err != nil {
+		return nil, err
+	}
 	inst, err := l.en.materialize()
 	if err != nil {
 		return nil, err
@@ -316,6 +438,8 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 		return nil, err
 	}
 	er := l.en.newEpochResult(epoch, events, inst)
+	er.Failovers = preSettle.Failovers
+	er.ResyncFlowMods = preSettle.ResyncFlowMods
 
 	// Repair the carried allocation onto the epoch instance. Epoch 0 has
 	// nothing installed: repairing an empty allocation yields the
@@ -347,7 +471,7 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 	l.cp.fabric.Retarget(sim)
 
 	// Failover push: restore a valid routing before anything else.
-	if err := l.install(epoch, "repair", inst.mat, repaired, er); err != nil {
+	if err := l.install(ctx, epoch, "repair", inst.mat, repaired, er); err != nil {
 		return nil, err
 	}
 
@@ -358,7 +482,7 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 		if err := l.cp.fabric.RunEpoch(); err != nil {
 			return nil, err
 		}
-		replies, err := l.cp.ctrl.CollectStats()
+		replies, err := l.cp.rs.CollectStats(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +537,7 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 	er.MBBHeadroom = plan.MinHeadroomFrac
 	er.MBBTeardowns = plan.Teardowns
 	er.MBBSetups = plan.Setups
-	if err := l.install(epoch, "reopt", inst.mat, sol.Bundles, er); err != nil {
+	if err := l.install(ctx, epoch, "reopt", inst.mat, sol.Bundles, er); err != nil {
 		return nil, err
 	}
 
@@ -439,12 +563,64 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 	return er, nil
 }
 
+// settle reconciles a possible failover before the epoch's own work:
+// it waits for every switch to be homed on some live replica and for
+// all rule-table handoffs to finish, then checks the fabric ledger —
+// its growth since the last install must be exactly the acked resyncs
+// plus any fail-closed lease wipes, i.e. no FlowMod reached a switch
+// unaccounted. The per-epoch failover/resync deltas land on er and the
+// telemetry counters.
+func (l *closedLoop) settle(ctx context.Context, er *EpochResult) error {
+	cp := l.cp
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := cp.rs.WaitForSwitchesCtx(wctx, cp.topo.NumNodes()); err != nil {
+		return fmt.Errorf("settle: %w", err)
+	}
+	if err := cp.rs.QuiesceResyncs(wctx); err != nil {
+		return fmt.Errorf("settle: %w", err)
+	}
+	st := cp.rs.Stats()
+	resyncDelta := st.ResyncsAcked - cp.resyncBase
+	cp.resyncBase = st.ResyncsAcked
+	failoverDelta := st.Failovers - cp.failoverBase
+	cp.failoverBase = st.Failovers
+	retryDelta := st.RPCRetries - cp.retryBase
+	cp.retryBase = st.RPCRetries
+	expiries := cp.expiries()
+	var wipeDelta int64
+	if cp.leasePolicy == ctrlplane.FailClosed {
+		// Only fail-closed expiries install (an empty table) and ack.
+		wipeDelta = expiries - cp.expiryBase
+	}
+	cp.expiryBase = expiries
+	expRules := cp.ExpiredRules()
+	expRuleDelta := expRules - cp.expRuleBase
+	cp.expRuleBase = expRules
+
+	acked := cp.fabric.AckedFlowMods()
+	if got := int64(acked - cp.ackedBase); got != resyncDelta+wipeDelta {
+		return fmt.Errorf("settle: switches acked %d unsolicited FlowMods, want %d resyncs + %d lease wipes",
+			got, resyncDelta, wipeDelta)
+	}
+	cp.ackedBase = acked
+	er.Failovers = int(failoverDelta)
+	er.ResyncFlowMods = int(resyncDelta)
+	if l.cm != nil {
+		l.cm.Failovers.Add(failoverDelta)
+		l.cm.Resyncs.Add(resyncDelta)
+		l.cm.RPCRetries.Add(retryDelta)
+		l.cm.ExpiredRules.Add(expRuleDelta)
+	}
+	return nil
+}
+
 // install pushes an allocation differentially, records the install on
 // the epoch row, and cross-checks the counted acks against the fabric's
 // own ledger (the "±0 of what the switches actually acked" contract).
-func (l *closedLoop) install(epoch int, phase string, mat *traffic.Matrix, bundles []flowmodel.Bundle, er *EpochResult) error {
+func (l *closedLoop) install(ctx context.Context, epoch int, phase string, mat *traffic.Matrix, bundles []flowmodel.Bundle, er *EpochResult) error {
 	cp := l.cp
-	out, err := cp.ctrl.InstallAllocationDiff(mat, bundles, cp.generation)
+	out, err := cp.rs.InstallAllocationDiff(ctx, mat, bundles, cp.generation)
 	if err != nil {
 		return fmt.Errorf("%s install generation %d: %w", phase, cp.generation, err)
 	}

@@ -58,6 +58,11 @@ type engine struct {
 	opts     Options
 	arrivals traffic.GenConfig
 
+	// faults receives ControllerFail / ControllerRecover events. Only a
+	// closed-loop replay wires one in (its ControlPlane); plain replays
+	// record the events as no-ops.
+	faults FaultInjector
+
 	installed []keyedBundle
 
 	// tm/tracer are the scenario-level live-metrics handles derived from
@@ -268,6 +273,18 @@ func RunSeeds(ctx context.Context, topo *topology.Topology, mat *traffic.Matrix,
 	return out, nil
 }
 
+// FaultInjector receives controller fault events during a replay. A
+// closed-loop ControlPlane implements it; both methods return a human
+// description for the epoch's event log and must be deterministic no-ops
+// (description, nil) when the target cannot be acted on — scenarios are
+// replayed against control planes of any replica count.
+type FaultInjector interface {
+	// FailController kills the controller replica in the given seat.
+	FailController(replica int) (string, error)
+	// RecoverController re-seats a previously failed replica.
+	RecoverController(replica int) (string, error)
+}
+
 // apply mutates the engine state for one event and describes it.
 func (en *engine) apply(e Event, rng *rand.Rand) (string, error) {
 	switch e.Kind {
@@ -436,6 +453,18 @@ func (en *engine) apply(e Event, rng *rand.Rand) (string, error) {
 		}
 		en.setFailed(id, false)
 		return fmt.Sprintf("maintenance-end %s", en.base.LinkName(id)), nil
+
+	case ControllerFail:
+		if en.faults == nil {
+			return fmt.Sprintf("controller-fail %d (no control plane)", e.Replica), nil
+		}
+		return en.faults.FailController(e.Replica)
+
+	case ControllerRecover:
+		if en.faults == nil {
+			return fmt.Sprintf("controller-recover %d (no control plane)", e.Replica), nil
+		}
+		return en.faults.RecoverController(e.Replica)
 	}
 	return "", fmt.Errorf("unknown event kind %d", uint8(e.Kind))
 }

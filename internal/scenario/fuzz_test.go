@@ -59,7 +59,7 @@ func FuzzScenarioApply(f *testing.F) {
 		for i := 0; i+5 < len(raw) && len(events) < 24; i += 6 {
 			e := Event{
 				Epoch:    int(raw[5+i]) % epochs,
-				Kind:     EventKind(raw[i] % 11),
+				Kind:     EventKind(raw[i] % 13),
 				Link:     topology.LinkID(int(raw[1+i])%(nL+1)) - 1,
 				Factor:   0.25 + float64(raw[2+i])/64,
 				Fraction: float64(raw[3+i]%100+1) / 100,

@@ -170,6 +170,37 @@ func SRLGOutage(seed int64, epochs int) Scenario {
 	return sc
 }
 
+// ControllerKillStorm returns a control-plane availability episode:
+// after a healthy first epoch, controller replica seats are killed and
+// recovered round-robin — one kill every other epoch, each seat
+// recovering two epochs after it went down — while mild demand churn
+// keeps every epoch's allocation moving. Seat indices stay within
+// [0, seats); on a replay with fewer live replicas the excess events
+// are deterministic no-ops, so the same scenario compares 1-replica
+// and N-replica control planes (the HA bench runs exactly that).
+func ControllerKillStorm(seed int64, epochs, seats int) Scenario {
+	sc := Scenario{
+		Name:   fmt.Sprintf("ctrl-kill-storm-%dep-s%d", epochs, seats),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	if seats < 1 {
+		seats = 1
+	}
+	seat := 0
+	for e := 1; e < epochs; e += 2 {
+		sc.Events = append(sc.Events, Event{Epoch: e, Kind: ControllerFail, Replica: seat})
+		if e+2 < epochs {
+			sc.Events = append(sc.Events, Event{Epoch: e + 2, Kind: ControllerRecover, Replica: seat})
+		}
+		seat = (seat + 1) % seats
+	}
+	for e := 0; e < epochs; e++ {
+		sc.Events = append(sc.Events, Event{Epoch: e, Kind: DemandChurn, Factor: 0.1, Fraction: 0.2})
+	}
+	return sc
+}
+
 // canned maps each canned-scenario name to its default shape for an
 // epoch count — the single registry ByName and Names derive from, so
 // the lookup and its error can never drift apart.
@@ -188,6 +219,7 @@ var canned = []struct {
 	{"flashcrowd", func(seed int64, epochs int) Scenario { return FlashCrowd(seed, epochs, 2.0, 8) }},
 	{"maintenance", func(seed int64, epochs int) Scenario { return Maintenance(seed, epochs) }},
 	{"srlg", func(seed int64, epochs int) Scenario { return SRLGOutage(seed, epochs) }},
+	{"ctrlstorm", func(seed int64, epochs int) Scenario { return ControllerKillStorm(seed, epochs, 3) }},
 }
 
 // Names lists the canned scenario names ByName resolves, in a stable

@@ -80,6 +80,17 @@ const (
 	// MaintenanceEnd returns a drained link to service. Link < 0 ends
 	// the longest-running maintenance window.
 	MaintenanceEnd
+	// ControllerFail kills a controller replica (Event.Replica selects
+	// the seat) in a closed-loop replay: its switches re-home onto
+	// surviving replicas, which resync their rule tables from the
+	// shared handoff state. Outside a closed loop — or when the seat
+	// does not exist, or is the last one live — the event is a recorded
+	// no-op, so the same scenario replays cleanly against any control
+	// plane (including a single-controller one, for comparison).
+	ControllerFail
+	// ControllerRecover re-seats a previously failed controller replica
+	// (Event.Replica). A no-op when the seat is live or absent.
+	ControllerRecover
 )
 
 // String names the kind.
@@ -107,6 +118,10 @@ func (k EventKind) String() string {
 		return "maintenance-start"
 	case MaintenanceEnd:
 		return "maintenance-end"
+	case ControllerFail:
+		return "controller-fail"
+	case ControllerRecover:
+		return "controller-recover"
 	default:
 		return "unknown"
 	}
@@ -135,6 +150,10 @@ type Event struct {
 	// are declared on the topology (topology.WithSRLGs) and validated at
 	// run time.
 	Group string
+	// Replica is the controller seat a ControllerFail /
+	// ControllerRecover targets. Seats outside the control plane's
+	// replica set make the event a no-op (see the kind docs).
+	Replica int
 }
 
 // Scenario is a named, seeded timeline over a start instance.
@@ -176,6 +195,10 @@ func (s Scenario) Validate() error {
 			// Link is validated against the topology at run time.
 		case SRLGFail, SRLGRecover:
 			// Group is validated against the topology at run time.
+		case ControllerFail, ControllerRecover:
+			if e.Replica < 0 {
+				return fmt.Errorf("scenario: event %d (%s) needs a non-negative Replica, got %d", i, e.Kind, e.Replica)
+			}
 		default:
 			return fmt.Errorf("scenario: event %d has unknown kind %d", i, uint8(e.Kind))
 		}
@@ -298,10 +321,18 @@ type EpochResult struct {
 	//   new reservations transiently coexist during make-before-break
 	//   (negative: the transition would over-reserve some link);
 	//   MBBTeardowns / MBBSetups — old paths torn down after traffic
-	//   switches / new paths signaled.
+	//   switches / new paths signaled;
+	//   Failovers — controller replicas killed by this epoch's events
+	//   (ControllerFail events that actually took a replica down);
+	//   ResyncFlowMods — rule tables re-pushed to orphaned switches by
+	//   surviving replicas during failover handoff, verified by ack and
+	//   reconciled against the fabric ledger before the epoch's own
+	//   installs.
 	WireFlowMods     int     `json:"wire_flow_mods,omitempty"`
 	WireRules        int     `json:"wire_rules,omitempty"`
 	InstallAcks      int     `json:"install_acks,omitempty"`
+	Failovers        int     `json:"failovers,omitempty"`
+	ResyncFlowMods   int     `json:"resync_flow_mods,omitempty"`
 	DeadlineMiss     bool    `json:"deadline_miss,omitempty"`
 	TrueUtility      float64 `json:"true_utility,omitempty"`
 	StaleTrueUtility float64 `json:"stale_true_utility,omitempty"`

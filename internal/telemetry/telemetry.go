@@ -115,6 +115,10 @@ type CtrlplaneMetrics struct {
 	DeadlineMisses *Counter
 	MBBSetups      *Counter
 	MBBTeardowns   *Counter
+	Failovers      *Counter
+	RPCRetries     *Counter
+	ExpiredRules   *Counter
+	Resyncs        *Counter
 	MBBHeadroom    *Gauge
 	TrueUtility    *Gauge
 }
@@ -133,6 +137,10 @@ func (t *Telemetry) Ctrlplane() *CtrlplaneMetrics {
 		DeadlineMisses: r.Counter("fubar_ctrlplane_deadline_misses_total", "Epochs whose optimization overran the epoch deadline."),
 		MBBSetups:      r.Counter("fubar_ctrlplane_mbb_setups_total", "Make-before-break transient setups priced."),
 		MBBTeardowns:   r.Counter("fubar_ctrlplane_mbb_teardowns_total", "Make-before-break teardowns priced."),
+		Failovers:      r.Counter("fubar_ctrlplane_failovers_total", "Controller replica failovers (election epoch bumps)."),
+		RPCRetries:     r.Counter("fubar_ctrlplane_rpc_retries_total", "Controller-to-agent RPC attempts beyond the first."),
+		ExpiredRules:   r.Counter("fubar_ctrlplane_expired_rules_total", "Rules expired by agents whose lease ran out."),
+		Resyncs:        r.Counter("fubar_ctrlplane_resyncs_total", "Rule-table resyncs verified after switches re-homed."),
 		MBBHeadroom:    r.Gauge("fubar_ctrlplane_mbb_headroom", "Worst-link headroom of the last MBB transition plan."),
 		TrueUtility:    r.Gauge("fubar_ctrlplane_true_utility", "Utility of the installed allocation under the true matrix."),
 	}

@@ -57,6 +57,9 @@ type sessionConfig struct {
 	measureEpochs int
 	simEpoch      time.Duration
 	demandJitter  float64
+	replicas      int
+	ruleLease     time.Duration
+	leasePolicy   FailPolicy
 	logger        *slog.Logger
 }
 
@@ -160,6 +163,27 @@ func WithMeasurement(measureEpochs int, simEpoch time.Duration, demandJitter flo
 		c.simEpoch = simEpoch
 		c.demandJitter = demandJitter
 	}
+}
+
+// WithReplicas sets the controller replica count of the closed-loop
+// control plane (default 1). Switch ownership shards across replicas by
+// rendezvous hashing, installs fan out across the set and merge, and
+// ControllerFail / ControllerRecover scenario events kill and re-seat
+// individual replicas — a lone replica (the default) turns those events
+// into deterministic no-ops. Takes effect when ReplayClosedLoop builds
+// the control plane on first use.
+func WithReplicas(n int) SessionOption {
+	return func(c *sessionConfig) { c.replicas = n }
+}
+
+// WithRuleLease arms the switch agents' fail-safe: an agent that loses
+// all controller contact for longer than d applies policy to its
+// installed rule table — FailStatic keeps forwarding on the stale table
+// (the default everywhere), FailClosed wipes it. A zero d disables the
+// lease. Takes effect when ReplayClosedLoop builds the control plane on
+// first use.
+func WithRuleLease(d time.Duration, policy FailPolicy) SessionOption {
+	return func(c *sessionConfig) { c.ruleLease = d; c.leasePolicy = policy }
 }
 
 // WithLogger directs the session's structured progress records —
@@ -346,7 +370,11 @@ func (s *Session) ReplayAll(ctx context.Context, sc Scenario) (*ScenarioResult, 
 // would. Close releases it.
 func (s *Session) ReplayClosedLoop(ctx context.Context, sc Scenario) iter.Seq2[EpochRecord, error] {
 	if s.cp == nil {
-		cp, err := scenario.NewControlPlane(s.topo, s.mat, s.cfg.simEpoch, s.cfg.logger)
+		cp, err := scenario.NewControlPlaneCfg(s.topo, s.mat, s.cfg.simEpoch, s.cfg.logger, scenario.ControlPlaneConfig{
+			Replicas:    s.cfg.replicas,
+			RuleLease:   s.cfg.ruleLease,
+			LeasePolicy: s.cfg.leasePolicy,
+		})
 		if err != nil {
 			return func(yield func(EpochRecord, error) bool) { yield(EpochRecord{}, err) }
 		}
