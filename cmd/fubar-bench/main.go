@@ -58,14 +58,14 @@ var benchTel *telemetry.Telemetry
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop/scale/obs (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out/-scale-out/-obs-out)")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4|fig5|fig6|fig7|queues|runtime|ablation|anneal|validate|dqueues|mpls|failover|all, or corebench/scenario/evalbench/ctrlloop/scale/obs/soak (explicit only; write -bench-out/-scenario-out/-eval-out/-ctrlloop-out/-scale-out/-obs-out/-soak-out)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		runs     = flag.Int("runs", 100, "number of runs for fig7")
 		deadline = flag.Duration("deadline", 10*time.Minute, "per-run optimization deadline")
 		csv      = flag.Bool("csv", false, "emit CSV after each chart")
 		workers  = flag.Int("workers", 0, "parallel candidate evaluators per step (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_core.json", "output file for the corebench speedup record")
-		scenName = flag.String("scenario", "diurnal", "canned scenario for -exp scenario: diurnal|storm|flashcrowd")
+		scenName = flag.String("scenario", "diurnal", "canned scenario for -exp scenario/ctrlloop: "+strings.Join(scenario.Names(), "|"))
 		epochs   = flag.Int("epochs", 20, "scenario replay epoch count")
 		scenOut  = flag.String("scenario-out", "BENCH_scenario.json", "output file for the scenario replay record")
 		evalOut  = flag.String("eval-out", "BENCH_eval.json", "output file for the evalbench record")
@@ -77,6 +77,9 @@ func main() {
 		scaleN   = flag.Int("scale-steps", 30, "per-run committed-move cap for -exp scale")
 		scaleOut = flag.String("scale-out", "BENCH_scale.json", "output file for the scale record")
 		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output file for the obs (telemetry overhead) record")
+		soakN    = flag.Int("soak-epochs", 1_000_000, "plain-replay epoch count for -exp soak (the closed-loop leg runs a tenth of it)")
+		soakP    = flag.Int("soak-period", 25, "soak timeline event period in epochs")
+		soakOut  = flag.String("soak-out", "BENCH_soak.json", "output file for the soak record")
 		listen   = flag.String("listen", "", "serve live telemetry on this address: Prometheus /metrics, /debug/pprof/, JSONL /trace")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -233,6 +236,11 @@ func main() {
 			return obsBench(*seed, max(1, *workers), *scaleN, *obsOut)
 		})
 	}
+	if *exp == "soak" {
+		run("soak: million-epoch streaming replay, O(1) memory", func() error {
+			return soakBench(*seed, *soakN, *soakP, *soakOut)
+		})
+	}
 }
 
 // ctrlloopBenchRecord is the JSON record `-exp ctrlloop` writes: the
@@ -260,7 +268,11 @@ type ctrlloopBenchRecord struct {
 	DeadlineMissRate float64          `json:"deadline_miss_rate"`
 	BudgetedTrueU    float64          `json:"budgeted_mean_true_utility"`
 	HA               *haBenchRecord   `json:"ha"`
-	Warm             *scenario.Result `json:"warm"`
+	// Trajectories holds one downsampled closed-loop utility/churn/miss
+	// trajectory per canned scenario family (every scenario.Names()
+	// entry), warm-started at Workers=1 — the per-family soak fingerprint.
+	Trajectories []scenario.Trajectory `json:"trajectories"`
+	Warm         *scenario.Result      `json:"warm"`
 }
 
 // haBenchRecord is the HA family of the ctrlloop record: the canned
@@ -375,6 +387,31 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	if err != nil {
 		return err
 	}
+
+	// Per-family trajectories: every canned generator — composites
+	// included — replayed closed loop and downsampled to a fixed point
+	// budget. They run on the soak ring (the scenario-matrix instance),
+	// which is provisioned to survive even the crisis composite's
+	// simultaneous SRLG outage and maintenance window; the thinned HE-31
+	// instance can be partitioned by them.
+	trajTopo, trajMat, err := soakInstance(seed)
+	if err != nil {
+		return err
+	}
+	trajPoints := min(epochs, 10)
+	var trajectories []scenario.Trajectory
+	for _, fam := range scenario.Names() {
+		fsc, err := scenario.ByName(fam, seed, epochs)
+		if err != nil {
+			return err
+		}
+		fres, err := scenario.RunClosedLoop(benchCtx, trajTopo, trajMat, fsc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 1}})
+		if err != nil {
+			return err
+		}
+		trajectories = append(trajectories, scenario.SampleTrajectory(fam, fres, trajPoints))
+	}
+
 	if err := warm1.Table().Render(os.Stdout); err != nil {
 		return err
 	}
@@ -398,6 +435,7 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 		BudgetNs:         budget.Nanoseconds(),
 		DeadlineMissRate: budgeted.DeadlineMissRate(),
 		BudgetedTrueU:    meanTrueUtility(budgeted),
+		Trajectories:     trajectories,
 		Warm:             warm1,
 	}
 	haFailovers, haResyncs := totalFailovers(ha1)
@@ -435,6 +473,24 @@ func ctrlloopBench(name string, seed int64, epochs int, budget time.Duration, ou
 	h.AddRow("wire FlowMods (counted)", rec.HA.WireFlowMods, rec.HA.SoloWireFlowMods)
 	h.AddRow("mean true utility", fmt.Sprintf("%.4f", rec.HA.MeanTrueUtility), fmt.Sprintf("%.4f", rec.HA.SoloTrueUtility))
 	if err := h.Render(os.Stdout); err != nil {
+		return err
+	}
+	f := report.NewTable("per-family trajectories (closed loop, warm)", "family", "final utility", "wiremods", "steps", "miss rate")
+	for _, tr := range trajectories {
+		var wiremods, steps, misses int
+		for _, p := range tr.Points {
+			wiremods += p.WireFlowMods
+			steps += p.Steps
+			misses += p.Misses
+		}
+		finalU := 0.0
+		if n := len(tr.Points); n > 0 {
+			finalU = tr.Points[n-1].Utility
+		}
+		f.AddRow(tr.Family, fmt.Sprintf("%.4f", finalU), wiremods, steps,
+			fmt.Sprintf("%.0f%%", 100*float64(misses)/float64(max(1, tr.Epochs))))
+	}
+	if err := f.Render(os.Stdout); err != nil {
 		return err
 	}
 	detNote := "identical tables + install sequences at 1 and 4 workers"

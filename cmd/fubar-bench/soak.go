@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fubar/internal/core"
+	"fubar/internal/report"
+	"fubar/internal/scenario"
+	"fubar/internal/topology"
+	"fubar/internal/traffic"
+	"fubar/internal/unit"
+)
+
+// soakBenchRecord is the JSON record `-exp soak` writes: a long sparse
+// soak timeline streamed through the plain replay (and a tenth of it
+// through the full closed loop), with forced-GC heap watermarks sampled
+// along the way and asserted flat — the O(1)-in-epochs memory contract
+// of Stream/StreamClosedLoop at soak scale — plus the replay's utility
+// trajectory, downsampled to a fixed point budget.
+type soakBenchRecord struct {
+	Benchmark           string              `json:"benchmark"`
+	Scenario            string              `json:"scenario"`
+	Seed                int64               `json:"seed"`
+	Topology            string              `json:"topology"`
+	Aggregates          int                 `json:"aggregates"`
+	Period              int                 `json:"period"`
+	GOMAXPROCS          int                 `json:"gomaxprocs"`
+	PlainEpochs         int                 `json:"plain_epochs"`
+	PlainElapsedNs      int64               `json:"plain_elapsed_ns"`
+	PlainEpochsPerSec   float64             `json:"plain_epochs_per_sec"`
+	PlainHeapSamples    []uint64            `json:"plain_heap_samples"`
+	PlainHeapBounded    bool                `json:"plain_heap_bounded"`
+	ClosedEpochs        int                 `json:"closed_epochs"`
+	ClosedElapsedNs     int64               `json:"closed_elapsed_ns"`
+	ClosedEpochsPerSec  float64             `json:"closed_epochs_per_sec"`
+	ClosedHeapSamples   []uint64            `json:"closed_heap_samples"`
+	ClosedHeapBounded   bool                `json:"closed_heap_bounded"`
+	WireReconciled      bool                `json:"wire_reconciled"`
+	Trajectory          scenario.Trajectory `json:"trajectory"`
+	ClosedLoopTrajector scenario.Trajectory `json:"closed_trajectory"`
+}
+
+// soakInstance is the soak bench's small ring — the same shape the
+// scenario-matrix tests replay, sized so a million plain epochs fit a
+// nightly budget (~1.2 ms/epoch).
+func soakInstance(seed int64) (*topology.Topology, *traffic.Matrix, error) {
+	topo, err := topology.Ring(6, 3, 600*unit.Kbps, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	topoS, err := topo.WithSRLGs([]topology.SRLG{
+		{Name: "ga", Links: []topology.LinkID{0, 2}},
+		{Name: "gb", Links: []topology.LinkID{4}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := traffic.DefaultGenConfig(seed + 6)
+	cfg.RealTimeFlows = [2]int{1, 4}
+	cfg.BulkFlows = [2]int{1, 3}
+	mat, err := traffic.Generate(topoS, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topoS, mat, nil
+}
+
+// soakHeapWatermark forces a collection and returns the retained heap.
+func soakHeapWatermark() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// soakBounded reports whether every sample after the first stays within
+// a constant envelope of it (1.5x plus 8 MiB of slack): a leak
+// proportional to epochs blows through it at soak epoch counts.
+func soakBounded(samples []uint64) bool {
+	if len(samples) < 3 {
+		return false
+	}
+	limit := samples[0] + samples[0]/2 + 8<<20
+	for _, s := range samples[1:] {
+		if s > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// soakBench streams a soak timeline of epochs epochs through the plain
+// replay and epochs/10 through the closed loop, sampling forced-GC heap
+// watermarks sixteen times per leg, recording downsampled trajectories,
+// and failing loudly if either leg's watermark grows or the closed
+// loop's wire ledger stops reconciling. This is the nightly
+// million-epoch job; the PR smoke leg runs it with -soak-epochs 50000.
+func soakBench(seed int64, epochs, period int, outPath string) error {
+	if epochs < 160 {
+		return fmt.Errorf("soak: need at least 160 epochs, got %d", epochs)
+	}
+	topo, mat, err := soakInstance(seed)
+	if err != nil {
+		return err
+	}
+	sc := scenario.Soak(seed+5, epochs, period)
+
+	const trajPoints = 64
+	plainTraj := scenario.NewTrajectoryRecorder(sc.Name, epochs, trajPoints)
+	interval := epochs / 16
+	var plainSamples []uint64
+	n := 0
+	start := time.Now()
+	for er, err := range scenario.Stream(benchCtx, topo, mat, sc, scenario.Options{Core: core.Options{Workers: 2}}) {
+		if err != nil {
+			return err
+		}
+		if er.Utility <= 0 {
+			return fmt.Errorf("soak: epoch %d black-holed (utility %v)", er.Epoch, er.Utility)
+		}
+		plainTraj.Observe(&er)
+		n++
+		if n%interval == 0 {
+			plainSamples = append(plainSamples, soakHeapWatermark())
+		}
+	}
+	plainT := time.Since(start)
+	if n != epochs {
+		return fmt.Errorf("soak: plain replay streamed %d epochs, want %d", n, epochs)
+	}
+
+	clEpochs := epochs / 10
+	clSc := scenario.Soak(seed+7, clEpochs, period)
+	clTraj := scenario.NewTrajectoryRecorder(clSc.Name, clEpochs, trajPoints)
+	clInterval := clEpochs / 16
+	var clSamples []uint64
+	reconciled := true
+	n = 0
+	start = time.Now()
+	for er, err := range scenario.StreamClosedLoop(benchCtx, topo, mat, clSc, scenario.ClosedLoopOptions{Core: core.Options{Workers: 2}}) {
+		if err != nil {
+			return err
+		}
+		if er.WireFlowMods != er.InstallAcks {
+			reconciled = false
+		}
+		if er.TrueUtility <= 0 {
+			return fmt.Errorf("soak: closed-loop epoch %d black-holed (true utility %v)", er.Epoch, er.TrueUtility)
+		}
+		clTraj.Observe(&er)
+		n++
+		if n%clInterval == 0 {
+			clSamples = append(clSamples, soakHeapWatermark())
+		}
+	}
+	clT := time.Since(start)
+	if n != clEpochs {
+		return fmt.Errorf("soak: closed-loop replay streamed %d epochs, want %d", n, clEpochs)
+	}
+
+	rec := soakBenchRecord{
+		Benchmark:           "soak: streaming scenario replay, O(1) memory in epochs",
+		Scenario:            sc.Name,
+		Seed:                seed,
+		Topology:            topo.Summary(),
+		Aggregates:          mat.NumAggregates(),
+		Period:              period,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		PlainEpochs:         epochs,
+		PlainElapsedNs:      plainT.Nanoseconds(),
+		PlainEpochsPerSec:   float64(epochs) / plainT.Seconds(),
+		PlainHeapSamples:    plainSamples,
+		PlainHeapBounded:    soakBounded(plainSamples),
+		ClosedEpochs:        clEpochs,
+		ClosedElapsedNs:     clT.Nanoseconds(),
+		ClosedEpochsPerSec:  float64(clEpochs) / clT.Seconds(),
+		ClosedHeapSamples:   clSamples,
+		ClosedHeapBounded:   soakBounded(clSamples),
+		WireReconciled:      reconciled,
+		Trajectory:          plainTraj.Trajectory(),
+		ClosedLoopTrajector: clTraj.Trajectory(),
+	}
+	t := report.NewTable("soak replay", "metric", "plain", "closed loop")
+	t.AddRow("epochs", rec.PlainEpochs, rec.ClosedEpochs)
+	t.AddRow("elapsed", plainT.Truncate(time.Millisecond), clT.Truncate(time.Millisecond))
+	t.AddRow("epochs/sec", fmt.Sprintf("%.0f", rec.PlainEpochsPerSec), fmt.Sprintf("%.0f", rec.ClosedEpochsPerSec))
+	t.AddRow("heap watermark first", fmtMiB(firstOrZero(plainSamples)), fmtMiB(firstOrZero(clSamples)))
+	t.AddRow("heap watermark last", fmtMiB(lastOrZero(plainSamples)), fmtMiB(lastOrZero(clSamples)))
+	t.AddRow("heap bounded", rec.PlainHeapBounded, rec.ClosedHeapBounded)
+	t.AddRow("wire FlowMods == acks", "-", rec.WireReconciled)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := rec.Trajectory.Table().Render(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("soak record written to %s\n", outPath)
+	if !rec.PlainHeapBounded {
+		return fmt.Errorf("soak: plain replay heap watermark grew: %v", plainSamples)
+	}
+	if !rec.ClosedHeapBounded {
+		return fmt.Errorf("soak: closed-loop replay heap watermark grew: %v", clSamples)
+	}
+	if !reconciled {
+		return fmt.Errorf("soak: closed-loop wire ledger stopped reconciling")
+	}
+	return nil
+}
+
+func fmtMiB(b uint64) string { return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20)) }
+
+func firstOrZero(s []uint64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+func lastOrZero(s []uint64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}

@@ -453,6 +453,63 @@ func ControllerKillStormScenario(seed int64, epochs, seats int) Scenario {
 	return scenario.ControllerKillStorm(seed, epochs, seats)
 }
 
+// ComposeScenarios merges sub-timelines into one scenario: the union of
+// every sub-scenario's events in a stable epoch order, truncated to the
+// composite's epoch count, replayed under the composite's seed (the
+// sub-scenarios' own seeds are ignored).
+func ComposeScenarios(name string, seed int64, epochs int, subs ...Scenario) Scenario {
+	return scenario.Compose(name, seed, epochs, subs...)
+}
+
+// CrisisScenario is the worst-day composite: a flash crowd breaks out
+// while a shared-risk group is down and a maintenance window is
+// draining yet another link.
+func CrisisScenario(seed int64, epochs int, spike float64, arrivals int) Scenario {
+	return scenario.Crisis(seed, epochs, spike, arrivals)
+}
+
+// DiurnalKillStormScenario is the availability composite: the diurnal
+// demand curve with controller replicas being killed and re-seated all
+// day.
+func DiurnalKillStormScenario(seed int64, epochs, seats int) Scenario {
+	return scenario.DiurnalKillStorm(seed, epochs, seats)
+}
+
+// SoakScenario builds a sparse long-horizon timeline sized for soak
+// replays: a demand step plus mild churn every period epochs and an
+// occasional link failure cycle, O(epochs/period) events total, so a
+// million-epoch soak's timeline stays small while the epochs between
+// events replay as cheap quiescent rounds.
+func SoakScenario(seed int64, epochs, period int) Scenario {
+	return scenario.Soak(seed, epochs, period)
+}
+
+// Downsampled replay trajectories (the soak layer's fixed-memory view
+// of arbitrarily long replays).
+type (
+	// Trajectory is one scenario family's downsampled replay time
+	// series: convergence and churn folded into a fixed point budget.
+	Trajectory = scenario.Trajectory
+	// TrajectoryPoint is one downsampled bucket — means for utilities,
+	// sums for effort and churn counters.
+	TrajectoryPoint = scenario.TrajectoryPoint
+	// TrajectoryRecorder folds an epoch stream into a fixed number of
+	// buckets as it goes: O(points) memory regardless of replay length.
+	TrajectoryRecorder = scenario.TrajectoryRecorder
+)
+
+// NewTrajectoryRecorder sizes a streaming recorder for a replay of the
+// given epoch count downsampled to at most points buckets.
+func NewTrajectoryRecorder(family string, epochs, points int) *TrajectoryRecorder {
+	return scenario.NewTrajectoryRecorder(family, epochs, points)
+}
+
+// SampleScenarioTrajectory downsamples a collected replay result into a
+// trajectory of at most points buckets.
+func SampleScenarioTrajectory(family string, res *ScenarioResult, points int) Trajectory {
+	return scenario.SampleTrajectory(family, res, points)
+}
+
 // ScenarioByName resolves a canned scenario (see ScenarioNames) with
 // its default shape for the epoch count; an unknown name's error
 // enumerates the valid ones.

@@ -198,6 +198,23 @@ type Options struct {
 	// policy-compliant, so non-compliant warm-start paths can only
 	// drain.
 	InitialBundles []flowmodel.Bundle
+	// KeepFinalBase exports the run's persistent delta Base in
+	// Solution.FinalBase. The base is detached from the optimizer — a
+	// later run on the same optimizer starts a fresh one — so the caller
+	// owns it outright; hand it back to a later run via WarmBase to
+	// recycle its storage. No effect under DisableBaseReuse or when the
+	// run never built a base.
+	KeepFinalBase bool
+	// WarmBase and WarmBaseSpare donate recycled Base storage (typically
+	// a previous run's Solution.FinalBase / FinalBaseSpare) for this
+	// run's persistent base and its remap double-buffer. Contents are
+	// treated as stale and overwritten by the run's first capture; only
+	// the backing arrays are reused, which keeps the per-epoch base
+	// allocation of a long replay O(1) instead of O(epochs). The
+	// optimizer takes ownership; the caller must not touch them
+	// afterward.
+	WarmBase      *flowmodel.Base
+	WarmBaseSpare *flowmodel.Base
 	// Trace, if set, receives a snapshot after the initial evaluation and
 	// after every committed move. Snapshots share the optimizer's result
 	// storage: copy anything retained beyond the callback. Trace is
@@ -315,6 +332,18 @@ type Solution struct {
 	// Base counts how each step's delta base was obtained — the
 	// persistent-base bookkeeping. All zero under DeltaOff.
 	Base BaseStats
+	// FinalBase, set only when Options.KeepFinalBase is true and a base
+	// was built, hands the run's persistent delta Base to the caller
+	// (detached — the optimizer forgets it, so a later run cannot clobber
+	// it). When the run ended with the base live its contents capture
+	// Bundles exactly (FinalBase.NetworkUtility() == Utility); either way
+	// the object is valid recycled storage for Options.WarmBase.
+	// FinalBaseSpare is the remap double-buffer's other half, exported
+	// alongside so a replay recycles the whole pair: feed it back via
+	// Options.WarmBaseSpare and a million-epoch soak allocates exactly
+	// two Base objects total.
+	FinalBase      *flowmodel.Base
+	FinalBaseSpare *flowmodel.Base
 }
 
 // BaseStats counts how the per-step delta base snapshots were produced.
@@ -334,6 +363,10 @@ type BaseStats struct {
 	// evaluation (oversized affected set).
 	Rebases    int `json:"rebases"`
 	Recaptures int `json:"recaptures"`
+	// FinalFromBase counts final-allocation evaluations materialized
+	// from the live base (Eval.ResultFromBase) instead of a fresh full
+	// evaluation — 1 for a run that ended base-live, 0 otherwise.
+	FinalFromBase int `json:"final_from_base"`
 }
 
 // aggState tracks one aggregate's path set and flow split.
@@ -530,7 +563,22 @@ func (o *Optimizer) Run(ctx context.Context) (*Solution, error) {
 	if o.tm != nil {
 		o.tm.Runs.Inc()
 	}
-	res := o.evaluate()
+	// The initial evaluation doubles as the first base capture when the
+	// persistent-base machinery is on: EvaluateBase returns exactly what
+	// Evaluate would (the capture is a copy-out, not different math), and
+	// the first step then carries it over by index remap instead of
+	// paying its own EvaluateBase — so a run's capture count is the
+	// initial evaluation itself, nothing more.
+	var res *flowmodel.Result
+	if o.baseReuseEnabled() && o.opts.DeltaEval == DeltaAuto && !o.deltaOff {
+		o.ensureBase()
+		res = o.baseEval.EvaluateBase(o.buildPositiveLayout(), o.base)
+		o.baseStats.Captures++
+		o.baseLive = true
+		o.saveBaseLayout()
+	} else {
+		res = o.evaluate()
+	}
 	initial := res.NetworkUtility
 	steps, escal := 0, 0
 	fraction := o.opts.MoveFraction
@@ -639,7 +687,7 @@ loop:
 		o.publishDeltaStats() // fold in the final (uncommitted) step's activity
 	}
 
-	final := o.evaluate()
+	final := o.finalResult()
 	sol := &Solution{
 		Bundles:        o.snapshotBundles(),
 		Result:         final.Clone(),
@@ -654,6 +702,13 @@ loop:
 		sol.Delta.Add(w.eval.DeltaStats())
 	}
 	sol.Base = o.baseStats
+	if o.opts.KeepFinalBase && o.base != nil && o.baseReuseEnabled() {
+		sol.FinalBase = o.base
+		sol.FinalBaseSpare = o.altBase
+		o.base = nil
+		o.altBase = nil
+		o.baseLive = false
+	}
 	var totalPaths int
 	nonSelf := 0
 	for _, a := range o.aggs {
@@ -851,8 +906,74 @@ func (o *Optimizer) buildStepBundles(cands []candidate) []flowmodel.Bundle {
 	return o.denseBuf
 }
 
+// buildPositiveLayout assembles the committed allocation's positive
+// bundle list — content-identical to buildBundles' — into the dense
+// scratch (denseBuf/denseSeg/densePath), so the layout can seed or
+// receive a base remap: the positive list is the placeholder-free
+// special case of a step layout.
+func (o *Optimizer) buildPositiveLayout() []flowmodel.Bundle {
+	o.denseBuf = o.denseBuf[:0]
+	o.densePath = o.densePath[:0]
+	if cap(o.denseSeg) < len(o.aggs)+1 {
+		o.denseSeg = make([]int, len(o.aggs)+1)
+	}
+	o.denseSeg = o.denseSeg[:len(o.aggs)+1]
+	for i := range o.aggs {
+		o.denseSeg[i] = len(o.denseBuf)
+		st := &o.aggs[i]
+		if st.self {
+			o.denseBuf = append(o.denseBuf, flowmodel.Bundle{
+				Agg: traffic.AggregateID(i), Flows: st.total,
+			})
+			o.densePath = append(o.densePath, -1)
+			continue
+		}
+		for pi, f := range st.flows {
+			if f <= 0 {
+				continue
+			}
+			o.denseBuf = append(o.denseBuf, flowmodel.Bundle{
+				Agg:   traffic.AggregateID(i),
+				Flows: f,
+				Edges: st.set.Path(pi).Edges,
+				Delay: st.delays[pi],
+			})
+			o.densePath = append(o.densePath, pi)
+		}
+	}
+	o.denseSeg[len(o.aggs)] = len(o.denseBuf)
+	// A new dense list invalidates every worker's synced trial buffer.
+	o.denseGen++
+	return o.denseBuf
+}
+
 func (o *Optimizer) evaluate() *flowmodel.Result {
 	return o.model.Evaluate(o.buildBundles())
+}
+
+// finalResult produces the final allocation's evaluation. With a live
+// base, the positive list is a monotonic sub-layout of the base's (every
+// positive entry is captured; entries dropped relative to the base are
+// inert zero-flow placeholders), so the capture remaps onto it and the
+// Result materializes from the base with no water-filling at all.
+// Otherwise — base machinery off, base staled by a full-path commit, or
+// the remap refused — the classic full evaluation runs. Both paths are
+// bit-identical by the CommitDelta/RemapBase contract.
+func (o *Optimizer) finalResult() *flowmodel.Result {
+	if o.baseLive && o.baseReuseEnabled() {
+		dense := o.buildPositiveLayout()
+		if slices.Equal(o.basePath, o.densePath) && slices.Equal(o.baseSeg, o.denseSeg) {
+			o.baseStats.FinalFromBase++
+			return o.baseEval.ResultFromBase(o.base)
+		}
+		if o.remapBase(dense) {
+			o.saveBaseLayout()
+			o.baseStats.FinalFromBase++
+			return o.baseEval.ResultFromBase(o.base)
+		}
+		o.baseLive = false
+	}
+	return o.evaluate()
 }
 
 // snapshotBundles deep-copies the current allocation.
@@ -979,12 +1100,7 @@ func (o *Optimizer) baseReuseEnabled() bool {
 // placeholder population changed — and only failing that (or with reuse
 // off) does a full EvaluateBase run.
 func (o *Optimizer) prepareBase(dense []flowmodel.Bundle, reuse bool) {
-	if o.baseEval == nil {
-		o.baseEval = o.model.NewEval()
-	}
-	if o.base == nil {
-		o.base, o.altBase = &flowmodel.Base{}, &flowmodel.Base{}
-	}
+	o.ensureBase()
 	if reuse && o.baseLive {
 		if slices.Equal(o.basePath, o.densePath) && slices.Equal(o.baseSeg, o.denseSeg) {
 			o.baseStats.Skips++
@@ -1001,6 +1117,31 @@ func (o *Optimizer) prepareBase(dense []flowmodel.Bundle, reuse bool) {
 	o.baseLive = reuse
 	if reuse {
 		o.saveBaseLayout()
+	}
+}
+
+// ensureBase lazily constructs the delta-base machinery, adopting
+// Options.WarmBase (recycled storage, typically a previous run's
+// Solution.FinalBase) for the snapshot when provided: its contents are
+// stale and overwritten by the next capture — only the backing arrays
+// are reused.
+func (o *Optimizer) ensureBase() {
+	if o.baseEval == nil {
+		o.baseEval = o.model.NewEval()
+	}
+	if o.base == nil {
+		if o.opts.WarmBase != nil {
+			o.base, o.opts.WarmBase = o.opts.WarmBase, nil
+		} else {
+			o.base = &flowmodel.Base{}
+		}
+	}
+	if o.altBase == nil {
+		if o.opts.WarmBaseSpare != nil {
+			o.altBase, o.opts.WarmBaseSpare = o.opts.WarmBaseSpare, nil
+		} else {
+			o.altBase = &flowmodel.Base{}
+		}
 	}
 }
 

@@ -78,6 +78,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 	}
 	f.Add(uint8(4), uint32(0), uint64(0), "", []byte{}, false)
 	f.Add(uint8(7), ^uint32(0), ^uint64(0), "Zürich ✈", []byte{0xff, 0x00, 0x7f}, true)
+	// Epoch-stamped resync and fail-safe frames: FlowMod derives
+	// Generation from tok, so tokens in the reserved handoff-resync and
+	// fail-safe-wipe bands (with a live epoch stamp in tok>>1) seed the
+	// high-generation paths a failover replay exercises. kind 4 is
+	// MsgFlowMod, and the ack (kind 5) echoes the same generation.
+	f.Add(uint8(4), uint32(3), resyncGenerationBase|42, "resync", []byte{9, 3, 2, 1, 4, 3}, true)
+	f.Add(uint8(5), uint32(1), resyncGenerationBase|42, "", []byte{}, false)
+	f.Add(uint8(4), uint32(0), failsafeGenerationBase|7, "wipe", []byte{}, true)
 
 	f.Fuzz(func(t *testing.T, kind uint8, a uint32, tok uint64, s string, raw []byte, flag bool) {
 		if len(s) > 256 {

@@ -91,6 +91,12 @@ type ManagedAgent struct {
 	cur    *Agent
 	closed bool
 
+	// Clock hooks: the connect loop only ever reads time through these,
+	// so tests can drive the lease and backoff schedule with a fake
+	// clock. Production agents get the real clock from NewManagedAgent.
+	now   func() time.Time
+	after func(time.Duration) <-chan time.Time
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -106,12 +112,39 @@ func NewManagedAgent(datapathID uint32, nodeName string, dp Datapath, dir DialDi
 		return nil, fmt.Errorf("ctrlplane: nil dial directory")
 	}
 	ma := &ManagedAgent{
-		cfg:  cfg.withDefaults(),
-		id:   datapathID,
-		name: nodeName,
-		dir:  dir,
-		dp:   &guardedDatapath{inner: dp},
-		done: make(chan struct{}),
+		cfg:   cfg.withDefaults(),
+		id:    datapathID,
+		name:  nodeName,
+		dir:   dir,
+		dp:    &guardedDatapath{inner: dp},
+		now:   time.Now,
+		after: time.After,
+		done:  make(chan struct{}),
+	}
+	ma.wg.Add(1)
+	go ma.run()
+	return ma, nil
+}
+
+// newManagedAgentClock is NewManagedAgent with an injected clock, for
+// deterministic backoff and lease tests.
+func newManagedAgentClock(datapathID uint32, nodeName string, dp Datapath, dir DialDirectory, cfg AgentConfig,
+	now func() time.Time, after func(time.Duration) <-chan time.Time) (*ManagedAgent, error) {
+	if dp == nil {
+		return nil, fmt.Errorf("ctrlplane: nil datapath")
+	}
+	if dir == nil {
+		return nil, fmt.Errorf("ctrlplane: nil dial directory")
+	}
+	ma := &ManagedAgent{
+		cfg:   cfg.withDefaults(),
+		id:    datapathID,
+		name:  nodeName,
+		dir:   dir,
+		dp:    &guardedDatapath{inner: dp},
+		now:   now,
+		after: after,
+		done:  make(chan struct{}),
 	}
 	ma.wg.Add(1)
 	go ma.run()
@@ -125,7 +158,7 @@ func (ma *ManagedAgent) run() {
 	// rule content, so a per-switch seed keeps runs reproducible.
 	rng := rand.New(rand.NewPCG(uint64(ma.id), 0x9e3779b97f4a7c15))
 	backoff := ma.cfg.ReconnectBase
-	lastContact := time.Now()
+	lastContact := ma.now()
 	expired := false
 	for {
 		if ma.isClosed() {
@@ -140,11 +173,11 @@ func (ma *ManagedAgent) run() {
 			_ = agent.Serve()
 			ma.setCurrent(nil)
 			agent.Close()
-			lastContact = time.Now()
+			lastContact = ma.now()
 			continue // lost the controller: first redial is immediate
 		}
 		ma.redials.Add(1)
-		if lease := ma.lease(); !expired && lease > 0 && time.Since(lastContact) > lease {
+		if lease := ma.lease(); !expired && lease > 0 && ma.now().Sub(lastContact) > lease {
 			expired = true
 			ma.expireTable()
 		}
@@ -153,7 +186,7 @@ func (ma *ManagedAgent) run() {
 		select {
 		case <-ma.done:
 			return
-		case <-time.After(delay):
+		case <-ma.after(delay):
 		}
 		if backoff *= 2; backoff > ma.cfg.ReconnectMax {
 			backoff = ma.cfg.ReconnectMax

@@ -298,6 +298,31 @@ func (e *Eval) RemapBase(src, dst *Base, bundles []Bundle, oldIdx []int) bool {
 // bundle list.
 func (b *Base) NetworkUtility() float64 { return b.netUtility }
 
+// ResultFromBase materializes the Result a full Evaluate of the base's
+// bundle list would return, from the capture alone — no water-filling
+// runs. Per-bundle, per-link and per-aggregate arrays copy out of the
+// base (which CommitDelta/RemapBase keep bit-identical to a fresh
+// EvaluateBase of the same list); the congested list and the two §3
+// utilization metrics are derived exactly the way Evaluate derives them.
+// The Result is the arena's, valid until its next evaluation. This is
+// what lets a run that kept its base live skip the final full
+// evaluation entirely.
+func (e *Eval) ResultFromBase(base *Base) *Result {
+	nB := len(base.bundles)
+	e.grow(nB)
+	res := &e.res
+	res.BundleRate = append(res.BundleRate[:0], base.rate...)
+	res.BundleSatisfied = append(res.BundleSatisfied[:0], base.sat...)
+	copy(res.LinkLoad, base.linkLoad)
+	copy(res.LinkDemand, base.linkDem)
+	copy(res.IsCongested, base.isCong)
+	copy(res.AggUtility, base.aggUtil)
+	res.NetworkUtility = base.netUtility
+	e.rebuildCongested(res)
+	e.computeUtilization(res)
+	return res
+}
+
 func resizeF(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)

@@ -1,0 +1,65 @@
+package flowmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestResultFromBaseMatchesEvaluate pins the materialization shim: a
+// Result built from a captured Base must be bit-identical to evaluating
+// the same bundle list from scratch — every per-bundle, per-link, and
+// per-aggregate field, not just the scalar utility. This is what lets
+// an epoch-warm optimizer skip its final full evaluation.
+func TestResultFromBaseMatchesEvaluate(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m, bundles, _ := deltaInstance(t, seed)
+		var base Base
+		m.NewEval().EvaluateBase(bundles, &base)
+		got := m.NewEval().ResultFromBase(&base)
+		want := m.NewEval().Evaluate(bundles)
+		if got.NetworkUtility != want.NetworkUtility {
+			t.Fatalf("seed %d: utility %v != %v", seed, got.NetworkUtility, want.NetworkUtility)
+		}
+		for name, pair := range map[string][2]interface{}{
+			"BundleRate":      {got.BundleRate, want.BundleRate},
+			"BundleSatisfied": {got.BundleSatisfied, want.BundleSatisfied},
+			"LinkLoad":        {got.LinkLoad, want.LinkLoad},
+			"LinkDemand":      {got.LinkDemand, want.LinkDemand},
+			"IsCongested":     {got.IsCongested, want.IsCongested},
+			"AggUtility":      {got.AggUtility, want.AggUtility},
+		} {
+			if !reflect.DeepEqual(pair[0], pair[1]) {
+				t.Fatalf("seed %d: %s diverged:\n got=%v\nwant=%v", seed, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestResultFromBaseAfterCommit checks the shim over a Base that has
+// been patched by CommitDelta rather than freshly captured — the state
+// an epoch-warm run actually materializes from.
+func TestResultFromBaseAfterCommit(t *testing.T) {
+	m, bundles, _ := deltaInstance(t, 3)
+	var base Base
+	arena := m.NewEval()
+	arena.EvaluateBase(bundles, &base)
+	// Perturb one splittable bundle pair and fold the commit in.
+	rng := rand.New(rand.NewSource(17))
+	mut := append([]Bundle(nil), bundles...)
+	changed := perturb(rng, mut)
+	if changed == nil {
+		t.Skip("no splittable bundle to perturb")
+	}
+	if _, ok := arena.CommitDelta(&base, mut, changed); !ok {
+		m.NewEval().EvaluateBase(mut, &base)
+	}
+	got := m.NewEval().ResultFromBase(&base)
+	want := m.NewEval().Evaluate(mut)
+	if got.NetworkUtility != want.NetworkUtility ||
+		!reflect.DeepEqual(got.BundleRate, want.BundleRate) ||
+		!reflect.DeepEqual(got.LinkLoad, want.LinkLoad) {
+		t.Fatalf("committed base materialized wrong result: utility %v != %v",
+			got.NetworkUtility, want.NetworkUtility)
+	}
+}

@@ -515,9 +515,20 @@ func (l *closedLoop) runEpoch(ctx context.Context, epoch int, events []string) (
 		coreOpts.InitialBundles = repaired
 		er.WarmStart = true
 	}
+	// Recycle one delta-Base's storage across epochs (see
+	// engine.recycleBase); the closed loop's stale evaluation stays —
+	// it runs on the true matrix, which the optimizer (driven by the
+	// estimated matrix) never sees.
+	coreOpts.KeepFinalBase = true
+	coreOpts.WarmBase, l.en.recycleBase = l.en.recycleBase, nil
+	coreOpts.WarmBaseSpare, l.en.recycleSpare = l.en.recycleSpare, nil
 	sol, err := core.Run(runCtx, estModel, coreOpts)
 	if err != nil {
 		return nil, err
+	}
+	if sol.FinalBase != nil {
+		l.en.recycleBase = sol.FinalBase
+		l.en.recycleSpare = sol.FinalBaseSpare
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err // the replay itself was cancelled or timed out

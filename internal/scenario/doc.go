@@ -1,0 +1,29 @@
+package scenario
+
+// cannedFamilies documents the canned scenario families ByName resolves
+// (see generators.go for each builder's default shape). The bullet list
+// must name exactly the families Names() returns, in the same sorted
+// order — TestDocFamiliesMatchNames fails the build when the two drift.
+//
+//   - crisis: flash crowd + SRLG outage + maintenance window composed
+//     into one worst-day timeline (Compose of flashcrowd, srlg,
+//     maintenance).
+//   - ctrlstorm: controller replicas killed and re-seated all replay
+//     long; the workload itself stays quiet.
+//   - diurnal: sinusoidal demand scaling with mild per-aggregate churn.
+//   - diurnalstorm: the diurnal demand curve riding a controller kill
+//     storm (Compose of diurnal, ctrlstorm).
+//   - flashcrowd: a sudden demand spike with a burst of aggregate
+//     arrivals, decaying back to baseline.
+//   - maintenance: planned link drains (maintenance windows) opening and
+//     closing across the replay.
+//   - srlg: a shared-risk link group failing as one event and recovering
+//     later.
+//   - storm: random single-link failures and recoveries at a rate of one
+//     per four epochs.
+//
+// Long-horizon soak timelines come from Soak (sparse events every
+// `period` epochs, O(epochs/period) storage) and are not canned: their
+// epoch count is a required parameter, so they are built directly or
+// via the fubar-bench -exp soak front end.
+const cannedFamilies = 8

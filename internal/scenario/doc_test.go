@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestDocFamiliesMatchNames pins doc.go's canned-family bullet list to
+// the live registry: the documented names must be exactly Names(), in
+// the same order, and the cannedFamilies count must match — so the
+// docs can't drift when a generator is added or renamed.
+func TestDocFamiliesMatchNames(t *testing.T) {
+	src, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatalf("read doc.go: %v", err)
+	}
+	var documented []string
+	for _, m := range regexp.MustCompile(`(?m)^//   - ([a-z]+):`).FindAllStringSubmatch(string(src), -1) {
+		documented = append(documented, m[1])
+	}
+	names := Names()
+	if len(documented) != len(names) {
+		t.Fatalf("doc.go documents %d families %v, registry has %d %v",
+			len(documented), documented, len(names), names)
+	}
+	for i, n := range names {
+		if documented[i] != n {
+			t.Errorf("doc.go bullet %d is %q, registry (sorted) has %q", i, documented[i], n)
+		}
+	}
+	if cannedFamilies != len(names) {
+		t.Errorf("cannedFamilies = %d, registry has %d", cannedFamilies, len(names))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"slices"
 	"strconv"
 	"time"
 
@@ -64,6 +65,16 @@ type engine struct {
 	faults FaultInjector
 
 	installed []keyedBundle
+
+	// recycleBase/recycleSpare carry one flowmodel.Base double-buffer
+	// pair's storage across epoch boundaries: each epoch's optimizer
+	// adopts the pair (core.Options.WarmBase/WarmBaseSpare), re-captures
+	// it as its initial evaluation, and hands it back
+	// (Solution.FinalBase/FinalBaseSpare) — two Base objects for the
+	// whole replay, so a million-epoch soak allocates base storage once,
+	// not per epoch.
+	recycleBase  *flowmodel.Base
+	recycleSpare *flowmodel.Base
 
 	// tm/tracer are the scenario-level live-metrics handles derived from
 	// Options.Core.Telemetry (nil when telemetry is off). The core-level
@@ -137,21 +148,43 @@ func newEngine(topo *topology.Topology, mat *traffic.Matrix, sc Scenario, opts O
 	return en, nil
 }
 
-// timeline indexes the scenario's events by epoch, preserving slice
-// order within one.
-func (en *engine) timeline() [][]Event {
-	byEpoch := make([][]Event, en.sc.Epochs)
-	for _, e := range en.sc.Events {
-		byEpoch[e.Epoch] = append(byEpoch[e.Epoch], e)
+// timeline is the replay's event cursor: the scenario's events sorted
+// stably by epoch (slice order preserved within one), walked forward as
+// epochs are consumed in order. Memory is O(len(Events)) — independent
+// of the epoch count, unlike an epoch-indexed table, which is what
+// keeps a sparse million-epoch soak timeline's replay state O(1) in
+// epochs.
+type timeline struct {
+	events []Event
+	next   int
+}
+
+// timeline builds the replay cursor.
+func (en *engine) timeline() *timeline {
+	ev := make([]Event, len(en.sc.Events))
+	copy(ev, en.sc.Events)
+	slices.SortStableFunc(ev, func(a, b Event) int { return a.Epoch - b.Epoch })
+	return &timeline{events: ev}
+}
+
+// at returns the events scheduled for epoch, which must be queried in
+// non-decreasing order (the cursor only moves forward).
+func (tl *timeline) at(epoch int) []Event {
+	for tl.next < len(tl.events) && tl.events[tl.next].Epoch < epoch {
+		tl.next++
 	}
-	return byEpoch
+	start := tl.next
+	for tl.next < len(tl.events) && tl.events[tl.next].Epoch == epoch {
+		tl.next++
+	}
+	return tl.events[start:tl.next]
 }
 
 // applyEpochEvents applies epoch e's events under its deterministic RNG
 // and returns the event descriptions.
-func (en *engine) applyEpochEvents(byEpoch [][]Event, epoch int, rng *rand.Rand) ([]string, error) {
+func (en *engine) applyEpochEvents(byEpoch *timeline, epoch int, rng *rand.Rand) ([]string, error) {
 	var events []string
-	for _, e := range byEpoch[epoch] {
+	for _, e := range byEpoch.at(epoch) {
 		desc, err := en.apply(e, rng)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: epoch %d: %w", epoch, err)
@@ -767,12 +800,21 @@ func (en *engine) optimizeEpoch(ctx context.Context, epoch int, events []string)
 		return nil, err
 	}
 	if repaired != nil {
-		er.StaleUtility = model.Evaluate(repaired).NetworkUtility
-		if !en.opts.ColdStart {
+		if en.opts.ColdStart {
+			// A cold run discards the repaired allocation, so its stale
+			// utility must be evaluated explicitly.
+			er.StaleUtility = model.Evaluate(repaired).NetworkUtility
+		} else {
+			// Warm runs skip the explicit stale evaluation: the optimizer's
+			// initial evaluation IS the repaired allocation (the warm
+			// start), read back below as Solution.InitialUtility.
 			coreOpts.InitialBundles = repaired
 			er.WarmStart = true
 		}
 	}
+	coreOpts.KeepFinalBase = true
+	coreOpts.WarmBase, en.recycleBase = en.recycleBase, nil
+	coreOpts.WarmBaseSpare, en.recycleSpare = en.recycleSpare, nil
 
 	runCtx := ctx
 	if en.opts.Budget > 0 {
@@ -787,8 +829,12 @@ func (en *engine) optimizeEpoch(ctx context.Context, epoch int, events []string)
 	if err := ctx.Err(); err != nil {
 		return nil, err // the replay itself was cancelled or timed out
 	}
+	if sol.FinalBase != nil {
+		en.recycleBase = sol.FinalBase
+		en.recycleSpare = sol.FinalBaseSpare
+	}
 	er.DeadlineMiss = sol.Stop == core.StopDeadline
-	if repaired == nil {
+	if repaired == nil || er.WarmStart {
 		er.StaleUtility = sol.InitialUtility
 	}
 	er.Utility = sol.Utility

@@ -34,6 +34,67 @@ func fuzzInstance(f *testing.F) (*topology.Topology, *traffic.Matrix) {
 	return st, mat
 }
 
+// encodeEvents packs a generator's timeline into FuzzScenarioApply's
+// 6-byte chunk format, as faithfully as the encoding allows: byte 1
+// drives both the link pick and the group pick, so the encoder searches
+// for a byte that preserves both and otherwise keeps whichever field the
+// event's kind actually reads; factors and fractions quantize. Close
+// enough to drop real composite-generator timelines into the corpus.
+func encodeEvents(events []Event, nL, epochs int, groups []string) []byte {
+	gi := func(name string) int {
+		for j, g := range groups {
+			if g == name {
+				return j
+			}
+		}
+		return 0
+	}
+	var raw []byte
+	for _, e := range events {
+		wantLink := (int(e.Link) + 1) % (nL + 1)
+		wantGroup := gi(e.Group)
+		linkOrGroup := byte(wantLink)
+		if e.Group != "" {
+			linkOrGroup = byte(wantGroup)
+		}
+		for b := 0; b < 256; b++ {
+			if b%(nL+1) == wantLink && b%len(groups) == wantGroup {
+				linkOrGroup = byte(b)
+				break
+			}
+		}
+		factor := (e.Factor - 0.25) * 64
+		if factor < 0 {
+			factor = 0
+		} else if factor > 255 {
+			factor = 255
+		}
+		fraction := e.Fraction * 100
+		if fraction < 1 {
+			fraction = 1
+		} else if fraction > 100 {
+			fraction = 100
+		}
+		count := e.Count
+		if count < 1 {
+			count = 1
+		}
+		epoch := e.Epoch % epochs
+		if epoch < 0 {
+			epoch = 0
+		}
+		raw = append(raw,
+			byte(e.Kind)%13,
+			linkOrGroup,
+			byte(factor),
+			byte(fraction-1)%100,
+			byte(count-1)%4,
+			byte(epoch),
+		)
+	}
+	return raw
+}
+
 // FuzzScenarioApply decodes arbitrary bytes into an event timeline and
 // applies it epoch by epoch: event application must never panic or
 // error, and every epoch must materialize a valid instance — at least
@@ -51,6 +112,15 @@ func FuzzScenarioApply(f *testing.F) {
 	f.Add(int64(2), []byte{0, 0, 0, 0, 0, 0})
 	f.Add(int64(3), []byte{4, 1, 10, 50, 2, 0, 5, 0, 0, 0, 0, 1, 7, 2, 0, 0, 0, 2})
 	f.Add(int64(4), []byte{9, 200, 255, 99, 4, 1, 10, 3, 128, 10, 1, 2, 8, 0, 0, 0, 0, 0})
+	// Composite-generator timelines re-encoded into the chunk format: the
+	// crisis merge (flash crowd + SRLG storm + maintenance), the
+	// diurnal-plus-kill-storm merge, and a sparse soak slice, so the
+	// corpus starts from realistic stacked event sequences rather than
+	// only hand-rolled ones.
+	nL := topo.NumLinks()
+	f.Add(int64(5), encodeEvents(Crisis(5, 3, 2.0, 8).Events, nL, 3, groups))
+	f.Add(int64(6), encodeEvents(DiurnalKillStorm(6, 3, 3).Events, nL, 3, groups))
+	f.Add(int64(7), encodeEvents(Soak(7, 48, 12).Events, nL, 3, groups))
 
 	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
 		const epochs = 3

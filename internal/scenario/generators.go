@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"fubar/internal/topology"
@@ -201,6 +202,92 @@ func ControllerKillStorm(seed int64, epochs, seats int) Scenario {
 	return sc
 }
 
+// Compose merges sub-timelines into one scenario: the union of every
+// sub-scenario's events, ordered by epoch with ties broken by
+// (sub-scenario position, within-sub position) — a stable merge, so the
+// composite's timeline is a pure function of its inputs and replays
+// deterministically like any hand-written one. Events scheduled at or
+// beyond the composite's epoch count are dropped (sub-timelines built
+// for a longer horizon truncate cleanly). The sub-scenarios' own Seed
+// fields are ignored: all replay randomness derives from the
+// composite's seed via the per-epoch RNG.
+func Compose(name string, seed int64, epochs int, subs ...Scenario) Scenario {
+	sc := Scenario{Name: name, Seed: seed, Epochs: epochs}
+	for _, sub := range subs {
+		for _, e := range sub.Events {
+			if e.Epoch >= 0 && e.Epoch < epochs {
+				sc.Events = append(sc.Events, e)
+			}
+		}
+	}
+	slices.SortStableFunc(sc.Events, func(a, b Event) int { return a.Epoch - b.Epoch })
+	return sc
+}
+
+// Crisis returns the worst-day composite: a flash crowd breaks out while
+// a shared-risk group is down and a maintenance window is draining yet
+// another link — demand spikes into a network that is already short on
+// capacity twice over. Built with Compose from the FlashCrowd,
+// SRLGOutage and Maintenance timelines.
+func Crisis(seed int64, epochs int, spike float64, arrivals int) Scenario {
+	return Compose(
+		fmt.Sprintf("crisis-%dep-x%.1f", epochs, spike),
+		seed, epochs,
+		FlashCrowd(seed, epochs, spike, arrivals),
+		SRLGOutage(seed, epochs),
+		Maintenance(seed, epochs),
+	)
+}
+
+// DiurnalKillStorm returns the availability composite: the diurnal
+// demand curve with controller replicas being killed and re-seated all
+// day (ControllerKillStorm) — the HA control plane riding failovers
+// while the workload keeps moving. Built with Compose from the Diurnal
+// and ControllerKillStorm timelines.
+func DiurnalKillStorm(seed int64, epochs, seats int) Scenario {
+	return Compose(
+		fmt.Sprintf("diurnal-kill-storm-%dep-s%d", epochs, seats),
+		seed, epochs,
+		Diurnal(seed, epochs, 0.4, 0),
+		ControllerKillStorm(seed, epochs, seats),
+	)
+}
+
+// Soak returns a sparse long-horizon timeline sized for soak replays:
+// every `period` epochs the global demand factor steps along a diurnal
+// sinusoid and a mild churn redraw fires, and once per eight periods a
+// random link fails and recovers one period later. Event count is
+// O(epochs/period) — a million-epoch soak's timeline stays a few tens
+// of thousands of events — while the epochs between events replay as
+// cheap quiescent rounds, which is exactly the shape a long-running
+// controller sees.
+func Soak(seed int64, epochs, period int) Scenario {
+	if period < 1 {
+		period = 1
+	}
+	sc := Scenario{
+		Name:   fmt.Sprintf("soak-%dep-p%d", epochs, period),
+		Seed:   seed,
+		Epochs: epochs,
+	}
+	cycle := 0
+	for e := 0; e < epochs; e += period {
+		phase := 2 * math.Pi * float64(e) / float64(max(epochs, 1))
+		sc.Events = append(sc.Events,
+			Event{Epoch: e, Kind: DemandScale, Factor: 1 - 0.3*math.Cos(phase)},
+			Event{Epoch: e, Kind: DemandChurn, Factor: 0.1, Fraction: 0.2},
+		)
+		if cycle%8 == 4 && e+period < epochs {
+			sc.Events = append(sc.Events,
+				Event{Epoch: e, Kind: LinkFail, Link: -1},
+				Event{Epoch: e + period, Kind: LinkRecover, Link: -1},
+			)
+		}
+		cycle++
+	}
+	return sc
+}
+
 // canned maps each canned-scenario name to its default shape for an
 // epoch count — the single registry ByName and Names derive from, so
 // the lookup and its error can never drift apart.
@@ -220,15 +307,18 @@ var canned = []struct {
 	{"maintenance", func(seed int64, epochs int) Scenario { return Maintenance(seed, epochs) }},
 	{"srlg", func(seed int64, epochs int) Scenario { return SRLGOutage(seed, epochs) }},
 	{"ctrlstorm", func(seed int64, epochs int) Scenario { return ControllerKillStorm(seed, epochs, 3) }},
+	{"crisis", func(seed int64, epochs int) Scenario { return Crisis(seed, epochs, 2.0, 8) }},
+	{"diurnalstorm", func(seed int64, epochs int) Scenario { return DiurnalKillStorm(seed, epochs, 3) }},
 }
 
-// Names lists the canned scenario names ByName resolves, in a stable
-// order suitable for help text.
+// Names lists the canned scenario names ByName resolves, in sorted
+// order — the stable enumeration help text and the ByName error share.
 func Names() []string {
 	out := make([]string, len(canned))
 	for i, c := range canned {
 		out[i] = c.name
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -227,7 +227,7 @@ func TestScenarioValidate(t *testing.T) {
 // range of epoch counts, including degenerate short ones.
 func TestGeneratorsProduceValidScenarios(t *testing.T) {
 	for _, epochs := range []int{1, 2, 3, 5, 20} {
-		for _, name := range []string{"diurnal", "storm", "flashcrowd", "maintenance", "srlg"} {
+		for _, name := range Names() {
 			sc, err := ByName(name, 3, epochs)
 			if err != nil {
 				t.Fatalf("%s/%d: %v", name, epochs, err)

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fubar/internal/core"
+)
+
+// heapWatermark forces a collection and returns the live heap — the
+// soak tests' memory probe. Forcing the GC first makes the number the
+// retained watermark rather than allocation noise.
+func heapWatermark() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// checkBounded asserts the sampled heap watermarks stay O(1) in epochs:
+// every sample after the first (taken once the replay reached steady
+// state) must stay within a generous constant envelope of it. A leak
+// proportional to epochs — collected results, per-epoch buffers kept
+// alive, an unbounded base history — blows through the envelope at
+// these epoch counts.
+func checkBounded(t *testing.T, samples []uint64) {
+	t.Helper()
+	if len(samples) < 3 {
+		t.Fatalf("only %d heap samples", len(samples))
+	}
+	early := samples[0]
+	limit := early + early/2 + 8<<20
+	for i, s := range samples[1:] {
+		if s > limit {
+			t.Fatalf("heap watermark grew: sample 0 = %d bytes, sample %d = %d bytes (limit %d) — replay is not O(1) in epochs",
+				early, i+1, s, limit)
+		}
+	}
+}
+
+// TestSoakStreamBoundedMemory streams a long sparse soak timeline
+// through the plain replay and asserts the forced-GC heap watermark
+// stays flat from the first eighth of the replay to the last — the
+// O(1)-memory contract of Stream, which the nightly million-epoch soak
+// (`fubar-bench -exp soak`) checks at full scale. The epoch count is
+// trimmed under -short to fit the PR budget.
+func TestSoakStreamBoundedMemory(t *testing.T) {
+	epochs := 10000
+	if testing.Short() {
+		epochs = 2400
+	}
+	topo, mat := matrixInstance(t)
+	sc := Soak(5, epochs, 25)
+	interval := epochs / 8
+	var samples []uint64
+	n := 0
+	for er, err := range Stream(context.Background(), topo, mat, sc, Options{Core: core.Options{Workers: 2}}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er.Utility <= 0 {
+			t.Fatalf("epoch %d: utility %v", er.Epoch, er.Utility)
+		}
+		n++
+		if n%interval == 0 {
+			samples = append(samples, heapWatermark())
+		}
+	}
+	if n != epochs {
+		t.Fatalf("streamed %d epochs, want %d", n, epochs)
+	}
+	checkBounded(t, samples)
+}
+
+// TestSoakClosedLoopBoundedMemory is the closed-loop variant: the full
+// control plane (fabric, measurement, wire installs) rides a long soak
+// timeline with a flat heap watermark, proving StreamClosedLoop holds
+// the same O(1) contract while also keeping its wire ledger reconciled
+// every epoch.
+func TestSoakClosedLoopBoundedMemory(t *testing.T) {
+	epochs := 1600
+	if testing.Short() {
+		epochs = 480
+	}
+	topo, mat := matrixInstance(t)
+	sc := Soak(7, epochs, 25)
+	interval := epochs / 8
+	var samples []uint64
+	n := 0
+	for er, err := range StreamClosedLoop(context.Background(), topo, mat, sc, ClosedLoopOptions{Core: core.Options{Workers: 2}}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er.WireFlowMods != er.InstallAcks {
+			t.Fatalf("epoch %d: %d wire FlowMods vs %d acks", er.Epoch, er.WireFlowMods, er.InstallAcks)
+		}
+		if er.TrueUtility <= 0 {
+			t.Fatalf("epoch %d: ground-truth utility %v", er.Epoch, er.TrueUtility)
+		}
+		n++
+		if n%interval == 0 {
+			samples = append(samples, heapWatermark())
+		}
+	}
+	if n != epochs {
+		t.Fatalf("streamed %d epochs, want %d", n, epochs)
+	}
+	checkBounded(t, samples)
+}
+
+// TestSoakRecyclesOneBase pins the storage half of the epoch-warm Base
+// design: across a replay every epoch's optimizer must hand the same
+// recycled Base double-buffer pair forward — remaps swap which member
+// is live, but no epoch after the first may introduce a new object, so
+// base storage is allocated once for the whole soak, not once per
+// epoch.
+func TestSoakRecyclesOneBase(t *testing.T) {
+	topo, mat := matrixInstance(t)
+	sc := Soak(9, 200, 10)
+	en, err := newEngine(topo, mat, sc, Options{Core: core.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := en.timeline()
+	seen := 0
+	for epoch := 0; epoch < sc.Epochs; epoch++ {
+		rng := rand.New(rand.NewSource(epochSeed(sc.Seed, epoch)))
+		events, err := en.applyEpochEvents(tl, epoch, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevA, prevB := en.recycleBase, en.recycleSpare
+		if _, err := en.optimizeEpoch(context.Background(), epoch, events); err != nil {
+			t.Fatal(err)
+		}
+		a, b := en.recycleBase, en.recycleSpare
+		if a == nil || b == nil {
+			t.Fatalf("epoch %d: base pair not handed back (%p, %p)", epoch, a, b)
+		}
+		if a == b {
+			t.Fatalf("epoch %d: double-buffer collapsed to one object", epoch)
+		}
+		if epoch > 0 {
+			samePair := (a == prevA && b == prevB) || (a == prevB && b == prevA)
+			if !samePair {
+				t.Fatalf("epoch %d: base pair changed (%p,%p) -> (%p,%p) — storage not recycled",
+					epoch, prevA, prevB, a, b)
+			}
+		}
+		seen++
+	}
+	if seen != sc.Epochs {
+		t.Fatalf("ran %d epochs, want %d", seen, sc.Epochs)
+	}
+}

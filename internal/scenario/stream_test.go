@@ -3,6 +3,8 @@ package scenario
 import (
 	"context"
 	"errors"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -113,10 +115,20 @@ func TestByNameUnknownEnumeratesNames(t *testing.T) {
 	if len(names) == 0 {
 		t.Fatal("Names() is empty")
 	}
-	for _, n := range names {
-		if !strings.Contains(err.Error(), n) {
-			t.Fatalf("error %q does not mention valid name %q", err, n)
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"crisis", "diurnalstorm"} {
+		if !slices.Contains(names, want) {
+			t.Fatalf("Names() missing composite %q: %v", want, names)
 		}
+	}
+	// The error enumerates every valid name, in the same stable sorted
+	// order Names() reports.
+	if !strings.Contains(err.Error(), strings.Join(names, ", ")) {
+		t.Fatalf("error %q does not list names in sorted order %v", err, names)
+	}
+	for _, n := range names {
 		if _, err := ByName(n, 1, 10); err != nil {
 			t.Fatalf("ByName(%q): %v", n, err)
 		}
