@@ -80,6 +80,7 @@ func main() {
 		soakN    = flag.Int("soak-epochs", 1_000_000, "plain-replay epoch count for -exp soak (the closed-loop leg runs a tenth of it)")
 		soakP    = flag.Int("soak-period", 25, "soak timeline event period in epochs")
 		soakOut  = flag.String("soak-out", "BENCH_soak.json", "output file for the soak record")
+		soakBase = flag.String("soak-baseline", "", "baseline soak record to diff against: the run fails on any deterministic-envelope regression (trajectory divergence, heap-bound or wire-ledger flags)")
 		listen   = flag.String("listen", "", "serve live telemetry on this address: Prometheus /metrics, /debug/pprof/, JSONL /trace")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -238,7 +239,7 @@ func main() {
 	}
 	if *exp == "soak" {
 		run("soak: million-epoch streaming replay, O(1) memory", func() error {
-			return soakBench(*seed, *soakN, *soakP, *soakOut)
+			return soakBench(*seed, *soakN, *soakP, *soakOut, *soakBase)
 		})
 	}
 }
@@ -248,26 +249,26 @@ func main() {
 // worker-count determinism verdict, make-before-break headroom, and the
 // deadline-miss rate of a budgeted run.
 type ctrlloopBenchRecord struct {
-	Benchmark        string           `json:"benchmark"`
-	Scenario         string           `json:"scenario"`
-	Seed             int64            `json:"seed"`
-	Topology         string           `json:"topology"`
-	Aggregates       int              `json:"aggregates"`
-	Epochs           int              `json:"epochs"`
-	GOMAXPROCS       int              `json:"gomaxprocs"`
-	Deterministic    bool             `json:"deterministic"`
-	WarmWireFlowMods int              `json:"warm_wire_flow_mods"`
-	ColdWireFlowMods int              `json:"cold_wire_flow_mods"`
-	WireRatio        float64          `json:"cold_over_warm_wire_flow_mods"`
-	WarmEstFlowMods  int              `json:"warm_estimated_flow_mods"`
-	ColdEstFlowMods  int              `json:"cold_estimated_flow_mods"`
-	WarmTrueUtility  float64          `json:"warm_mean_true_utility"`
-	ColdTrueUtility  float64          `json:"cold_mean_true_utility"`
-	MinMBBHeadroom   float64          `json:"min_mbb_headroom"`
-	BudgetNs         int64            `json:"budget_ns"`
-	DeadlineMissRate float64          `json:"deadline_miss_rate"`
-	BudgetedTrueU    float64          `json:"budgeted_mean_true_utility"`
-	HA               *haBenchRecord   `json:"ha"`
+	Benchmark        string         `json:"benchmark"`
+	Scenario         string         `json:"scenario"`
+	Seed             int64          `json:"seed"`
+	Topology         string         `json:"topology"`
+	Aggregates       int            `json:"aggregates"`
+	Epochs           int            `json:"epochs"`
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	Deterministic    bool           `json:"deterministic"`
+	WarmWireFlowMods int            `json:"warm_wire_flow_mods"`
+	ColdWireFlowMods int            `json:"cold_wire_flow_mods"`
+	WireRatio        float64        `json:"cold_over_warm_wire_flow_mods"`
+	WarmEstFlowMods  int            `json:"warm_estimated_flow_mods"`
+	ColdEstFlowMods  int            `json:"cold_estimated_flow_mods"`
+	WarmTrueUtility  float64        `json:"warm_mean_true_utility"`
+	ColdTrueUtility  float64        `json:"cold_mean_true_utility"`
+	MinMBBHeadroom   float64        `json:"min_mbb_headroom"`
+	BudgetNs         int64          `json:"budget_ns"`
+	DeadlineMissRate float64        `json:"deadline_miss_rate"`
+	BudgetedTrueU    float64        `json:"budgeted_mean_true_utility"`
+	HA               *haBenchRecord `json:"ha"`
 	// Trajectories holds one downsampled closed-loop utility/churn/miss
 	// trajectory per canned scenario family (every scenario.Names()
 	// entry), warm-started at Workers=1 — the per-family soak fingerprint.

@@ -99,7 +99,10 @@ func soakBounded(samples []uint64) bool {
 // and failing loudly if either leg's watermark grows or the closed
 // loop's wire ledger stops reconciling. This is the nightly
 // million-epoch job; the PR smoke leg runs it with -soak-epochs 50000.
-func soakBench(seed int64, epochs, period int, outPath string) error {
+// With a baselinePath the fresh record is additionally diffed against
+// the checked-in baseline (see soakDiff) and envelope regressions fail
+// the run.
+func soakBench(seed int64, epochs, period int, outPath, baselinePath string) error {
 	if epochs < 160 {
 		return fmt.Errorf("soak: need at least 160 epochs, got %d", epochs)
 	}
@@ -214,6 +217,74 @@ func soakBench(seed int64, epochs, period int, outPath string) error {
 	}
 	if !reconciled {
 		return fmt.Errorf("soak: closed-loop wire ledger stopped reconciling")
+	}
+	if baselinePath != "" {
+		if err := soakDiff(&rec, baselinePath); err != nil {
+			return err
+		}
+		fmt.Printf("soak record matches baseline %s\n", baselinePath)
+	}
+	return nil
+}
+
+// soakDiff compares a fresh soak record against a checked-in baseline
+// and fails on any regression of the deterministic envelope: the
+// downsampled trajectories of both legs must match point for point
+// (replays are bit-identical per seed at any worker count, so a
+// divergence is a behavior change, not noise), and the heap-bounded and
+// wire-reconciled flags must not flip off. Machine-dependent fields —
+// wall times, epochs/sec, heap magnitudes — are ignored. The baseline's
+// instance key (scenario, seed, epoch counts, period, topology) must
+// match, otherwise the comparison is meaningless and the run fails with
+// a regenerate hint.
+func soakDiff(rec *soakBenchRecord, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("soak: baseline: %w", err)
+	}
+	var base soakBenchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("soak: baseline %s: %w", baselinePath, err)
+	}
+	if base.Scenario != rec.Scenario || base.Seed != rec.Seed ||
+		base.PlainEpochs != rec.PlainEpochs || base.ClosedEpochs != rec.ClosedEpochs ||
+		base.Period != rec.Period || base.Topology != rec.Topology ||
+		base.Aggregates != rec.Aggregates {
+		return fmt.Errorf("soak: baseline %s describes a different instance (scenario %s seed %d %d/%d epochs period %d) than this run (%s seed %d %d/%d epochs period %d) — regenerate it with the same -seed/-soak-epochs/-soak-period",
+			baselinePath, base.Scenario, base.Seed, base.PlainEpochs, base.ClosedEpochs, base.Period,
+			rec.Scenario, rec.Seed, rec.PlainEpochs, rec.ClosedEpochs, rec.Period)
+	}
+	if base.PlainHeapBounded && !rec.PlainHeapBounded {
+		return fmt.Errorf("soak: regression vs %s: plain-replay heap no longer bounded", baselinePath)
+	}
+	if base.ClosedHeapBounded && !rec.ClosedHeapBounded {
+		return fmt.Errorf("soak: regression vs %s: closed-loop heap no longer bounded", baselinePath)
+	}
+	if base.WireReconciled && !rec.WireReconciled {
+		return fmt.Errorf("soak: regression vs %s: wire ledger no longer reconciles", baselinePath)
+	}
+	if err := soakTrajDiff("plain", base.Trajectory, rec.Trajectory); err != nil {
+		return fmt.Errorf("soak: regression vs %s: %w", baselinePath, err)
+	}
+	if err := soakTrajDiff("closed-loop", base.ClosedLoopTrajector, rec.ClosedLoopTrajector); err != nil {
+		return fmt.Errorf("soak: regression vs %s: %w", baselinePath, err)
+	}
+	return nil
+}
+
+// soakTrajDiff requires two trajectories to be identical, naming the
+// first diverging bucket (floats survive the baseline's JSON round trip
+// exactly, so equality is the right comparison).
+func soakTrajDiff(leg string, base, got scenario.Trajectory) error {
+	if base.Family != got.Family || base.Epochs != got.Epochs || len(base.Points) != len(got.Points) {
+		return fmt.Errorf("%s trajectory shape changed: baseline %s/%d epochs/%d points, got %s/%d/%d",
+			leg, base.Family, base.Epochs, len(base.Points), got.Family, got.Epochs, len(got.Points))
+	}
+	for i := range base.Points {
+		if base.Points[i] != got.Points[i] {
+			return fmt.Errorf("%s trajectory diverges at bucket %d (epoch %d): baseline %+v, got %+v",
+				leg, i, base.Points[i].Epoch, base.Points[i], got.Points[i])
+		}
 	}
 	return nil
 }

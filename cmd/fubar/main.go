@@ -9,6 +9,7 @@
 //	fubar -scenario diurnal -epochs 12          # replay a demand/topology timeline
 //	fubar -scenario storm -ctrlplane -budget 1s # drive the control plane end to end
 //	fubar -json                                 # machine-readable output
+//	                                            # (with -scenario: JSONL epoch stream)
 //	fubar -listen :9090                         # live /metrics, /trace, /debug/pprof
 //
 // Without -topology the HE-31 substitute is used. The traffic matrix is
@@ -299,6 +300,10 @@ func replay(ctx context.Context, s *fubar.Session, rc runConfig) error {
 			return s.Replay(ctx, sc)
 		}
 	}
+	if rc.jsonOut {
+		return replayJSONL(ctx, stream, sc, rc)
+	}
+
 	interrupted := false
 	for er, err := range stream(ctx, sc) {
 		if err != nil {
@@ -312,16 +317,6 @@ func replay(ctx context.Context, s *fubar.Session, rc runConfig) error {
 		res.Installs = append(res.Installs, er.Installs...)
 	}
 
-	if rc.jsonOut {
-		// The record carries the interruption state explicitly: a
-		// truncated replay must never be mistaken for a complete one by
-		// downstream tooling.
-		return emitJSON(struct {
-			*fubar.ScenarioResult
-			EpochsRequested int  `json:"epochs_requested"`
-			Interrupted     bool `json:"interrupted,omitempty"`
-		}{res, rc.epochs, interrupted})
-	}
 	if interrupted {
 		fmt.Printf("interrupted: reporting %d of %d epochs\n", len(res.Epochs), rc.epochs)
 	}
@@ -336,6 +331,43 @@ func replay(ctx context.Context, s *fubar.Session, rc runConfig) error {
 			res.TotalWireFlowMods(), len(res.Installs), 100*res.DeadlineMissRate(), res.MinMBBHeadroom())
 	}
 	return nil
+}
+
+// replayJSONL streams a -json replay as JSON Lines: one epoch record
+// per line the moment its epoch completes (the daemon's encoder, so the
+// line shape matches `fubard`'s replay endpoint exactly), closed by one
+// summary line. Nothing is buffered — a million-epoch replay piped to
+// `jq` holds one record in memory — and an interrupt truncates the
+// stream but still emits the summary with "interrupted" set, so a
+// partial replay can never be mistaken for a complete one.
+func replayJSONL(ctx context.Context, stream func(context.Context, fubar.Scenario) func(func(fubar.EpochRecord, error) bool), sc fubar.Scenario, rc runConfig) error {
+	interrupted := false
+	seq := func(yield func(fubar.EpochRecord, error) bool) {
+		for er, err := range stream(ctx, sc) {
+			if err != nil && errors.Is(err, context.Canceled) {
+				interrupted = true
+				return
+			}
+			if !yield(er, err) {
+				return
+			}
+		}
+	}
+	n, err := fubar.WriteEpochsJSONL(os.Stdout, seq)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(map[string]any{
+		"summary": map[string]any{
+			"scenario":         sc.Name,
+			"seed":             sc.Seed,
+			"closed_loop":      rc.ctrlplane,
+			"cold_start":       rc.cold,
+			"epochs_requested": rc.epochs,
+			"epochs_streamed":  n,
+			"interrupted":      interrupted,
+		},
+	})
 }
 
 // emitJSON writes one indented JSON document to stdout.

@@ -2,10 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"fubar"
 )
 
 // runArgs builds a runConfig for the table-driven smoke tests.
@@ -121,9 +126,62 @@ link A C 2Mbps 12ms
 	if err := run(context.Background(), rc); err != nil {
 		t.Fatalf("json run: %v", err)
 	}
+	// The scenario leg streams JSONL: one epoch object per line as it
+	// completes, then one summary line. Capture stdout to check the
+	// framing.
 	rc = runArgs(path, "2Mbps", 3, 1, 1, 5*time.Second, 15, 1, false, false, "diurnal", 3, false, false, 0)
 	rc.jsonOut = true
-	if err := run(context.Background(), rc); err != nil {
-		t.Fatalf("json scenario run: %v", err)
+	out := captureStdout(t, func() {
+		if err := run(context.Background(), rc); err != nil {
+			t.Errorf("json scenario run: %v", err)
+		}
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // 3 epochs + summary
+		t.Fatalf("JSONL stream: %d lines, want 4:\n%s", len(lines), out)
 	}
+	for i, line := range lines[:3] {
+		var er fubar.EpochRecord
+		if err := json.Unmarshal([]byte(line), &er); err != nil {
+			t.Fatalf("epoch line %d: %v: %s", i, err, line)
+		}
+		if er.Epoch != i {
+			t.Errorf("epoch line %d: got epoch %d", i, er.Epoch)
+		}
+	}
+	var trailer struct {
+		Summary *struct {
+			Scenario       string `json:"scenario"`
+			EpochsStreamed int    `json:"epochs_streamed"`
+			Interrupted    bool   `json:"interrupted"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &trailer); err != nil || trailer.Summary == nil {
+		t.Fatalf("summary line: %v: %s", err, lines[3])
+	}
+	if trailer.Summary.EpochsStreamed != 3 || trailer.Summary.Interrupted {
+		t.Errorf("summary: %+v", *trailer.Summary)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

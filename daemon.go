@@ -1,0 +1,67 @@
+package fubar
+
+import (
+	"io"
+	"iter"
+
+	"fubar/internal/daemon"
+)
+
+// Daemon surface: the multi-tenant controller service behind
+// cmd/fubard, re-exported so embedders can mount the same HTTP API in
+// their own process. Each tenant wraps one Session (with its own
+// isolated telemetry registry and worker budget) behind the streaming
+// HTTP+JSON API described in DESIGN.md "Daemon & multi-tenancy".
+type (
+	// DaemonServer is the daemon: tenant registry, worker-budget
+	// scheduler and HTTP handler. Build one with NewDaemon, mount
+	// Handler() on an http.Server, call Shutdown to drain.
+	DaemonServer = daemon.Server
+	// DaemonConfig configures NewDaemon. Leave Factory nil to get the
+	// Session-backed tenant factory.
+	DaemonConfig = daemon.Config
+	// DaemonController is the per-tenant session surface the daemon
+	// drives; *Session satisfies it.
+	DaemonController = daemon.Controller
+	// DaemonTenantConfig is what a tenant factory receives.
+	DaemonTenantConfig = daemon.TenantConfig
+	// CreateTenantRequest is the POST /v1/tenants body.
+	CreateTenantRequest = daemon.CreateTenantRequest
+	// TenantInfo describes one registered tenant.
+	TenantInfo = daemon.TenantInfo
+)
+
+// daemonTrajectoryPoints is the trajectory-recorder budget daemon
+// sessions run with, so GET /v1/tenants/{id}/trajectory always has a
+// downsampled series after a replay.
+const daemonTrajectoryPoints = 256
+
+// NewDaemon builds a daemon server whose tenants wrap Sessions: each
+// create request materializes its (topology, matrix) instance, and the
+// injected factory builds a Session with the tenant's worker budget,
+// isolated telemetry registry, and a per-replay trajectory recorder.
+// Extra SessionOptions apply to every tenant (after the daemon's own,
+// so they may override).
+func NewDaemon(cfg DaemonConfig, opts ...SessionOption) (*DaemonServer, error) {
+	if cfg.Factory == nil {
+		cfg.Factory = func(topo *Topology, mat *Matrix, tc DaemonTenantConfig) (DaemonController, error) {
+			all := append([]SessionOption{
+				WithWorkers(tc.Workers),
+				WithTelemetry(tc.Telemetry),
+				WithTrajectory(daemonTrajectoryPoints),
+			}, opts...)
+			return NewSession(topo, mat, all...)
+		}
+	}
+	return daemon.New(cfg)
+}
+
+// WriteEpochsJSONL streams a replay sequence (Session.Replay or
+// Session.ReplayClosedLoop) to w as JSON Lines, one EpochRecord per
+// line as each epoch completes — the same encoder the daemon's replay
+// endpoint and `fubar -json` use. Returns the number of epoch lines
+// written and the stream's terminal error, if any (also emitted as a
+// final {"error": ...} line).
+func WriteEpochsJSONL(w io.Writer, seq iter.Seq2[EpochRecord, error]) (int, error) {
+	return daemon.WriteEpochs(w, seq)
+}

@@ -98,7 +98,9 @@
 //     PlanMBBTransition
 //   - the telemetry substrate: NewTelemetry, WithTelemetry,
 //     Session.Metrics, TelemetryHandler (live Prometheus /metrics,
-//     /debug/pprof/, JSONL /trace), ProgressObserver
+//     /debug/pprof/, JSONL /trace), ProgressObserver, CheckExposition
+//   - the controller daemon: NewDaemon, DaemonConfig, WithTrajectory,
+//     Session.Trajectory, WriteEpochsJSONL (see cmd/fubard)
 //
 // # Observability
 //
@@ -226,6 +228,33 @@
 // exponential backoff either way. Failovers and resyncs land on each
 // EpochRecord and stay deterministic; `fubar -scenario ctrlstorm
 // -ctrlplane -replicas 3` drives the whole machinery from the CLI.
+//
+// # Daemon and multi-tenancy
+//
+// NewDaemon wraps sessions in a long-running multi-tenant controller
+// service (cmd/fubard is the binary): each named tenant owns one
+// Session over its own (topology, matrix) instance — created from an
+// inline topology text or a named preset — with a private worker
+// budget, an isolated telemetry registry, and an independent
+// lifecycle, behind a streaming HTTP+JSON API. POST /v1/tenants
+// creates, POST /v1/tenants/{id}/optimize runs a deadline-aware
+// optimization and returns the SolutionSummary, GET
+// /v1/tenants/{id}/replay streams a replay (open or closed loop) as
+// JSON Lines riding the iter.Seq2 epoch stream — one EpochRecord per
+// line in O(1) memory, a disconnecting client cancels the loop at the
+// next epoch boundary — and GET /v1/tenants/{id}/metrics scrapes that
+// tenant's registry alone. A daemon-level scheduler admits tenant work
+// against the global -max-workers cap (calls on one tenant serialize;
+// distinct tenants run concurrently), and SIGINT/SIGTERM drains:
+// in-flight streams flush a final error line, every tenant's control
+// plane is released, then the listener closes. The streamed epochs are
+// bit-identical to an in-process Session replay of the same instance
+// (Elapsed aside); `fubard -smoke` asserts exactly that end to end.
+// WithTrajectory(points) makes any session fold its replay stream into
+// a fixed-size Trajectory (daemon tenants get this automatically, at
+// /v1/tenants/{id}/trajectory), and WriteEpochsJSONL is the shared
+// encoder `fubar -json -scenario <name>` reuses for CLI streaming. See
+// examples/daemon-client for a full client walkthrough.
 //
 // See DESIGN.md for the system inventory (including the Session
 // lifecycle) and EXPERIMENTS.md for the paper-versus-measured record.

@@ -1,0 +1,163 @@
+// Daemon client: drive a multi-tenant fubard controller service over
+// its HTTP+JSON API — the deployment shape where one long-running
+// process owns optimizer state for many networks and operators talk to
+// it remotely instead of linking the library.
+//
+// The example embeds the daemon in-process (so it runs hermetically
+// with no port or second binary), but every interaction goes through
+// the HTTP surface exactly as a remote client's would: create two
+// tenants with their own seeds and worker budgets, optimize both, (1)
+// stream one tenant's closed-loop replay as JSON Lines and fold the
+// epoch records client-side, then (2) scrape that tenant's isolated
+// Prometheus registry and cross-check the wire-FlowMod ledger against
+// the fabric's acks.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+
+	"fubar"
+)
+
+const topologyText = `topology demo-ring
+link a b 6Mbps 5ms
+link b c 6Mbps 5ms
+link c d 6Mbps 5ms
+link d e 6Mbps 5ms
+link e a 6Mbps 5ms
+link a c 9Mbps 9ms
+`
+
+func main() {
+	// A real deployment runs `fubard -listen :8080` and points clients
+	// at it; here the same server is mounted on an httptest listener.
+	srv, err := fubar.NewDaemon(fubar.DaemonConfig{MaxWorkers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two tenants: same fabric, different demand seeds and budgets.
+	for _, req := range []fubar.CreateTenantRequest{
+		{ID: "prod", Topology: topologyText, Seed: 7, Workers: 2},
+		{ID: "staging", Topology: topologyText, Seed: 8, Workers: 1},
+	} {
+		info := postJSON[fubar.TenantInfo](ts.URL+"/v1/tenants", req)
+		fmt.Printf("created tenant %-8s %d nodes, %d links, %d aggregates, %d workers\n",
+			info.ID, info.Nodes, info.Links, info.Aggregates, info.Workers)
+	}
+
+	// Optimize both; the response is the solution summary.
+	type summary struct {
+		Utility float64 `json:"utility"`
+		Bundles int     `json:"bundles"`
+	}
+	for _, id := range []string{"prod", "staging"} {
+		sum := postJSON[summary](ts.URL+"/v1/tenants/"+id+"/optimize", nil)
+		fmt.Printf("optimized %-8s utility %.3f over %d bundles\n", id, sum.Utility, sum.Bundles)
+	}
+
+	// Stream prod's closed-loop replay: one EpochRecord per JSONL line,
+	// delivered as the epochs complete — a client can fold a
+	// million-epoch replay without ever holding the table.
+	resp, err := http.Get(ts.URL + "/v1/tenants/prod/replay?scenario=diurnal&epochs=8&mode=closed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("replay: %s: %s", resp.Status, body)
+	}
+	fmt.Println("\nprod closed-loop replay (streamed):")
+	var flowMods int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var er fubar.EpochRecord
+		if err := json.Unmarshal(sc.Bytes(), &er); err != nil {
+			log.Fatalf("bad stream line: %v", err)
+		}
+		flowMods += er.WireFlowMods
+		fmt.Printf("  epoch %2d  utility %.3f  flowmods %d\n", er.Epoch, er.Utility, er.WireFlowMods)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scrape prod's isolated registry and reconcile the wire ledger:
+	// every FlowMod the stream reported must have been sent and acked.
+	expo, err := http.Get(ts.URL + "/v1/tenants/prod/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(expo.Body)
+	expo.Body.Close()
+	if err := fubar.CheckExposition(string(body)); err != nil {
+		log.Fatalf("prod exposition: %v", err)
+	}
+	sent := metricValue(string(body), "fubar_ctrlplane_wire_flowmods_total")
+	acked := metricValue(string(body), "fubar_ctrlplane_install_acks_total")
+	fmt.Printf("\nprod ledger: %d flowmods streamed == %.0f sent == %.0f acked\n", flowMods, sent, acked)
+	if float64(flowMods) != sent || sent != acked {
+		log.Fatal("wire ledger does not reconcile")
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemon drained cleanly")
+}
+
+// postJSON posts body (nil for an empty post) and decodes the reply.
+func postJSON[T any](url string, body any) T {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, raw)
+	}
+	var out T
+	if err := json.Unmarshal(raw, &out); err != nil {
+		log.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return out
+}
+
+// metricValue sums the samples of one metric in a Prometheus text
+// exposition (labeled or not).
+func metricValue(body, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		fields := strings.Fields(line)
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -906,6 +906,12 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 // Mount it on any mux or pass it straight to http.Serve.
 func TelemetryHandler(t *Telemetry) http.Handler { return telemetry.Handler(t) }
 
+// CheckExposition validates a Prometheus text-format scrape (as served
+// by /metrics) — HELP/TYPE ordering, naming, parseable samples —
+// returning the first violation. Scrape checks in CI and the fubard
+// smoke use it.
+func CheckExposition(body string) error { return telemetry.CheckExposition(body) }
+
 // Failure recovery.
 type (
 	// FailoverOutcome captures a link-failure episode: healthy,

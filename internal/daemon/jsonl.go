@@ -1,0 +1,47 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"iter"
+
+	"fubar/internal/scenario"
+)
+
+// flusher is the subset of http.Flusher WriteEpochs needs; plain
+// writers (os.Stdout in the CLI) simply don't implement it.
+type flusher interface{ Flush() }
+
+// WriteEpochs streams a replay sequence to w as JSON Lines: one
+// scenario.EpochResult object per line, written — and flushed, when w
+// is an http.ResponseWriter — as each epoch completes, so a consumer
+// sees epoch k while epoch k+1 is still optimizing and memory stays
+// O(1) in timeline length. When the sequence ends with an error a
+// final {"error": ...} line is emitted (EpochResult has no "error"
+// key, so the two line shapes cannot collide) and that error is
+// returned alongside the count of epoch lines written. This is the one
+// epoch-stream encoder: the daemon's replay endpoint and `fubar -json`
+// both write through it, so their line shapes cannot drift apart.
+func WriteEpochs(w io.Writer, seq iter.Seq2[scenario.EpochResult, error]) (int, error) {
+	enc := json.NewEncoder(w)
+	fl, _ := w.(flusher)
+	n := 0
+	for er, err := range seq {
+		if err != nil {
+			// Best-effort: the client may already be gone.
+			_ = enc.Encode(ErrorResponse{Error: err.Error()})
+			if fl != nil {
+				fl.Flush()
+			}
+			return n, err
+		}
+		if encErr := enc.Encode(&er); encErr != nil {
+			return n, encErr
+		}
+		n++
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	return n, nil
+}

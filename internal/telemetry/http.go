@@ -6,23 +6,24 @@ import (
 	"net/http/pprof"
 )
 
-// Handler returns an http.Handler serving the observability surface:
-//
-//	/metrics       Prometheus text exposition of the registry
-//	/trace         JSONL stream: the buffered ring, then live events
-//	               until the client disconnects
-//	/debug/pprof/  the standard runtime profiles
-//
-// Pass it to http.Serve on whatever listener the -listen flag opened.
-func Handler(t *Telemetry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+// MetricsHandler serves one registry's Prometheus text exposition — the
+// per-registry building block. The daemon mounts one per tenant (each
+// tenant owns an isolated registry) plus one for its own registry; the
+// CLIs' -listen endpoints reach it through Handler below.
+func MetricsHandler(t *Telemetry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if t != nil && t.Registry != nil {
 			_ = t.Registry.WriteProm(w)
 		}
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+}
+
+// TraceHandler serves one tracer's JSONL span stream: the buffered ring
+// first, then live events until the client disconnects. Slow readers
+// drop events rather than block the traced code.
+func TraceHandler(t *Telemetry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		if t == nil || t.Tracer == nil {
 			return
@@ -53,11 +54,36 @@ func Handler(t *Telemetry) http.Handler {
 			}
 		}
 	})
+}
+
+// PprofMux registers the standard runtime profiles under /debug/pprof/
+// on mux. Split out so the daemon can mount profiling exactly once on
+// its own mux while still composing per-tenant metric handlers.
+func PprofMux(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns an http.Handler serving the observability surface of
+// one telemetry bundle:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/trace         JSONL stream: the buffered ring, then live events
+//	               until the client disconnects
+//	/debug/pprof/  the standard runtime profiles
+//
+// Pass it to http.Serve on whatever listener the -listen flag opened.
+// It is MetricsHandler + TraceHandler + PprofMux composed on one mux;
+// multi-registry servers (the fubard daemon) mount those pieces
+// per registry instead.
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(t))
+	mux.Handle("/trace", TraceHandler(t))
+	PprofMux(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -146,6 +146,63 @@ func (t *Telemetry) Ctrlplane() *CtrlplaneMetrics {
 	}
 }
 
+// DaemonMetrics are the controller-daemon metrics: tenant lifecycle,
+// request traffic, the worker-budget scheduler, and streamed epochs.
+// They live in the daemon's own registry, not the per-tenant ones.
+type DaemonMetrics struct {
+	Tenants        *Gauge
+	TenantsCreated *Counter
+	TenantsDeleted *Counter
+	Requests       *Counter
+	Optimizes      *Counter
+	Replays        *Counter
+	StreamEpochs   *Counter
+	WorkersInUse   *Gauge
+	WorkerWaits    *Counter
+	OptimizeSecs   *Histogram
+}
+
+// Daemon builds (idempotently) the daemon-subsystem handles; nil-safe.
+func (t *Telemetry) Daemon() *DaemonMetrics {
+	if t == nil || t.Registry == nil {
+		return nil
+	}
+	r := t.Registry
+	return &DaemonMetrics{
+		Tenants:        r.Gauge("fubar_daemon_tenants", "Tenants currently registered."),
+		TenantsCreated: r.Counter("fubar_daemon_tenants_created_total", "Tenants created over the daemon's lifetime."),
+		TenantsDeleted: r.Counter("fubar_daemon_tenants_deleted_total", "Tenants deleted (control plane released)."),
+		Requests:       r.Counter("fubar_daemon_requests_total", "HTTP API requests served."),
+		Optimizes:      r.Counter("fubar_daemon_optimizes_total", "Tenant optimize calls completed."),
+		Replays:        r.Counter("fubar_daemon_replays_total", "Tenant replay streams completed."),
+		StreamEpochs:   r.Counter("fubar_daemon_stream_epochs_total", "Epoch records streamed to replay clients."),
+		WorkersInUse:   r.Gauge("fubar_daemon_workers_in_use", "Worker-budget tokens currently held by tenant work."),
+		WorkerWaits:    r.Counter("fubar_daemon_worker_waits_total", "Admissions that had to wait for worker-budget tokens."),
+		OptimizeSecs:   r.Histogram("fubar_daemon_optimize_seconds", "Wall time of one tenant optimize call.", SecondsBuckets),
+	}
+}
+
+// TenantMetrics are the daemon-side handles registered into each
+// tenant's own isolated registry at create time, so a fresh tenant's
+// /metrics exposes its identity before its session records anything.
+type TenantMetrics struct {
+	Workers *Gauge
+	Seed    *Gauge
+}
+
+// Tenant builds (idempotently) the per-tenant identity handles;
+// nil-safe.
+func (t *Telemetry) Tenant() *TenantMetrics {
+	if t == nil || t.Registry == nil {
+		return nil
+	}
+	r := t.Registry
+	return &TenantMetrics{
+		Workers: r.Gauge("fubar_tenant_workers", "This tenant's worker budget."),
+		Seed:    r.Gauge("fubar_tenant_seed", "This tenant's instance seed."),
+	}
+}
+
 // LogfLogger adapts a printf-style sink into a *slog.Logger, for the
 // deprecated WithLogf option. Each record is rendered as one line:
 // "msg key=value key=value". A nil fn yields a discarding logger.

@@ -46,6 +46,7 @@ type Session struct {
 	opt   *core.Optimizer
 	cp    *scenario.ControlPlane
 	last  *Solution
+	traj  *scenario.TrajectoryRecorder
 }
 
 // sessionConfig is the assembled option state.
@@ -61,6 +62,7 @@ type sessionConfig struct {
 	ruleLease     time.Duration
 	leasePolicy   FailPolicy
 	logger        *slog.Logger
+	trajPoints    int
 }
 
 // SessionOption configures a Session at construction
@@ -184,6 +186,16 @@ func WithReplicas(n int) SessionOption {
 // first use.
 func WithRuleLease(d time.Duration, policy FailPolicy) SessionOption {
 	return func(c *sessionConfig) { c.ruleLease = d; c.leasePolicy = policy }
+}
+
+// WithTrajectory makes the session record a downsampled Trajectory of
+// every replay it streams: each Replay / ReplayClosedLoop call starts a
+// fresh fixed-budget TrajectoryRecorder (at most points buckets,
+// O(points) memory however long the timeline) and folds each epoch in
+// as it is yielded. Read it with Session.Trajectory — mid-replay for
+// the buckets so far, or after the stream ends for the full series.
+func WithTrajectory(points int) SessionOption {
+	return func(c *sessionConfig) { c.trajPoints = points }
 }
 
 // WithLogger directs the session's structured progress records —
@@ -350,7 +362,41 @@ func (s *Session) scenOpts() scenario.Options {
 // Cancelling ctx ends the stream at the next epoch or candidate-batch
 // boundary with a final yielded error; epochs already yielded stand.
 func (s *Session) Replay(ctx context.Context, sc Scenario) iter.Seq2[EpochRecord, error] {
-	return scenario.Stream(ctx, s.topo, s.mat, sc, s.scenOpts())
+	return s.recordTrajectory(sc, scenario.Stream(ctx, s.topo, s.mat, sc, s.scenOpts()))
+}
+
+// recordTrajectory wraps a replay stream with the session's trajectory
+// recorder (WithTrajectory): each yielded epoch is folded into a fresh
+// per-replay recorder before the caller sees it. Without the option the
+// stream passes through untouched.
+func (s *Session) recordTrajectory(sc Scenario, seq iter.Seq2[EpochRecord, error]) iter.Seq2[EpochRecord, error] {
+	if s.cfg.trajPoints <= 0 {
+		return seq
+	}
+	rec := scenario.NewTrajectoryRecorder(sc.Name, sc.Epochs, s.cfg.trajPoints)
+	s.traj = rec
+	return func(yield func(EpochRecord, error) bool) {
+		for er, err := range seq {
+			if err == nil {
+				rec.Observe(&er)
+			}
+			if !yield(er, err) {
+				return
+			}
+		}
+	}
+}
+
+// Trajectory returns the downsampled trajectory of the most recent
+// replay started under WithTrajectory — the complete series once that
+// replay's stream has ended, or the buckets observed so far while it is
+// still running. Without the option (or before the first replay) it is
+// the zero Trajectory.
+func (s *Session) Trajectory() Trajectory {
+	if s.traj == nil {
+		return Trajectory{}
+	}
+	return s.traj.Trajectory()
 }
 
 // ReplayAll is Replay collected into a ScenarioResult for callers that
@@ -390,7 +436,7 @@ func (s *Session) ReplayClosedLoop(ctx context.Context, sc Scenario) iter.Seq2[E
 		DemandJitter:  s.cfg.demandJitter,
 		Logger:        s.cfg.logger,
 	}
-	return scenario.StreamClosedLoopOn(ctx, s.cp, s.topo, s.mat, sc, opts)
+	return s.recordTrajectory(sc, scenario.StreamClosedLoopOn(ctx, s.cp, s.topo, s.mat, sc, opts))
 }
 
 // ReplayClosedLoopAll is ReplayClosedLoop collected into a
